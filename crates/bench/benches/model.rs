@@ -1,0 +1,50 @@
+//! Criterion micro-benchmarks for the analytical model: cost of one
+//! share/don't-share decision (the paper argues the model is cheap
+//! enough to evaluate per arriving query at runtime — this quantifies
+//! "cheap").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cordoba_core::sharing::SharingEvaluator;
+use cordoba_core::{HardwareModel, ShareAdvisor};
+use cordoba_workload::synthetic::{five_way_split, three_stage_with_s};
+
+fn evaluator_build_and_speedup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("model_decision");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    let (plan, pivot) = three_stage_with_s(1.0);
+    for m in [2usize, 16, 64] {
+        g.bench_with_input(BenchmarkId::new("homogeneous_z", m), &m, |b, &m| {
+            b.iter(|| {
+                SharingEvaluator::homogeneous(&plan, pivot, m)
+                    .unwrap()
+                    .speedup(32.0)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn advisor_admission(c: &mut Criterion) {
+    let (plan, pivot) = five_way_split(3);
+    let advisor = ShareAdvisor::new(HardwareModel::ideal(32));
+    c.bench_function("advisor_admission_m16", |b| {
+        b.iter(|| advisor.advise_admission(&plan, pivot, 16).unwrap().share)
+    });
+}
+
+fn phase_decomposition(c: &mut Criterion) {
+    use cordoba_core::joins::merge_join;
+    use cordoba_core::phases::decompose;
+    use cordoba_core::{OperatorSpec, PlanSpec};
+    let scan = |w: f64| {
+        PlanSpec::pipeline(vec![OperatorSpec::new("scan", vec![w], vec![1.0])]).unwrap()
+    };
+    let (plan, _) =
+        merge_join(&scan(4.0), &scan(6.0), 3.0, 0.5, 1.0, 0.5, false, false).unwrap();
+    c.bench_function("decompose_merge_join", |b| b.iter(|| decompose(&plan).unwrap().len()));
+}
+
+criterion_group!(benches, evaluator_build_and_speedup, advisor_admission, phase_decomposition);
+criterion_main!(benches);

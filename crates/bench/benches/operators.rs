@@ -1,0 +1,97 @@
+//! Criterion micro-benchmarks for the operator layer: raw host-side
+//! throughput of scans, filters, aggregation, and joins (independent of
+//! the virtual-cost model).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cordoba_exec::expr::{Agg, CmpOp, Predicate, ScalarExpr};
+use cordoba_exec::{reference, JoinKind, OpCost, PhysicalPlan};
+use cordoba_storage::tpch::{generate, TpchConfig};
+use cordoba_storage::Catalog;
+use cordoba_workload::{q1, q13, q4, q6, CostProfile};
+
+fn catalog() -> Catalog {
+    generate(&TpchConfig { scale_factor: 0.005, seed: 1, ..TpchConfig::default() })
+}
+
+fn scan_filter(c: &mut Criterion) {
+    let cat = catalog();
+    let rows = cat.expect("lineitem").row_count() as u64;
+    let mut g = c.benchmark_group("scan_filter");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.throughput(Throughput::Elements(rows));
+    let plan = PhysicalPlan::Filter {
+        input: Box::new(PhysicalPlan::Scan { table: "lineitem".into(), cost: OpCost::default() }),
+        predicate: Predicate::col_cmp(1, CmpOp::Lt, 24.0),
+        cost: OpCost::default(),
+    };
+    g.bench_function("lineitem_qty_lt_24", |b| {
+        b.iter(|| reference::execute(&cat, &plan).len())
+    });
+    g.finish();
+}
+
+fn aggregate(c: &mut Criterion) {
+    let cat = catalog();
+    let rows = cat.expect("lineitem").row_count() as u64;
+    let mut g = c.benchmark_group("aggregate");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.throughput(Throughput::Elements(rows));
+    let plan = PhysicalPlan::Aggregate {
+        input: Box::new(PhysicalPlan::Scan { table: "lineitem".into(), cost: OpCost::default() }),
+        group_by: vec![5, 6],
+        aggs: vec![
+            ("s".into(), Agg::Sum(ScalarExpr::Col(2))),
+            ("n".into(), Agg::Count),
+        ],
+        cost: OpCost::default(),
+    };
+    g.bench_function("group_by_flag_status", |b| {
+        b.iter(|| reference::execute(&cat, &plan).len())
+    });
+    g.finish();
+}
+
+fn hash_join(c: &mut Criterion) {
+    let cat = catalog();
+    let rows = cat.expect("orders").row_count() as u64;
+    let mut g = c.benchmark_group("hash_join");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.throughput(Throughput::Elements(rows));
+    let plan = PhysicalPlan::HashJoin {
+        build: Box::new(PhysicalPlan::Scan { table: "lineitem".into(), cost: OpCost::default() }),
+        probe: Box::new(PhysicalPlan::Scan { table: "orders".into(), cost: OpCost::default() }),
+        build_key: 0,
+        probe_key: 0,
+        kind: JoinKind::Semi,
+        build_cost: OpCost::default(),
+        probe_cost: OpCost::default(),
+    };
+    g.bench_function("orders_semi_lineitem", |b| {
+        b.iter(|| reference::execute(&cat, &plan).len())
+    });
+    g.finish();
+}
+
+fn full_queries(c: &mut Criterion) {
+    let cat = catalog();
+    let costs = CostProfile::paper();
+    let mut g = c.benchmark_group("tpch_reference");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for spec in [q1(&costs), q6(&costs), q4(&costs), q13(&costs)] {
+        g.bench_with_input(BenchmarkId::from_parameter(&spec.name), &spec, |b, spec| {
+            b.iter(|| reference::execute(&cat, &spec.plan).len())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, scan_filter, aggregate, hash_join, full_queries);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Criterion micro-benchmarks for the discrete-event simulator:
+//! scheduling overhead per step, channel ops, and pipeline throughput
+//! as context count grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cordoba_sim::channel::{self, Recv};
+use cordoba_sim::{Simulator, Step, Task, TaskCtx};
+use std::sync::Arc;
+
+struct Burn {
+    steps: u32,
+}
+impl Task for Burn {
+    fn step(&mut self, _: &mut TaskCtx<'_>) -> Step {
+        if self.steps == 0 {
+            return Step::done(0);
+        }
+        self.steps -= 1;
+        Step::yielded(3)
+    }
+}
+
+struct Source {
+    tx: channel::Sender<Arc<u64>>,
+    n: u64,
+}
+impl Task for Source {
+    fn step(&mut self, ctx: &mut TaskCtx<'_>) -> Step {
+        if self.n == 0 {
+            self.tx.close(ctx);
+            return Step::done(0);
+        }
+        match self.tx.try_send(Arc::new(self.n), ctx) {
+            Ok(()) => {
+                self.n -= 1;
+                Step::yielded(5)
+            }
+            Err(_) => Step::blocked(0),
+        }
+    }
+}
+
+struct Drain {
+    rx: channel::Receiver<Arc<u64>>,
+}
+impl Task for Drain {
+    fn step(&mut self, ctx: &mut TaskCtx<'_>) -> Step {
+        match self.rx.try_recv(ctx) {
+            Recv::Value(_) => Step::yielded(5),
+            Recv::Empty => Step::blocked(0),
+            Recv::Closed => Step::done(0),
+        }
+    }
+}
+
+fn scheduler_steps(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scheduler");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    const STEPS: u32 = 50_000;
+    g.throughput(Throughput::Elements(STEPS as u64));
+    for contexts in [1usize, 4, 32] {
+        g.bench_with_input(BenchmarkId::new("burn_steps", contexts), &contexts, |b, &n| {
+            b.iter(|| {
+                let mut sim = Simulator::new(n);
+                for _ in 0..n.min(8) {
+                    sim.spawn("burn", Box::new(Burn { steps: STEPS / n.min(8) as u32 }));
+                }
+                sim.run_to_idle();
+                sim.now()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn channel_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("channel_pipeline");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    const ITEMS: u64 = 20_000;
+    g.throughput(Throughput::Elements(ITEMS));
+    for cap in [2usize, 16, 128] {
+        g.bench_with_input(BenchmarkId::new("producer_consumer", cap), &cap, |b, &cap| {
+            b.iter(|| {
+                let mut sim = Simulator::new(2);
+                let (tx, rx) = channel::bounded(cap);
+                sim.spawn("src", Box::new(Source { tx, n: ITEMS }));
+                sim.spawn("dst", Box::new(Drain { rx }));
+                sim.run_to_idle();
+                sim.now()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, scheduler_steps, channel_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Regenerates every figure in one pass by invoking the per-figure
+//! binaries' logic; writes all CSVs under `results/`.
+//!
+//! Usage: `cargo run -p cordoba-bench --release --bin all_figures [--quick]`
+
+use std::process::Command;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let exe_dir = std::env::current_exe()
+        .expect("own path")
+        .parent()
+        .expect("bin dir")
+        .to_path_buf();
+    let figures = [
+        "fig1_q6_sharing",
+        "fig2_speedups",
+        "fig4_sensitivity",
+        "fig5_validation",
+        "fig6_policies",
+        "sec44_params",
+        "ablations",
+    ];
+    for figure in figures {
+        println!("\n===================== {figure} =====================");
+        let mut cmd = Command::new(exe_dir.join(figure));
+        if quick {
+            cmd.arg("--quick");
+        }
+        let status = cmd.status().unwrap_or_else(|e| panic!("running {figure}: {e}"));
+        assert!(status.success(), "{figure} failed with {status}");
+    }
+    println!("\nAll figures regenerated; CSVs in results/.");
+}

@@ -1,0 +1,61 @@
+//! Figure 1: speedup of sharing part of TPC-H Q6 relative to
+//! never-share execution, as clients grow from 1 to 48, for 1/2/8/32
+//! CPUs. The paper's headline: sharing helps only on the uniprocessor.
+
+use cordoba_bench::experiments::{speedup_sweep, ExpConfig};
+use cordoba_bench::output::{announce, ascii_chart, f, write_csv};
+use cordoba_workload::q6;
+
+fn main() {
+    let cfg = if std::env::args().any(|a| a == "--quick") {
+        ExpConfig::quick()
+    } else {
+        ExpConfig::default()
+    };
+    let catalog = cfg.catalog();
+    let spec = q6(&cfg.costs);
+    let clients = [1usize, 2, 4, 8, 16, 24, 32, 48];
+    let contexts = [1usize, 2, 8, 32];
+
+    println!("Figure 1: sharing speedup for TPC-H Q6 (shared scan) vs never-share");
+    println!("clients = {clients:?}, contexts = {contexts:?}, SF = {}", cfg.scale_factor);
+    let points = speedup_sweep(&catalog, &spec, &clients, &contexts, cfg.measure_floor);
+
+    let mut rows = Vec::new();
+    let mut series = Vec::new();
+    for &n in &contexts {
+        let pts: Vec<(f64, f64)> = points
+            .iter()
+            .filter(|p| p.contexts == n)
+            .map(|p| (p.clients as f64, p.z))
+            .collect();
+        series.push((format!("{n} cpu q6"), pts));
+    }
+    for p in &points {
+        rows.push(vec![
+            p.contexts.to_string(),
+            p.clients.to_string(),
+            f(p.shared),
+            f(p.unshared),
+            f(p.z),
+        ]);
+    }
+    println!("{}", ascii_chart("Speedup Z(m, n) of sharing Q6", "Z", &series));
+    println!("{:>4} {:>8} {:>12} {:>12} {:>8}", "cpu", "clients", "x_shared", "x_unshared", "Z");
+    for p in &points {
+        println!(
+            "{:>4} {:>8} {:>12.6} {:>12.6} {:>8.3}",
+            p.contexts,
+            p.clients,
+            p.shared * 1e6,
+            p.unshared * 1e6,
+            p.z
+        );
+    }
+    let path = write_csv(
+        "fig1_q6_sharing.csv",
+        &["contexts", "clients", "x_shared", "x_unshared", "z"],
+        &rows,
+    );
+    announce(&path);
+}

@@ -1,0 +1,76 @@
+//! Figure 2: measured sharing speedup for the scan-heavy queries
+//! (Q1, Q6 — left panel) and join-heavy queries (Q4, Q13 — right
+//! panel), for 1/2/8/32 CPUs and 1–48 clients.
+
+use cordoba_bench::experiments::{speedup_sweep, ExpConfig, SpeedupPoint};
+use cordoba_bench::output::{announce, ascii_chart, f, write_csv};
+use cordoba_engine::QuerySpec;
+use cordoba_workload::{q1, q13, q4, q6};
+
+fn panel(cfg: &ExpConfig, specs: &[QuerySpec], csv: &str, title: &str) {
+    let catalog = cfg.catalog();
+    let clients = [1usize, 2, 4, 8, 16, 24, 32, 48];
+    let contexts = [1usize, 2, 8, 32];
+    let mut rows = Vec::new();
+    let mut series = Vec::new();
+    for spec in specs {
+        let points: Vec<SpeedupPoint> =
+            speedup_sweep(&catalog, spec, &clients, &contexts, cfg.measure_floor);
+        for &n in &contexts {
+            series.push((
+                format!("{n} cpu {}", spec.name),
+                points
+                    .iter()
+                    .filter(|p| p.contexts == n)
+                    .map(|p| (p.clients as f64, p.z))
+                    .collect(),
+            ));
+        }
+        for p in &points {
+            println!(
+                "{:>4} {:>4} {:>8} {:>12.6} {:>12.6} {:>8.3}",
+                spec.name,
+                p.contexts,
+                p.clients,
+                p.shared * 1e6,
+                p.unshared * 1e6,
+                p.z
+            );
+            rows.push(vec![
+                spec.name.clone(),
+                p.contexts.to_string(),
+                p.clients.to_string(),
+                f(p.shared),
+                f(p.unshared),
+                f(p.z),
+            ]);
+        }
+    }
+    println!("{}", ascii_chart(title, "Z", &series));
+    let path = write_csv(csv, &["query", "contexts", "clients", "x_shared", "x_unshared", "z"], &rows);
+    announce(&path);
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = if quick { ExpConfig::quick() } else { ExpConfig::default() };
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    println!("Figure 2: measured sharing speedups (SF = {})", cfg.scale_factor);
+    println!("{:>4} {:>4} {:>8} {:>12} {:>12} {:>8}", "q", "cpu", "clients", "x_shared", "x_unshared", "Z");
+    if which == "scan" || which == "all" || which == "--quick" {
+        panel(
+            &cfg,
+            &[q1(&cfg.costs), q6(&cfg.costs)],
+            "fig2_scan_heavy.csv",
+            "Figure 2 left: scan-heavy (Q1, Q6)",
+        );
+    }
+    if which == "join" || which == "all" || which == "--quick" {
+        panel(
+            &cfg,
+            &[q4(&cfg.costs), q13(&cfg.costs)],
+            "fig2_join_heavy.csv",
+            "Figure 2 right: join-heavy (Q4, Q13)",
+        );
+    }
+}

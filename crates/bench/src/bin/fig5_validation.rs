@@ -1,0 +1,107 @@
+//! Figure 5: model validation — predicted vs measured sharing speedups
+//! for the scan-heavy (Q1, Q6) and join-heavy (Q4, Q13) queries at
+//! 1/2/8/32 CPUs. Reports per-point error, the mean/max relative error
+//! (the paper: avg 5.7%/5.9%, max 22%/30%), and the binary-decision
+//! agreement rate ("the model's recommendations are nearly always
+//! correct").
+
+use cordoba_bench::experiments::{
+    model_speedup, profile_all, speedup_sweep, ExpConfig,
+};
+use cordoba_bench::output::{announce, f, write_csv};
+use cordoba_engine::QuerySpec;
+use cordoba_workload::{q1, q13, q4, q6};
+
+struct PanelSummary {
+    mean_err: f64,
+    max_err: f64,
+    decisions: usize,
+    agreed: usize,
+}
+
+fn panel(cfg: &ExpConfig, specs: &[QuerySpec], csv: &str) -> PanelSummary {
+    let catalog = cfg.catalog();
+    let clients = [2usize, 4, 8, 16, 24, 32, 48];
+    let contexts = [1usize, 2, 8, 32];
+    let models = profile_all(&catalog, specs);
+    let mut rows = Vec::new();
+    let mut errs: Vec<f64> = Vec::new();
+    let mut decisions = 0usize;
+    let mut agreed = 0usize;
+    for spec in specs {
+        let measured = speedup_sweep(&catalog, spec, &clients, &contexts, cfg.measure_floor);
+        let info = &models[&spec.name];
+        for p in &measured {
+            let predicted = model_speedup(info, p.clients, p.contexts);
+            let err = (predicted - p.z).abs() / p.z.max(1e-9);
+            errs.push(err);
+            decisions += 1;
+            // Binary agreement with a small dead-band around Z = 1 where
+            // "share or not" is immaterial (both within noise of parity).
+            let deadband = 0.05;
+            let material = (p.z - 1.0).abs() > deadband || (predicted - 1.0).abs() > deadband;
+            if !material || ((predicted > 1.0) == (p.z > 1.0)) {
+                agreed += 1;
+            }
+            println!(
+                "{:>4} {:>4} {:>8} {:>10.3} {:>10.3} {:>8.1}%",
+                spec.name,
+                p.contexts,
+                p.clients,
+                p.z,
+                predicted,
+                err * 100.0
+            );
+            rows.push(vec![
+                spec.name.clone(),
+                p.contexts.to_string(),
+                p.clients.to_string(),
+                f(p.z),
+                f(predicted),
+                f(err),
+            ]);
+        }
+    }
+    announce(&write_csv(
+        csv,
+        &["query", "contexts", "clients", "z_measured", "z_model", "rel_error"],
+        &rows,
+    ));
+    PanelSummary {
+        mean_err: errs.iter().sum::<f64>() / errs.len() as f64,
+        max_err: errs.iter().copied().fold(0.0, f64::max),
+        decisions,
+        agreed,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = if quick { ExpConfig::quick() } else { ExpConfig::default() };
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    println!("Figure 5: model validation (predicted vs measured Z)");
+    println!(
+        "{:>4} {:>4} {:>8} {:>10} {:>10} {:>9}",
+        "q", "cpu", "clients", "measured", "model", "error"
+    );
+    if which == "scan" || which == "all" || which == "--quick" {
+        let s = panel(&cfg, &[q1(&cfg.costs), q6(&cfg.costs)], "fig5_scan_heavy.csv");
+        println!(
+            "scan-heavy: mean err {:.1}% (paper 5.7%), max {:.1}% (paper 22%), decisions {}/{} correct",
+            s.mean_err * 100.0,
+            s.max_err * 100.0,
+            s.agreed,
+            s.decisions
+        );
+    }
+    if which == "join" || which == "all" || which == "--quick" {
+        let s = panel(&cfg, &[q4(&cfg.costs), q13(&cfg.costs)], "fig5_join_heavy.csv");
+        println!(
+            "join-heavy: mean err {:.1}% (paper 5.9%), max {:.1}% (paper 30%), decisions {}/{} correct",
+            s.mean_err * 100.0,
+            s.max_err * 100.0,
+            s.agreed,
+            s.decisions
+        );
+    }
+}

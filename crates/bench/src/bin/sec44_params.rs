@@ -1,0 +1,44 @@
+//! Section 4.4 / Section 3.1: parameter extraction for the four
+//! queries. Profiles each query with and without sharing and prints the
+//! fitted pivot `(w, s)` and per-operator `p` values — the analog of
+//! the paper's Q6 example (w = 9.66, s = 10.34, p_agg = 0.97), plus the
+//! derived group equations.
+
+use cordoba_bench::experiments::ExpConfig;
+use cordoba_bench::output::{announce, f, write_csv};
+use cordoba_core::sharing::SharingEvaluator;
+use cordoba_engine::profiling::profile_query;
+use cordoba_engine::EngineConfig;
+use cordoba_workload::queries::all;
+
+fn main() {
+    let cfg = ExpConfig::default();
+    let catalog = cfg.catalog();
+    let mut rows = Vec::new();
+    for spec in all(&cfg.costs) {
+        let (info, report) = profile_query(&catalog, &spec, &EngineConfig::default())
+            .unwrap_or_else(|e| panic!("profiling {} failed: {e}", spec.name));
+        println!("== {} ==", spec.name);
+        println!(
+            "  pivot: w = {:.3}, s = {:.3} (fit rss {:.2e})",
+            report.pivot_w, report.pivot_s, report.fit_rss
+        );
+        for (label, p) in &report.operators {
+            println!("  p[{label}] = {p:.3}");
+            rows.push(vec![spec.name.clone(), label.clone(), f(*p)]);
+        }
+        // Derived group equations at m = 16 on 1 and 32 contexts.
+        let m = 16usize;
+        let ev = SharingEvaluator::homogeneous(&info.plan, info.pivot, m).unwrap();
+        println!(
+            "  m={m}: p_phi = {:.2}, u'_shared = {:.2}, Z(1 cpu) = {:.2}, Z(32 cpu) = {:.2}",
+            ev.pivot_p(),
+            ev.shared_total_work(),
+            ev.speedup(1.0),
+            ev.speedup(32.0)
+        );
+        rows.push(vec![spec.name.clone(), "pivot_w".into(), f(report.pivot_w)]);
+        rows.push(vec![spec.name.clone(), "pivot_s".into(), f(report.pivot_s)]);
+    }
+    announce(&write_csv("sec44_params.csv", &["query", "operator", "p"], &rows));
+}

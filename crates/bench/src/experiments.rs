@@ -1,0 +1,243 @@
+//! Measurement routines for every experiment in the paper.
+
+use cordoba_core::sharing::SharingEvaluator;
+use cordoba_engine::profiling::profile_query;
+use cordoba_engine::{
+    measure_throughput, run_once, EngineConfig, Policy, QueryModelInfo, QuerySpec,
+};
+use cordoba_sim::VTime;
+use cordoba_storage::tpch::{generate, TpchConfig};
+use cordoba_storage::Catalog;
+use cordoba_workload::CostProfile;
+use std::collections::HashMap;
+
+/// Experiment-wide configuration.
+#[derive(Debug, Clone)]
+pub struct ExpConfig {
+    /// TPC-H scale factor for the generated database.
+    pub scale_factor: f64,
+    /// Data generator seed.
+    pub seed: u64,
+    /// Cost calibration.
+    pub costs: CostProfile,
+    /// Minimum completions measured per throughput estimate (scaled up
+    /// with the client count).
+    pub measure_floor: usize,
+}
+
+impl Default for ExpConfig {
+    fn default() -> Self {
+        Self {
+            scale_factor: 0.004,
+            seed: 0xC0DB_BA5E,
+            costs: CostProfile::paper(),
+            measure_floor: 24,
+        }
+    }
+}
+
+impl ExpConfig {
+    /// A faster configuration for smoke tests / CI.
+    pub fn quick() -> Self {
+        Self { scale_factor: 0.002, measure_floor: 12, ..Self::default() }
+    }
+
+    /// Generates the experiment database.
+    pub fn catalog(&self) -> Catalog {
+        generate(&TpchConfig {
+            scale_factor: self.scale_factor,
+            seed: self.seed,
+            ..TpchConfig::default()
+        })
+    }
+}
+
+/// Approximate total virtual work of one query instance (sum of all
+/// operator active times in a solo run); used to size time caps.
+pub fn query_work(catalog: &Catalog, spec: &QuerySpec) -> VTime {
+    let cfg = EngineConfig { contexts: 1, ..EngineConfig::default() };
+    let out = run_once(catalog, std::slice::from_ref(spec), &cfg);
+    out.task_stats.iter().map(|(_, s)| s.active).sum()
+}
+
+fn engine_cfg(contexts: usize, policy: Policy) -> EngineConfig {
+    EngineConfig { contexts, policy, ..EngineConfig::default() }
+}
+
+/// One point of a sharing-speedup sweep (Figures 1/2/5 measured series).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpeedupPoint {
+    /// Number of concurrent clients (`m`).
+    pub clients: usize,
+    /// Hardware contexts (`n`).
+    pub contexts: usize,
+    /// Shared-mode throughput (queries per unit virtual time).
+    pub shared: f64,
+    /// Unshared-mode throughput.
+    pub unshared: f64,
+    /// Measured speedup `Z = shared / unshared`.
+    pub z: f64,
+}
+
+/// Measures the speedup of always-share over never-share for `m`
+/// identical copies of `spec` on `contexts` contexts.
+pub fn sharing_speedup(
+    catalog: &Catalog,
+    spec: &QuerySpec,
+    clients: usize,
+    contexts: usize,
+    work_hint: VTime,
+    measure_floor: usize,
+) -> SpeedupPoint {
+    let specs = vec![spec.clone(); clients];
+    // ~6 closed-loop "rounds" per estimate: shared groups complete in
+    // bursts of m, so the window must span several bursts.
+    let target = measure_floor.max(6 * clients);
+    // Generous cap: enough for ~8x the target at the slowest plausible
+    // rate (all work serialized on one context).
+    let cap = work_hint
+        .saturating_mul(clients as u64)
+        .saturating_mul(16)
+        .max(10_000_000);
+    let shared = measure_throughput(
+        catalog,
+        &specs,
+        &engine_cfg(contexts, Policy::AlwaysShare),
+        target,
+        cap,
+    );
+    let unshared = measure_throughput(
+        catalog,
+        &specs,
+        &engine_cfg(contexts, Policy::NeverShare),
+        target,
+        cap,
+    );
+    SpeedupPoint {
+        clients,
+        contexts,
+        shared: shared.per_time,
+        unshared: unshared.per_time,
+        z: if unshared.per_time > 0.0 { shared.per_time / unshared.per_time } else { f64::NAN },
+    }
+}
+
+/// Sweeps clients × contexts for one query (a full panel of Figure 1/2).
+pub fn speedup_sweep(
+    catalog: &Catalog,
+    spec: &QuerySpec,
+    clients: &[usize],
+    contexts: &[usize],
+    measure_floor: usize,
+) -> Vec<SpeedupPoint> {
+    let work = query_work(catalog, spec);
+    let mut out = Vec::new();
+    for &n in contexts {
+        for &m in clients {
+            out.push(sharing_speedup(catalog, spec, m, n, work, measure_floor));
+        }
+    }
+    out
+}
+
+/// Model-predicted speedup for `m` sharers of the profiled query on `n`
+/// contexts (Figure 5 model series; Figure 4 uses the synthetic plans
+/// directly).
+pub fn model_speedup(info: &QueryModelInfo, clients: usize, contexts: usize) -> f64 {
+    SharingEvaluator::homogeneous(&info.plan, info.pivot, clients)
+        .expect("profiled plan is valid")
+        .speedup(contexts as f64)
+}
+
+/// Profiles every query in `specs` (paper Section 3.1), returning the
+/// per-name model map the model-guided policy needs.
+pub fn profile_all(
+    catalog: &Catalog,
+    specs: &[QuerySpec],
+) -> HashMap<String, QueryModelInfo> {
+    let cfg = EngineConfig::default();
+    specs
+        .iter()
+        .map(|spec| {
+            let (info, _) = profile_query(catalog, spec, &cfg)
+                .unwrap_or_else(|e| panic!("profiling {} failed: {e}", spec.name));
+            (spec.name.clone(), info)
+        })
+        .collect()
+}
+
+/// One point of the Figure 6 policy comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PolicyPoint {
+    /// Fraction of clients submitting Q4.
+    pub q4_fraction: f64,
+    /// Never-share throughput.
+    pub never: f64,
+    /// Always-share throughput.
+    pub always: f64,
+    /// Model-guided throughput.
+    pub model: f64,
+}
+
+/// Measures the three policies on a Q1/Q4 mix (paper Section 8.2).
+pub fn policy_comparison(
+    catalog: &Catalog,
+    costs: &CostProfile,
+    models: &HashMap<String, QueryModelInfo>,
+    clients: usize,
+    contexts: usize,
+    q4_fraction: f64,
+    measure_floor: usize,
+) -> PolicyPoint {
+    let mix = cordoba_workload::mix::q1_q4_mix(costs, clients, q4_fraction);
+    let work = mix
+        .iter()
+        .map(|s| query_work(catalog, s))
+        .max()
+        .unwrap_or(1_000_000);
+    let target = measure_floor.max(6 * clients);
+    let cap = work
+        .saturating_mul(clients as u64)
+        .saturating_mul(16)
+        .max(10_000_000);
+    let run = |policy: Policy| {
+        measure_throughput(catalog, &mix, &engine_cfg(contexts, policy), target, cap).per_time
+    };
+    PolicyPoint {
+        q4_fraction,
+        never: run(Policy::NeverShare),
+        always: run(Policy::AlwaysShare),
+        model: run(Policy::ModelGuided { models: models.clone(), hysteresis: 0.0 }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cordoba_workload::{q4, q6};
+
+    #[test]
+    fn q6_sharing_helps_on_one_context_hurts_on_many() {
+        // The headline result (Figure 1) on the real engine.
+        let cfg = ExpConfig::quick();
+        let catalog = cfg.catalog();
+        let spec = q6(&cfg.costs);
+        let work = query_work(&catalog, &spec);
+        let uni = sharing_speedup(&catalog, &spec, 8, 1, work, cfg.measure_floor);
+        assert!(uni.z > 1.2, "n=1 expected sharing win, got {uni:?}");
+        let cmp = sharing_speedup(&catalog, &spec, 8, 32, work, cfg.measure_floor);
+        assert!(cmp.z < 0.7, "n=32 expected sharing loss, got {cmp:?}");
+    }
+
+    #[test]
+    fn q4_sharing_always_helps() {
+        let cfg = ExpConfig::quick();
+        let catalog = cfg.catalog();
+        let spec = q4(&cfg.costs);
+        let work = query_work(&catalog, &spec);
+        for contexts in [1usize, 8] {
+            let p = sharing_speedup(&catalog, &spec, 8, contexts, work, cfg.measure_floor);
+            assert!(p.z > 1.0, "contexts={contexts}: {p:?}");
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! # cordoba-bench — experiment harness
+//!
+//! One module per concern:
+//!
+//! * [`experiments`] — measurement routines behind every figure of the
+//!   paper (shared/unshared throughput sweeps, model validation, policy
+//!   comparison) over the simulated CMP.
+//! * [`output`] — CSV emission and quick ASCII charts so each figure
+//!   binary prints the same series the paper plots.
+//!
+//! Binaries (one per table/figure — see DESIGN.md's experiment index):
+//! `fig1_q6_sharing`, `fig2_speedups`, `fig4_sensitivity`,
+//! `fig5_validation`, `fig6_policies`, `sec44_params`, `ablations`, and
+//! `all_figures` (runs everything, writes `results/*.csv`).
+
+pub mod experiments;
+pub mod output;

@@ -1,0 +1,103 @@
+//! Result emission: CSV files under `results/` plus compact ASCII
+//! charts on stdout, so each figure binary both archives and displays
+//! the series the paper plots.
+
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Directory results are written to (workspace-relative).
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("CORDOBA_RESULTS").unwrap_or_else(|_| "results".into());
+    PathBuf::from(dir)
+}
+
+/// Writes a CSV with the given header and rows.
+pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) -> PathBuf {
+    let dir = results_dir();
+    fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join(name);
+    let mut f = fs::File::create(&path).expect("create csv");
+    writeln!(f, "{}", header.join(",")).expect("write header");
+    for row in rows {
+        writeln!(f, "{}", row.join(",")).expect("write row");
+    }
+    path
+}
+
+/// Renders one or more named series sharing an x-axis as an ASCII chart.
+///
+/// `series` maps a label to `(x, y)` points; x values are assumed sorted
+/// and shared across series (missing points are skipped).
+pub fn ascii_chart(title: &str, ylabel: &str, series: &[(String, Vec<(f64, f64)>)]) -> String {
+    const WIDTH: usize = 64;
+    let mut out = String::new();
+    out.push_str(&format!("## {title}\n"));
+    let ymax = series
+        .iter()
+        .flat_map(|(_, pts)| pts.iter().map(|&(_, y)| y))
+        .fold(0.0_f64, f64::max)
+        .max(1e-12);
+    for (label, pts) in series {
+        out.push_str(&format!("  {label}\n"));
+        for &(x, y) in pts {
+            let bars = ((y / ymax) * WIDTH as f64).round().max(0.0) as usize;
+            out.push_str(&format!(
+                "    {x:>8.2} | {}{} {y:.3} {ylabel}\n",
+                "#".repeat(bars),
+                " ".repeat(WIDTH.saturating_sub(bars)),
+            ));
+        }
+    }
+    out
+}
+
+/// Formats a float column.
+pub fn f(v: f64) -> String {
+    format!("{v:.6}")
+}
+
+/// Prints where a CSV landed.
+pub fn announce(path: &Path) {
+    println!("wrote {}", path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_round_trip() {
+        std::env::set_var("CORDOBA_RESULTS", std::env::temp_dir().join("cordoba-test-results"));
+        let path = write_csv(
+            "test.csv",
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+        );
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "a,b\n1,2\n3,4\n");
+        std::env::remove_var("CORDOBA_RESULTS");
+    }
+
+    #[test]
+    fn chart_renders_all_series() {
+        let s = ascii_chart(
+            "t",
+            "z",
+            &[
+                ("one".into(), vec![(1.0, 0.5), (2.0, 1.0)]),
+                ("two".into(), vec![(1.0, 0.25)]),
+            ],
+        );
+        assert!(s.contains("## t"));
+        assert!(s.contains("one"));
+        assert!(s.contains("two"));
+        assert!(s.lines().count() >= 6);
+    }
+
+    #[test]
+    fn zero_series_does_not_panic() {
+        let s = ascii_chart("empty", "y", &[("z".into(), vec![(0.0, 0.0)])]);
+        assert!(s.contains("empty"));
+    }
+}

@@ -1,0 +1,184 @@
+//! Shared-hardware contention model (paper Section 4.1.4).
+//!
+//! CMPs share caches, memory bandwidth and functional units; as more
+//! contexts are active, contention reduces effective processing power.
+//! The paper models this by assuming only `n^k` processors are
+//! effectively available, `0 < k ≤ 1`, with `k` measured empirically per
+//! hardware/workload (and possibly per sharing mode).
+
+use crate::error::{ModelError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Hardware description used to translate nominal context counts into
+/// effective processing power.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HardwareModel {
+    /// Nominal number of hardware contexts (`n`).
+    pub contexts: u32,
+    /// Contention exponent `k` for *unshared* execution (`0 < k ≤ 1`;
+    /// `k = 1` means no contention, as the paper assumes for its Q6
+    /// worked example).
+    pub k_unshared: f64,
+    /// Contention exponent for *shared* execution. The paper notes `k`
+    /// may depend on "whether the system applies work sharing"; sharing
+    /// typically touches less aggregate data, so `k_shared ≥ k_unshared`
+    /// is common.
+    pub k_shared: f64,
+}
+
+impl HardwareModel {
+    /// A contention-free machine with `contexts` hardware contexts
+    /// (`k = 1`), matching the paper's validated Q6 model.
+    pub fn ideal(contexts: u32) -> Self {
+        Self { contexts, k_unshared: 1.0, k_shared: 1.0 }
+    }
+
+    /// A machine with a single contention exponent for both modes.
+    pub fn with_contention(contexts: u32, k: f64) -> Result<Self> {
+        Self { contexts, k_unshared: k, k_shared: k }.validated()
+    }
+
+    /// A machine with distinct exponents per execution mode.
+    pub fn with_mode_contention(contexts: u32, k_unshared: f64, k_shared: f64) -> Result<Self> {
+        Self { contexts, k_unshared, k_shared }.validated()
+    }
+
+    fn validated(self) -> Result<Self> {
+        for k in [self.k_unshared, self.k_shared] {
+            if !(k > 0.0 && k <= 1.0) {
+                return Err(ModelError::InvalidCost { what: "contention exponent k".into(), value: k });
+            }
+        }
+        if self.contexts == 0 {
+            return Err(ModelError::InvalidProcessors(0.0));
+        }
+        Ok(self)
+    }
+
+    /// Effective processors for unshared execution: `n^k_unshared`.
+    pub fn effective_unshared(&self) -> f64 {
+        (self.contexts as f64).powf(self.k_unshared)
+    }
+
+    /// Effective processors for shared execution: `n^k_shared`.
+    pub fn effective_shared(&self) -> f64 {
+        (self.contexts as f64).powf(self.k_shared)
+    }
+}
+
+/// Estimates the contention exponent `k` from measured saturated
+/// throughputs at different context counts: under saturation
+/// `x(n) ∝ n^k`, so `ln x = k·ln n + c` and `k` is the slope of a
+/// log-log least-squares fit ("k is easy to measure empirically",
+/// paper Section 4.1.4). The result is clamped into `(0, 1]`.
+pub fn estimate_k(samples: &[(u32, f64)]) -> Result<f64> {
+    let usable: Vec<(f64, f64)> = samples
+        .iter()
+        .filter(|&&(n, x)| n >= 1 && x > 0.0 && x.is_finite())
+        .map(|&(n, x)| ((n as f64).ln(), x.ln()))
+        .collect();
+    if usable.len() < 2 {
+        return Err(ModelError::Estimation(format!(
+            "need at least 2 valid (contexts, throughput) samples, got {}",
+            usable.len()
+        )));
+    }
+    let distinct_n = {
+        let mut ns: Vec<u64> = usable.iter().map(|(ln_n, _)| ln_n.to_bits()).collect();
+        ns.sort_unstable();
+        ns.dedup();
+        ns.len()
+    };
+    if distinct_n < 2 {
+        return Err(ModelError::Estimation(
+            "samples must cover at least 2 distinct context counts".into(),
+        ));
+    }
+    let rows = usable.len();
+    let a: Vec<f64> = usable.iter().flat_map(|&(ln_n, _)| [1.0, ln_n]).collect();
+    let b: Vec<f64> = usable.iter().map(|&(_, ln_x)| ln_x).collect();
+    let x = crate::linalg::least_squares(&a, &b, rows, 2)?;
+    Ok(x[1].clamp(f64::MIN_POSITIVE, 1.0))
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimate_k_recovers_exact_exponent() {
+        for true_k in [0.5, 0.75, 0.9, 1.0] {
+            let samples: Vec<(u32, f64)> = [1u32, 2, 4, 8, 16, 32]
+                .iter()
+                .map(|&n| (n, 3.0 * (n as f64).powf(true_k)))
+                .collect();
+            let k = estimate_k(&samples).unwrap();
+            assert!((k - true_k).abs() < 1e-9, "k={k} vs {true_k}");
+        }
+    }
+
+    #[test]
+    fn estimate_k_clamps_superlinear_to_one() {
+        let samples: Vec<(u32, f64)> =
+            [1u32, 2, 4].iter().map(|&n| (n, (n as f64).powf(1.4))).collect();
+        assert_eq!(estimate_k(&samples).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn estimate_k_tolerates_noise() {
+        let samples: Vec<(u32, f64)> = [1u32, 2, 4, 8, 16]
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| {
+                let noise = if i % 2 == 0 { 1.03 } else { 0.97 };
+                (n, (n as f64).powf(0.8) * noise)
+            })
+            .collect();
+        let k = estimate_k(&samples).unwrap();
+        assert!((k - 0.8).abs() < 0.05, "k={k}");
+    }
+
+    #[test]
+    fn estimate_k_rejects_degenerate_inputs() {
+        assert!(estimate_k(&[]).is_err());
+        assert!(estimate_k(&[(4, 2.0)]).is_err());
+        assert!(estimate_k(&[(4, 2.0), (4, 2.1)]).is_err());
+        assert!(estimate_k(&[(1, 0.0), (2, -1.0)]).is_err());
+    }
+
+    #[test]
+    fn ideal_hardware_is_identity() {
+        let hw = HardwareModel::ideal(32);
+        assert!((hw.effective_shared() - 32.0).abs() < 1e-12);
+        assert!((hw.effective_unshared() - 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contention_shrinks_effective_processors() {
+        let hw = HardwareModel::with_contention(32, 0.8).unwrap();
+        let eff = hw.effective_unshared();
+        assert!(eff < 32.0 && eff > 1.0);
+        assert!((eff - 32f64.powf(0.8)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_context_unaffected_by_contention() {
+        let hw = HardwareModel::with_contention(1, 0.5).unwrap();
+        assert!((hw.effective_shared() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mode_specific_exponents() {
+        let hw = HardwareModel::with_mode_contention(16, 0.7, 0.9).unwrap();
+        assert!(hw.effective_shared() > hw.effective_unshared());
+    }
+
+    #[test]
+    fn invalid_k_rejected() {
+        assert!(HardwareModel::with_contention(8, 0.0).is_err());
+        assert!(HardwareModel::with_contention(8, 1.5).is_err());
+        assert!(HardwareModel::with_contention(8, f64::NAN).is_err());
+        assert!(HardwareModel::with_contention(0, 0.9).is_err());
+    }
+}

@@ -1,0 +1,268 @@
+//! Modeling the three join families (paper Section 5.3).
+//!
+//! * **Nested-loop join** is fully pipelinable: a single operator with
+//!   two input streams, one usually far more expensive than the other.
+//! * **Merge join** is three operations: two (blocking) sorts plus a
+//!   pipelinable merge. If an input is already sorted its sort vanishes.
+//! * **Hash join** is two operations: a blocking build and a pipelinable
+//!   probe. A symmetric/pipelined hash join collapses back to the simple
+//!   single-operator model.
+//!
+//! These builders produce [`PlanSpec`]s with appropriate `blocking`
+//! flags; feed them to [`crate::phases::decompose`] for phase-wise
+//! evaluation.
+
+use crate::error::Result;
+use crate::operator::OperatorSpec;
+use crate::plan::{NodeId, PlanSpec};
+
+/// Cost parameters for one side of a join.
+#[derive(Debug, Clone, Copy)]
+pub struct JoinSideCost {
+    /// `w`: work per unit of forward progress to consume this input.
+    pub work: f64,
+}
+
+/// Builds a fully-pipelinable nested-loop join plan over two input
+/// plans. Returns the combined plan and the join's node id.
+///
+/// `outer_w`/`inner_w` are the join's per-unit-progress costs of
+/// consuming each input; `output_s` the cost of emitting to the (single)
+/// consumer.
+pub fn nested_loop_join(
+    left: &PlanSpec,
+    right: &PlanSpec,
+    outer_w: f64,
+    inner_w: f64,
+    output_s: f64,
+) -> Result<(PlanSpec, NodeId)> {
+    let mut b = PlanSpec::new();
+    let l = graft(left, left.root(), &mut b);
+    let r = graft(right, right.root(), &mut b);
+    let join = b.add_node(
+        OperatorSpec::try_new("nlj", vec![outer_w, inner_w], vec![output_s])?,
+        vec![l, r],
+    );
+    b.finish(join).map(|plan| (plan, join))
+}
+
+/// Builds a hash join: blocking `hj.build` over the build side, then a
+/// pipelinable `hj.probe` consuming the probe side and the built table.
+/// Returns the plan and the probe node id (the shareable pivot for
+/// sharing the whole join result).
+pub fn hash_join(
+    build: &PlanSpec,
+    probe: &PlanSpec,
+    build_w: f64,
+    probe_w: f64,
+    output_s: f64,
+) -> Result<(PlanSpec, NodeId)> {
+    let mut b = PlanSpec::new();
+    let build_in = graft(build, build.root(), &mut b);
+    let built = b.add_node(
+        OperatorSpec::try_new("hj.build", vec![build_w], vec![0.0])?.blocking(),
+        vec![build_in],
+    );
+    let probe_in = graft(probe, probe.root(), &mut b);
+    let joined = b.add_node(
+        OperatorSpec::try_new("hj.probe", vec![probe_w, 0.0], vec![output_s])?,
+        vec![probe_in, built],
+    );
+    b.finish(joined).map(|plan| (plan, joined))
+}
+
+/// Builds a symmetric (pipelined) hash join: a single non-blocking
+/// operator, per Section 5.3.3's discussion of symmetric hash joins.
+pub fn symmetric_hash_join(
+    left: &PlanSpec,
+    right: &PlanSpec,
+    left_w: f64,
+    right_w: f64,
+    output_s: f64,
+) -> Result<(PlanSpec, NodeId)> {
+    let mut b = PlanSpec::new();
+    let l = graft(left, left.root(), &mut b);
+    let r = graft(right, right.root(), &mut b);
+    let join = b.add_node(
+        OperatorSpec::try_new("shj", vec![left_w, right_w], vec![output_s])?,
+        vec![l, r],
+    );
+    b.finish(join).map(|plan| (plan, join))
+}
+
+/// Builds a merge join: blocking sorts over each unsorted input plus a
+/// pipelinable merge. `left_sorted` / `right_sorted` skip the respective
+/// sort (Section 5.3.2: "if any input is already sorted then the
+/// corresponding sort operation is unnecessary").
+#[allow(clippy::too_many_arguments)]
+pub fn merge_join(
+    left: &PlanSpec,
+    right: &PlanSpec,
+    sort_w: f64,
+    sort_emit_s: f64,
+    merge_w: f64,
+    output_s: f64,
+    left_sorted: bool,
+    right_sorted: bool,
+) -> Result<(PlanSpec, NodeId)> {
+    let mut b = PlanSpec::new();
+    let side = |plan: &PlanSpec, sorted: bool, name: &str, b: &mut crate::plan::PlanBuilder| {
+        let input = graft(plan, plan.root(), b);
+        if sorted {
+            Ok::<NodeId, crate::error::ModelError>(input)
+        } else {
+            Ok(b.add_node(
+                OperatorSpec::try_new(name, vec![sort_w], vec![sort_emit_s])?.blocking(),
+                vec![input],
+            ))
+        }
+    };
+    let l = side(left, left_sorted, "mj.sortL", &mut b)?;
+    let r = side(right, right_sorted, "mj.sortR", &mut b)?;
+    let merge = b.add_node(
+        OperatorSpec::try_new("mj.merge", vec![merge_w, merge_w], vec![output_s])?,
+        vec![l, r],
+    );
+    b.finish(merge).map(|plan| (plan, merge))
+}
+
+/// Copies the subtree of `src` rooted at `node` into builder `b`.
+fn graft(src: &PlanSpec, node: NodeId, b: &mut crate::plan::PlanBuilder) -> NodeId {
+    let children: Vec<NodeId> = src
+        .children(node)
+        .iter()
+        .map(|&c| graft(src, c, b))
+        .collect();
+    if children.is_empty() {
+        b.add_leaf(src.op(node).clone())
+    } else {
+        b.add_node(src.op(node).clone(), children)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phases::decompose;
+
+    fn scan(name: &str, w: f64, s: f64) -> PlanSpec {
+        PlanSpec::pipeline(vec![OperatorSpec::new(name, vec![w], vec![s])]).unwrap()
+    }
+
+    #[test]
+    fn nlj_is_single_phase() {
+        let (plan, join) =
+            nested_loop_join(&scan("l", 4.0, 1.0), &scan("r", 2.0, 1.0), 1.0, 6.0, 0.5).unwrap();
+        assert_eq!(plan.len(), 3);
+        assert!((plan.op(join).p() - 7.5).abs() < 1e-12);
+        assert_eq!(decompose(&plan).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn hash_join_decomposes_into_build_and_probe_phases() {
+        let (plan, probe) =
+            hash_join(&scan("build", 3.0, 1.0), &scan("probe", 5.0, 1.0), 2.0, 1.5, 0.5).unwrap();
+        assert_eq!(plan.op(probe).name, "hj.probe");
+        let phases = decompose(&plan).unwrap();
+        assert_eq!(phases.len(), 2);
+        assert_eq!(phases[0].boundary.as_deref(), Some("hj.build"));
+        // Build phase contains the build-side scan and hj.build.consume.
+        let names: Vec<_> = phases[0]
+            .plan
+            .node_ids()
+            .map(|id| phases[0].plan.op(id).name.clone())
+            .collect();
+        assert!(names.iter().any(|n| n == "build"));
+        assert!(names.iter().any(|n| n == "hj.build.consume"));
+        // Probe phase does NOT contain the build-side scan anymore.
+        let names2: Vec<_> = phases[1]
+            .plan
+            .node_ids()
+            .map(|id| phases[1].plan.op(id).name.clone())
+            .collect();
+        assert!(!names2.iter().any(|n| n == "build"));
+        assert!(names2.iter().any(|n| n == "hj.probe"));
+    }
+
+    #[test]
+    fn symmetric_hash_join_is_pipelinable() {
+        let (plan, _) =
+            symmetric_hash_join(&scan("l", 4.0, 1.0), &scan("r", 2.0, 1.0), 1.0, 1.0, 0.5)
+                .unwrap();
+        assert_eq!(decompose(&plan).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn merge_join_three_phases_when_both_unsorted() {
+        let (plan, _) = merge_join(
+            &scan("l", 4.0, 1.0),
+            &scan("r", 2.0, 1.0),
+            3.0,
+            0.5,
+            1.0,
+            0.5,
+            false,
+            false,
+        )
+        .unwrap();
+        assert_eq!(decompose(&plan).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn merge_join_pipelines_with_sorted_inputs() {
+        let (plan, _) = merge_join(
+            &scan("l", 4.0, 1.0),
+            &scan("r", 2.0, 1.0),
+            3.0,
+            0.5,
+            1.0,
+            0.5,
+            true,
+            true,
+        )
+        .unwrap();
+        // Section 5.3.2: both inputs sorted -> merge join fully pipelined.
+        assert_eq!(decompose(&plan).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn merge_join_one_sorted_input_two_phases() {
+        let (plan, _) = merge_join(
+            &scan("l", 4.0, 1.0),
+            &scan("r", 2.0, 1.0),
+            3.0,
+            0.5,
+            1.0,
+            0.5,
+            true,
+            false,
+        )
+        .unwrap();
+        assert_eq!(decompose(&plan).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn join_heavy_sharing_is_always_beneficial_like_q4_q13() {
+        // Join-heavy profile: most work in scans + join, tiny per-sharer
+        // output cost at the pivot (paper Section 3.3's explanation).
+        use crate::sharing::SharingEvaluator;
+        let (plan, join) = nested_loop_join(
+            &scan("orders", 12.0, 1.0),
+            &scan("lineitem", 30.0, 1.0),
+            1.0,
+            2.0,
+            0.05, // insignificant per-sharer cost at the pivot
+        )
+        .unwrap();
+        for m in [4usize, 16, 48] {
+            for n in [1.0, 2.0, 8.0, 32.0] {
+                let ev = SharingEvaluator::homogeneous(&plan, join, m).unwrap();
+                assert!(
+                    ev.speedup(n) >= 1.0,
+                    "join-heavy sharing should always win: m={m} n={n} z={}",
+                    ev.speedup(n)
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Little's Law utilities for closed systems (paper Section 1.2).
+//!
+//! In a closed system with `N` in-flight queries, throughput `X` and
+//! per-query processing rate `R` obey `X = N · R`. The startling
+//! implication for work sharing: *throttling queries lowers throughput
+//! even if total work is reduced* — the model must decide whether sharing
+//! lowers the average per-query rate enough to offset the saved work.
+
+/// Throughput of a closed system: `X = N · R`.
+///
+/// `n_queries` is the multiprogramming level (clients), `rate` the
+/// average per-query rate of forward progress.
+pub fn throughput(n_queries: usize, rate: f64) -> f64 {
+    n_queries as f64 * rate
+}
+
+/// Per-query rate implied by an observed throughput: `R = X / N`.
+pub fn per_query_rate(throughput: f64, n_queries: usize) -> f64 {
+    assert!(n_queries > 0, "closed system needs at least one query");
+    throughput / n_queries as f64
+}
+
+/// Average response time implied by Little's Law: `R_time = N / X`.
+/// (Using the queueing-theory form `N = X · W`.)
+pub fn response_time(n_queries: usize, throughput: f64) -> f64 {
+    n_queries as f64 / throughput
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_scales_with_population() {
+        assert_eq!(throughput(10, 0.5), 5.0);
+        assert_eq!(throughput(0, 0.5), 0.0);
+    }
+
+    #[test]
+    fn rate_and_throughput_are_inverses() {
+        let x = throughput(8, 0.25);
+        assert!((per_query_rate(x, 8) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn response_time_round_trip() {
+        // 20 clients, throughput 4 queries/sec => 5 sec per query.
+        assert!((response_time(20, 4.0) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one query")]
+    fn per_query_rate_rejects_zero_population() {
+        per_query_rate(1.0, 0);
+    }
+}

@@ -1,0 +1,493 @@
+//! Shared vs. unshared group execution: `x_shared`, `x_unshared`,
+//! and the sharing benefit `Z(m, n)` (paper Sections 4.2–4.3, 5.1).
+
+use crate::error::{ModelError, Result};
+use crate::plan::{NodeId, PlanSpec};
+use serde::{Deserialize, Serialize};
+
+/// Queueing regime for the unshared baseline (paper Section 5.1).
+///
+/// The distinction only matters when group members have mismatched peak
+/// rates; for identical queries both regimes coincide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SystemKind {
+    /// Closed system: every completed query is immediately replaced, so
+    /// faster queries raise group throughput. `r_unshared` is the
+    /// harmonic mean of peak rates and each query is throttled only by
+    /// its own `p_max`. This is the regime the paper targets (data
+    /// warehousing under heavy load).
+    #[default]
+    Closed,
+    /// Open system: arrivals are independent of response time; unshared
+    /// queries are modeled as if throttled to the rate of the slowest
+    /// group member ("the equations all remain unchanged").
+    Open,
+}
+
+/// One member query of a (potential) sharing group, reduced to the three
+/// quantities the group equations need.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupMember {
+    /// `s_mφ`: cost for the pivot to emit one unit of forward progress to
+    /// this member.
+    pub pivot_output_cost: f64,
+    /// `p_k` for every operator of this query above the pivot.
+    pub above: Vec<f64>,
+}
+
+/// Evaluates the work-sharing trade-off for a group of queries that share
+/// an identical sub-plan rooted at a pivot operator φ.
+///
+/// Three things change under sharing (paper Section 4.3):
+/// 1. all replicated work below the pivot is eliminated (one instance),
+/// 2. the pivot must multiplex output to all `M` consumers:
+///    `p_φ(M) = w_φ + Σ_m s_mφ`,
+/// 3. the slowest operator in the group throttles every query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SharingEvaluator {
+    /// `p_k` for operators strictly below the pivot (single shared instance).
+    below: Vec<f64>,
+    /// `w_φ`: the pivot's input-side work per unit of forward progress.
+    pivot_work: f64,
+    /// The member queries.
+    members: Vec<GroupMember>,
+    /// Queueing regime for the unshared baseline.
+    system: SystemKind,
+}
+
+/// Full result of one sharing evaluation at a given processor count.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Speedup {
+    /// `Z(m, n) = x_shared / x_unshared`; sharing is a net win iff > 1.
+    pub z: f64,
+    /// Group rate of forward progress with sharing.
+    pub x_shared: f64,
+    /// Group rate of forward progress without sharing.
+    pub x_unshared: f64,
+    /// Peak processor utilization of the shared plan (`u_shared`).
+    pub shared_utilization: f64,
+    /// Peak processor utilization of the unshared group (`u_unshared`).
+    pub unshared_utilization: f64,
+}
+
+impl SharingEvaluator {
+    /// Builds an evaluator for `m` *identical* queries sharing at `pivot`
+    /// — the common case (all experiments in the paper's Sections 3 and 7
+    /// use identical queries per group).
+    pub fn homogeneous(plan: &PlanSpec, pivot: NodeId, m: usize) -> Result<Self> {
+        Self::heterogeneous(&vec![(plan, pivot); m])
+    }
+
+    /// Builds an evaluator for possibly different queries that share a
+    /// structurally identical sub-plan. Each entry is `(plan, pivot)`;
+    /// all pivoted subtrees must be equivalent
+    /// (see [`PlanSpec::subtree_equivalent`]).
+    pub fn heterogeneous(queries: &[(&PlanSpec, NodeId)]) -> Result<Self> {
+        let (first_plan, first_pivot) = *queries.first().ok_or(ModelError::EmptyGroup)?;
+        first_plan.check_node(first_pivot)?;
+        for &(plan, pivot) in &queries[1..] {
+            plan.check_node(pivot)?;
+            if !first_plan.subtree_equivalent(first_pivot, plan, pivot) {
+                return Err(ModelError::IncompatiblePivot(format!(
+                    "sub-plan rooted at node {} of query '{}' differs from the group's",
+                    pivot.index(),
+                    plan.op(plan.root()).name,
+                )));
+            }
+        }
+        let below = first_plan
+            .below(first_pivot)?
+            .into_iter()
+            .map(|id| first_plan.op(id).p())
+            .collect();
+        let pivot_work = first_plan.op(first_pivot).w();
+        let members = queries
+            .iter()
+            .map(|&(plan, pivot)| {
+                Ok(GroupMember {
+                    pivot_output_cost: plan.op(pivot).s_per_consumer(),
+                    above: plan
+                        .above(pivot)?
+                        .into_iter()
+                        .map(|id| plan.op(id).p())
+                        .collect(),
+                })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Self { below, pivot_work, members, system: SystemKind::Closed })
+    }
+
+    /// Builds an evaluator directly from raw parameters, bypassing plan
+    /// construction (useful for parameter sweeps and the sensitivity
+    /// analysis of paper Section 6).
+    pub fn from_parts(below: Vec<f64>, pivot_work: f64, members: Vec<GroupMember>) -> Result<Self> {
+        if members.is_empty() {
+            return Err(ModelError::EmptyGroup);
+        }
+        crate::error::check_cost("pivot w", pivot_work)?;
+        for (i, p) in below.iter().enumerate() {
+            crate::error::check_cost(&format!("below[{i}].p"), *p)?;
+        }
+        for (i, mbr) in members.iter().enumerate() {
+            crate::error::check_cost(&format!("member[{i}].s"), mbr.pivot_output_cost)?;
+            for (k, p) in mbr.above.iter().enumerate() {
+                crate::error::check_cost(&format!("member[{i}].above[{k}]"), *p)?;
+            }
+        }
+        Ok(Self { below, pivot_work, members, system: SystemKind::Closed })
+    }
+
+    /// Selects the queueing regime used for the unshared baseline.
+    #[must_use]
+    pub fn with_system(mut self, system: SystemKind) -> Self {
+        self.system = system;
+        self
+    }
+
+    /// Number of queries in the group (`m`).
+    pub fn m(&self) -> usize {
+        self.members.len()
+    }
+
+    /// `p_φ(M) = w_φ + Σ_m s_mφ`: the pivot's per-unit-progress work when
+    /// serving every member (paper Section 4.3).
+    pub fn pivot_p(&self) -> f64 {
+        self.pivot_work + self.members.iter().map(|m| m.pivot_output_cost).sum::<f64>()
+    }
+
+    /// `p_max` of the shared plan: the slowest of {operators below φ,
+    /// the multiplexing pivot, all members' operators above φ}.
+    pub fn shared_p_max(&self) -> f64 {
+        let below = self.below.iter().copied().fold(0.0_f64, f64::max);
+        let above = self
+            .members
+            .iter()
+            .flat_map(|m| m.above.iter().copied())
+            .fold(0.0_f64, f64::max);
+        below.max(self.pivot_p()).max(above)
+    }
+
+    /// `u'_shared = Σ_{k below φ} p_k + p_φ(M) + Σ_m Σ_{k above φ} p_k`.
+    pub fn shared_total_work(&self) -> f64 {
+        let below: f64 = self.below.iter().sum();
+        let above: f64 = self.members.iter().flat_map(|m| m.above.iter()).sum();
+        below + self.pivot_p() + above
+    }
+
+    /// Peak processor utilization under sharing,
+    /// `u_shared = u'_shared / p_max_shared`. The paper's key observation
+    /// (Section 6.3): this is *bounded* no matter how many sharers join,
+    /// which caps the benefit of sharing on large machines.
+    pub fn shared_utilization(&self) -> f64 {
+        self.shared_total_work() / self.shared_p_max()
+    }
+
+    /// Per-member unshared `p_max` (each member runs its private copy of
+    /// the sub-plan; its pivot serves exactly one consumer).
+    fn member_p_max(&self, member: &GroupMember) -> f64 {
+        let below = self.below.iter().copied().fold(0.0_f64, f64::max);
+        let pivot = self.pivot_work + member.pivot_output_cost;
+        let above = member.above.iter().copied().fold(0.0_f64, f64::max);
+        below.max(pivot).max(above)
+    }
+
+    /// Per-member unshared `u'` (total work of one private query).
+    fn member_total_work(&self, member: &GroupMember) -> f64 {
+        let below: f64 = self.below.iter().sum();
+        below + self.pivot_work + member.pivot_output_cost + member.above.iter().sum::<f64>()
+    }
+
+    /// Group rate without sharing, `x_unshared(M, n)`.
+    ///
+    /// * Matched rates (identical members) reduce to paper Section 4.2:
+    ///   `x = M · min(1/p_max, n / Σ_m u'_m)`.
+    /// * Mismatched rates use the Section 5.1 closed-system approximation:
+    ///   `r̄` is the harmonic mean of member peak rates and each member is
+    ///   throttled only by its own `p_max`, so
+    ///   `x = M · r̄ · min(1, n / Σ_m (u'_m / p_max_m))`.
+    /// * Under [`SystemKind::Open`], all members are modeled as throttled
+    ///   to the slowest one.
+    pub fn unshared_rate(&self, n: f64) -> Result<f64> {
+        check_n(n)?;
+        let m = self.m() as f64;
+        match self.system {
+            SystemKind::Closed => {
+                let sum_pmax: f64 = self.members.iter().map(|mb| self.member_p_max(mb)).sum();
+                let r_mean = m / sum_pmax;
+                let u_group: f64 = self
+                    .members
+                    .iter()
+                    .map(|mb| self.member_total_work(mb) / self.member_p_max(mb))
+                    .sum();
+                Ok(m * r_mean * (n / u_group).min(1.0))
+            }
+            SystemKind::Open => {
+                let p_max = self
+                    .members
+                    .iter()
+                    .map(|mb| self.member_p_max(mb))
+                    .fold(0.0_f64, f64::max);
+                let total: f64 = self.members.iter().map(|mb| self.member_total_work(mb)).sum();
+                Ok(m * (1.0 / p_max).min(n / total))
+            }
+        }
+    }
+
+    /// Peak processor utilization of the unshared group,
+    /// `u_unshared = Σ_m u'_m / p_max_m` (closed) — grows without bound
+    /// as members are added, unlike `u_shared`.
+    pub fn unshared_utilization(&self) -> f64 {
+        match self.system {
+            SystemKind::Closed => self
+                .members
+                .iter()
+                .map(|mb| self.member_total_work(mb) / self.member_p_max(mb))
+                .sum(),
+            SystemKind::Open => {
+                let p_max = self
+                    .members
+                    .iter()
+                    .map(|mb| self.member_p_max(mb))
+                    .fold(0.0_f64, f64::max);
+                self.members.iter().map(|mb| self.member_total_work(mb)).sum::<f64>() / p_max
+            }
+        }
+    }
+
+    /// Group rate with sharing,
+    /// `x_shared(M, n) = M · min(1/p_max_shared, n/u'_shared)`
+    /// (paper Section 4.3 / worked example 4.4).
+    pub fn shared_rate(&self, n: f64) -> Result<f64> {
+        check_n(n)?;
+        let m = self.m() as f64;
+        Ok(m * (1.0 / self.shared_p_max()).min(n / self.shared_total_work()))
+    }
+
+    /// `Z(m, n) = x_shared / x_unshared`: sharing is a net win iff
+    /// `Z > 1` (paper Section 4).
+    pub fn speedup(&self, n: f64) -> f64 {
+        self.evaluate(n).map(|s| s.z).unwrap_or(f64::NAN)
+    }
+
+    /// Computes the full set of group quantities at `n` processors.
+    pub fn evaluate(&self, n: f64) -> Result<Speedup> {
+        let x_shared = self.shared_rate(n)?;
+        let x_unshared = self.unshared_rate(n)?;
+        Ok(Speedup {
+            z: x_shared / x_unshared,
+            x_shared,
+            x_unshared,
+            shared_utilization: self.shared_utilization(),
+            unshared_utilization: self.unshared_utilization(),
+        })
+    }
+}
+
+fn check_n(n: f64) -> Result<()> {
+    if n.partial_cmp(&0.0) == Some(std::cmp::Ordering::Greater) && n.is_finite() {
+        Ok(())
+    } else {
+        Err(ModelError::InvalidProcessors(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::OperatorSpec;
+
+    fn q6() -> (PlanSpec, NodeId) {
+        let mut b = PlanSpec::new();
+        let scan = b.add_leaf(OperatorSpec::new("scan", vec![9.66], vec![10.34]));
+        let agg = b.add_node(OperatorSpec::new("agg", vec![0.97], vec![]), vec![scan]);
+        (b.finish(agg).unwrap(), scan)
+    }
+
+    fn synthetic() -> (PlanSpec, NodeId) {
+        let mut b = PlanSpec::new();
+        let bottom = b.add_leaf(OperatorSpec::new("bottom", vec![10.0], vec![]));
+        let pivot = b.add_node(OperatorSpec::new("pivot", vec![6.0], vec![1.0]), vec![bottom]);
+        let top = b.add_node(OperatorSpec::new("top", vec![10.0], vec![]), vec![pivot]);
+        (b.finish(top).unwrap(), pivot)
+    }
+
+    #[test]
+    fn q6_shared_equations_match_paper_section_4_4() {
+        let (plan, scan) = q6();
+        for m in [1usize, 2, 8, 16, 48] {
+            let ev = SharingEvaluator::homogeneous(&plan, scan, m).unwrap();
+            // p_phi(M) = 9.66 + 10.34 M
+            assert!((ev.pivot_p() - (9.66 + 10.34 * m as f64)).abs() < 1e-9);
+            // u'_shared = 9.66 + 11.31 M  (10.34 s + 0.97 agg per member)
+            assert!((ev.shared_total_work() - (9.66 + 11.31 * m as f64)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn q6_unshared_equations_match_paper_section_4_4() {
+        let (plan, scan) = q6();
+        for m in [1usize, 4, 16, 48] {
+            let ev = SharingEvaluator::homogeneous(&plan, scan, m).unwrap();
+            for n in [1.0, 2.0, 8.0, 32.0] {
+                // x_unshared(M, n) = min(M/20, n/20.97)
+                let expect = (m as f64 / 20.0).min(n / 20.97);
+                assert!(
+                    (ev.unshared_rate(n).unwrap() - expect).abs() < 1e-9,
+                    "m={m} n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn q6_sharing_only_attractive_on_one_processor() {
+        // Paper Section 4.4: "work sharing is only attractive when one
+        // processor is available."
+        let (plan, scan) = q6();
+        for m in [8usize, 16, 32, 48] {
+            let ev = SharingEvaluator::homogeneous(&plan, scan, m).unwrap();
+            assert!(ev.speedup(1.0) > 1.0, "sharing should win at n=1, m={m}");
+            assert!(ev.speedup(8.0) < 1.0, "sharing should lose at n=8, m={m}");
+            assert!(ev.speedup(32.0) < 1.0, "sharing should lose at n=32, m={m}");
+        }
+    }
+
+    #[test]
+    fn q6_32cpu_large_loss_matches_intro_figure_1() {
+        // Intro: shared execution utilized ~3 of 32 contexts -> ~10x gap.
+        let (plan, scan) = q6();
+        let ev = SharingEvaluator::homogeneous(&plan, scan, 48).unwrap();
+        let s = ev.evaluate(32.0).unwrap();
+        assert!(s.z < 0.12, "expected ~10x loss, got Z={}", s.z);
+        // Shared utilization is tiny compared to 32 contexts.
+        assert!(s.shared_utilization < 3.0);
+        assert!(s.unshared_utilization > 32.0);
+    }
+
+    #[test]
+    fn synthetic_shared_utilization_is_bounded_near_eleven() {
+        // Section 6.1: sharing "utilizes only 10 cores even for large
+        // numbers of shared queries" (limit of u_shared is 11 here).
+        let (plan, pivot) = synthetic();
+        let ev = SharingEvaluator::homogeneous(&plan, pivot, 1000).unwrap();
+        let u = ev.shared_utilization();
+        assert!(u > 10.0 && u < 11.5, "u_shared={u}");
+    }
+
+    #[test]
+    fn synthetic_three_phase_behaviour_at_16_cpus() {
+        // Section 6.1: for some processor counts sharing is "sometimes"
+        // worthwhile: loses at moderate load, wins at high load.
+        let (plan, pivot) = synthetic();
+        let z = |m: usize, n: f64| {
+            SharingEvaluator::homogeneous(&plan, pivot, m).unwrap().speedup(n)
+        };
+        // 4 CPUs: always (paper: "always (4 CPU)").
+        assert!(z(8, 4.0) > 1.0 && z(40, 4.0) > 1.0);
+        // 32 CPUs: never.
+        assert!(z(8, 32.0) < 1.0 && z(40, 32.0) < 1.0);
+        // 16 CPUs: sometimes — loses at moderate m, wins at large m.
+        assert!(z(8, 16.0) < 1.0, "z(8,16)={}", z(8, 16.0));
+        assert!(z(40, 16.0) > 1.0, "z(40,16)={}", z(40, 16.0));
+    }
+
+    #[test]
+    fn one_processor_sharing_never_hurts_baseline_queries() {
+        // On a uniprocessor any saved work helps (Section 3.3).
+        let (plan, pivot) = synthetic();
+        for m in [2usize, 4, 16, 48] {
+            let ev = SharingEvaluator::homogeneous(&plan, pivot, m).unwrap();
+            assert!(ev.speedup(1.0) >= 1.0, "m={m}");
+        }
+    }
+
+    #[test]
+    fn single_member_group_is_neutral() {
+        // Sharing a "group" of one query neither helps nor hurts
+        // (p_phi(1) equals the private pivot cost).
+        let (plan, pivot) = synthetic();
+        let ev = SharingEvaluator::homogeneous(&plan, pivot, 1).unwrap();
+        for n in [1.0, 4.0, 32.0] {
+            assert!((ev.speedup(n) - 1.0).abs() < 1e-12, "n={n}");
+        }
+    }
+
+    #[test]
+    fn zero_output_cost_sharing_always_wins_given_enough_load() {
+        // With s = 0 sharing imposes no serialization (Section 6.2).
+        let mut b = PlanSpec::new();
+        let bottom = b.add_leaf(OperatorSpec::new("bottom", vec![10.0], vec![]));
+        let pivot = b.add_node(OperatorSpec::new("pivot", vec![6.0], vec![0.0]), vec![bottom]);
+        let top = b.add_node(OperatorSpec::new("top", vec![10.0], vec![]), vec![pivot]);
+        let plan = b.finish(top).unwrap();
+        let ev = SharingEvaluator::homogeneous(&plan, pivot, 30).unwrap();
+        assert!(ev.speedup(32.0) > 1.0);
+    }
+
+    #[test]
+    fn empty_group_rejected() {
+        assert!(matches!(
+            SharingEvaluator::heterogeneous(&[]),
+            Err(ModelError::EmptyGroup)
+        ));
+        assert!(SharingEvaluator::from_parts(vec![], 1.0, vec![]).is_err());
+    }
+
+    #[test]
+    fn incompatible_pivots_rejected() {
+        let (p1, s1) = q6();
+        let (p2, piv2) = synthetic();
+        let err = SharingEvaluator::heterogeneous(&[(&p1, s1), (&p2, piv2)]);
+        assert!(matches!(err, Err(ModelError::IncompatiblePivot(_))));
+    }
+
+    #[test]
+    fn heterogeneous_tops_mismatched_rates_closed_system() {
+        // Two queries sharing an identical scan, one with a heavy top.
+        let mut b1 = PlanSpec::new();
+        let sc1 = b1.add_leaf(OperatorSpec::new("scan", vec![4.0], vec![1.0]));
+        let t1 = b1.add_node(OperatorSpec::new("light", vec![1.0], vec![]), vec![sc1]);
+        let q_light = b1.finish(t1).unwrap();
+
+        let mut b2 = PlanSpec::new();
+        let sc2 = b2.add_leaf(OperatorSpec::new("scan", vec![4.0], vec![1.0]));
+        let t2 = b2.add_node(OperatorSpec::new("heavy", vec![20.0], vec![]), vec![sc2]);
+        let q_heavy = b2.finish(t2).unwrap();
+
+        let ev = SharingEvaluator::heterogeneous(&[(&q_light, sc1), (&q_heavy, sc2)]).unwrap();
+        assert_eq!(ev.m(), 2);
+        // Closed system: the light query contributes its faster rate.
+        let closed = ev.unshared_rate(64.0).unwrap();
+        let open = ev
+            .clone()
+            .with_system(SystemKind::Open)
+            .unshared_rate(64.0)
+            .unwrap();
+        assert!(closed > open, "closed {closed} should beat open {open}");
+        // Shared: both throttled by the heavy top (p_max = 20).
+        assert!((ev.shared_p_max() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_rejects_bad_n_via_nan() {
+        let (plan, pivot) = synthetic();
+        let ev = SharingEvaluator::homogeneous(&plan, pivot, 2).unwrap();
+        assert!(ev.speedup(0.0).is_nan());
+        assert!(ev.evaluate(-3.0).is_err());
+    }
+
+    #[test]
+    fn from_parts_matches_plan_construction() {
+        let (plan, pivot) = synthetic();
+        let from_plan = SharingEvaluator::homogeneous(&plan, pivot, 5).unwrap();
+        let from_parts = SharingEvaluator::from_parts(
+            vec![10.0],
+            6.0,
+            vec![GroupMember { pivot_output_cost: 1.0, above: vec![10.0] }; 5],
+        )
+        .unwrap();
+        for n in [1.0, 8.0, 32.0] {
+            assert!((from_plan.speedup(n) - from_parts.speedup(n)).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! Group formation and dispatch: the staged engine's sharing mechanism.
+//!
+//! Arriving queries queue briefly (the *formation window*, standing in
+//! for the stage-queue residence time of the paper's packet-based
+//! engine); compatible queries whose admission the [`Policy`] approves
+//! merge into a sharing group. At dispatch, the group's pivot sub-plan
+//! is instantiated **once** with one output channel per member, and each
+//! member's private above-fragment is grafted onto its channel.
+
+use crate::policy::Policy;
+use crate::query::QuerySpec;
+use crate::sharing::split_at_pivot;
+use cordoba_exec::ops::SinkTask;
+use cordoba_exec::wiring::{instantiate_into, WiringConfig};
+use cordoba_exec::{OpCost, PhysicalPlan};
+use cordoba_sim::channel::{self};
+use cordoba_sim::{Spawner, Step, Task, TaskCtx, TaskId, VTime};
+use cordoba_storage::{Catalog, Page};
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// An arrival awaiting group formation.
+#[derive(Debug, Clone)]
+pub(crate) struct Arrival {
+    pub submission: usize,
+    pub spec: QuerySpec,
+}
+
+/// A forming (not yet dispatched) sharing group.
+pub(crate) struct PendingGroup {
+    pivot: Option<PhysicalPlan>,
+    members: Vec<Arrival>,
+    due: VTime,
+}
+
+/// Per-submission result buffers (run-once collection mode).
+pub(crate) type CollectBuffers = Vec<Rc<RefCell<Vec<Arc<Page>>>>>;
+
+/// Shared mutable engine state (single-threaded simulator world).
+pub(crate) struct EngineCore {
+    pub catalog: Rc<Catalog>,
+    pub wiring: WiringConfig,
+    pub policy: Policy,
+    pub contexts: usize,
+    /// Group-formation window in virtual time.
+    pub window: VTime,
+    /// Closed system: completed queries are resubmitted.
+    pub resubmit: bool,
+    pub max_group: usize,
+    pub sink_cost: OpCost,
+    pub arrivals: VecDeque<Arrival>,
+    pub pending: Vec<PendingGroup>,
+    pub dispatcher: Option<TaskId>,
+    /// `(virtual completion time, query name)` per finished query.
+    pub completions: Vec<(VTime, String)>,
+    /// Submission time by submission id (0 for pre-run submissions).
+    pub arrival_times: Vec<VTime>,
+    /// `(submission id, completion time)` pairs, for response times.
+    pub completion_records: Vec<(usize, VTime)>,
+    /// Sizes of dispatched groups (sharing diagnostics).
+    pub group_sizes: Vec<usize>,
+    pub next_submission: usize,
+    /// Arrivals scheduled by an open-system driver but not yet
+    /// submitted; keeps the dispatcher alive while the schedule drains.
+    pub external_arrivals_pending: usize,
+    /// Queries submitted but not yet completed (the closed system's
+    /// multiprogramming level) — the denominator of the fair-share
+    /// effective-processor estimate handed to the policy.
+    pub live_queries: usize,
+    pub group_seq: u64,
+    /// Result collection buffers by submission id (run-once mode).
+    pub collect: Option<CollectBuffers>,
+}
+
+impl EngineCore {
+    pub(crate) fn submit(&mut self, spec: QuerySpec) -> usize {
+        self.submit_at(spec, 0)
+    }
+
+    pub(crate) fn submit_at(&mut self, spec: QuerySpec, now: VTime) -> usize {
+        let submission = self.next_submission;
+        self.next_submission += 1;
+        if let Some(collect) = &mut self.collect {
+            debug_assert_eq!(collect.len(), submission);
+            collect.push(Rc::new(RefCell::new(Vec::new())));
+        }
+        debug_assert_eq!(self.arrival_times.len(), submission);
+        self.arrival_times.push(now);
+        self.arrivals.push_back(Arrival { submission, spec });
+        self.live_queries += 1;
+        submission
+    }
+}
+
+/// The engine's control task: forms and dispatches sharing groups.
+pub struct DispatcherTask {
+    pub(crate) core: Rc<RefCell<EngineCore>>,
+}
+
+impl DispatcherTask {
+    fn assimilate_arrivals(core: &mut EngineCore, now: VTime) {
+        while let Some(arrival) = core.arrivals.pop_front() {
+            let mut joined = false;
+            if core.policy.may_share() {
+                if let Some(pivot) = &arrival.spec.pivot {
+                    for group in core.pending.iter_mut() {
+                        if group.pivot.as_ref() != Some(pivot)
+                            || group.members.len() >= core.max_group
+                        {
+                            continue;
+                        }
+                        let names: Vec<String> =
+                            group.members.iter().map(|m| m.spec.name.clone()).collect();
+                        // Fair share of the machine for the expanded
+                        // group under the current multiprogramming level.
+                        let n_eff = core.contexts as f64 * (group.members.len() + 1) as f64
+                            / core.live_queries.max(1) as f64;
+                        let n_eff = n_eff.min(core.contexts as f64);
+                        if core.policy.admit(&names, &arrival.spec.name, n_eff) {
+                            group.members.push(arrival.clone());
+                            joined = true;
+                            break;
+                        }
+                        // Paper Section 8.1: if this group refuses, try
+                        // the remaining groups in turn.
+                    }
+                }
+            }
+            if !joined {
+                let window = if core.policy.may_share() { core.window } else { 0 };
+                core.pending.push(PendingGroup {
+                    pivot: arrival.spec.pivot.clone(),
+                    members: vec![arrival],
+                    due: now + window,
+                });
+            }
+        }
+    }
+
+    fn spawn_group(
+        core: &mut EngineCore,
+        core_rc: &Rc<RefCell<EngineCore>>,
+        ctx: &mut TaskCtx<'_>,
+        group: PendingGroup,
+    ) {
+        core.group_sizes.push(group.members.len());
+        let gid = core.group_seq;
+        core.group_seq += 1;
+        let catalog = core.catalog.clone();
+        match &group.pivot {
+            Some(pivot) => {
+                // One pivot instance, one output channel per member.
+                let mut outs = Vec::with_capacity(group.members.len());
+                let mut rxs = Vec::with_capacity(group.members.len());
+                for _ in &group.members {
+                    let (tx, rx) = channel::bounded(core.wiring.queue_capacity);
+                    outs.push(tx);
+                    rxs.push(rx);
+                }
+                let mut no_sources = VecDeque::new();
+                instantiate_into(
+                    ctx,
+                    &catalog,
+                    pivot,
+                    outs,
+                    &mut no_sources,
+                    &format!("g{gid}/shared"),
+                    &core.wiring,
+                );
+                for (member, rx) in group.members.into_iter().zip(rxs) {
+                    let label = format!("q{}/{}", member.submission, member.spec.name);
+                    match split_at_pivot(&member.spec.plan, pivot, &catalog) {
+                        Some(fragment) => {
+                            let (sink_tx, sink_rx) =
+                                channel::bounded(core.wiring.queue_capacity);
+                            let mut sources = VecDeque::from([rx]);
+                            instantiate_into(
+                                ctx,
+                                &catalog,
+                                &fragment,
+                                vec![sink_tx],
+                                &mut sources,
+                                &label,
+                                &core.wiring,
+                            );
+                            Self::spawn_sink(core, core_rc, ctx, sink_rx, member, &label);
+                        }
+                        None => {
+                            // Entire query shared: sink reads the pivot
+                            // output directly.
+                            Self::spawn_sink(core, core_rc, ctx, rx, member, &label);
+                        }
+                    }
+                }
+            }
+            None => {
+                for member in group.members {
+                    let label = format!("q{}/{}", member.submission, member.spec.name);
+                    let (tx, rx) = channel::bounded(core.wiring.queue_capacity);
+                    let mut no_sources = VecDeque::new();
+                    instantiate_into(
+                        ctx,
+                        &catalog,
+                        &member.spec.plan,
+                        vec![tx],
+                        &mut no_sources,
+                        &label,
+                        &core.wiring,
+                    );
+                    Self::spawn_sink(core, core_rc, ctx, rx, member, &label);
+                }
+            }
+        }
+    }
+
+    fn spawn_sink(
+        core: &mut EngineCore,
+        core_rc: &Rc<RefCell<EngineCore>>,
+        ctx: &mut TaskCtx<'_>,
+        rx: channel::Receiver<Arc<Page>>,
+        member: Arrival,
+        label: &str,
+    ) {
+        let engine = Rc::downgrade(core_rc);
+        let spec = member.spec.clone();
+        let submission = member.submission;
+        let mut sink = SinkTask::new(rx, core.sink_cost);
+        if let Some(collect) = &core.collect {
+            sink = sink.collecting(collect[member.submission].clone());
+        }
+        let sink = sink.on_done(Box::new(move |ctx, _rows| {
+            let engine = engine.upgrade().expect("engine outlives queries");
+            let mut core = engine.borrow_mut();
+            core.completions.push((ctx.now(), spec.name.clone()));
+            core.completion_records.push((submission, ctx.now()));
+            core.live_queries = core.live_queries.saturating_sub(1);
+            if core.resubmit {
+                core.submit_at(spec.clone(), ctx.now());
+                let dispatcher = core.dispatcher;
+                drop(core);
+                if let Some(d) = dispatcher {
+                    ctx.wake(d);
+                }
+            }
+        }));
+        ctx.spawn_task(format!("{label}/sink"), Box::new(sink));
+    }
+}
+
+impl Task for DispatcherTask {
+    fn step(&mut self, ctx: &mut TaskCtx<'_>) -> Step {
+        let now = ctx.now();
+        let mut core = self.core.borrow_mut();
+        Self::assimilate_arrivals(&mut core, now);
+        // Dispatch every group whose window has expired.
+        let mut due = Vec::new();
+        let mut i = 0;
+        while i < core.pending.len() {
+            if core.pending[i].due <= now {
+                due.push(core.pending.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        // Dispatch in arrival order for determinism.
+        due.sort_by_key(|g| g.due);
+        let dispatched = !due.is_empty();
+        for group in due {
+            Self::spawn_group(&mut core, &self.core, ctx, group);
+        }
+        if let Some(next_due) = core.pending.iter().map(|g| g.due).min() {
+            let delay = next_due.saturating_sub(now);
+            Step::sleep(1, delay)
+        } else if core.resubmit
+            || !core.arrivals.is_empty()
+            || core.external_arrivals_pending > 0
+        {
+            // Parked until a sink or arrival driver wakes us.
+            Step::blocked(u64::from(dispatched))
+        } else {
+            Step::done(u64::from(dispatched))
+        }
+    }
+}

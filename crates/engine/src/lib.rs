@@ -1,0 +1,46 @@
+//! # cordoba-engine — the staged, work-sharing query engine
+//!
+//! Reproduction of the paper's prototype ("Cordoba", Section 3.2): a
+//! staged engine where concurrent queries' identical sub-plans are
+//! detected at submission time and **merged** — the shared sub-plan (its
+//! root is the *pivot* operator φ) executes once and multiplexes its
+//! output pages to every consumer, paying the per-consumer cost `s` that
+//! creates the work-sharing/parallelism trade-off.
+//!
+//! Pieces:
+//!
+//! * [`QuerySpec`] — a physical plan plus its designated shareable
+//!   sub-plan.
+//! * [`sharing`] — sub-plan splitting: member plans are grafted onto a
+//!   shared pivot's output channels via [`cordoba_exec::PhysicalPlan::Source`].
+//! * [`Policy`] — `AlwaysShare`, `NeverShare`, and `ModelGuided`
+//!   (paper Section 8): the model-guided policy admits a query into a
+//!   sharing group only if the analytical model predicts a net win for
+//!   the expanded group.
+//! * [`runner`] — a closed-system client harness (every completed query
+//!   is immediately resubmitted — the Little's Law regime of
+//!   Section 1.2) measuring throughput on the simulated CMP.
+//! * [`profiling`] — the paper's Section 3.1 parameter estimation:
+//!   profile a query with and without sharing, solve for each
+//!   operator's `p` and the pivot's `(w, s)`, and emit a
+//!   [`cordoba_core::PlanSpec`] the policy can evaluate.
+//! * [`thread_exec`] — a real-thread executor demonstrating the same
+//!   shared-scan machinery on OS threads (wall-clock, host-bound).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod dispatcher;
+pub mod policy;
+pub mod profiling;
+pub mod query;
+pub mod runner;
+pub mod sharing;
+pub mod thread_exec;
+
+pub use policy::{Policy, QueryModelInfo};
+pub use query::QuerySpec;
+pub use runner::{
+    measure_throughput, poisson_arrivals, run_closed_loop, run_once, run_open_loop,
+    ArrivalSchedule, ClosedLoop, EngineConfig, OpenReport, RunReport, Throughput,
+};

@@ -1,0 +1,170 @@
+//! Sharing policies: always, never, and model-guided (paper Section 8).
+
+use cordoba_core::sharing::SharingEvaluator;
+use cordoba_core::{NodeId, PlanSpec};
+use std::collections::HashMap;
+
+/// Model parameters for one query type, produced by
+/// [`crate::profiling::profile_query`].
+#[derive(Debug, Clone)]
+pub struct QueryModelInfo {
+    /// The query's plan in model form (one node per operator, measured
+    /// `p` values; the pivot node carries fitted `(w, s)`).
+    pub plan: PlanSpec,
+    /// The pivot node inside `plan`.
+    pub pivot: NodeId,
+}
+
+/// A sharing policy.
+#[derive(Debug, Clone, Default)]
+pub enum Policy {
+    /// Merge whenever an open compatible group exists.
+    AlwaysShare,
+    /// Never merge; every query executes independently.
+    #[default]
+    NeverShare,
+    /// Merge only when the analytical model predicts the expanded group
+    /// outperforms unshared execution (`Z(m+1, n) > 1 + hysteresis`).
+    ModelGuided {
+        /// Per-query-name model parameters (from profiling).
+        models: HashMap<String, QueryModelInfo>,
+        /// Extra predicted benefit required before sharing (guards
+        /// against borderline flapping under estimation noise).
+        hysteresis: f64,
+    },
+}
+
+impl Policy {
+    /// Convenience constructor for the model-guided policy.
+    pub fn model_guided(models: HashMap<String, QueryModelInfo>) -> Self {
+        Policy::ModelGuided { models, hysteresis: 0.0 }
+    }
+
+    /// Whether this policy ever forms groups.
+    pub fn may_share(&self) -> bool {
+        !matches!(self, Policy::NeverShare)
+    }
+
+    /// Decides whether a query named `candidate` should join an open
+    /// group currently holding `group_names` queries of the same pivot,
+    /// with `effective_contexts` processors effectively available to the
+    /// expanded group.
+    ///
+    /// `AlwaysShare` says yes; `NeverShare` no; `ModelGuided` evaluates
+    /// `Z(m+1, n_eff)` for the expanded (possibly heterogeneous) group.
+    /// A query with no profiled model is conservatively not shared.
+    ///
+    /// `effective_contexts` implements the "conditions at runtime" of
+    /// paper Section 8: on a loaded machine a group does not have all
+    /// `n` contexts to itself — the engine passes the group's fair share
+    /// `n · (m + 1) / live_queries`, which makes sharing more attractive
+    /// exactly when the machine is saturated (the regime where the
+    /// paper shows sharing pays off).
+    pub fn admit(&self, group_names: &[String], candidate: &str, effective_contexts: f64) -> bool {
+        match self {
+            Policy::AlwaysShare => true,
+            Policy::NeverShare => false,
+            Policy::ModelGuided { models, hysteresis } => {
+                let mut members: Vec<(&PlanSpec, NodeId)> = Vec::new();
+                for name in group_names.iter().map(String::as_str).chain([candidate]) {
+                    match models.get(name) {
+                        Some(info) => members.push((&info.plan, info.pivot)),
+                        None => return false,
+                    }
+                }
+                match SharingEvaluator::heterogeneous(&members) {
+                    // Ties (Z = 1) are accepted: sharing that predicts
+                    // neither gain nor loss still removes redundant work
+                    // from the system, freeing capacity for *other*
+                    // queries the single-group model cannot see.
+                    Ok(eval) => {
+                        eval.speedup(effective_contexts.max(1.0)) >= 1.0 + hysteresis - 1e-9
+                    }
+                    Err(_) => false,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cordoba_core::OperatorSpec;
+
+    /// Q6-like model: scan (w=9.66, s=10.34) -> agg (p=0.97).
+    fn q6_info() -> QueryModelInfo {
+        let mut b = PlanSpec::new();
+        let scan = b.add_leaf(OperatorSpec::new("scan", vec![9.66], vec![10.34]));
+        let agg = b.add_node(OperatorSpec::new("agg", vec![0.97], vec![]), vec![scan]);
+        QueryModelInfo { plan: b.finish(agg).unwrap(), pivot: scan }
+    }
+
+    /// Join-heavy model: big scans below a cheap-output pivot.
+    fn join_info() -> QueryModelInfo {
+        let mut b = PlanSpec::new();
+        let s1 = b.add_leaf(OperatorSpec::new("scan1", vec![12.0], vec![1.0]));
+        let s2 = b.add_leaf(OperatorSpec::new("scan2", vec![30.0], vec![1.0]));
+        let join = b.add_node(OperatorSpec::new("join", vec![2.0, 1.0], vec![0.05]), vec![s1, s2]);
+        let agg = b.add_node(OperatorSpec::new("agg", vec![0.5], vec![]), vec![join]);
+        QueryModelInfo { plan: b.finish(agg).unwrap(), pivot: join }
+    }
+
+    fn model_policy() -> Policy {
+        let mut models = HashMap::new();
+        models.insert("q6".to_string(), q6_info());
+        models.insert("q4".to_string(), join_info());
+        Policy::model_guided(models)
+    }
+
+    #[test]
+    fn static_policies() {
+        assert!(Policy::AlwaysShare.admit(&["q6".into()], "q6", 32.0));
+        assert!(!Policy::NeverShare.admit(&["q6".into()], "q6", 1.0));
+        assert!(Policy::AlwaysShare.may_share());
+        assert!(!Policy::NeverShare.may_share());
+    }
+
+    #[test]
+    fn model_guided_distinguishes_scan_heavy_by_contexts() {
+        let p = model_policy();
+        let group: Vec<String> = vec!["q6".into(); 8];
+        // Scan-heavy: share on a uniprocessor, not on 32 contexts.
+        assert!(p.admit(&group, "q6", 1.0));
+        assert!(!p.admit(&group, "q6", 32.0));
+    }
+
+    #[test]
+    fn model_guided_always_shares_join_heavy_under_load() {
+        let p = model_policy();
+        let group: Vec<String> = vec!["q4".into(); 8];
+        for contexts in [1.0, 2.0, 8.0] {
+            assert!(p.admit(&group, "q4", contexts), "contexts={contexts}");
+        }
+    }
+
+    #[test]
+    fn unprofiled_queries_never_shared() {
+        let p = model_policy();
+        assert!(!p.admit(&["q6".into()], "mystery", 1.0));
+        assert!(!p.admit(&["mystery".into()], "q6", 1.0));
+    }
+
+    #[test]
+    fn fractional_effective_contexts_supported() {
+        // A saturated machine hands a group a fractional fair share;
+        // sub-1 values are clamped to the uniprocessor case.
+        let p = model_policy();
+        let group: Vec<String> = vec!["q6".into(); 8];
+        assert!(p.admit(&group, "q6", 0.5));
+        assert!(p.admit(&group, "q6", 1.3));
+    }
+
+    #[test]
+    fn hysteresis_blocks_borderline() {
+        let mut models = HashMap::new();
+        models.insert("q6".to_string(), q6_info());
+        let strict = Policy::ModelGuided { models, hysteresis: 10.0 };
+        assert!(!strict.admit(&["q6".into()], "q6", 1.0));
+    }
+}

@@ -1,0 +1,76 @@
+//! Query specifications: a plan plus its shareable sub-plan.
+
+use cordoba_exec::PhysicalPlan;
+
+/// One query type a client submits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuerySpec {
+    /// Query name (e.g. `"q6"`), used for grouping in reports.
+    pub name: String,
+    /// The executable plan.
+    pub plan: PhysicalPlan,
+    /// The sub-plan at which sharing is allowed (the pivot operator is
+    /// its root). Must be structurally equal (`==`) to a subtree of
+    /// `plan`. `None` disables sharing for this query.
+    ///
+    /// The paper's experiments allow sharing "only at one selected node
+    /// of each query plan" (scan for Q1/Q6, join for Q4/Q13); this field
+    /// is that selection.
+    pub pivot: Option<PhysicalPlan>,
+}
+
+impl QuerySpec {
+    /// A non-shareable query.
+    pub fn unshared(name: impl Into<String>, plan: PhysicalPlan) -> Self {
+        Self { name: name.into(), plan, pivot: None }
+    }
+
+    /// A query shareable at the given sub-plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pivot` is not a subtree of `plan`.
+    pub fn shared_at(name: impl Into<String>, plan: PhysicalPlan, pivot: PhysicalPlan) -> Self {
+        assert!(
+            crate::sharing::contains_subtree(&plan, &pivot),
+            "pivot sub-plan is not part of the query plan"
+        );
+        Self { name: name.into(), plan, pivot: Some(pivot) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cordoba_exec::{expr::Predicate, OpCost};
+
+    fn scan() -> PhysicalPlan {
+        PhysicalPlan::Scan { table: "t".into(), cost: OpCost::default() }
+    }
+
+    #[test]
+    fn shared_at_validates_subtree() {
+        let plan = PhysicalPlan::Filter {
+            input: Box::new(scan()),
+            predicate: Predicate::True,
+            cost: OpCost::default(),
+        };
+        let q = QuerySpec::shared_at("q", plan.clone(), scan());
+        assert_eq!(q.pivot, Some(scan()));
+        // Whole plan as pivot is allowed (full-query coalescing).
+        let q = QuerySpec::shared_at("q", plan.clone(), plan);
+        assert!(q.pivot.is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "not part of the query plan")]
+    fn foreign_pivot_rejected() {
+        let other = PhysicalPlan::Scan { table: "other".into(), cost: OpCost::default() };
+        QuerySpec::shared_at("q", scan(), other);
+    }
+
+    #[test]
+    fn unshared_has_no_pivot() {
+        assert!(QuerySpec::unshared("q", scan()).pivot.is_none());
+    }
+}

@@ -1,0 +1,217 @@
+//! Sub-plan surgery: detecting shareable subtrees and splitting a
+//! member query into (shared pivot sub-plan, private above-fragment).
+
+use cordoba_exec::plan::SchemaRef;
+use cordoba_exec::PhysicalPlan;
+use cordoba_storage::Catalog;
+
+/// Whether `needle` occurs as a (structurally equal) subtree of `plan`.
+pub fn contains_subtree(plan: &PhysicalPlan, needle: &PhysicalPlan) -> bool {
+    plan == needle || plan.children().iter().any(|c| contains_subtree(c, needle))
+}
+
+/// Splits `plan` at the first (preorder) occurrence of the `pivot`
+/// subtree, returning the private above-fragment with the pivot subtree
+/// replaced by a [`PhysicalPlan::Source`] leaf of the pivot's output
+/// schema. Returns `None` when `plan == pivot` (the whole query is
+/// shared and the consumer attaches directly to the pivot's output).
+///
+/// # Panics
+///
+/// Panics if `pivot` does not occur in `plan`.
+pub fn split_at_pivot(
+    plan: &PhysicalPlan,
+    pivot: &PhysicalPlan,
+    catalog: &Catalog,
+) -> Option<PhysicalPlan> {
+    if plan == pivot {
+        return None;
+    }
+    let schema = pivot.output_schema(catalog);
+    let mut replaced = false;
+    let fragment = replace_first(plan, pivot, &SchemaRef(schema), &mut replaced);
+    assert!(replaced, "pivot sub-plan not found in query plan");
+    Some(fragment)
+}
+
+fn replace_first(
+    plan: &PhysicalPlan,
+    pivot: &PhysicalPlan,
+    schema: &SchemaRef,
+    replaced: &mut bool,
+) -> PhysicalPlan {
+    if !*replaced && plan == pivot {
+        *replaced = true;
+        return PhysicalPlan::Source { schema: schema.clone() };
+    }
+    let mut clone = plan.clone();
+    match &mut clone {
+        PhysicalPlan::Scan { .. } | PhysicalPlan::Source { .. } => {}
+        PhysicalPlan::Filter { input, .. }
+        | PhysicalPlan::Project { input, .. }
+        | PhysicalPlan::Aggregate { input, .. }
+        | PhysicalPlan::Sort { input, .. } => {
+            **input = replace_first(input, pivot, schema, replaced);
+        }
+        PhysicalPlan::HashJoin { build, probe, .. } => {
+            **build = replace_first(build, pivot, schema, replaced);
+            if !*replaced {
+                **probe = replace_first(probe, pivot, schema, replaced);
+            }
+        }
+        PhysicalPlan::NestedLoopJoin { outer, inner, .. } => {
+            **outer = replace_first(outer, pivot, schema, replaced);
+            if !*replaced {
+                **inner = replace_first(inner, pivot, schema, replaced);
+            }
+        }
+        PhysicalPlan::MergeJoin { left, right, .. } => {
+            **left = replace_first(left, pivot, schema, replaced);
+            if !*replaced {
+                **right = replace_first(right, pivot, schema, replaced);
+            }
+        }
+    }
+    clone
+}
+
+/// Preorder index of the first occurrence of `pivot` within `plan`
+/// (indices match the task labels produced by `cordoba_exec::wiring` and
+/// the node order of profiled model plans).
+pub fn pivot_preorder(plan: &PhysicalPlan, pivot: &PhysicalPlan) -> Option<usize> {
+    fn walk(plan: &PhysicalPlan, pivot: &PhysicalPlan, idx: &mut usize) -> Option<usize> {
+        let my = *idx;
+        *idx += 1;
+        if plan == pivot {
+            return Some(my);
+        }
+        for c in plan.children() {
+            if let Some(found) = walk(c, pivot, idx) {
+                return Some(found);
+            }
+        }
+        None
+    }
+    let mut idx = 0;
+    walk(plan, pivot, &mut idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cordoba_exec::expr::Predicate;
+    use cordoba_exec::OpCost;
+    use cordoba_storage::{DataType, Field, Schema, TableBuilder, Value};
+
+    fn catalog() -> Catalog {
+        let schema = Schema::new(vec![Field::new("x", DataType::Int)]);
+        let mut b = TableBuilder::new("t", schema);
+        b.push_row(&[Value::Int(1)]);
+        let mut c = Catalog::new();
+        c.register(b.finish());
+        c
+    }
+
+    fn scan() -> PhysicalPlan {
+        PhysicalPlan::Scan { table: "t".into(), cost: OpCost::default() }
+    }
+
+    fn filter_over_scan() -> PhysicalPlan {
+        PhysicalPlan::Filter {
+            input: Box::new(scan()),
+            predicate: Predicate::True,
+            cost: OpCost::default(),
+        }
+    }
+
+    #[test]
+    fn contains_matches_nested() {
+        assert!(contains_subtree(&filter_over_scan(), &scan()));
+        assert!(contains_subtree(&filter_over_scan(), &filter_over_scan()));
+        let other = PhysicalPlan::Scan { table: "u".into(), cost: OpCost::default() };
+        assert!(!contains_subtree(&filter_over_scan(), &other));
+    }
+
+    #[test]
+    fn split_replaces_pivot_with_source() {
+        let cat = catalog();
+        let fragment = split_at_pivot(&filter_over_scan(), &scan(), &cat).unwrap();
+        match &fragment {
+            PhysicalPlan::Filter { input, .. } => {
+                assert!(matches!(**input, PhysicalPlan::Source { .. }));
+            }
+            other => panic!("expected filter, got {other:?}"),
+        }
+        // Source schema equals the pivot's output schema.
+        assert_eq!(fragment.output_schema(&cat), filter_over_scan().output_schema(&cat));
+    }
+
+    #[test]
+    fn whole_plan_pivot_returns_none() {
+        let cat = catalog();
+        assert!(split_at_pivot(&scan(), &scan(), &cat).is_none());
+    }
+
+    #[test]
+    fn join_pivot_in_probe_side() {
+        let cat = catalog();
+        let join = PhysicalPlan::HashJoin {
+            build: Box::new(scan()),
+            probe: Box::new(filter_over_scan()),
+            build_key: 0,
+            probe_key: 0,
+            kind: cordoba_exec::JoinKind::Semi,
+            build_cost: OpCost::default(),
+            probe_cost: OpCost::default(),
+        };
+        // Pivot = the probe-side filter fragment: only it is replaced;
+        // the build-side scan stays (first occurrence rule applies to
+        // the *filter*, which exists only on the probe side).
+        let fragment = split_at_pivot(&join, &filter_over_scan(), &cat).unwrap();
+        match &fragment {
+            PhysicalPlan::HashJoin { build, probe, .. } => {
+                assert!(matches!(**build, PhysicalPlan::Scan { .. }));
+                assert!(matches!(**probe, PhysicalPlan::Source { .. }));
+            }
+            other => panic!("expected join, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn first_occurrence_wins_for_duplicate_subtrees() {
+        let cat = catalog();
+        let join = PhysicalPlan::NestedLoopJoin {
+            outer: Box::new(scan()),
+            inner: Box::new(scan()),
+            predicate: Predicate::True,
+            cost: OpCost::default(),
+        };
+        let fragment = split_at_pivot(&join, &scan(), &cat).unwrap();
+        match &fragment {
+            PhysicalPlan::NestedLoopJoin { outer, inner, .. } => {
+                assert!(matches!(**outer, PhysicalPlan::Source { .. }));
+                assert!(matches!(**inner, PhysicalPlan::Scan { .. }));
+            }
+            other => panic!("expected nlj, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn preorder_indices_match_wiring_labels() {
+        // filter(scan): filter=0, scan=1.
+        assert_eq!(pivot_preorder(&filter_over_scan(), &scan()), Some(1));
+        assert_eq!(pivot_preorder(&filter_over_scan(), &filter_over_scan()), Some(0));
+        let other = PhysicalPlan::Scan { table: "u".into(), cost: OpCost::default() };
+        assert_eq!(pivot_preorder(&filter_over_scan(), &other), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "not found")]
+    fn split_with_foreign_pivot_panics() {
+        let cat = catalog();
+        // A pivot over a *known* table that simply isn't part of the
+        // plan (an unknown table would already fail schema derivation).
+        let other = PhysicalPlan::Scan { table: "t".into(), cost: OpCost::per_tuple(123.0) };
+        split_at_pivot(&filter_over_scan(), &other, &cat);
+    }
+}

@@ -1,0 +1,141 @@
+//! `EXPLAIN`-style plan rendering for diagnostics and examples.
+
+use crate::plan::PhysicalPlan;
+use cordoba_storage::Catalog;
+use std::fmt::Write as _;
+
+/// Renders a plan as an indented operator tree, one line per operator,
+/// with cost parameters and derived output-schema arity:
+///
+/// ```text
+/// aggregate [group=2 aggs=8] (w=3/t) -> 10 cols
+///   filter (w=0.8/t, s=0.1/t) -> 11 cols
+///     scan(lineitem) (w=9.66/t, s=10.34/t) -> 11 cols
+/// ```
+pub fn explain(plan: &PhysicalPlan, catalog: &Catalog) -> String {
+    let mut out = String::new();
+    render(plan, catalog, 0, &mut out);
+    out
+}
+
+fn render(plan: &PhysicalPlan, catalog: &Catalog, depth: usize, out: &mut String) {
+    let indent = "  ".repeat(depth);
+    let cols = plan.output_schema(catalog).len();
+    let detail = match plan {
+        PhysicalPlan::Scan { cost, .. } => cost_str(cost.per_tuple, cost.out_per_tuple),
+        PhysicalPlan::Source { .. } => "[external pages]".to_string(),
+        PhysicalPlan::Filter { cost, .. } => cost_str(cost.per_tuple, cost.out_per_tuple),
+        PhysicalPlan::Project { exprs, cost, .. } => {
+            format!("[exprs={}] {}", exprs.len(), cost_str(cost.per_tuple, cost.out_per_tuple))
+        }
+        PhysicalPlan::Aggregate { group_by, aggs, cost, .. } => format!(
+            "[group={} aggs={}] {}",
+            group_by.len(),
+            aggs.len(),
+            cost_str(cost.per_tuple, cost.out_per_tuple)
+        ),
+        PhysicalPlan::Sort { keys, cost, .. } => {
+            format!("[keys={keys:?}] {}", cost_str(cost.per_tuple, cost.out_per_tuple))
+        }
+        PhysicalPlan::HashJoin { build_key, probe_key, build_cost, probe_cost, .. } => format!(
+            "[build.{build_key} = probe.{probe_key}] (build w={}/t; probe {})",
+            trim(build_cost.per_tuple),
+            cost_str(probe_cost.per_tuple, probe_cost.out_per_tuple)
+        ),
+        PhysicalPlan::NestedLoopJoin { cost, .. } => {
+            cost_str(cost.per_tuple, cost.out_per_tuple)
+        }
+        PhysicalPlan::MergeJoin { left_key, right_key, cost, .. } => format!(
+            "[left.{left_key} = right.{right_key}] {}",
+            cost_str(cost.per_tuple, cost.out_per_tuple)
+        ),
+    };
+    let _ = writeln!(out, "{indent}{} {detail} -> {cols} cols", plan.op_name());
+    for child in plan.children() {
+        render(child, catalog, depth + 1, out);
+    }
+}
+
+fn cost_str(w: f64, s: f64) -> String {
+    if s > 0.0 {
+        format!("(w={}/t, s={}/t)", trim(w), trim(s))
+    } else {
+        format!("(w={}/t)", trim(w))
+    }
+}
+
+fn trim(v: f64) -> String {
+    let s = format!("{v:.2}");
+    s.trim_end_matches('0').trim_end_matches('.').to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::OpCost;
+    use crate::expr::{Agg, Predicate, ScalarExpr};
+    use cordoba_storage::{DataType, Field, Schema, TableBuilder, Value};
+
+    fn catalog() -> Catalog {
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Int),
+            Field::new("v", DataType::Float),
+        ]);
+        let mut b = TableBuilder::new("t", schema);
+        b.push_row(&[Value::Int(1), Value::Float(1.0)]);
+        let mut c = Catalog::new();
+        c.register(b.finish());
+        c
+    }
+
+    #[test]
+    fn renders_nested_tree_with_costs() {
+        let cat = catalog();
+        let plan = PhysicalPlan::Aggregate {
+            input: Box::new(PhysicalPlan::Filter {
+                input: Box::new(PhysicalPlan::Scan {
+                    table: "t".into(),
+                    cost: OpCost::new(9.66, 10.34),
+                }),
+                predicate: Predicate::True,
+                cost: OpCost::per_tuple(0.8),
+            }),
+            group_by: vec![0],
+            aggs: vec![("s".into(), Agg::Sum(ScalarExpr::col(1)))],
+            cost: OpCost::per_tuple(0.9),
+        };
+        let text = explain(&plan, &cat);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("aggregate [group=1 aggs=1] (w=0.9/t) -> 2 cols"));
+        assert!(lines[1].starts_with("  filter (w=0.8/t) -> 2 cols"));
+        assert!(lines[2].starts_with("    scan(t) (w=9.66/t, s=10.34/t) -> 2 cols"));
+    }
+
+    #[test]
+    fn renders_join_keys() {
+        let cat = catalog();
+        let scan = || Box::new(PhysicalPlan::Scan { table: "t".into(), cost: OpCost::default() });
+        let plan = PhysicalPlan::HashJoin {
+            build: scan(),
+            probe: scan(),
+            build_key: 0,
+            probe_key: 0,
+            kind: crate::plan::JoinKind::Semi,
+            build_cost: OpCost::per_tuple(4.0),
+            probe_cost: OpCost::new(3.0, 0.4),
+        };
+        let text = explain(&plan, &cat);
+        assert!(text.contains("hashjoin(Semi) [build.0 = probe.0]"), "{text}");
+        assert!(text.contains("build w=4/t"));
+        // Semi join output = probe schema (2 cols).
+        assert!(text.lines().next().unwrap().contains("-> 2 cols"));
+    }
+
+    #[test]
+    fn trims_trailing_zeros() {
+        assert_eq!(trim(10.0), "10");
+        assert_eq!(trim(10.34), "10.34");
+        assert_eq!(trim(0.5), "0.5");
+    }
+}

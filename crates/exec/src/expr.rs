@@ -1,0 +1,431 @@
+//! Scalar expressions, predicates, and aggregate specifications,
+//! evaluated directly over page tuples (no materialization on the hot
+//! path).
+
+use cordoba_storage::{Date, TupleRef, Value};
+use serde::{Deserialize, Serialize};
+
+/// A scalar evaluated from a tuple.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Scalar<'a> {
+    /// Integer.
+    Int(i64),
+    /// Float.
+    Float(f64),
+    /// Date.
+    Date(Date),
+    /// Borrowed string.
+    Str(&'a str),
+}
+
+impl Scalar<'_> {
+    /// Numeric view (ints coerce to float); `None` for dates/strings.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Scalar::Int(v) => Some(*v as f64),
+            Scalar::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Owned [`Value`] (results, tests).
+    pub fn to_value(&self) -> Value {
+        match self {
+            Scalar::Int(v) => Value::Int(*v),
+            Scalar::Float(v) => Value::Float(*v),
+            Scalar::Date(v) => Value::Date(*v),
+            Scalar::Str(v) => Value::Str((*v).to_string()),
+        }
+    }
+}
+
+/// A scalar expression over a tuple.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ScalarExpr {
+    /// Column by index (resolved against the input schema at plan build).
+    Col(usize),
+    /// Integer literal.
+    IntLit(i64),
+    /// Float literal.
+    FloatLit(f64),
+    /// Date literal.
+    DateLit(Date),
+    /// String literal.
+    StrLit(String),
+    /// Numeric addition.
+    Add(Box<ScalarExpr>, Box<ScalarExpr>),
+    /// Numeric subtraction.
+    Sub(Box<ScalarExpr>, Box<ScalarExpr>),
+    /// Numeric multiplication.
+    Mul(Box<ScalarExpr>, Box<ScalarExpr>),
+}
+
+impl ScalarExpr {
+    /// Shorthand for a column reference.
+    pub fn col(idx: usize) -> Self {
+        ScalarExpr::Col(idx)
+    }
+
+    /// Evaluates against a tuple.
+    ///
+    /// # Panics
+    ///
+    /// Panics on type errors (e.g. arithmetic on strings) — plans are
+    /// validated by construction and tests; expression typing bugs are
+    /// programming errors.
+    pub fn eval<'a>(&'a self, tuple: &TupleRef<'a>) -> Scalar<'a> {
+        match self {
+            ScalarExpr::Col(i) => match tuple.get_value_type(*i) {
+                ColType::Int => Scalar::Int(tuple.get_int(*i)),
+                ColType::Float => Scalar::Float(tuple.get_float(*i)),
+                ColType::Date => Scalar::Date(tuple.get_date(*i)),
+                ColType::Str => Scalar::Str(tuple.get_str(*i)),
+            },
+            ScalarExpr::IntLit(v) => Scalar::Int(*v),
+            ScalarExpr::FloatLit(v) => Scalar::Float(*v),
+            ScalarExpr::DateLit(v) => Scalar::Date(*v),
+            ScalarExpr::StrLit(v) => Scalar::Str(v),
+            ScalarExpr::Add(a, b) => numeric(a.eval(tuple), b.eval(tuple), "+", |x, y| x + y),
+            ScalarExpr::Sub(a, b) => numeric(a.eval(tuple), b.eval(tuple), "-", |x, y| x - y),
+            ScalarExpr::Mul(a, b) => numeric(a.eval(tuple), b.eval(tuple), "*", |x, y| x * y),
+        }
+    }
+}
+
+/// Column type tag used by `eval` to pick the typed accessor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ColType {
+    Int,
+    Float,
+    Date,
+    Str,
+}
+
+/// Extension trait giving [`TupleRef`] a type tag lookup.
+trait TypedTuple {
+    fn get_value_type(&self, idx: usize) -> ColType;
+}
+
+impl TypedTuple for TupleRef<'_> {
+    fn get_value_type(&self, idx: usize) -> ColType {
+        use cordoba_storage::DataType;
+        match self.schema().fields()[idx].dtype {
+            DataType::Int => ColType::Int,
+            DataType::Float => ColType::Float,
+            DataType::Date => ColType::Date,
+            DataType::Str(_) => ColType::Str,
+        }
+    }
+}
+
+fn numeric<'a>(a: Scalar<'a>, b: Scalar<'a>, op: &str, f: impl Fn(f64, f64) -> f64) -> Scalar<'a> {
+    match (a, b) {
+        (Scalar::Int(x), Scalar::Int(y)) => {
+            // Integer-preserving fast path for +,-,*.
+            let r = f(x as f64, y as f64);
+            Scalar::Int(r as i64)
+        }
+        (x, y) => {
+            let (Some(x), Some(y)) = (x.as_f64(), y.as_f64()) else {
+                panic!("non-numeric operands for '{op}': {x:?}, {y:?}")
+            };
+            Scalar::Float(f(x, y))
+        }
+    }
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    fn holds(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        matches!(
+            (self, ord),
+            (CmpOp::Eq, Equal)
+                | (CmpOp::Ne, Less | Greater)
+                | (CmpOp::Lt, Less)
+                | (CmpOp::Le, Less | Equal)
+                | (CmpOp::Gt, Greater)
+                | (CmpOp::Ge, Greater | Equal)
+        )
+    }
+}
+
+/// A boolean predicate over a tuple.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Predicate {
+    /// Always true (useful default).
+    True,
+    /// Comparison of two scalar expressions.
+    Cmp {
+        /// Left operand.
+        left: ScalarExpr,
+        /// Operator.
+        op: CmpOp,
+        /// Right operand.
+        right: ScalarExpr,
+    },
+    /// Conjunction.
+    And(Vec<Predicate>),
+    /// Disjunction.
+    Or(Vec<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+    /// SQL `LIKE` with `%` wildcards only (TPC-H patterns need no `_`).
+    Like {
+        /// String column index.
+        col: usize,
+        /// Pattern, e.g. `"%special%requests%"`.
+        pattern: String,
+    },
+}
+
+impl Predicate {
+    /// Convenience comparison builder.
+    pub fn cmp(left: ScalarExpr, op: CmpOp, right: ScalarExpr) -> Self {
+        Predicate::Cmp { left, op, right }
+    }
+
+    /// `col <op> literal` over a column index.
+    pub fn col_cmp(col: usize, op: CmpOp, lit: impl Into<LitValue>) -> Self {
+        Predicate::Cmp { left: ScalarExpr::Col(col), op, right: lit.into().0 }
+    }
+
+    /// Evaluates against a tuple.
+    pub fn eval(&self, tuple: &TupleRef<'_>) -> bool {
+        match self {
+            Predicate::True => true,
+            Predicate::Cmp { left, op, right } => {
+                let (a, b) = (left.eval(tuple), right.eval(tuple));
+                let ord = match (a, b) {
+                    (Scalar::Int(x), Scalar::Int(y)) => x.cmp(&y),
+                    (Scalar::Date(x), Scalar::Date(y)) => x.cmp(&y),
+                    (Scalar::Str(x), Scalar::Str(y)) => x.cmp(y),
+                    (x, y) => {
+                        let (Some(x), Some(y)) = (x.as_f64(), y.as_f64()) else {
+                            panic!("incomparable operands: {x:?} vs {y:?}")
+                        };
+                        x.partial_cmp(&y).expect("non-NaN comparison")
+                    }
+                };
+                op.holds(ord)
+            }
+            Predicate::And(ps) => ps.iter().all(|p| p.eval(tuple)),
+            Predicate::Or(ps) => ps.iter().any(|p| p.eval(tuple)),
+            Predicate::Not(p) => !p.eval(tuple),
+            Predicate::Like { col, pattern } => like_match(tuple.get_str(*col), pattern),
+        }
+    }
+}
+
+/// Wrapper allowing `col_cmp` to take plain literals.
+pub struct LitValue(pub ScalarExpr);
+impl From<i64> for LitValue {
+    fn from(v: i64) -> Self {
+        LitValue(ScalarExpr::IntLit(v))
+    }
+}
+impl From<f64> for LitValue {
+    fn from(v: f64) -> Self {
+        LitValue(ScalarExpr::FloatLit(v))
+    }
+}
+impl From<Date> for LitValue {
+    fn from(v: Date) -> Self {
+        LitValue(ScalarExpr::DateLit(v))
+    }
+}
+impl From<&str> for LitValue {
+    fn from(v: &str) -> Self {
+        LitValue(ScalarExpr::StrLit(v.to_string()))
+    }
+}
+
+/// `%`-wildcard LIKE matcher: splits the pattern at `%` and requires the
+/// fragments to appear in order, honoring anchors at the ends.
+pub fn like_match(s: &str, pattern: &str) -> bool {
+    let parts: Vec<&str> = pattern.split('%').collect();
+    if parts.len() == 1 {
+        return s == pattern;
+    }
+    let mut pos = 0usize;
+    for (i, part) in parts.iter().enumerate() {
+        if part.is_empty() {
+            continue;
+        }
+        if i == 0 {
+            if !s.starts_with(part) {
+                return false;
+            }
+            pos = part.len();
+        } else if i == parts.len() - 1 {
+            return s.len() >= pos && s[pos..].ends_with(part);
+        } else {
+            match s[pos..].find(part) {
+                Some(at) => pos += at + part.len(),
+                None => return false,
+            }
+        }
+    }
+    true
+}
+
+/// Aggregate function specification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Agg {
+    /// `COUNT(*)`.
+    Count,
+    /// `SUM(expr)` (float result).
+    Sum(ScalarExpr),
+    /// `AVG(expr)` (float result).
+    Avg(ScalarExpr),
+    /// `MIN(expr)` over a numeric expression (float result).
+    Min(ScalarExpr),
+    /// `MAX(expr)` over a numeric expression (float result).
+    Max(ScalarExpr),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cordoba_storage::{DataType, Field, PageBuilder, Schema};
+    use std::sync::Arc;
+
+    fn page() -> Arc<cordoba_storage::Page> {
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Int),
+            Field::new("price", DataType::Float),
+            Field::new("ship", DataType::Date),
+            Field::new("comment", DataType::Str(32)),
+        ]);
+        let mut b = PageBuilder::new(schema);
+        b.push_row(&[
+            Value::Int(10),
+            Value::Float(2.5),
+            Value::Date(Date::from_ymd(1994, 6, 1)),
+            Value::Str("special pinto requests".into()),
+        ]);
+        b.push_row(&[
+            Value::Int(-3),
+            Value::Float(0.05),
+            Value::Date(Date::from_ymd(1995, 1, 1)),
+            Value::Str("quickly sleep".into()),
+        ]);
+        b.finish()
+    }
+
+    #[test]
+    fn column_eval_all_types() {
+        let p = page();
+        let t = p.tuple(0);
+        assert_eq!(ScalarExpr::col(0).eval(&t), Scalar::Int(10));
+        assert_eq!(ScalarExpr::col(1).eval(&t), Scalar::Float(2.5));
+        assert_eq!(ScalarExpr::col(2).eval(&t), Scalar::Date(Date::from_ymd(1994, 6, 1)));
+        assert_eq!(ScalarExpr::col(3).eval(&t), Scalar::Str("special pinto requests"));
+    }
+
+    #[test]
+    fn arithmetic_mixes_types() {
+        let p = page();
+        let t = p.tuple(0);
+        // price * (1 - 0.1)
+        let e = ScalarExpr::Mul(
+            Box::new(ScalarExpr::col(1)),
+            Box::new(ScalarExpr::Sub(
+                Box::new(ScalarExpr::FloatLit(1.0)),
+                Box::new(ScalarExpr::FloatLit(0.1)),
+            )),
+        );
+        match e.eval(&t) {
+            Scalar::Float(v) => assert!((v - 2.25).abs() < 1e-12),
+            other => panic!("expected float, got {other:?}"),
+        }
+        // int + int stays int
+        let e = ScalarExpr::Add(Box::new(ScalarExpr::col(0)), Box::new(ScalarExpr::IntLit(5)));
+        assert_eq!(e.eval(&t), Scalar::Int(15));
+    }
+
+    #[test]
+    fn comparisons() {
+        let p = page();
+        let t0 = p.tuple(0);
+        let t1 = p.tuple(1);
+        let pred = Predicate::col_cmp(0, CmpOp::Gt, 0i64);
+        assert!(pred.eval(&t0));
+        assert!(!pred.eval(&t1));
+        let date_pred = Predicate::col_cmp(2, CmpOp::Lt, Date::from_ymd(1995, 1, 1));
+        assert!(date_pred.eval(&t0));
+        assert!(!date_pred.eval(&t1));
+        // int/float cross-type compare
+        let x = Predicate::col_cmp(1, CmpOp::Ge, 1i64);
+        assert!(x.eval(&t0));
+        assert!(!x.eval(&t1));
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let p = page();
+        let t = p.tuple(0);
+        let yes = Predicate::True;
+        let no = Predicate::Not(Box::new(Predicate::True));
+        assert!(Predicate::And(vec![yes.clone(), yes.clone()]).eval(&t));
+        assert!(!Predicate::And(vec![yes.clone(), no.clone()]).eval(&t));
+        assert!(Predicate::Or(vec![no.clone(), yes.clone()]).eval(&t));
+        assert!(!Predicate::Or(vec![no.clone(), no]).eval(&t));
+    }
+
+    #[test]
+    fn like_on_tuples() {
+        let p = page();
+        let like = Predicate::Like { col: 3, pattern: "%special%requests%".into() };
+        assert!(like.eval(&p.tuple(0)));
+        assert!(!like.eval(&p.tuple(1)));
+    }
+
+    #[test]
+    fn like_matcher_edge_cases() {
+        assert!(like_match("abc", "abc"));
+        assert!(!like_match("abc", "abd"));
+        assert!(like_match("abc", "%"));
+        assert!(like_match("abc", "a%"));
+        assert!(!like_match("abc", "b%"));
+        assert!(like_match("abc", "%c"));
+        assert!(!like_match("abc", "%b"));
+        assert!(like_match("abc", "a%c"));
+        assert!(like_match("special requests", "%special%requests%"));
+        assert!(like_match("specialrequests", "%special%requests%"));
+        assert!(!like_match("requests special", "%special%requests%"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("", "a%"));
+        // Ordered fragments must not overlap.
+        assert!(!like_match("ab", "%ab%b%"));
+        assert!(like_match("abab", "%ab%b%"));
+    }
+
+    #[test]
+    fn scalar_conversions() {
+        assert_eq!(Scalar::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Scalar::Float(1.5).as_f64(), Some(1.5));
+        assert_eq!(Scalar::Str("x").as_f64(), None);
+        assert_eq!(Scalar::Int(3).to_value(), Value::Int(3));
+        assert_eq!(Scalar::Str("x").to_value(), Value::Str("x".into()));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-numeric")]
+    fn arithmetic_on_strings_panics() {
+        let p = page();
+        let t = p.tuple(0);
+        ScalarExpr::Add(Box::new(ScalarExpr::col(3)), Box::new(ScalarExpr::IntLit(1))).eval(&t);
+    }
+}

@@ -1,0 +1,38 @@
+//! # cordoba-exec — paged relational operators
+//!
+//! The operator layer of the reproduced engine. Every operator:
+//!
+//! * consumes and produces whole [`cordoba_storage::Page`]s (the paper's
+//!   Section 3.2 execution model: intermediate results packed into 4 K
+//!   pages, improving locality and amortizing producer-consumer
+//!   synchronization);
+//! * runs as a cooperative [`cordoba_sim::Task`], doing one page of real
+//!   computation per step and charging a **calibrated virtual cost**
+//!   ([`OpCost`]): `per_tuple` input work (the model's `w`) plus
+//!   `out_per_tuple` per consumer delivered (the model's `s`);
+//! * can fan its output out to *multiple* consumers ([`ops::Fanout`]) —
+//!   the mechanism work sharing uses, and precisely the serialization
+//!   point the paper analyzes: a pivot with `M` consumers pays
+//!   `M · s` per tuple.
+//!
+//! [`PhysicalPlan`] describes executable plans; [`wiring::instantiate`]
+//! spawns one task per operator into a simulator (unshared wiring — the
+//! engine crate adds sharing). the [`mod@reference`] module executes the same plans
+//! synchronously as a correctness oracle: simulator execution must
+//! produce identical results.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cost;
+pub mod explain;
+pub mod expr;
+pub mod ops;
+pub mod plan;
+pub mod reference;
+pub mod wiring;
+
+pub use cost::OpCost;
+pub use explain::explain;
+pub use expr::{Agg, CmpOp, Predicate, Scalar, ScalarExpr};
+pub use plan::{JoinKind, PhysicalPlan};

@@ -1,0 +1,376 @@
+//! Hash aggregation (stop-&-go): consumes its whole input, then emits
+//! one row per group. Groups live in a `BTreeMap` so emission order is
+//! deterministic (sorted by group key), matching the reference executor.
+
+use crate::cost::OpCost;
+use crate::expr::Agg;
+use crate::ops::{encode_keyval, key_of, Fanout, KeyVal, Outbox};
+use cordoba_sim::channel::{Receiver, Recv};
+use cordoba_sim::{Step, Task, TaskCtx};
+use cordoba_storage::{Page, PageBuilder, Schema};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Accumulator state per aggregate function.
+#[derive(Debug, Clone)]
+enum Acc {
+    Count(i64),
+    Sum(f64),
+    Avg { sum: f64, count: i64 },
+    Min(Option<f64>),
+    Max(Option<f64>),
+}
+
+impl Acc {
+    fn new(agg: &Agg) -> Self {
+        match agg {
+            Agg::Count => Acc::Count(0),
+            Agg::Sum(_) => Acc::Sum(0.0),
+            Agg::Avg(_) => Acc::Avg { sum: 0.0, count: 0 },
+            Agg::Min(_) => Acc::Min(None),
+            Agg::Max(_) => Acc::Max(None),
+        }
+    }
+
+    fn update(&mut self, agg: &Agg, tuple: &cordoba_storage::TupleRef<'_>) {
+        match (self, agg) {
+            (Acc::Count(n), Agg::Count) => *n += 1,
+            (Acc::Sum(s), Agg::Sum(e)) => {
+                *s += e.eval(tuple).as_f64().expect("SUM over numeric expression")
+            }
+            (Acc::Avg { sum, count }, Agg::Avg(e)) => {
+                *sum += e.eval(tuple).as_f64().expect("AVG over numeric expression");
+                *count += 1;
+            }
+            (Acc::Min(m), Agg::Min(e)) => {
+                let v = e.eval(tuple).as_f64().expect("MIN over numeric expression");
+                *m = Some(m.map_or(v, |cur| cur.min(v)));
+            }
+            (Acc::Max(m), Agg::Max(e)) => {
+                let v = e.eval(tuple).as_f64().expect("MAX over numeric expression");
+                *m = Some(m.map_or(v, |cur| cur.max(v)));
+            }
+            (acc, agg) => panic!("accumulator/spec mismatch: {acc:?} vs {agg:?}"),
+        }
+    }
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Acc::Count(n) => out.extend_from_slice(&n.to_le_bytes()),
+            Acc::Sum(s) => out.extend_from_slice(&s.to_le_bytes()),
+            Acc::Avg { sum, count } => {
+                let avg = if *count == 0 { 0.0 } else { sum / *count as f64 };
+                out.extend_from_slice(&avg.to_le_bytes());
+            }
+            Acc::Min(m) => out.extend_from_slice(&m.unwrap_or(0.0).to_le_bytes()),
+            Acc::Max(m) => out.extend_from_slice(&m.unwrap_or(0.0).to_le_bytes()),
+        }
+    }
+}
+
+enum PhaseState {
+    Consuming,
+    Emitting,
+    Done,
+}
+
+/// Hash-aggregate task.
+pub struct AggregateTask {
+    rx: Receiver<Arc<Page>>,
+    group_by: Vec<usize>,
+    aggs: Vec<Agg>,
+    cost: OpCost,
+    out_schema: Arc<Schema>,
+    groups: BTreeMap<Vec<KeyVal>, Vec<Acc>>,
+    state: PhaseState,
+    outbox: Outbox,
+    /// Pages per emit step (bounds step size during emission).
+    emit_batch: usize,
+    emit_iter: Option<std::collections::btree_map::IntoIter<Vec<KeyVal>, Vec<Acc>>>,
+}
+
+impl AggregateTask {
+    /// Creates an aggregation task. `out_schema` must be the plan-derived
+    /// schema (group columns then aggregate columns).
+    pub fn new(
+        rx: Receiver<Arc<Page>>,
+        group_by: Vec<usize>,
+        aggs: Vec<Agg>,
+        out_schema: Arc<Schema>,
+        cost: OpCost,
+        fanout: Fanout,
+    ) -> Self {
+        assert_eq!(out_schema.len(), group_by.len() + aggs.len());
+        Self {
+            rx,
+            group_by,
+            aggs,
+            cost,
+            out_schema,
+            groups: BTreeMap::new(),
+            state: PhaseState::Consuming,
+            outbox: Outbox::new(fanout),
+            emit_batch: 4,
+            emit_iter: None,
+        }
+    }
+}
+
+impl Task for AggregateTask {
+    fn step(&mut self, ctx: &mut TaskCtx<'_>) -> Step {
+        let (mut cost, drained) = self.outbox.flush(ctx);
+        if !drained {
+            return Step::blocked(cost);
+        }
+        match self.state {
+            PhaseState::Consuming => match self.rx.try_recv(ctx) {
+                Recv::Value(page) => {
+                    let n = page.rows();
+                    cost += self.cost.input_cost(n);
+                    ctx.add_progress(n as f64);
+                    for t in page.tuples() {
+                        let key = key_of(&t, &self.group_by);
+                        let accs = self
+                            .groups
+                            .entry(key)
+                            .or_insert_with(|| self.aggs.iter().map(Acc::new).collect());
+                        for (acc, agg) in accs.iter_mut().zip(&self.aggs) {
+                            acc.update(agg, &t);
+                        }
+                    }
+                    Step::yielded(cost)
+                }
+                Recv::Empty => Step::blocked(cost),
+                Recv::Closed => {
+                    self.state = PhaseState::Emitting;
+                    self.emit_iter = Some(std::mem::take(&mut self.groups).into_iter());
+                    Step::yielded(cost)
+                }
+            },
+            PhaseState::Emitting => {
+                let mut builder = PageBuilder::new(self.out_schema.clone());
+                let mut emitted_rows = 0usize;
+                let mut pages = 0usize;
+                let mut exhausted = false;
+                {
+                    let iter = self.emit_iter.as_mut().expect("emitting phase has iterator");
+                    loop {
+                        let Some((key, accs)) = iter.next() else {
+                            exhausted = true;
+                            break;
+                        };
+                        let mut scratch = Vec::new();
+                        for (i, k) in key.iter().enumerate() {
+                            encode_keyval(&mut scratch, k, self.out_schema.fields()[i].dtype);
+                        }
+                        for acc in &accs {
+                            acc.encode(&mut scratch);
+                        }
+                        if !builder.push_raw(&scratch) {
+                            self.outbox.push(builder.finish_and_reset());
+                            pages += 1;
+                            assert!(builder.push_raw(&scratch));
+                        }
+                        emitted_rows += 1;
+                        if pages >= self.emit_batch {
+                            break;
+                        }
+                    }
+                }
+                if !builder.is_empty() {
+                    self.outbox.push(builder.finish_and_reset());
+                }
+                // Per-consumer delivery cost (`s`) is charged by the
+                // fan-out; add one unit so emission steps always advance
+                // virtual time.
+                let _ = emitted_rows;
+                cost += 1;
+                if exhausted {
+                    self.state = PhaseState::Done;
+                }
+                let (c, drained) = self.outbox.flush(ctx);
+                cost += c;
+                if drained {
+                    Step::yielded(cost)
+                } else {
+                    Step::blocked(cost)
+                }
+            }
+            PhaseState::Done => {
+                self.outbox.close(ctx);
+                Step::done(cost)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::ScalarExpr;
+    use crate::ops::testutil::CollectingSink;
+    use crate::ops::ScanTask;
+    use cordoba_sim::channel;
+    use cordoba_sim::Simulator;
+    use cordoba_storage::{DataType, Field, TableBuilder, Value};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn run_agg(
+        rows: Vec<Vec<Value>>,
+        in_schema: Arc<Schema>,
+        group_by: Vec<usize>,
+        aggs: Vec<Agg>,
+        out_schema: Arc<Schema>,
+    ) -> Vec<Vec<Value>> {
+        let mut tb = TableBuilder::new("t", in_schema);
+        for r in &rows {
+            tb.push_row(r);
+        }
+        let table = tb.finish();
+        let mut sim = Simulator::new(2);
+        let (tx1, rx1) = channel::bounded(4);
+        let (tx2, rx2) = channel::bounded(4);
+        sim.spawn(
+            "scan",
+            Box::new(ScanTask::new(table.pages().to_vec(), OpCost::default(), Fanout::new(vec![tx1], 0.0))),
+        );
+        sim.spawn(
+            "agg",
+            Box::new(AggregateTask::new(rx1, group_by, aggs, out_schema, OpCost::default(), Fanout::new(vec![tx2], 0.0))),
+        );
+        let out = Rc::new(RefCell::new(Vec::new()));
+        sim.spawn("sink", Box::new(CollectingSink { rx: rx2, rows: out.clone() }));
+        assert!(sim.run_to_idle().completed_all());
+        let out = out.borrow().clone();
+        out
+    }
+
+    #[test]
+    fn grouped_count_and_sum() {
+        let in_schema = Schema::new(vec![
+            Field::new("tag", DataType::Str(2)),
+            Field::new("v", DataType::Float),
+        ]);
+        let out_schema = Schema::new(vec![
+            Field::new("tag", DataType::Str(2)),
+            Field::new("n", DataType::Int),
+            Field::new("sum", DataType::Float),
+        ]);
+        let rows = vec![
+            vec![Value::Str("b".into()), Value::Float(1.0)],
+            vec![Value::Str("a".into()), Value::Float(2.0)],
+            vec![Value::Str("b".into()), Value::Float(3.0)],
+            vec![Value::Str("a".into()), Value::Float(4.0)],
+            vec![Value::Str("b".into()), Value::Float(5.0)],
+        ];
+        let got = run_agg(
+            rows,
+            in_schema,
+            vec![0],
+            vec![Agg::Count, Agg::Sum(ScalarExpr::col(1))],
+            out_schema,
+        );
+        assert_eq!(
+            got,
+            vec![
+                vec![Value::Str("a".into()), Value::Int(2), Value::Float(6.0)],
+                vec![Value::Str("b".into()), Value::Int(3), Value::Float(9.0)],
+            ]
+        );
+    }
+
+    #[test]
+    fn scalar_aggregate_no_groups() {
+        let in_schema = Schema::new(vec![Field::new("v", DataType::Float)]);
+        let out_schema = Schema::new(vec![
+            Field::new("sum", DataType::Float),
+            Field::new("avg", DataType::Float),
+            Field::new("min", DataType::Float),
+            Field::new("max", DataType::Float),
+        ]);
+        let rows: Vec<Vec<Value>> = (1..=10).map(|i| vec![Value::Float(i as f64)]).collect();
+        let got = run_agg(
+            rows,
+            in_schema,
+            vec![],
+            vec![
+                Agg::Sum(ScalarExpr::col(0)),
+                Agg::Avg(ScalarExpr::col(0)),
+                Agg::Min(ScalarExpr::col(0)),
+                Agg::Max(ScalarExpr::col(0)),
+            ],
+            out_schema,
+        );
+        assert_eq!(
+            got,
+            vec![vec![
+                Value::Float(55.0),
+                Value::Float(5.5),
+                Value::Float(1.0),
+                Value::Float(10.0)
+            ]]
+        );
+    }
+
+    #[test]
+    fn empty_input_scalar_aggregate_emits_identity_row() {
+        // SQL semantics vary; ours (and the reference executor's):
+        // grouping over empty input yields no rows — including the
+        // no-group case, where the map simply has no entries.
+        let in_schema = Schema::new(vec![Field::new("v", DataType::Float)]);
+        let out_schema = Schema::new(vec![Field::new("sum", DataType::Float)]);
+        let got = run_agg(
+            vec![],
+            in_schema,
+            vec![],
+            vec![Agg::Sum(ScalarExpr::col(0))],
+            out_schema,
+        );
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn many_groups_span_multiple_pages() {
+        let in_schema = Schema::new(vec![Field::new("k", DataType::Int)]);
+        let out_schema = Schema::new(vec![
+            Field::new("k", DataType::Int),
+            Field::new("n", DataType::Int),
+        ]);
+        let rows: Vec<Vec<Value>> = (0..2000).map(|i| vec![Value::Int(i % 1000)]).collect();
+        let got = run_agg(rows, in_schema, vec![0], vec![Agg::Count], out_schema);
+        assert_eq!(got.len(), 1000);
+        // Sorted by key, every count is 2.
+        for (i, row) in got.iter().enumerate() {
+            assert_eq!(row[0], Value::Int(i as i64));
+            assert_eq!(row[1], Value::Int(2));
+        }
+    }
+
+    #[test]
+    fn int_group_keys_from_counts() {
+        // Q13-style: group by an Int column computed upstream.
+        let in_schema = Schema::new(vec![Field::new("c_count", DataType::Int)]);
+        let out_schema = Schema::new(vec![
+            Field::new("c_count", DataType::Int),
+            Field::new("custdist", DataType::Int),
+        ]);
+        let rows = vec![
+            vec![Value::Int(0)],
+            vec![Value::Int(0)],
+            vec![Value::Int(3)],
+            vec![Value::Int(3)],
+            vec![Value::Int(3)],
+            vec![Value::Int(7)],
+        ];
+        let got = run_agg(rows, in_schema, vec![0], vec![Agg::Count], out_schema);
+        assert_eq!(
+            got,
+            vec![
+                vec![Value::Int(0), Value::Int(2)],
+                vec![Value::Int(3), Value::Int(3)],
+                vec![Value::Int(7), Value::Int(1)],
+            ]
+        );
+    }
+}

@@ -1,0 +1,388 @@
+//! Hash join: blocking build over one input, pipelined probe over the
+//! other. Supports inner, semi (EXISTS — TPC-H Q4), anti, and left
+//! outer (TPC-H Q13) semantics on integer equi-keys.
+
+use crate::cost::OpCost;
+use crate::ops::{default_row_bytes, Fanout, Outbox};
+use crate::plan::JoinKind;
+use cordoba_sim::channel::{Receiver, Recv};
+use cordoba_sim::{Step, Task, TaskCtx};
+use cordoba_storage::{Page, PageBuilder, Schema};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+enum PhaseState {
+    Building,
+    Probing,
+    Flushing,
+    Done,
+}
+
+/// Hash-join task.
+pub struct HashJoinTask {
+    rx_build: Receiver<Arc<Page>>,
+    rx_probe: Receiver<Arc<Page>>,
+    build_key: usize,
+    probe_key: usize,
+    kind: JoinKind,
+    build_cost: OpCost,
+    probe_cost: OpCost,
+    /// key -> raw build rows (empty-row vec never stored).
+    table: HashMap<i64, Vec<Box<[u8]>>>,
+    build_defaults: Vec<u8>,
+    builder: PageBuilder,
+    outbox: Outbox,
+    state: PhaseState,
+    scratch: Vec<u8>,
+}
+
+impl HashJoinTask {
+    /// Creates a hash join.
+    ///
+    /// `out_schema` must be the plan-derived schema for `kind`
+    /// (probe ++ build for Inner/LeftOuter, probe only for Semi/Anti);
+    /// `build_schema` is the build input's schema (for outer-join
+    /// default fill).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        rx_build: Receiver<Arc<Page>>,
+        rx_probe: Receiver<Arc<Page>>,
+        build_key: usize,
+        probe_key: usize,
+        kind: JoinKind,
+        build_schema: Arc<Schema>,
+        out_schema: Arc<Schema>,
+        build_cost: OpCost,
+        probe_cost: OpCost,
+        fanout: Fanout,
+    ) -> Self {
+        Self {
+            rx_build,
+            rx_probe,
+            build_key,
+            probe_key,
+            kind,
+            build_cost,
+            probe_cost,
+            table: HashMap::new(),
+            build_defaults: default_row_bytes(&build_schema),
+            builder: PageBuilder::new(out_schema),
+            outbox: Outbox::new(fanout),
+            state: PhaseState::Building,
+            scratch: Vec::new(),
+        }
+    }
+
+    fn emit_row(&mut self, probe_raw: &[u8], build_raw: Option<&[u8]>) {
+        self.scratch.clear();
+        self.scratch.extend_from_slice(probe_raw);
+        match self.kind {
+            JoinKind::Semi | JoinKind::Anti => {}
+            JoinKind::Inner | JoinKind::LeftOuter => {
+                self.scratch
+                    .extend_from_slice(build_raw.unwrap_or(&self.build_defaults));
+            }
+        }
+        if !self.builder.push_raw(&self.scratch) {
+            let full = self.builder.finish_and_reset();
+            self.outbox.push(full);
+            assert!(self.builder.push_raw(&self.scratch));
+        }
+    }
+}
+
+impl Task for HashJoinTask {
+    fn step(&mut self, ctx: &mut TaskCtx<'_>) -> Step {
+        let (mut cost, drained) = self.outbox.flush(ctx);
+        if !drained {
+            return Step::blocked(cost);
+        }
+        match self.state {
+            PhaseState::Building => match self.rx_build.try_recv(ctx) {
+                Recv::Value(page) => {
+                    let n = page.rows();
+                    cost += self.build_cost.input_cost(n);
+                    ctx.add_progress(n as f64);
+                    for t in page.tuples() {
+                        let key = t.get_int(self.build_key);
+                        self.table
+                            .entry(key)
+                            .or_default()
+                            .push(t.raw().to_vec().into_boxed_slice());
+                    }
+                    Step::yielded(cost)
+                }
+                Recv::Empty => Step::blocked(cost),
+                Recv::Closed => {
+                    self.state = PhaseState::Probing;
+                    Step::yielded(cost.max(1))
+                }
+            },
+            PhaseState::Probing => match self.rx_probe.try_recv(ctx) {
+                Recv::Value(page) => {
+                    let n = page.rows();
+                    cost += self.probe_cost.input_cost(n);
+                    ctx.add_progress(n as f64);
+                    for t in page.tuples() {
+                        let key = t.get_int(self.probe_key);
+                        let matches = self.table.get(&key);
+                        match self.kind {
+                            JoinKind::Inner => {
+                                if let Some(rows) = matches {
+                                    let rows = rows.clone();
+                                    for b in &rows {
+                                        self.emit_row(t.raw(), Some(b));
+                                    }
+                                }
+                            }
+                            JoinKind::Semi => {
+                                if matches.is_some() {
+                                    self.emit_row(t.raw(), None);
+                                }
+                            }
+                            JoinKind::Anti => {
+                                if matches.is_none() {
+                                    self.emit_row(t.raw(), None);
+                                }
+                            }
+                            JoinKind::LeftOuter => match matches {
+                                Some(rows) => {
+                                    let rows = rows.clone();
+                                    for b in &rows {
+                                        self.emit_row(t.raw(), Some(b));
+                                    }
+                                }
+                                None => self.emit_row(t.raw(), None),
+                            },
+                        }
+                    }
+                    let (c, drained) = self.outbox.flush(ctx);
+                    cost += c;
+                    if drained {
+                        Step::yielded(cost)
+                    } else {
+                        Step::blocked(cost)
+                    }
+                }
+                Recv::Empty => Step::blocked(cost),
+                Recv::Closed => {
+                    self.state = PhaseState::Flushing;
+                    Step::yielded(cost.max(1))
+                }
+            },
+            PhaseState::Flushing => {
+                if !self.builder.is_empty() {
+                    let tail = self.builder.finish_and_reset();
+                    self.outbox.push(tail);
+                }
+                self.state = PhaseState::Done;
+                let (c, drained) = self.outbox.flush(ctx);
+                cost += c + 1;
+                if drained {
+                    Step::yielded(cost)
+                } else {
+                    Step::blocked(cost)
+                }
+            }
+            PhaseState::Done => {
+                self.outbox.close(ctx);
+                Step::done(cost)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::testutil::CollectingSink;
+    use crate::ops::ScanTask;
+    use crate::plan::concat_schemas;
+    use cordoba_sim::channel;
+    use cordoba_sim::Simulator;
+    use cordoba_storage::{DataType, Field, TableBuilder, Value};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn build_side() -> (Arc<Schema>, Vec<Vec<Value>>) {
+        let schema = Schema::new(vec![
+            Field::new("bk", DataType::Int),
+            Field::new("bv", DataType::Int),
+        ]);
+        let rows = vec![
+            vec![Value::Int(1), Value::Int(10)],
+            vec![Value::Int(2), Value::Int(20)],
+            vec![Value::Int(2), Value::Int(21)],
+            vec![Value::Int(4), Value::Int(40)],
+        ];
+        (schema, rows)
+    }
+
+    fn probe_side() -> (Arc<Schema>, Vec<Vec<Value>>) {
+        let schema = Schema::new(vec![
+            Field::new("pk", DataType::Int),
+            Field::new("pv", DataType::Int),
+        ]);
+        let rows = vec![
+            vec![Value::Int(1), Value::Int(100)],
+            vec![Value::Int(2), Value::Int(200)],
+            vec![Value::Int(3), Value::Int(300)],
+        ];
+        (schema, rows)
+    }
+
+    fn run_join(kind: JoinKind) -> Vec<Vec<Value>> {
+        let (bs, brows) = build_side();
+        let (ps, prows) = probe_side();
+        let mut tb = TableBuilder::new("b", bs.clone());
+        for r in &brows {
+            tb.push_row(r);
+        }
+        let btable = tb.finish();
+        let mut tp = TableBuilder::new("p", ps.clone());
+        for r in &prows {
+            tp.push_row(r);
+        }
+        let ptable = tp.finish();
+
+        let out_schema = match kind {
+            JoinKind::Semi | JoinKind::Anti => ps.clone(),
+            _ => concat_schemas(&ps, &bs),
+        };
+        let mut sim = Simulator::new(2);
+        let (txb, rxb) = channel::bounded(4);
+        let (txp, rxp) = channel::bounded(4);
+        let (txo, rxo) = channel::bounded(4);
+        sim.spawn(
+            "scan_b",
+            Box::new(ScanTask::new(btable.pages().to_vec(), OpCost::default(), Fanout::new(vec![txb], 0.0))),
+        );
+        sim.spawn(
+            "scan_p",
+            Box::new(ScanTask::new(ptable.pages().to_vec(), OpCost::default(), Fanout::new(vec![txp], 0.0))),
+        );
+        sim.spawn(
+            "join",
+            Box::new(HashJoinTask::new(
+                rxb,
+                rxp,
+                0,
+                0,
+                kind,
+                bs,
+                out_schema,
+                OpCost::default(),
+                OpCost::default(),
+                Fanout::new(vec![txo], 0.0),
+            )),
+        );
+        let out = Rc::new(RefCell::new(Vec::new()));
+        sim.spawn("sink", Box::new(CollectingSink { rx: rxo, rows: out.clone() }));
+        assert!(sim.run_to_idle().completed_all());
+        let out = out.borrow().clone();
+        out
+    }
+
+    #[test]
+    fn inner_join_expands_matches() {
+        let got = run_join(JoinKind::Inner);
+        assert_eq!(
+            got,
+            vec![
+                vec![Value::Int(1), Value::Int(100), Value::Int(1), Value::Int(10)],
+                vec![Value::Int(2), Value::Int(200), Value::Int(2), Value::Int(20)],
+                vec![Value::Int(2), Value::Int(200), Value::Int(2), Value::Int(21)],
+            ]
+        );
+    }
+
+    #[test]
+    fn semi_join_emits_probe_rows_once() {
+        let got = run_join(JoinKind::Semi);
+        assert_eq!(
+            got,
+            vec![
+                vec![Value::Int(1), Value::Int(100)],
+                vec![Value::Int(2), Value::Int(200)],
+            ]
+        );
+    }
+
+    #[test]
+    fn anti_join_emits_unmatched() {
+        let got = run_join(JoinKind::Anti);
+        assert_eq!(got, vec![vec![Value::Int(3), Value::Int(300)]]);
+    }
+
+    #[test]
+    fn left_outer_fills_defaults() {
+        let got = run_join(JoinKind::LeftOuter);
+        assert_eq!(got.len(), 4);
+        // Probe key 3 has no build match: build columns defaulted to 0.
+        assert_eq!(
+            got[3],
+            vec![Value::Int(3), Value::Int(300), Value::Int(0), Value::Int(0)]
+        );
+    }
+
+    #[test]
+    fn empty_build_side() {
+        // Inner/semi produce nothing; anti/left-outer pass all probe rows.
+        let (bs, _) = build_side();
+        let (ps, prows) = probe_side();
+        for (kind, expect) in [
+            (JoinKind::Inner, 0usize),
+            (JoinKind::Semi, 0),
+            (JoinKind::Anti, 3),
+            (JoinKind::LeftOuter, 3),
+        ] {
+            let mut tb = TableBuilder::new("b", bs.clone());
+            let btable = tb_finish_empty(&mut tb);
+            let mut tp = TableBuilder::new("p", ps.clone());
+            for r in &prows {
+                tp.push_row(r);
+            }
+            let ptable = tp.finish();
+            let out_schema = match kind {
+                JoinKind::Semi | JoinKind::Anti => ps.clone(),
+                _ => concat_schemas(&ps, &bs),
+            };
+            let mut sim = Simulator::new(2);
+            let (txb, rxb) = channel::bounded(4);
+            let (txp, rxp) = channel::bounded(4);
+            let (txo, rxo) = channel::bounded(4);
+            sim.spawn(
+                "scan_b",
+                Box::new(ScanTask::new(btable.pages().to_vec(), OpCost::default(), Fanout::new(vec![txb], 0.0))),
+            );
+            sim.spawn(
+                "scan_p",
+                Box::new(ScanTask::new(ptable.pages().to_vec(), OpCost::default(), Fanout::new(vec![txp], 0.0))),
+            );
+            sim.spawn(
+                "join",
+                Box::new(HashJoinTask::new(
+                    rxb,
+                    rxp,
+                    0,
+                    0,
+                    kind,
+                    bs.clone(),
+                    out_schema,
+                    OpCost::default(),
+                    OpCost::default(),
+                    Fanout::new(vec![txo], 0.0),
+                )),
+            );
+            let out = Rc::new(RefCell::new(Vec::new()));
+            sim.spawn("sink", Box::new(CollectingSink { rx: rxo, rows: out.clone() }));
+            assert!(sim.run_to_idle().completed_all());
+            assert_eq!(out.borrow().len(), expect, "{kind:?}");
+        }
+    }
+
+    fn tb_finish_empty(b: &mut TableBuilder) -> Arc<cordoba_storage::Table> {
+        // Build an empty table with the builder's schema.
+        std::mem::replace(b, TableBuilder::new("x", Schema::new(vec![Field::new("d", DataType::Int)]))).finish()
+    }
+}

@@ -1,0 +1,329 @@
+//! Streaming inner merge join over two key-sorted inputs.
+//!
+//! Unlike the hash join, neither input is materialized: the task
+//! buffers just enough rows on each side to assemble the current
+//! equal-key groups, emits their cross product, and discards them —
+//! the fully-pipelinable merge phase of the paper's Section 5.3.2
+//! merge-join decomposition (the blocking sorts are separate upstream
+//! operators).
+
+use crate::cost::OpCost;
+use crate::ops::{Fanout, Outbox};
+use cordoba_sim::channel::{Receiver, Recv};
+use cordoba_sim::{Step, Task, TaskCtx};
+use cordoba_storage::{Page, PageBuilder, Schema};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// One buffered side of the merge.
+struct Side {
+    rx: Receiver<Arc<Page>>,
+    key_idx: usize,
+    rows: VecDeque<(i64, Box<[u8]>)>,
+    closed: bool,
+    last_key: Option<i64>,
+}
+
+impl Side {
+    /// Pulls one page into the buffer. Returns `Some(tuples)` when a
+    /// page arrived, `None` when the channel was empty (waiter
+    /// registered) or just closed.
+    fn pull(&mut self, ctx: &mut TaskCtx<'_>) -> Option<usize> {
+        match self.rx.try_recv(ctx) {
+            Recv::Value(page) => {
+                let n = page.rows();
+                for t in page.tuples() {
+                    let key = t.get_int(self.key_idx);
+                    if let Some(prev) = self.last_key {
+                        assert!(
+                            key >= prev,
+                            "merge join input must be sorted: {key} after {prev}"
+                        );
+                    }
+                    self.last_key = Some(key);
+                    self.rows.push_back((key, t.raw().to_vec().into_boxed_slice()));
+                }
+                Some(n)
+            }
+            Recv::Empty => None,
+            Recv::Closed => {
+                self.closed = true;
+                None
+            }
+        }
+    }
+
+    /// Whether the group starting at the buffer front is complete: a
+    /// larger key follows it, or the stream has ended.
+    fn front_group_len(&self) -> Option<usize> {
+        let (front_key, _) = self.rows.front()?;
+        match self.rows.iter().position(|(k, _)| k != front_key) {
+            Some(len) => Some(len),
+            None if self.closed => Some(self.rows.len()),
+            None => None, // group may continue in unseen pages
+        }
+    }
+
+    fn exhausted(&self) -> bool {
+        self.closed && self.rows.is_empty()
+    }
+}
+
+/// Merge-join task.
+pub struct MergeJoinTask {
+    left: Side,
+    right: Side,
+    cost: OpCost,
+    builder: PageBuilder,
+    outbox: Outbox,
+    scratch: Vec<u8>,
+    done: bool,
+}
+
+impl MergeJoinTask {
+    /// Creates a merge join; `out_schema` must be left ++ right.
+    pub fn new(
+        rx_left: Receiver<Arc<Page>>,
+        rx_right: Receiver<Arc<Page>>,
+        left_key: usize,
+        right_key: usize,
+        out_schema: Arc<Schema>,
+        cost: OpCost,
+        fanout: Fanout,
+    ) -> Self {
+        Self {
+            left: Side { rx: rx_left, key_idx: left_key, rows: VecDeque::new(), closed: false, last_key: None },
+            right: Side { rx: rx_right, key_idx: right_key, rows: VecDeque::new(), closed: false, last_key: None },
+            cost,
+            builder: PageBuilder::new(out_schema),
+            outbox: Outbox::new(fanout),
+            scratch: Vec::new(),
+            done: false,
+        }
+    }
+
+    /// Merges as far as the buffered rows allow. Returns emitted rows.
+    fn merge_available(&mut self) -> usize {
+        let mut emitted = 0;
+        loop {
+            // One side exhausted: nothing further can match.
+            if self.left.exhausted() || self.right.exhausted() {
+                self.left.rows.clear();
+                self.right.rows.clear();
+                if self.left.closed && self.right.closed {
+                    self.done = true;
+                }
+                return emitted;
+            }
+            let (Some(&(lk, _)), Some(&(rk, _))) =
+                (self.left.rows.front(), self.right.rows.front())
+            else {
+                return emitted; // need more input
+            };
+            match lk.cmp(&rk) {
+                std::cmp::Ordering::Less => {
+                    self.left.rows.pop_front();
+                }
+                std::cmp::Ordering::Greater => {
+                    self.right.rows.pop_front();
+                }
+                std::cmp::Ordering::Equal => {
+                    let (Some(lg), Some(rg)) =
+                        (self.left.front_group_len(), self.right.front_group_len())
+                    else {
+                        return emitted; // groups not complete yet
+                    };
+                    for li in 0..lg {
+                        for ri in 0..rg {
+                            self.scratch.clear();
+                            self.scratch.extend_from_slice(&self.left.rows[li].1);
+                            self.scratch.extend_from_slice(&self.right.rows[ri].1);
+                            if !self.builder.push_raw(&self.scratch) {
+                                let full = self.builder.finish_and_reset();
+                                self.outbox.push(full);
+                                assert!(self.builder.push_raw(&self.scratch));
+                            }
+                            emitted += 1;
+                        }
+                    }
+                    self.left.rows.drain(..lg);
+                    self.right.rows.drain(..rg);
+                }
+            }
+        }
+    }
+}
+
+impl Task for MergeJoinTask {
+    fn step(&mut self, ctx: &mut TaskCtx<'_>) -> Step {
+        let (mut cost, drained) = self.outbox.flush(ctx);
+        if !drained {
+            return Step::blocked(cost);
+        }
+        if self.done {
+            if !self.builder.is_empty() {
+                let tail = self.builder.finish_and_reset();
+                self.outbox.push(tail);
+                let (c, drained) = self.outbox.flush(ctx);
+                cost += c;
+                if !drained {
+                    return Step::blocked(cost);
+                }
+            }
+            self.outbox.close(ctx);
+            return Step::done(cost.max(1));
+        }
+        // Pull from whichever side the merge is starved on (prefer the
+        // side with fewer buffered rows).
+        let mut pulled = 0usize;
+        let order: [bool; 2] = if self.left.rows.len() <= self.right.rows.len() {
+            [true, false]
+        } else {
+            [false, true]
+        };
+        for is_left in order {
+            let side = if is_left { &mut self.left } else { &mut self.right };
+            if !side.closed {
+                if let Some(n) = side.pull(ctx) {
+                    pulled += n;
+                    break;
+                }
+            }
+        }
+        cost += self.cost.input_cost(pulled);
+        if pulled > 0 {
+            ctx.add_progress(pulled as f64);
+        }
+        self.merge_available();
+        let (c, drained) = self.outbox.flush(ctx);
+        cost += c;
+        if !drained {
+            return Step::blocked(cost);
+        }
+        if self.done || pulled > 0 {
+            Step::yielded(cost.max(1))
+        } else if self.left.closed && self.right.closed {
+            // Both streams ended; finish next step.
+            self.done = true;
+            Step::yielded(cost.max(1))
+        } else {
+            Step::blocked(cost)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::testutil::CollectingSink;
+    use crate::ops::ScanTask;
+    use crate::plan::concat_schemas;
+    use cordoba_sim::channel;
+    use cordoba_sim::Simulator;
+    use cordoba_storage::{DataType, Field, TableBuilder, Value};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn run_merge(left: Vec<(i64, i64)>, right: Vec<(i64, i64)>) -> Vec<Vec<Value>> {
+        let ls = Schema::new(vec![Field::new("lk", DataType::Int), Field::new("lv", DataType::Int)]);
+        let rs = Schema::new(vec![Field::new("rk", DataType::Int), Field::new("rv", DataType::Int)]);
+        let mut lt = TableBuilder::with_page_size("l", ls.clone(), 64);
+        for (k, v) in &left {
+            lt.push_row(&[Value::Int(*k), Value::Int(*v)]);
+        }
+        let mut rt = TableBuilder::with_page_size("r", rs.clone(), 64);
+        for (k, v) in &right {
+            rt.push_row(&[Value::Int(*k), Value::Int(*v)]);
+        }
+        let out_schema = concat_schemas(&ls, &rs);
+        let mut sim = Simulator::new(2);
+        let (txl, rxl) = channel::bounded(2);
+        let (txr, rxr) = channel::bounded(2);
+        let (txo, rxo) = channel::bounded(2);
+        sim.spawn(
+            "l",
+            Box::new(ScanTask::new(lt.finish().pages().to_vec(), OpCost::default(), Fanout::new(vec![txl], 0.0))),
+        );
+        sim.spawn(
+            "r",
+            Box::new(ScanTask::new(rt.finish().pages().to_vec(), OpCost::default(), Fanout::new(vec![txr], 0.0))),
+        );
+        sim.spawn(
+            "mj",
+            Box::new(MergeJoinTask::new(rxl, rxr, 0, 0, out_schema, OpCost::default(), Fanout::new(vec![txo], 0.0))),
+        );
+        let out = Rc::new(RefCell::new(Vec::new()));
+        sim.spawn("sink", Box::new(CollectingSink { rx: rxo, rows: out.clone() }));
+        let outcome = sim.run_to_idle();
+        assert!(outcome.completed_all(), "{outcome:?}");
+        let out = out.borrow().clone();
+        out
+    }
+
+    #[test]
+    fn basic_sorted_merge() {
+        let got = run_merge(
+            vec![(1, 10), (3, 30), (5, 50)],
+            vec![(1, 100), (2, 200), (5, 500)],
+        );
+        assert_eq!(
+            got,
+            vec![
+                vec![Value::Int(1), Value::Int(10), Value::Int(1), Value::Int(100)],
+                vec![Value::Int(5), Value::Int(50), Value::Int(5), Value::Int(500)],
+            ]
+        );
+    }
+
+    #[test]
+    fn duplicate_keys_cross_product() {
+        let got = run_merge(vec![(2, 1), (2, 2)], vec![(2, 10), (2, 20), (2, 30)]);
+        assert_eq!(got.len(), 6);
+        // All pairs present exactly once.
+        let mut pairs: Vec<(i64, i64)> = got
+            .iter()
+            .map(|r| (r[1].as_int().unwrap(), r[3].as_int().unwrap()))
+            .collect();
+        pairs.sort_unstable();
+        assert_eq!(pairs, vec![(1, 10), (1, 20), (1, 30), (2, 10), (2, 20), (2, 30)]);
+    }
+
+    #[test]
+    fn groups_spanning_page_boundaries() {
+        // 8 rows per page (64-byte pages, 16-byte rows): a key group of
+        // 12 spans pages; the join must wait for the full group.
+        let left: Vec<(i64, i64)> = (0..12).map(|i| (7, i)).chain([(9, 99)]).collect();
+        let right = vec![(7, 1000), (9, 900)];
+        let got = run_merge(left, right);
+        assert_eq!(got.len(), 13);
+    }
+
+    #[test]
+    fn disjoint_keys_produce_nothing() {
+        let got = run_merge(vec![(1, 1), (3, 3)], vec![(2, 2), (4, 4)]);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn empty_sides() {
+        assert!(run_merge(vec![], vec![(1, 1)]).is_empty());
+        assert!(run_merge(vec![(1, 1)], vec![]).is_empty());
+        assert!(run_merge(vec![], vec![]).is_empty());
+    }
+
+    #[test]
+    fn one_side_much_longer() {
+        let left: Vec<(i64, i64)> = (0..100).map(|i| (i, i)).collect();
+        let right = vec![(50, 1), (99, 2)];
+        let got = run_merge(left, right);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0][0], Value::Int(50));
+        assert_eq!(got[1][0], Value::Int(99));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be sorted")]
+    fn unsorted_input_detected() {
+        run_merge(vec![(3, 1), (1, 2)], vec![(1, 1)]);
+    }
+}

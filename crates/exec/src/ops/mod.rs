@@ -1,0 +1,295 @@
+//! Operator tasks and shared machinery (fan-out, key encoding).
+
+pub mod aggregate;
+pub mod filter;
+pub mod hash_join;
+pub mod merge_join;
+pub mod nlj;
+pub mod project;
+pub mod scan;
+pub mod sink;
+pub mod sort;
+
+#[cfg(test)]
+pub(crate) mod testutil;
+
+pub use aggregate::AggregateTask;
+pub use filter::FilterTask;
+pub use hash_join::HashJoinTask;
+pub use merge_join::MergeJoinTask;
+pub use nlj::NestedLoopJoinTask;
+pub use project::ProjectTask;
+pub use scan::ScanTask;
+pub use sink::SinkTask;
+pub use sort::SortTask;
+
+use cordoba_sim::channel::Sender;
+use cordoba_sim::{TaskCtx, VTime};
+use cordoba_storage::{DataType, Page, Schema, TupleRef};
+use std::sync::Arc;
+
+/// Delivers produced pages to one or more consumers, charging the
+/// operator's per-consumer output cost (`s`) for each delivery.
+///
+/// This is the serialization point the paper analyzes: a pivot shared by
+/// `M` queries delivers every page `M` times, paying `M · s` per tuple
+/// of forward progress, all in a single thread of control.
+pub struct Fanout {
+    outs: Vec<Sender<Arc<Page>>>,
+    pending: Option<(Arc<Page>, usize)>,
+    out_per_tuple: f64,
+}
+
+impl Fanout {
+    /// Creates a fan-out over the given consumers. An empty consumer
+    /// list is allowed (a root operator nobody listens to — used in
+    /// drain benchmarks).
+    pub fn new(outs: Vec<Sender<Arc<Page>>>, out_per_tuple: f64) -> Self {
+        Self { outs, pending: None, out_per_tuple }
+    }
+
+    /// Number of consumers.
+    pub fn consumers(&self) -> usize {
+        self.outs.len()
+    }
+
+    /// Whether a page is mid-delivery (some consumers not yet served).
+    pub fn is_pending(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// Begins delivering `page` to all consumers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a delivery is already pending — callers must pump to
+    /// completion first.
+    pub fn begin(&mut self, page: Arc<Page>) {
+        assert!(self.pending.is_none(), "fanout already has a pending page");
+        self.pending = Some((page, 0));
+    }
+
+    /// Continues the pending delivery. Returns the cost accrued this
+    /// call and whether delivery completed (`false` = blocked on a full
+    /// consumer queue; the task should return [`cordoba_sim::Step::blocked`]).
+    pub fn pump(&mut self, ctx: &mut TaskCtx<'_>) -> (VTime, bool) {
+        let Some((page, mut next)) = self.pending.take() else {
+            return (0, true);
+        };
+        let tuples = page.rows();
+        let mut cost = 0;
+        while next < self.outs.len() {
+            match self.outs[next].try_send(page.clone(), ctx) {
+                Ok(()) => {
+                    cost += (self.out_per_tuple * tuples as f64).round() as VTime;
+                    next += 1;
+                }
+                Err(_) => {
+                    self.pending = Some((page, next));
+                    return (cost, false);
+                }
+            }
+        }
+        (cost, true)
+    }
+
+    /// Closes all consumer channels (end of stream).
+    pub fn close(&mut self, ctx: &mut TaskCtx<'_>) {
+        for out in &self.outs {
+            out.close(ctx);
+        }
+    }
+}
+
+/// An ordered queue of produced pages awaiting fan-out delivery.
+///
+/// Operators that can emit several pages from one step (projections that
+/// widen rows, joins, aggregate emission) push here and flush; pages are
+/// delivered in order, and a blocked consumer pauses the queue without
+/// reordering.
+pub struct Outbox {
+    queue: std::collections::VecDeque<Arc<Page>>,
+    fanout: Fanout,
+}
+
+impl Outbox {
+    /// Wraps a fan-out in an ordered outbox.
+    pub fn new(fanout: Fanout) -> Self {
+        Self { queue: std::collections::VecDeque::new(), fanout }
+    }
+
+    /// Number of consumers of the underlying fan-out.
+    pub fn consumers(&self) -> usize {
+        self.fanout.consumers()
+    }
+
+    /// Queues a page for delivery.
+    pub fn push(&mut self, page: Arc<Page>) {
+        self.queue.push_back(page);
+    }
+
+    /// Whether all queued pages have been fully delivered.
+    pub fn is_drained(&self) -> bool {
+        self.queue.is_empty() && !self.fanout.is_pending()
+    }
+
+    /// Delivers as much as possible; returns accrued cost and whether
+    /// the outbox fully drained (`false` = blocked on a consumer).
+    pub fn flush(&mut self, ctx: &mut TaskCtx<'_>) -> (VTime, bool) {
+        let mut cost = 0;
+        loop {
+            let (c, done) = self.fanout.pump(ctx);
+            cost += c;
+            if !done {
+                return (cost, false);
+            }
+            match self.queue.pop_front() {
+                Some(page) => self.fanout.begin(page),
+                None => return (cost, true),
+            }
+        }
+    }
+
+    /// Closes all consumer channels.
+    pub fn close(&mut self, ctx: &mut TaskCtx<'_>) {
+        debug_assert!(self.is_drained(), "closing an outbox with undelivered pages");
+        self.fanout.close(ctx);
+    }
+}
+
+/// A totally ordered key component for grouping and sorting.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum KeyVal {
+    /// Integer key.
+    Int(i64),
+    /// Float key under IEEE total order.
+    Float(TotalF64),
+    /// Date key (day number).
+    Date(i32),
+    /// String key.
+    Str(String),
+}
+
+/// `f64` wrapper ordered by `total_cmp` so it can key `BTreeMap`s.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TotalF64(pub f64);
+impl Eq for TotalF64 {}
+impl PartialOrd for TotalF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TotalF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Extracts the `cols` of a tuple as an ordered key.
+pub fn key_of(tuple: &TupleRef<'_>, cols: &[usize]) -> Vec<KeyVal> {
+    cols.iter()
+        .map(|&i| match tuple.schema().fields()[i].dtype {
+            DataType::Int => KeyVal::Int(tuple.get_int(i)),
+            DataType::Float => KeyVal::Float(TotalF64(tuple.get_float(i))),
+            DataType::Date => KeyVal::Date(tuple.get_date(i).0),
+            DataType::Str(_) => KeyVal::Str(tuple.get_str(i).to_string()),
+        })
+        .collect()
+}
+
+/// Encodes a [`KeyVal`] back into raw row bytes for its field type.
+pub fn encode_keyval(out: &mut Vec<u8>, key: &KeyVal, dtype: DataType) {
+    match (key, dtype) {
+        (KeyVal::Int(v), DataType::Int) => out.extend_from_slice(&v.to_le_bytes()),
+        (KeyVal::Float(v), DataType::Float) => out.extend_from_slice(&v.0.to_le_bytes()),
+        (KeyVal::Date(v), DataType::Date) => out.extend_from_slice(&v.to_le_bytes()),
+        (KeyVal::Str(s), DataType::Str(n)) => {
+            out.extend_from_slice(s.as_bytes());
+            out.extend(std::iter::repeat_n(b' ', n - s.len()));
+        }
+        (k, d) => panic!("key {k:?} does not match field type {d:?}"),
+    }
+}
+
+/// Type-default row bytes for a schema (0 / 0.0 / epoch / spaces) —
+/// the fill for unmatched LEFT OUTER probe rows.
+pub fn default_row_bytes(schema: &Arc<Schema>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(schema.row_width());
+    for f in schema.fields() {
+        match f.dtype {
+            DataType::Int => out.extend_from_slice(&0i64.to_le_bytes()),
+            DataType::Float => out.extend_from_slice(&0f64.to_le_bytes()),
+            DataType::Date => out.extend_from_slice(&0i32.to_le_bytes()),
+            DataType::Str(n) => out.extend(std::iter::repeat_n(b' ', n)),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cordoba_storage::{Field, PageBuilder, Value};
+
+    #[test]
+    fn total_f64_orders_nan_consistently() {
+        let mut v = [TotalF64(f64::NAN), TotalF64(1.0), TotalF64(-1.0), TotalF64(0.0)];
+        v.sort();
+        assert_eq!(v[0].0, -1.0);
+        assert_eq!(v[1].0, 0.0);
+        assert_eq!(v[2].0, 1.0);
+        assert!(v[3].0.is_nan());
+    }
+
+    #[test]
+    fn key_extraction_and_encoding_round_trip() {
+        let schema = Schema::new(vec![
+            Field::new("i", DataType::Int),
+            Field::new("f", DataType::Float),
+            Field::new("s", DataType::Str(4)),
+        ]);
+        let mut b = PageBuilder::new(schema.clone());
+        b.push_row(&[Value::Int(9), Value::Float(1.5), Value::Str("ab".into())]);
+        let page = b.finish();
+        let key = key_of(&page.tuple(0), &[0, 1, 2]);
+        assert_eq!(
+            key,
+            vec![KeyVal::Int(9), KeyVal::Float(TotalF64(1.5)), KeyVal::Str("ab".into())]
+        );
+        // Encode back and compare to the original raw row.
+        let mut bytes = Vec::new();
+        for (k, f) in key.iter().zip(schema.fields()) {
+            encode_keyval(&mut bytes, k, f.dtype);
+        }
+        assert_eq!(bytes.as_slice(), page.tuple(0).raw());
+    }
+
+    #[test]
+    fn default_row_matches_schema_width() {
+        let schema = Schema::new(vec![
+            Field::new("i", DataType::Int),
+            Field::new("d", DataType::Date),
+            Field::new("s", DataType::Str(7)),
+        ]);
+        let bytes = default_row_bytes(&schema);
+        assert_eq!(bytes.len(), schema.row_width());
+        // Reading the default row yields the type defaults.
+        let mut b = PageBuilder::new(schema);
+        assert!(b.push_raw(&bytes));
+        let page = b.finish();
+        let t = page.tuple(0);
+        assert_eq!(t.get_int(0), 0);
+        assert_eq!(t.get_date(1).0, 0);
+        assert_eq!(t.get_str(2), "");
+    }
+
+    #[test]
+    fn keyvals_sort_lexicographically() {
+        let a = vec![KeyVal::Str("A".into()), KeyVal::Str("F".into())];
+        let b = vec![KeyVal::Str("A".into()), KeyVal::Str("O".into())];
+        let c = vec![KeyVal::Str("N".into()), KeyVal::Str("F".into())];
+        let mut v = vec![c.clone(), b.clone(), a.clone()];
+        v.sort();
+        assert_eq!(v, vec![a, b, c]);
+    }
+}

@@ -1,0 +1,247 @@
+//! Block nested-loop join: materializes the inner side, then streams the
+//! outer side, testing an arbitrary predicate over each (outer, inner)
+//! pair. Fully general but O(|outer| · |inner|) — used for small inputs
+//! and as a join oracle in tests.
+
+use crate::cost::OpCost;
+use crate::expr::Predicate;
+use crate::ops::{Fanout, Outbox};
+use cordoba_sim::channel::{Receiver, Recv};
+use cordoba_sim::{Step, Task, TaskCtx};
+use cordoba_storage::{Page, PageBuilder, Schema};
+use std::sync::Arc;
+
+enum PhaseState {
+    LoadingInner,
+    Streaming,
+    Flushing,
+    Done,
+}
+
+/// Nested-loop join task.
+pub struct NestedLoopJoinTask {
+    rx_outer: Receiver<Arc<Page>>,
+    rx_inner: Receiver<Arc<Page>>,
+    predicate: Predicate,
+    cost: OpCost,
+    inner_rows: Vec<Box<[u8]>>,
+    pair_schema: Arc<Schema>,
+    builder: PageBuilder,
+    outbox: Outbox,
+    state: PhaseState,
+    scratch: Vec<u8>,
+}
+
+impl NestedLoopJoinTask {
+    /// Creates a nested-loop join. `pair_schema` is outer ++ inner (the
+    /// output schema; the predicate is evaluated over it).
+    pub fn new(
+        rx_outer: Receiver<Arc<Page>>,
+        rx_inner: Receiver<Arc<Page>>,
+        predicate: Predicate,
+        pair_schema: Arc<Schema>,
+        cost: OpCost,
+        fanout: Fanout,
+    ) -> Self {
+        Self {
+            rx_outer,
+            rx_inner,
+            predicate,
+            cost,
+            inner_rows: Vec::new(),
+            builder: PageBuilder::new(pair_schema.clone()),
+            pair_schema,
+            outbox: Outbox::new(fanout),
+            state: PhaseState::LoadingInner,
+            scratch: Vec::new(),
+        }
+    }
+}
+
+impl Task for NestedLoopJoinTask {
+    fn step(&mut self, ctx: &mut TaskCtx<'_>) -> Step {
+        let (mut cost, drained) = self.outbox.flush(ctx);
+        if !drained {
+            return Step::blocked(cost);
+        }
+        match self.state {
+            PhaseState::LoadingInner => match self.rx_inner.try_recv(ctx) {
+                Recv::Value(page) => {
+                    let n = page.rows();
+                    cost += self.cost.input_cost(n);
+                    for t in page.tuples() {
+                        self.inner_rows.push(t.raw().to_vec().into_boxed_slice());
+                    }
+                    Step::yielded(cost)
+                }
+                Recv::Empty => Step::blocked(cost),
+                Recv::Closed => {
+                    self.state = PhaseState::Streaming;
+                    Step::yielded(cost.max(1))
+                }
+            },
+            PhaseState::Streaming => match self.rx_outer.try_recv(ctx) {
+                Recv::Value(page) => {
+                    let n = page.rows();
+                    // Pair-examination cost: every (outer, inner) pair.
+                    cost += self.cost.input_cost(n * self.inner_rows.len().max(1));
+                    ctx.add_progress(n as f64);
+                    // Evaluate the predicate over a materialized pair row
+                    // (one-row page, reused builder).
+                    let mut probe = PageBuilder::new(self.pair_schema.clone());
+                    for t in page.tuples() {
+                        for inner in &self.inner_rows {
+                            self.scratch.clear();
+                            self.scratch.extend_from_slice(t.raw());
+                            self.scratch.extend_from_slice(inner);
+                            assert!(probe.push_raw(&self.scratch));
+                            let candidate = probe.finish_and_reset();
+                            if self.predicate.eval(&candidate.tuple(0))
+                                && !self.builder.push_raw(&self.scratch)
+                            {
+                                let full = self.builder.finish_and_reset();
+                                self.outbox.push(full);
+                                assert!(self.builder.push_raw(&self.scratch));
+                            }
+                        }
+                    }
+                    let (c, drained) = self.outbox.flush(ctx);
+                    cost += c;
+                    if drained {
+                        Step::yielded(cost)
+                    } else {
+                        Step::blocked(cost)
+                    }
+                }
+                Recv::Empty => Step::blocked(cost),
+                Recv::Closed => {
+                    self.state = PhaseState::Flushing;
+                    Step::yielded(cost.max(1))
+                }
+            },
+            PhaseState::Flushing => {
+                if !self.builder.is_empty() {
+                    let tail = self.builder.finish_and_reset();
+                    self.outbox.push(tail);
+                }
+                self.state = PhaseState::Done;
+                let (c, drained) = self.outbox.flush(ctx);
+                cost += c + 1;
+                if drained {
+                    Step::yielded(cost)
+                } else {
+                    Step::blocked(cost)
+                }
+            }
+            PhaseState::Done => {
+                self.outbox.close(ctx);
+                Step::done(cost)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{CmpOp, ScalarExpr};
+    use crate::ops::testutil::CollectingSink;
+    use crate::ops::ScanTask;
+    use crate::plan::concat_schemas;
+    use cordoba_sim::channel;
+    use cordoba_sim::Simulator;
+    use cordoba_storage::{DataType, Field, TableBuilder, Value};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn equi_predicate_matches_hash_join_inner() {
+        let ls = Schema::new(vec![Field::new("a", DataType::Int)]);
+        let rs = Schema::new(vec![Field::new("b", DataType::Int)]);
+        let mut lt = TableBuilder::new("l", ls.clone());
+        for v in [1i64, 2, 3] {
+            lt.push_row(&[Value::Int(v)]);
+        }
+        let mut rt = TableBuilder::new("r", rs.clone());
+        for v in [2i64, 3, 4, 3] {
+            rt.push_row(&[Value::Int(v)]);
+        }
+        let pair = concat_schemas(&ls, &rs);
+        let pred = Predicate::Cmp {
+            left: ScalarExpr::col(0),
+            op: CmpOp::Eq,
+            right: ScalarExpr::col(1),
+        };
+        let mut sim = Simulator::new(2);
+        let (txo, rxo) = channel::bounded(4);
+        let (txi, rxi) = channel::bounded(4);
+        let (txout, rxout) = channel::bounded(4);
+        sim.spawn(
+            "outer",
+            Box::new(ScanTask::new(lt.finish().pages().to_vec(), OpCost::default(), Fanout::new(vec![txo], 0.0))),
+        );
+        sim.spawn(
+            "inner",
+            Box::new(ScanTask::new(rt.finish().pages().to_vec(), OpCost::default(), Fanout::new(vec![txi], 0.0))),
+        );
+        sim.spawn(
+            "nlj",
+            Box::new(NestedLoopJoinTask::new(rxo, rxi, pred, pair, OpCost::default(), Fanout::new(vec![txout], 0.0))),
+        );
+        let out = Rc::new(RefCell::new(Vec::new()));
+        sim.spawn("sink", Box::new(CollectingSink { rx: rxout, rows: out.clone() }));
+        assert!(sim.run_to_idle().completed_all());
+        let mut got = out.borrow().clone();
+        got.sort_by_key(|r| (r[0].as_int(), r[1].as_int()));
+        assert_eq!(
+            got,
+            vec![
+                vec![Value::Int(2), Value::Int(2)],
+                vec![Value::Int(3), Value::Int(3)],
+                vec![Value::Int(3), Value::Int(3)],
+            ]
+        );
+    }
+
+    #[test]
+    fn inequality_predicate_band_join() {
+        // a < b: band joins are NLJ's raison d'être.
+        let ls = Schema::new(vec![Field::new("a", DataType::Int)]);
+        let rs = Schema::new(vec![Field::new("b", DataType::Int)]);
+        let mut lt = TableBuilder::new("l", ls.clone());
+        for v in [1i64, 5] {
+            lt.push_row(&[Value::Int(v)]);
+        }
+        let mut rt = TableBuilder::new("r", rs.clone());
+        for v in [3i64, 6] {
+            rt.push_row(&[Value::Int(v)]);
+        }
+        let pair = concat_schemas(&ls, &rs);
+        let pred = Predicate::Cmp {
+            left: ScalarExpr::col(0),
+            op: CmpOp::Lt,
+            right: ScalarExpr::col(1),
+        };
+        let mut sim = Simulator::new(1);
+        let (txo, rxo) = channel::bounded(4);
+        let (txi, rxi) = channel::bounded(4);
+        let (txout, rxout) = channel::bounded(4);
+        sim.spawn(
+            "outer",
+            Box::new(ScanTask::new(lt.finish().pages().to_vec(), OpCost::default(), Fanout::new(vec![txo], 0.0))),
+        );
+        sim.spawn(
+            "inner",
+            Box::new(ScanTask::new(rt.finish().pages().to_vec(), OpCost::default(), Fanout::new(vec![txi], 0.0))),
+        );
+        sim.spawn(
+            "nlj",
+            Box::new(NestedLoopJoinTask::new(rxo, rxi, pred, pair, OpCost::default(), Fanout::new(vec![txout], 0.0))),
+        );
+        let out = Rc::new(RefCell::new(Vec::new()));
+        sim.spawn("sink", Box::new(CollectingSink { rx: rxout, rows: out.clone() }));
+        assert!(sim.run_to_idle().completed_all());
+        // pairs: (1,3),(1,6),(5,6)
+        assert_eq!(out.borrow().len(), 3);
+    }
+}

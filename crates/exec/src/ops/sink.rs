@@ -1,0 +1,151 @@
+//! Query sink: the root consumer. Counts/collects result rows and fires
+//! a completion callback — the hook the engine's closed-system client
+//! logic uses to resubmit queries (Little's Law regime, paper §1.2).
+
+use crate::cost::OpCost;
+use cordoba_sim::channel::{Receiver, Recv};
+use cordoba_sim::{Step, Task, TaskCtx};
+use cordoba_storage::Page;
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// Callback invoked (inside the final step) when the sink's input closes.
+pub type OnDone = Box<dyn FnMut(&mut TaskCtx<'_>, u64)>;
+
+/// Terminal operator of a query instance.
+pub struct SinkTask {
+    rx: Receiver<Arc<Page>>,
+    cost: OpCost,
+    rows_seen: u64,
+    collect_into: Option<Rc<RefCell<Vec<Arc<Page>>>>>,
+    on_done: Option<OnDone>,
+}
+
+impl SinkTask {
+    /// Creates a sink that merely drains and counts.
+    pub fn new(rx: Receiver<Arc<Page>>, cost: OpCost) -> Self {
+        Self { rx, cost, rows_seen: 0, collect_into: None, on_done: None }
+    }
+
+    /// Also collect result pages into the shared buffer.
+    #[must_use]
+    pub fn collecting(mut self, into: Rc<RefCell<Vec<Arc<Page>>>>) -> Self {
+        self.collect_into = Some(into);
+        self
+    }
+
+    /// Invoke `f(ctx, result_rows)` when the query completes.
+    #[must_use]
+    pub fn on_done(mut self, f: OnDone) -> Self {
+        self.on_done = Some(f);
+        self
+    }
+}
+
+impl Task for SinkTask {
+    fn step(&mut self, ctx: &mut TaskCtx<'_>) -> Step {
+        match self.rx.try_recv(ctx) {
+            Recv::Value(page) => {
+                let n = page.rows();
+                self.rows_seen += n as u64;
+                let cost = self.cost.input_cost(n);
+                ctx.add_progress(n as f64);
+                if let Some(buf) = &self.collect_into {
+                    buf.borrow_mut().push(page);
+                }
+                Step::yielded(cost)
+            }
+            Recv::Empty => Step::blocked(0),
+            Recv::Closed => {
+                if let Some(mut f) = self.on_done.take() {
+                    f(ctx, self.rows_seen);
+                }
+                Step::done(1)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{Fanout, ScanTask};
+    use cordoba_sim::channel;
+    use cordoba_sim::Simulator;
+    use cordoba_storage::{DataType, Field, Schema, TableBuilder, Value};
+    use std::cell::Cell;
+
+    fn pages(n: usize) -> Vec<Arc<Page>> {
+        let schema = Schema::new(vec![Field::new("x", DataType::Int)]);
+        let mut tb = TableBuilder::with_page_size("t", schema, 64);
+        for i in 0..n {
+            tb.push_row(&[Value::Int(i as i64)]);
+        }
+        tb.finish().pages().to_vec()
+    }
+
+    #[test]
+    fn sink_counts_and_calls_back() {
+        let mut sim = Simulator::new(1);
+        let (tx, rx) = channel::bounded(4);
+        sim.spawn(
+            "scan",
+            Box::new(ScanTask::new(pages(20), OpCost::default(), Fanout::new(vec![tx], 0.0))),
+        );
+        let seen = Rc::new(Cell::new(0u64));
+        let seen2 = seen.clone();
+        sim.spawn(
+            "sink",
+            Box::new(SinkTask::new(rx, OpCost::default()).on_done(Box::new(move |_, rows| {
+                seen2.set(rows);
+            }))),
+        );
+        assert!(sim.run_to_idle().completed_all());
+        assert_eq!(seen.get(), 20);
+    }
+
+    #[test]
+    fn collecting_sink_keeps_pages() {
+        let mut sim = Simulator::new(1);
+        let (tx, rx) = channel::bounded(4);
+        sim.spawn(
+            "scan",
+            Box::new(ScanTask::new(pages(20), OpCost::default(), Fanout::new(vec![tx], 0.0))),
+        );
+        let buf = Rc::new(RefCell::new(Vec::new()));
+        sim.spawn(
+            "sink",
+            Box::new(SinkTask::new(rx, OpCost::default()).collecting(buf.clone())),
+        );
+        assert!(sim.run_to_idle().completed_all());
+        let total: usize = buf.borrow().iter().map(|p| p.rows()).sum();
+        assert_eq!(total, 20);
+    }
+
+    #[test]
+    fn callback_can_spawn_replacement_queries() {
+        // Closed-system pattern: a finished sink spawns the next query.
+        let mut sim = Simulator::new(1);
+        let (tx, rx) = channel::bounded(4);
+        sim.spawn(
+            "scan",
+            Box::new(ScanTask::new(pages(4), OpCost::default(), Fanout::new(vec![tx], 0.0))),
+        );
+        sim.spawn(
+            "sink",
+            Box::new(SinkTask::new(rx, OpCost::default()).on_done(Box::new(|ctx, _| {
+                struct Follow;
+                impl Task for Follow {
+                    fn step(&mut self, _: &mut TaskCtx<'_>) -> Step {
+                        Step::done(5)
+                    }
+                }
+                ctx.spawn("follow-up", Box::new(Follow));
+            }))),
+        );
+        let out = sim.run_to_idle();
+        assert!(out.completed_all());
+        assert_eq!(sim.all_task_stats().count(), 3);
+    }
+}

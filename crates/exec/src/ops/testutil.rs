@@ -1,0 +1,49 @@
+//! Shared helpers for operator unit tests.
+
+use cordoba_sim::channel::{Receiver, Recv};
+use cordoba_sim::{Step, Task, TaskCtx};
+use cordoba_storage::{Page, Value};
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// Drains a page stream, counting rows.
+pub(crate) struct CountingSink {
+    pub rx: Receiver<Arc<Page>>,
+    pub rows: Rc<Cell<usize>>,
+}
+
+impl Task for CountingSink {
+    fn step(&mut self, ctx: &mut TaskCtx<'_>) -> Step {
+        match self.rx.try_recv(ctx) {
+            Recv::Value(p) => {
+                self.rows.set(self.rows.get() + p.rows());
+                Step::yielded(1)
+            }
+            Recv::Empty => Step::blocked(0),
+            Recv::Closed => Step::done(0),
+        }
+    }
+}
+
+/// Drains a page stream, materializing every row.
+pub(crate) struct CollectingSink {
+    pub rx: Receiver<Arc<Page>>,
+    pub rows: Rc<RefCell<Vec<Vec<Value>>>>,
+}
+
+impl Task for CollectingSink {
+    fn step(&mut self, ctx: &mut TaskCtx<'_>) -> Step {
+        match self.rx.try_recv(ctx) {
+            Recv::Value(p) => {
+                let mut rows = self.rows.borrow_mut();
+                for t in p.tuples() {
+                    rows.push(t.to_values());
+                }
+                Step::yielded(1)
+            }
+            Recv::Empty => Step::blocked(0),
+            Recv::Closed => Step::done(0),
+        }
+    }
+}

@@ -1,0 +1,422 @@
+//! Spawns a physical plan into a simulator: one task per operator,
+//! bounded channels between them (unshared wiring — the engine crate
+//! layers packet merging and shared pivots on top of these pieces).
+
+use crate::cost::OpCost;
+use crate::ops::{
+    AggregateTask, Fanout, FilterTask, HashJoinTask, MergeJoinTask, NestedLoopJoinTask,
+    ProjectTask, ScanTask, SortTask,
+};
+use crate::plan::PhysicalPlan;
+use cordoba_sim::channel::{self, Receiver, Recv, Sender};
+use cordoba_sim::{Simulator, Spawner, Step, Task, TaskCtx, TaskId};
+use cordoba_storage::{Catalog, Page};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Wiring parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WiringConfig {
+    /// Channel capacity in pages between adjacent operators. Finite so
+    /// slow consumers throttle producers, as the model assumes.
+    pub queue_capacity: usize,
+}
+
+impl Default for WiringConfig {
+    fn default() -> Self {
+        Self { queue_capacity: 16 }
+    }
+}
+
+/// Tasks spawned for one plan, labeled `"{label}/{preorder}:{op}"`.
+/// Ids are `None` when spawned mid-run through a [`TaskCtx`].
+pub type SpawnedOps = Vec<(Option<TaskId>, String)>;
+
+/// Instantiates `plan`, delivering root output to every sender in
+/// `outs` (the root's `cost.out_per_tuple` is charged per consumer).
+/// [`PhysicalPlan::Source`] leaves consume receivers from `sources` in
+/// plan preorder.
+pub fn instantiate_into(
+    sim: &mut dyn Spawner,
+    catalog: &Catalog,
+    plan: &PhysicalPlan,
+    outs: Vec<Sender<Arc<Page>>>,
+    sources: &mut VecDeque<Receiver<Arc<Page>>>,
+    label: &str,
+    cfg: &WiringConfig,
+) -> SpawnedOps {
+    let mut spawned = Vec::new();
+    let mut preorder = 0usize;
+    wire(sim, catalog, plan, outs, sources, label, cfg, &mut preorder, &mut spawned);
+    spawned
+}
+
+/// Instantiates `plan` and returns the root output receiver plus the
+/// spawned operator tasks.
+pub fn instantiate(
+    sim: &mut Simulator,
+    catalog: &Catalog,
+    plan: &PhysicalPlan,
+    label: &str,
+    cfg: &WiringConfig,
+) -> (Receiver<Arc<Page>>, SpawnedOps) {
+    let (tx, rx) = channel::bounded(cfg.queue_capacity);
+    let mut sources = VecDeque::new();
+    let spawned = instantiate_into(sim, catalog, plan, vec![tx], &mut sources, label, cfg);
+    (rx, spawned)
+}
+
+/// Forwards pages from a receiver to a fan-out at zero private cost —
+/// used when a [`PhysicalPlan::Source`] is itself the plan root.
+struct RelayTask {
+    rx: Receiver<Arc<Page>>,
+    fanout: Fanout,
+}
+
+impl Task for RelayTask {
+    fn step(&mut self, ctx: &mut TaskCtx<'_>) -> Step {
+        let (mut cost, done) = self.fanout.pump(ctx);
+        if !done {
+            return Step::blocked(cost);
+        }
+        match self.rx.try_recv(ctx) {
+            Recv::Value(page) => {
+                ctx.add_progress(page.rows() as f64);
+                self.fanout.begin(page);
+                let (c, done) = self.fanout.pump(ctx);
+                cost += c;
+                if done {
+                    Step::yielded(cost.max(1))
+                } else {
+                    Step::blocked(cost)
+                }
+            }
+            Recv::Empty => Step::blocked(cost),
+            Recv::Closed => {
+                self.fanout.close(ctx);
+                Step::done(cost)
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn wire(
+    sim: &mut dyn Spawner,
+    catalog: &Catalog,
+    plan: &PhysicalPlan,
+    outs: Vec<Sender<Arc<Page>>>,
+    sources: &mut VecDeque<Receiver<Arc<Page>>>,
+    label: &str,
+    cfg: &WiringConfig,
+    preorder: &mut usize,
+    spawned: &mut SpawnedOps,
+) {
+    let my_idx = *preorder;
+    *preorder += 1;
+    let name = format!("{label}/{my_idx}:{}", plan.op_name());
+    // Child receivers are created before spawning this node so that
+    // Source receivers are consumed in preorder.
+    let child_input = |sim: &mut dyn Spawner,
+                           child: &PhysicalPlan,
+                           sources: &mut VecDeque<Receiver<Arc<Page>>>,
+                           preorder: &mut usize,
+                           spawned: &mut SpawnedOps|
+     -> Receiver<Arc<Page>> {
+        if let PhysicalPlan::Source { .. } = child {
+            *preorder += 1;
+            return sources
+                .pop_front()
+                .expect("a receiver per Source leaf, in preorder");
+        }
+        let (tx, rx) = channel::bounded(cfg.queue_capacity);
+        wire(sim, catalog, child, vec![tx], sources, label, cfg, preorder, spawned);
+        rx
+    };
+
+    match plan {
+        PhysicalPlan::Scan { table, cost } => {
+            let pages = catalog.expect(table).pages().to_vec();
+            let id = sim.spawn_task(
+                name.clone(),
+                Box::new(ScanTask::new(pages, *cost, Fanout::new(outs, cost.out_per_tuple))),
+            );
+            spawned.push((id, name));
+        }
+        PhysicalPlan::Source { .. } => {
+            // Source as root: relay external pages to the consumers.
+            let rx = sources
+                .pop_front()
+                .expect("a receiver per Source leaf, in preorder");
+            let id = sim.spawn_task(
+                name.clone(),
+                Box::new(RelayTask { rx, fanout: Fanout::new(outs, 0.0) }),
+            );
+            spawned.push((id, name));
+        }
+        PhysicalPlan::Filter { input, predicate, cost } => {
+            let schema = input.output_schema(catalog);
+            let rx = child_input(sim, input, sources, preorder, spawned);
+            let id = sim.spawn_task(
+                name.clone(),
+                Box::new(FilterTask::new(
+                    rx,
+                    schema,
+                    predicate.clone(),
+                    *cost,
+                    Fanout::new(outs, cost.out_per_tuple),
+                )),
+            );
+            spawned.push((id, name));
+        }
+        PhysicalPlan::Project { input, exprs, cost } => {
+            let out_schema = plan.output_schema(catalog);
+            let rx = child_input(sim, input, sources, preorder, spawned);
+            let id = sim.spawn_task(
+                name.clone(),
+                Box::new(ProjectTask::new(
+                    rx,
+                    out_schema,
+                    exprs.iter().map(|(_, e)| e.clone()).collect(),
+                    *cost,
+                    Fanout::new(outs, cost.out_per_tuple),
+                )),
+            );
+            spawned.push((id, name));
+        }
+        PhysicalPlan::Aggregate { input, group_by, aggs, cost } => {
+            let out_schema = plan.output_schema(catalog);
+            let rx = child_input(sim, input, sources, preorder, spawned);
+            let id = sim.spawn_task(
+                name.clone(),
+                Box::new(AggregateTask::new(
+                    rx,
+                    group_by.clone(),
+                    aggs.iter().map(|(_, a)| a.clone()).collect(),
+                    out_schema,
+                    *cost,
+                    Fanout::new(outs, cost.out_per_tuple),
+                )),
+            );
+            spawned.push((id, name));
+        }
+        PhysicalPlan::Sort { input, keys, cost } => {
+            let schema = input.output_schema(catalog);
+            let rx = child_input(sim, input, sources, preorder, spawned);
+            let id = sim.spawn_task(
+                name.clone(),
+                Box::new(SortTask::new(
+                    rx,
+                    schema,
+                    keys.clone(),
+                    *cost,
+                    Fanout::new(outs, cost.out_per_tuple),
+                )),
+            );
+            spawned.push((id, name));
+        }
+        PhysicalPlan::HashJoin {
+            build,
+            probe,
+            build_key,
+            probe_key,
+            kind,
+            build_cost,
+            probe_cost,
+        } => {
+            let build_schema = build.output_schema(catalog);
+            let out_schema = plan.output_schema(catalog);
+            let rx_build = child_input(sim, build, sources, preorder, spawned);
+            let rx_probe = child_input(sim, probe, sources, preorder, spawned);
+            let id = sim.spawn_task(
+                name.clone(),
+                Box::new(HashJoinTask::new(
+                    rx_build,
+                    rx_probe,
+                    *build_key,
+                    *probe_key,
+                    *kind,
+                    build_schema,
+                    out_schema,
+                    *build_cost,
+                    *probe_cost,
+                    Fanout::new(outs, probe_cost.out_per_tuple),
+                )),
+            );
+            spawned.push((id, name));
+        }
+        PhysicalPlan::NestedLoopJoin { outer, inner, predicate, cost } => {
+            let pair_schema = plan.output_schema(catalog);
+            let rx_outer = child_input(sim, outer, sources, preorder, spawned);
+            let rx_inner = child_input(sim, inner, sources, preorder, spawned);
+            let id = sim.spawn_task(
+                name.clone(),
+                Box::new(NestedLoopJoinTask::new(
+                    rx_outer,
+                    rx_inner,
+                    predicate.clone(),
+                    pair_schema,
+                    *cost,
+                    Fanout::new(outs, cost.out_per_tuple),
+                )),
+            );
+            spawned.push((id, name));
+        }
+        PhysicalPlan::MergeJoin { left, right, left_key, right_key, cost } => {
+            let out_schema = plan.output_schema(catalog);
+            let rx_left = child_input(sim, left, sources, preorder, spawned);
+            let rx_right = child_input(sim, right, sources, preorder, spawned);
+            let id = sim.spawn_task(
+                name.clone(),
+                Box::new(MergeJoinTask::new(
+                    rx_left,
+                    rx_right,
+                    *left_key,
+                    *right_key,
+                    out_schema,
+                    *cost,
+                    Fanout::new(outs, cost.out_per_tuple),
+                )),
+            );
+            spawned.push((id, name));
+        }
+    }
+}
+
+/// Collects all pages from a receiver synchronously after a run, via a
+/// collecting sink — convenience for tests and harnesses.
+pub fn run_and_collect(
+    sim: &mut Simulator,
+    rx: Receiver<Arc<Page>>,
+    sink_cost: OpCost,
+) -> Vec<Vec<cordoba_storage::Value>> {
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    let buf = Rc::new(RefCell::new(Vec::new()));
+    sim.spawn(
+        "collector",
+        Box::new(crate::ops::SinkTask::new(rx, sink_cost).collecting(buf.clone())),
+    );
+    let outcome = sim.run_to_idle();
+    assert!(outcome.completed_all(), "query did not complete: {outcome:?}");
+    let pages = buf.borrow();
+    pages
+        .iter()
+        .flat_map(|p| p.tuples().map(|t| t.to_values()).collect::<Vec<_>>())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{Agg, CmpOp, Predicate, ScalarExpr};
+    use cordoba_storage::{DataType, Field, Schema, TableBuilder, Value};
+
+    fn catalog() -> Catalog {
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Int),
+            Field::new("v", DataType::Float),
+        ]);
+        let mut b = TableBuilder::new("t", schema);
+        for i in 0..100 {
+            b.push_row(&[Value::Int(i), Value::Float(i as f64)]);
+        }
+        let mut c = Catalog::new();
+        c.register(b.finish());
+        c
+    }
+
+    #[test]
+    fn scan_filter_agg_pipeline_end_to_end() {
+        let cat = catalog();
+        let plan = PhysicalPlan::Aggregate {
+            input: Box::new(PhysicalPlan::Filter {
+                input: Box::new(PhysicalPlan::Scan { table: "t".into(), cost: OpCost::default() }),
+                predicate: Predicate::col_cmp(0, CmpOp::Lt, 10i64),
+                cost: OpCost::default(),
+            }),
+            group_by: vec![],
+            aggs: vec![
+                ("n".into(), Agg::Count),
+                ("sum".into(), Agg::Sum(ScalarExpr::col(1))),
+            ],
+            cost: OpCost::default(),
+        };
+        let mut sim = Simulator::new(2);
+        let (rx, spawned) = instantiate(&mut sim, &cat, &plan, "q0", &WiringConfig::default());
+        assert_eq!(spawned.len(), 3);
+        assert!(spawned.iter().any(|(_, n)| n == "q0/0:aggregate"));
+        assert!(spawned.iter().any(|(_, n)| n == "q0/1:filter"));
+        assert!(spawned.iter().any(|(_, n)| n == "q0/2:scan(t)"));
+        let rows = run_and_collect(&mut sim, rx, OpCost::default());
+        assert_eq!(rows, vec![vec![Value::Int(10), Value::Float(45.0)]]);
+    }
+
+    #[test]
+    fn source_substitution_grafts_external_pages() {
+        // A fragment `agg(source)` fed by a manually wired scan.
+        let cat = catalog();
+        let schema = cat.expect("t").schema().clone();
+        let fragment = PhysicalPlan::Aggregate {
+            input: Box::new(PhysicalPlan::Source {
+                schema: crate::plan::SchemaRef(schema),
+            }),
+            group_by: vec![],
+            aggs: vec![("n".into(), Agg::Count)],
+            cost: OpCost::default(),
+        };
+        let mut sim = Simulator::new(2);
+        let (scan_tx, scan_rx) = channel::bounded(8);
+        sim.spawn(
+            "ext-scan",
+            Box::new(ScanTask::new(
+                cat.expect("t").pages().to_vec(),
+                OpCost::default(),
+                Fanout::new(vec![scan_tx], 0.0),
+            )),
+        );
+        let (out_tx, out_rx) = channel::bounded(8);
+        let mut sources = VecDeque::from([scan_rx]);
+        instantiate_into(
+            &mut sim,
+            &cat,
+            &fragment,
+            vec![out_tx],
+            &mut sources,
+            "frag",
+            &WiringConfig::default(),
+        );
+        let rows = run_and_collect(&mut sim, out_rx, OpCost::default());
+        assert_eq!(rows, vec![vec![Value::Int(100)]]);
+    }
+
+    #[test]
+    fn bare_source_root_relays() {
+        let cat = catalog();
+        let schema = cat.expect("t").schema().clone();
+        let fragment = PhysicalPlan::Source { schema: crate::plan::SchemaRef(schema) };
+        let mut sim = Simulator::new(1);
+        let (scan_tx, scan_rx) = channel::bounded(4);
+        sim.spawn(
+            "ext-scan",
+            Box::new(ScanTask::new(
+                cat.expect("t").pages().to_vec(),
+                OpCost::default(),
+                Fanout::new(vec![scan_tx], 0.0),
+            )),
+        );
+        let (out_tx, out_rx) = channel::bounded(4);
+        let mut sources = VecDeque::from([scan_rx]);
+        instantiate_into(
+            &mut sim,
+            &cat,
+            &fragment,
+            vec![out_tx],
+            &mut sources,
+            "relay",
+            &WiringConfig::default(),
+        );
+        let rows = run_and_collect(&mut sim, out_rx, OpCost::default());
+        assert_eq!(rows.len(), 100);
+    }
+}

@@ -1,0 +1,83 @@
+//! Accounting: per-task active time & forward progress, machine
+//! utilization. These measurements feed the model's parameter
+//! estimation (paper Section 3.1) and the utilization arguments of
+//! Section 6.
+
+use crate::VTime;
+use serde::{Deserialize, Serialize};
+
+/// Statistics for one task.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct TaskStats {
+    /// Total virtual time the task spent executing steps (busy time).
+    pub active: VTime,
+    /// Number of steps executed.
+    pub steps: u64,
+    /// Accumulated forward progress reported via
+    /// [`crate::TaskCtx::add_progress`].
+    pub progress: f64,
+    /// Virtual completion time, if the task finished.
+    pub completed_at: Option<VTime>,
+}
+
+impl TaskStats {
+    /// Active time per unit of forward progress — the empirical `p` of
+    /// the model (active/progress), or `None` if no progress was made.
+    pub fn p_estimate(&self) -> Option<f64> {
+        (self.progress > 0.0).then(|| self.active as f64 / self.progress)
+    }
+}
+
+/// Machine-level statistics for a run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Virtual time at the end of the run.
+    pub makespan: VTime,
+    /// Number of contexts simulated.
+    pub contexts: usize,
+    /// Busy time per context.
+    pub busy: Vec<VTime>,
+}
+
+impl SimStats {
+    /// Fraction of total context-time spent busy, in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        if self.makespan == 0 {
+            return 0.0;
+        }
+        let busy: u128 = self.busy.iter().map(|&b| b as u128).sum();
+        busy as f64 / (self.makespan as u128 * self.contexts as u128) as f64
+    }
+
+    /// Average number of busy contexts over the run (utilization × n) —
+    /// directly comparable to the model's `u`.
+    pub fn mean_busy_contexts(&self) -> f64 {
+        self.utilization() * self.contexts as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p_estimate_divides_active_by_progress() {
+        let s = TaskStats { active: 200, steps: 10, progress: 10.0, completed_at: None };
+        assert_eq!(s.p_estimate(), Some(20.0));
+        let none = TaskStats::default();
+        assert_eq!(none.p_estimate(), None);
+    }
+
+    #[test]
+    fn utilization_bounds() {
+        let s = SimStats { makespan: 100, contexts: 2, busy: vec![100, 50] };
+        assert!((s.utilization() - 0.75).abs() < 1e-12);
+        assert!((s.mean_busy_contexts() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_run_has_zero_utilization() {
+        let s = SimStats { makespan: 0, contexts: 4, busy: vec![0; 4] };
+        assert_eq!(s.utilization(), 0.0);
+    }
+}

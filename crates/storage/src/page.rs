@@ -1,0 +1,421 @@
+//! Fixed-width row pages (default 4 KiB), the unit of data flow in the
+//! engine: operators consume and produce whole pages, which the paper's
+//! Section 3.2 credits with better instruction/data locality and lower
+//! producer-consumer synchronization cost.
+
+use crate::schema::{DataType, Schema};
+use crate::value::Value;
+use crate::Date;
+use std::sync::Arc;
+
+/// Default page size in bytes, as in the paper ("typical size of 4K").
+pub const PAGE_SIZE: usize = 4096;
+
+/// An immutable page of fixed-width rows.
+#[derive(Debug, Clone)]
+pub struct Page {
+    schema: Arc<Schema>,
+    data: Box<[u8]>,
+    rows: usize,
+}
+
+impl Page {
+    /// The page's schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Number of rows stored.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Whether the page holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// A cursor over row `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= self.rows()`.
+    pub fn tuple(&self, row: usize) -> TupleRef<'_> {
+        assert!(row < self.rows, "row {row} out of range ({} rows)", self.rows);
+        TupleRef { page: self, base: row * self.schema.row_width() }
+    }
+
+    /// Iterates over all tuples in the page.
+    pub fn tuples(&self) -> impl Iterator<Item = TupleRef<'_>> {
+        (0..self.rows).map(move |r| self.tuple(r))
+    }
+
+    /// Payload bytes in use (diagnostics / memory accounting).
+    pub fn byte_len(&self) -> usize {
+        self.rows * self.schema.row_width()
+    }
+}
+
+/// Borrowed view of one row, with typed O(1) field accessors.
+#[derive(Debug, Clone, Copy)]
+pub struct TupleRef<'a> {
+    page: &'a Page,
+    base: usize,
+}
+
+impl<'a> TupleRef<'a> {
+    /// Schema of the underlying page.
+    #[inline]
+    pub fn schema(&self) -> &'a Arc<Schema> {
+        &self.page.schema
+    }
+
+    #[inline]
+    fn field_slice(&self, idx: usize) -> &'a [u8] {
+        let schema = &self.page.schema;
+        let off = self.base + schema.offset(idx);
+        &self.page.data[off..off + schema.fields()[idx].dtype.width()]
+    }
+
+    /// Reads an `Int` field.
+    #[inline]
+    pub fn get_int(&self, idx: usize) -> i64 {
+        debug_assert_eq!(self.page.schema.fields()[idx].dtype, DataType::Int);
+        i64::from_le_bytes(self.field_slice(idx).try_into().expect("8 bytes"))
+    }
+
+    /// Reads a `Float` field.
+    #[inline]
+    pub fn get_float(&self, idx: usize) -> f64 {
+        debug_assert_eq!(self.page.schema.fields()[idx].dtype, DataType::Float);
+        f64::from_le_bytes(self.field_slice(idx).try_into().expect("8 bytes"))
+    }
+
+    /// Reads a `Date` field.
+    #[inline]
+    pub fn get_date(&self, idx: usize) -> Date {
+        debug_assert_eq!(self.page.schema.fields()[idx].dtype, DataType::Date);
+        Date(i32::from_le_bytes(self.field_slice(idx).try_into().expect("4 bytes")))
+    }
+
+    /// Reads a `Str` field, trimming the space padding.
+    #[inline]
+    pub fn get_str(&self, idx: usize) -> &'a str {
+        let raw = self.field_slice(idx);
+        let s = std::str::from_utf8(raw).expect("pages store only ASCII strings");
+        s.trim_end_matches(' ')
+    }
+
+    /// Reads any field as a dynamically-typed [`Value`].
+    pub fn get_value(&self, idx: usize) -> Value {
+        match self.page.schema.fields()[idx].dtype {
+            DataType::Int => Value::Int(self.get_int(idx)),
+            DataType::Float => Value::Float(self.get_float(idx)),
+            DataType::Date => Value::Date(self.get_date(idx)),
+            DataType::Str(_) => Value::Str(self.get_str(idx).to_string()),
+        }
+    }
+
+    /// Materializes the whole row (tests / result collection).
+    pub fn to_values(&self) -> Vec<Value> {
+        (0..self.page.schema.len()).map(|i| self.get_value(i)).collect()
+    }
+
+    /// This row's raw encoded bytes (exactly `row_width` long). Rows of
+    /// layout-compatible schemas can be concatenated byte-wise, which is
+    /// how joins assemble output rows without per-field decoding.
+    #[inline]
+    pub fn raw(&self) -> &'a [u8] {
+        &self.page.data[self.base..self.base + self.page.schema.row_width()]
+    }
+
+    /// Copies this row's raw bytes into a builder with the same schema.
+    /// Cheap row forwarding for filters and fan-out operators.
+    pub fn copy_into(&self, builder: &mut PageBuilder) -> bool {
+        debug_assert_eq!(
+            self.page.schema().row_width(),
+            builder.schema.row_width(),
+            "copy_into requires layout-compatible schemas"
+        );
+        let width = self.page.schema.row_width();
+        builder.push_raw(&self.page.data[self.base..self.base + width])
+    }
+}
+
+/// Mutable page under construction.
+#[derive(Debug)]
+pub struct PageBuilder {
+    schema: Arc<Schema>,
+    data: Vec<u8>,
+    rows: usize,
+    capacity_rows: usize,
+}
+
+impl PageBuilder {
+    /// Creates a builder for a page of the default [`PAGE_SIZE`].
+    pub fn new(schema: Arc<Schema>) -> Self {
+        Self::with_page_size(schema, PAGE_SIZE)
+    }
+
+    /// Creates a builder for a custom page size (the page-size ablation
+    /// bench uses 1 KiB – 64 KiB).
+    ///
+    /// # Panics
+    ///
+    /// Panics if even one row does not fit.
+    pub fn with_page_size(schema: Arc<Schema>, page_size: usize) -> Self {
+        let capacity_rows = page_size / schema.row_width();
+        assert!(
+            capacity_rows > 0,
+            "row width {} exceeds page size {page_size}",
+            schema.row_width()
+        );
+        Self { data: Vec::with_capacity(capacity_rows * schema.row_width()), schema, rows: 0, capacity_rows }
+    }
+
+    /// Rows that still fit.
+    pub fn remaining(&self) -> usize {
+        self.capacity_rows - self.rows
+    }
+
+    /// Whether the page is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.rows == self.capacity_rows
+    }
+
+    /// Rows currently buffered.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Whether no rows are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Maximum rows per page for this schema/page size.
+    pub fn capacity(&self) -> usize {
+        self.capacity_rows
+    }
+
+    /// Appends a row of values. Returns `false` (without writing) if the
+    /// page is full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the values do not match the schema (arity or types) or
+    /// a string exceeds its field width.
+    pub fn push_row(&mut self, values: &[Value]) -> bool {
+        assert_eq!(values.len(), self.schema.len(), "arity mismatch");
+        if self.is_full() {
+            return false;
+        }
+        for (i, v) in values.iter().enumerate() {
+            let dtype = self.schema.fields()[i].dtype;
+            match (dtype, v) {
+                (DataType::Int, Value::Int(x)) => self.data.extend_from_slice(&x.to_le_bytes()),
+                (DataType::Float, Value::Float(x)) => self.data.extend_from_slice(&x.to_le_bytes()),
+                (DataType::Date, Value::Date(d)) => self.data.extend_from_slice(&d.0.to_le_bytes()),
+                (DataType::Str(n), Value::Str(s)) => {
+                    assert!(
+                        s.len() <= n && s.is_ascii(),
+                        "string '{s}' does not fit ASCII field of width {n}"
+                    );
+                    self.data.extend_from_slice(s.as_bytes());
+                    self.data.extend(std::iter::repeat_n(b' ', n - s.len()));
+                }
+                (dt, v) => panic!(
+                    "type mismatch at field {i} ('{}'): schema {dt:?}, value {v:?}",
+                    self.schema.fields()[i].name
+                ),
+            }
+        }
+        self.rows += 1;
+        true
+    }
+
+    /// Appends a pre-encoded row. Returns `false` if full.
+    pub fn push_raw(&mut self, row: &[u8]) -> bool {
+        debug_assert_eq!(row.len(), self.schema.row_width());
+        if self.is_full() {
+            return false;
+        }
+        self.data.extend_from_slice(row);
+        self.rows += 1;
+        true
+    }
+
+    /// Freezes the builder into an immutable, shareable page.
+    pub fn finish(self) -> Arc<Page> {
+        Arc::new(Page { schema: self.schema, data: self.data.into_boxed_slice(), rows: self.rows })
+    }
+
+    /// Freezes and resets, keeping the builder usable — the streaming
+    /// operators' workhorse.
+    pub fn finish_and_reset(&mut self) -> Arc<Page> {
+        let data = std::mem::take(&mut self.data).into_boxed_slice();
+        let page = Arc::new(Page { schema: self.schema.clone(), data, rows: self.rows });
+        self.rows = 0;
+        self.data = Vec::with_capacity(self.capacity_rows * self.schema.row_width());
+        page
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Field;
+
+    fn schema() -> Arc<Schema> {
+        Schema::new(vec![
+            Field::new("k", DataType::Int),
+            Field::new("p", DataType::Float),
+            Field::new("d", DataType::Date),
+            Field::new("s", DataType::Str(6)),
+        ])
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut b = PageBuilder::new(schema());
+        assert!(b.push_row(&[
+            Value::Int(42),
+            Value::Float(1.25),
+            Value::Date(Date::from_ymd(1994, 1, 1)),
+            Value::Str("RAIL".into()),
+        ]));
+        let page = b.finish();
+        assert_eq!(page.rows(), 1);
+        let t = page.tuple(0);
+        assert_eq!(t.get_int(0), 42);
+        assert_eq!(t.get_float(1), 1.25);
+        assert_eq!(t.get_date(2), Date::from_ymd(1994, 1, 1));
+        assert_eq!(t.get_str(3), "RAIL");
+    }
+
+    #[test]
+    fn capacity_matches_page_size() {
+        let s = schema(); // row width = 8+8+4+6 = 26
+        let b = PageBuilder::new(s.clone());
+        assert_eq!(b.capacity(), PAGE_SIZE / 26);
+        let small = PageBuilder::with_page_size(s, 52);
+        assert_eq!(small.capacity(), 2);
+    }
+
+    #[test]
+    fn full_page_rejects_rows() {
+        let mut b = PageBuilder::with_page_size(schema(), 26);
+        let row = [
+            Value::Int(1),
+            Value::Float(0.0),
+            Value::Date(Date(0)),
+            Value::Str("".into()),
+        ];
+        assert!(b.push_row(&row));
+        assert!(b.is_full());
+        assert!(!b.push_row(&row));
+        assert_eq!(b.finish().rows(), 1);
+    }
+
+    #[test]
+    fn finish_and_reset_streams_pages() {
+        let mut b = PageBuilder::with_page_size(schema(), 52);
+        let row = [
+            Value::Int(9),
+            Value::Float(1.0),
+            Value::Date(Date(100)),
+            Value::Str("AIR".into()),
+        ];
+        b.push_row(&row);
+        b.push_row(&row);
+        let p1 = b.finish_and_reset();
+        assert_eq!(p1.rows(), 2);
+        assert!(b.is_empty());
+        b.push_row(&row);
+        let p2 = b.finish_and_reset();
+        assert_eq!(p2.rows(), 1);
+        assert_eq!(p2.tuple(0).get_str(3), "AIR");
+    }
+
+    #[test]
+    fn copy_into_preserves_bytes() {
+        let mut b = PageBuilder::new(schema());
+        b.push_row(&[
+            Value::Int(7),
+            Value::Float(3.5),
+            Value::Date(Date(8035)),
+            Value::Str("TRUCK".into()),
+        ]);
+        let page = b.finish();
+        let mut b2 = PageBuilder::new(page.schema().clone());
+        assert!(page.tuple(0).copy_into(&mut b2));
+        let copy = b2.finish();
+        assert_eq!(copy.tuple(0).to_values(), page.tuple(0).to_values());
+    }
+
+    #[test]
+    fn get_value_and_to_values() {
+        let mut b = PageBuilder::new(schema());
+        b.push_row(&[
+            Value::Int(1),
+            Value::Float(2.0),
+            Value::Date(Date(3)),
+            Value::Str("x".into()),
+        ]);
+        let page = b.finish();
+        let vals = page.tuple(0).to_values();
+        assert_eq!(
+            vals,
+            vec![Value::Int(1), Value::Float(2.0), Value::Date(Date(3)), Value::Str("x".into())]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn type_mismatch_panics() {
+        let mut b = PageBuilder::new(schema());
+        b.push_row(&[
+            Value::Float(1.0),
+            Value::Float(2.0),
+            Value::Date(Date(3)),
+            Value::Str("x".into()),
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_string_panics() {
+        let mut b = PageBuilder::new(schema());
+        b.push_row(&[
+            Value::Int(1),
+            Value::Float(2.0),
+            Value::Date(Date(3)),
+            Value::Str("toolongstring".into()),
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn tuple_out_of_range_panics() {
+        let b = PageBuilder::new(schema());
+        let page = b.finish();
+        let _ = page.tuple(0);
+    }
+
+    #[test]
+    fn tuples_iterator_counts() {
+        let mut b = PageBuilder::new(schema());
+        for i in 0..5 {
+            b.push_row(&[
+                Value::Int(i),
+                Value::Float(0.0),
+                Value::Date(Date(0)),
+                Value::Str("".into()),
+            ]);
+        }
+        let page = b.finish();
+        let keys: Vec<i64> = page.tuples().map(|t| t.get_int(0)).collect();
+        assert_eq!(keys, vec![0, 1, 2, 3, 4]);
+        assert_eq!(page.byte_len(), 5 * 26);
+    }
+}

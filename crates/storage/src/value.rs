@@ -1,0 +1,124 @@
+//! Dynamically-typed cell values, used at tuple-construction and
+//! expression-evaluation boundaries.
+
+use crate::date::Date;
+use std::fmt;
+
+/// A single cell value.
+///
+/// Hot paths (scans, predicates) use the typed accessors on
+/// [`crate::TupleRef`] instead and never materialize `Value`s; this enum
+/// exists for row construction, test assertions and query results.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// 64-bit signed integer (keys, counts).
+    Int(i64),
+    /// 64-bit float (prices, discounts; TPC-H decimals are modeled as
+    /// binary floats — fine for the relative-throughput experiments).
+    Float(f64),
+    /// Calendar date.
+    Date(Date),
+    /// Fixed-width string (space-padded in storage, trimmed on read).
+    Str(String),
+}
+
+impl Value {
+    /// Integer value, or `None` for other variants.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Float value, or `None` for other variants.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Date value, or `None` for other variants.
+    pub fn as_date(&self) -> Option<Date> {
+        match self {
+            Value::Date(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// String value, or `None` for other variants.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v:.4}"),
+            Value::Date(v) => write!(f, "{v}"),
+            Value::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<Date> for Value {
+    fn from(v: Date) -> Self {
+        Value::Date(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_match_variants() {
+        assert_eq!(Value::Int(7).as_int(), Some(7));
+        assert_eq!(Value::Int(7).as_float(), None);
+        assert_eq!(Value::Float(1.5).as_float(), Some(1.5));
+        assert_eq!(Value::Str("x".into()).as_str(), Some("x"));
+        let d = Date::from_ymd(1994, 1, 1);
+        assert_eq!(Value::Date(d).as_date(), Some(d));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Int(42).to_string(), "42");
+        assert_eq!(Value::Float(0.05).to_string(), "0.0500");
+        assert_eq!(Value::Str("hi".into()).to_string(), "hi");
+        assert_eq!(Value::Date(Date::from_ymd(1998, 12, 1)).to_string(), "1998-12-01");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from(2.5f64), Value::Float(2.5));
+        assert_eq!(Value::from("a"), Value::Str("a".into()));
+    }
+}

@@ -1,0 +1,67 @@
+//! Client mixes for the policy comparison (paper Section 8.2 /
+//! Figure 6): a configurable Q1/Q4 blend.
+
+use crate::costs::CostProfile;
+use crate::queries::{q1, q4};
+use cordoba_engine::QuerySpec;
+
+/// Builds `clients` client specs where `q4_fraction` of the clients
+/// (rounded) submit Q4 and the rest submit Q1, interleaved so the mix is
+/// uniform over client indices.
+///
+/// # Panics
+///
+/// Panics unless `0.0 <= q4_fraction <= 1.0`.
+pub fn q1_q4_mix(costs: &CostProfile, clients: usize, q4_fraction: f64) -> Vec<QuerySpec> {
+    assert!((0.0..=1.0).contains(&q4_fraction), "fraction must be in [0, 1]");
+    let q1 = q1(costs);
+    let q4 = q4(costs);
+    let n_q4 = (clients as f64 * q4_fraction).round() as usize;
+    // Evenly interleave using an error accumulator (Bresenham) so
+    // arrival order doesn't cluster one query type.
+    let mut out = Vec::with_capacity(clients);
+    let mut acc = 0usize;
+    for i in 0..clients {
+        let want_q4_by_now = ((i + 1) * n_q4) / clients.max(1);
+        if want_q4_by_now > acc {
+            out.push(q4.clone());
+            acc += 1;
+        } else {
+            out.push(q1.clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn count_q4(specs: &[QuerySpec]) -> usize {
+        specs.iter().filter(|s| s.name == "q4").count()
+    }
+
+    #[test]
+    fn fractions_round_to_client_counts() {
+        let costs = CostProfile::paper();
+        assert_eq!(count_q4(&q1_q4_mix(&costs, 20, 0.0)), 0);
+        assert_eq!(count_q4(&q1_q4_mix(&costs, 20, 0.25)), 5);
+        assert_eq!(count_q4(&q1_q4_mix(&costs, 20, 0.5)), 10);
+        assert_eq!(count_q4(&q1_q4_mix(&costs, 20, 1.0)), 20);
+        assert_eq!(q1_q4_mix(&costs, 20, 0.75).len(), 20);
+    }
+
+    #[test]
+    fn mix_is_interleaved_not_clustered() {
+        let costs = CostProfile::paper();
+        let mix = q1_q4_mix(&costs, 8, 0.5);
+        let names: Vec<&str> = mix.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["q1", "q4", "q1", "q4", "q1", "q4", "q1", "q4"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn out_of_range_fraction_rejected() {
+        q1_q4_mix(&CostProfile::paper(), 4, 1.5);
+    }
+}

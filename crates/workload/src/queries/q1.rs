@@ -1,0 +1,131 @@
+//! TPC-H Q1 — pricing summary report (scan-heavy).
+//!
+//! ```sql
+//! SELECT l_returnflag, l_linestatus,
+//!        sum(l_quantity), sum(l_extendedprice),
+//!        sum(l_extendedprice*(1-l_discount)),
+//!        sum(l_extendedprice*(1-l_discount)*(1+l_tax)),
+//!        avg(l_quantity), avg(l_extendedprice), avg(l_discount),
+//!        count(*)
+//! FROM lineitem
+//! WHERE l_shipdate <= date '1998-12-01' - interval '90' day
+//! GROUP BY l_returnflag, l_linestatus
+//! ```
+
+use super::li;
+use super::q6::lineitem_scan;
+use crate::costs::CostProfile;
+use cordoba_engine::QuerySpec;
+use cordoba_exec::expr::{Agg, CmpOp, Predicate, ScalarExpr};
+use cordoba_exec::PhysicalPlan;
+use cordoba_storage::Date;
+
+fn col(i: usize) -> ScalarExpr {
+    ScalarExpr::Col(i)
+}
+
+fn disc_price() -> ScalarExpr {
+    // l_extendedprice * (1 - l_discount)
+    ScalarExpr::Mul(
+        Box::new(col(li::EXTENDEDPRICE)),
+        Box::new(ScalarExpr::Sub(
+            Box::new(ScalarExpr::FloatLit(1.0)),
+            Box::new(col(li::DISCOUNT)),
+        )),
+    )
+}
+
+fn charge() -> ScalarExpr {
+    // disc_price * (1 + l_tax)
+    ScalarExpr::Mul(
+        Box::new(disc_price()),
+        Box::new(ScalarExpr::Add(
+            Box::new(ScalarExpr::FloatLit(1.0)),
+            Box::new(col(li::TAX)),
+        )),
+    )
+}
+
+/// Builds Q1. Shares at the same `lineitem` scan as Q6 (so the engine
+/// can merge Q1 and Q6 into one scan group).
+pub fn q1(costs: &CostProfile) -> QuerySpec {
+    let scan = lineitem_scan(costs);
+    let cutoff = Date::from_ymd(1998, 12, 1).plus_days(-90);
+    let plan = PhysicalPlan::Aggregate {
+        input: Box::new(PhysicalPlan::Filter {
+            input: Box::new(scan.clone()),
+            predicate: Predicate::col_cmp(li::SHIPDATE, CmpOp::Le, cutoff),
+            cost: costs.filter,
+        }),
+        group_by: vec![li::RETURNFLAG, li::LINESTATUS],
+        aggs: vec![
+            ("sum_qty".into(), Agg::Sum(col(li::QUANTITY))),
+            ("sum_base_price".into(), Agg::Sum(col(li::EXTENDEDPRICE))),
+            ("sum_disc_price".into(), Agg::Sum(disc_price())),
+            ("sum_charge".into(), Agg::Sum(charge())),
+            ("avg_qty".into(), Agg::Avg(col(li::QUANTITY))),
+            ("avg_price".into(), Agg::Avg(col(li::EXTENDEDPRICE))),
+            ("avg_disc".into(), Agg::Avg(col(li::DISCOUNT))),
+            ("count_order".into(), Agg::Count),
+        ],
+        cost: costs.heavy_aggregate,
+    };
+    QuerySpec::shared_at("q1", plan, scan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cordoba_exec::reference;
+    use cordoba_storage::tpch::{generate, TpchConfig};
+    use cordoba_storage::Value;
+
+    #[test]
+    fn q1_matches_naive_computation() {
+        let catalog = generate(&TpchConfig { scale_factor: 0.002, seed: 5, ..TpchConfig::default() });
+        let got = reference::execute(&catalog, &q1(&CostProfile::paper()).plan);
+        let want = crate::naive::q1(&catalog);
+        assert_eq!(got.len(), want.len(), "group count");
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g[0], Value::Str(w.returnflag.clone()));
+            assert_eq!(g[1], Value::Str(w.linestatus.clone()));
+            let close = |got: &Value, want: f64| {
+                let got = got.as_float().unwrap();
+                assert!(
+                    (got - want).abs() < 1e-6 * want.abs().max(1.0),
+                    "got {got}, want {want}"
+                );
+            };
+            close(&g[2], w.sum_qty);
+            close(&g[3], w.sum_base_price);
+            close(&g[4], w.sum_disc_price);
+            close(&g[5], w.sum_charge);
+            close(&g[6], w.avg_qty);
+            close(&g[7], w.avg_price);
+            close(&g[8], w.avg_disc);
+            assert_eq!(g[9], Value::Int(w.count));
+        }
+    }
+
+    #[test]
+    fn q1_produces_all_flag_status_groups() {
+        // TPC-H Q1 famously yields 4 groups (AF, NF, NO, RF); NO is
+        // excluded here only if the 90-day cutoff filters all 'O' rows,
+        // which it does not.
+        let catalog = generate(&TpchConfig { scale_factor: 0.002, seed: 5, ..TpchConfig::default() });
+        let got = reference::execute(&catalog, &q1(&CostProfile::paper()).plan);
+        let groups: Vec<(String, String)> = got
+            .iter()
+            .map(|r| {
+                (
+                    r[0].as_str().unwrap().to_string(),
+                    r[1].as_str().unwrap().to_string(),
+                )
+            })
+            .collect();
+        assert!(groups.contains(&("A".into(), "F".into())));
+        assert!(groups.contains(&("N".into(), "O".into())));
+        assert!(groups.contains(&("R".into(), "F".into())));
+        assert_eq!(groups.len(), 4);
+    }
+}

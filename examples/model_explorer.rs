@@ -1,0 +1,64 @@
+//! Interactive model explorer: evaluate the work-sharing trade-off for
+//! an arbitrary three-stage query from the command line — no database,
+//! no simulation, just the paper's equations.
+//!
+//! Usage:
+//!   cargo run --release --example model_explorer -- \
+//!       [below_p] [pivot_w] [pivot_s] [above_p]
+//!
+//! Defaults reproduce the paper's Section 6 baseline (10 / 6 / 1 / 10).
+
+use cordoba::model::sharing::SharingEvaluator;
+use cordoba::model::{OperatorSpec, PlanSpec, QueryModel};
+
+fn arg(n: usize, default: f64) -> f64 {
+    std::env::args()
+        .nth(n)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let below_p = arg(1, 10.0);
+    let pivot_w = arg(2, 6.0);
+    let pivot_s = arg(3, 1.0);
+    let above_p = arg(4, 10.0);
+
+    let mut b = PlanSpec::new();
+    let bottom = b.add_leaf(OperatorSpec::new("below", vec![below_p], vec![]));
+    let pivot = b.add_node(OperatorSpec::new("pivot", vec![pivot_w], vec![pivot_s]), vec![bottom]);
+    let top = b.add_node(OperatorSpec::new("above", vec![above_p], vec![]), vec![pivot]);
+    let plan = b.finish(top).expect("valid pipeline");
+
+    let q = QueryModel::new(&plan);
+    println!("query: below p={below_p}, pivot w={pivot_w} s={pivot_s}, above p={above_p}");
+    println!(
+        "p_max = {:.2}, u' = {:.2}, peak utilization u = {:.2} processors\n",
+        q.p_max(),
+        q.total_work(),
+        q.peak_utilization()
+    );
+
+    let eliminated =
+        (below_p + pivot_w) / (below_p + pivot_w + pivot_s + above_p);
+    println!("sharing eliminates {:.0}% of each query's work, but serializes", eliminated * 100.0);
+    println!("s = {pivot_s} per consumer at the pivot. Z(m, n) = x_shared / x_unshared:\n");
+
+    let ms = [2usize, 4, 8, 16, 32, 48];
+    let ns = [1usize, 2, 4, 8, 16, 32];
+    print!("{:>8}", "m \\ n");
+    for n in ns {
+        print!("{n:>8}");
+    }
+    println!();
+    for m in ms {
+        print!("{m:>8}");
+        let ev = SharingEvaluator::homogeneous(&plan, pivot, m).expect("valid group");
+        for n in ns {
+            print!("{:>8.2}", ev.speedup(n as f64));
+        }
+        println!();
+    }
+    println!("\nZ > 1: share.  Z < 1: the serialization at the pivot outweighs the");
+    println!("eliminated work — run the queries independently instead.");
+}

@@ -1,0 +1,51 @@
+//! Share advisor: profiles the four TPC-H queries and prints a
+//! share/don't-share decision matrix over machine sizes and client
+//! counts — the model applied exactly as a DBMS would at runtime.
+//!
+//! Run with: `cargo run --release --example share_advisor`
+
+use cordoba::engine::profiling::profile_query;
+use cordoba::engine::EngineConfig;
+use cordoba::model::sharing::SharingEvaluator;
+use cordoba::storage::tpch::{generate, TpchConfig};
+use cordoba::workload::queries::all;
+use cordoba::workload::CostProfile;
+
+fn main() {
+    let catalog = generate(&TpchConfig::scale(0.002));
+    let contexts = [1usize, 2, 8, 32];
+    let clients = [2usize, 8, 32];
+
+    println!("Share/don't-share decision matrix (model-guided, profiled parameters)\n");
+    for spec in all(&CostProfile::paper()) {
+        let (info, report) = profile_query(&catalog, &spec, &EngineConfig::default())
+            .expect("profiling succeeds");
+        println!(
+            "== {} ==  pivot w = {:.2}, s = {:.2}",
+            spec.name, report.pivot_w, report.pivot_s
+        );
+        print!("{:>12}", "m \\ n");
+        for n in contexts {
+            print!("{n:>8}");
+        }
+        println!();
+        for m in clients {
+            print!("{m:>12}");
+            for n in contexts {
+                let z = SharingEvaluator::homogeneous(&info.plan, info.pivot, m)
+                    .unwrap()
+                    .speedup(n as f64);
+                let verdict = if z > 1.0 + 1e-9 {
+                    format!("+{z:.2}")
+                } else if z < 1.0 - 1e-9 {
+                    format!("-{z:.2}")
+                } else {
+                    "=1.00".to_string()
+                };
+                print!("{verdict:>8}");
+            }
+            println!();
+        }
+        println!("  (+Z share, -Z don't, =1 indifferent)\n");
+    }
+}
