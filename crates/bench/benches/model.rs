@@ -3,10 +3,10 @@
 //! enough to evaluate per arriving query at runtime — this quantifies
 //! "cheap").
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cordoba_core::sharing::SharingEvaluator;
 use cordoba_core::{HardwareModel, ShareAdvisor};
 use cordoba_workload::synthetic::{five_way_split, three_stage_with_s};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn evaluator_build_and_speedup(c: &mut Criterion) {
     let mut g = c.benchmark_group("model_decision");
@@ -38,13 +38,18 @@ fn phase_decomposition(c: &mut Criterion) {
     use cordoba_core::joins::merge_join;
     use cordoba_core::phases::decompose;
     use cordoba_core::{OperatorSpec, PlanSpec};
-    let scan = |w: f64| {
-        PlanSpec::pipeline(vec![OperatorSpec::new("scan", vec![w], vec![1.0])]).unwrap()
-    };
-    let (plan, _) =
-        merge_join(&scan(4.0), &scan(6.0), 3.0, 0.5, 1.0, 0.5, false, false).unwrap();
-    c.bench_function("decompose_merge_join", |b| b.iter(|| decompose(&plan).unwrap().len()));
+    let scan =
+        |w: f64| PlanSpec::pipeline(vec![OperatorSpec::new("scan", vec![w], vec![1.0])]).unwrap();
+    let (plan, _) = merge_join(&scan(4.0), &scan(6.0), 3.0, 0.5, 1.0, 0.5, false, false).unwrap();
+    c.bench_function("decompose_merge_join", |b| {
+        b.iter(|| decompose(&plan).unwrap().len())
+    });
 }
 
-criterion_group!(benches, evaluator_build_and_speedup, advisor_admission, phase_decomposition);
+criterion_group!(
+    benches,
+    evaluator_build_and_speedup,
+    advisor_admission,
+    phase_decomposition
+);
 criterion_main!(benches);

@@ -2,15 +2,19 @@
 //! throughput of scans, filters, aggregation, and joins (independent of
 //! the virtual-cost model).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use cordoba_exec::expr::{Agg, CmpOp, Predicate, ScalarExpr};
 use cordoba_exec::{reference, JoinKind, OpCost, PhysicalPlan};
 use cordoba_storage::tpch::{generate, TpchConfig};
 use cordoba_storage::Catalog;
 use cordoba_workload::{q1, q13, q4, q6, CostProfile};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn catalog() -> Catalog {
-    generate(&TpchConfig { scale_factor: 0.005, seed: 1, ..TpchConfig::default() })
+    generate(&TpchConfig {
+        scale_factor: 0.005,
+        seed: 1,
+        ..TpchConfig::default()
+    })
 }
 
 fn scan_filter(c: &mut Criterion) {
@@ -22,7 +26,10 @@ fn scan_filter(c: &mut Criterion) {
     g.warm_up_time(std::time::Duration::from_millis(500));
     g.throughput(Throughput::Elements(rows));
     let plan = PhysicalPlan::Filter {
-        input: Box::new(PhysicalPlan::Scan { table: "lineitem".into(), cost: OpCost::default() }),
+        input: Box::new(PhysicalPlan::Scan {
+            table: "lineitem".into(),
+            cost: OpCost::default(),
+        }),
         predicate: Predicate::col_cmp(1, CmpOp::Lt, 24.0),
         cost: OpCost::default(),
     };
@@ -41,7 +48,10 @@ fn aggregate(c: &mut Criterion) {
     g.warm_up_time(std::time::Duration::from_millis(500));
     g.throughput(Throughput::Elements(rows));
     let plan = PhysicalPlan::Aggregate {
-        input: Box::new(PhysicalPlan::Scan { table: "lineitem".into(), cost: OpCost::default() }),
+        input: Box::new(PhysicalPlan::Scan {
+            table: "lineitem".into(),
+            cost: OpCost::default(),
+        }),
         group_by: vec![5, 6],
         aggs: vec![
             ("s".into(), Agg::Sum(ScalarExpr::Col(2))),
@@ -64,8 +74,14 @@ fn hash_join(c: &mut Criterion) {
     g.warm_up_time(std::time::Duration::from_millis(500));
     g.throughput(Throughput::Elements(rows));
     let plan = PhysicalPlan::HashJoin {
-        build: Box::new(PhysicalPlan::Scan { table: "lineitem".into(), cost: OpCost::default() }),
-        probe: Box::new(PhysicalPlan::Scan { table: "orders".into(), cost: OpCost::default() }),
+        build: Box::new(PhysicalPlan::Scan {
+            table: "lineitem".into(),
+            cost: OpCost::default(),
+        }),
+        probe: Box::new(PhysicalPlan::Scan {
+            table: "orders".into(),
+            cost: OpCost::default(),
+        }),
         build_key: 0,
         probe_key: 0,
         kind: JoinKind::Semi,

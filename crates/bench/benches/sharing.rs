@@ -2,14 +2,18 @@
 //! cost of a simulated shared vs unshared Q6 batch, and of the real
 //! thread executor.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cordoba_engine::{run_once, thread_exec, EngineConfig, Policy};
 use cordoba_storage::tpch::{generate, TpchConfig};
 use cordoba_storage::Catalog;
 use cordoba_workload::{q6, CostProfile};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn catalog() -> Catalog {
-    generate(&TpchConfig { scale_factor: 0.002, seed: 2, ..TpchConfig::default() })
+    generate(&TpchConfig {
+        scale_factor: 0.002,
+        seed: 2,
+        ..TpchConfig::default()
+    })
 }
 
 fn simulated_batch(c: &mut Criterion) {
@@ -19,8 +23,15 @@ fn simulated_batch(c: &mut Criterion) {
     g.sample_size(10);
     g.measurement_time(std::time::Duration::from_secs(2));
     g.warm_up_time(std::time::Duration::from_millis(500));
-    for (label, policy) in [("shared", Policy::AlwaysShare), ("unshared", Policy::NeverShare)] {
-        let cfg = EngineConfig { contexts: 8, policy, ..EngineConfig::default() };
+    for (label, policy) in [
+        ("shared", Policy::AlwaysShare),
+        ("unshared", Policy::NeverShare),
+    ] {
+        let cfg = EngineConfig {
+            contexts: 8,
+            policy,
+            ..EngineConfig::default()
+        };
         g.bench_with_input(BenchmarkId::from_parameter(label), &cfg, |b, cfg| {
             b.iter(|| run_once(&cat, &vec![spec.clone(); 4], cfg).makespan)
         });

@@ -2,9 +2,9 @@
 //! scheduling overhead per step, channel ops, and pipeline throughput
 //! as context count grows.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use cordoba_sim::channel::{self, Recv};
 use cordoba_sim::{Simulator, Step, Task, TaskCtx};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::sync::Arc;
 
 struct Burn {
@@ -61,16 +61,25 @@ fn scheduler_steps(c: &mut Criterion) {
     const STEPS: u32 = 50_000;
     g.throughput(Throughput::Elements(STEPS as u64));
     for contexts in [1usize, 4, 32] {
-        g.bench_with_input(BenchmarkId::new("burn_steps", contexts), &contexts, |b, &n| {
-            b.iter(|| {
-                let mut sim = Simulator::new(n);
-                for _ in 0..n.min(8) {
-                    sim.spawn("burn", Box::new(Burn { steps: STEPS / n.min(8) as u32 }));
-                }
-                sim.run_to_idle();
-                sim.now()
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("burn_steps", contexts),
+            &contexts,
+            |b, &n| {
+                b.iter(|| {
+                    let mut sim = Simulator::new(n);
+                    for _ in 0..n.min(8) {
+                        sim.spawn(
+                            "burn",
+                            Box::new(Burn {
+                                steps: STEPS / n.min(8) as u32,
+                            }),
+                        );
+                    }
+                    sim.run_to_idle();
+                    sim.now()
+                })
+            },
+        );
     }
     g.finish();
 }
@@ -83,16 +92,20 @@ fn channel_pipeline(c: &mut Criterion) {
     const ITEMS: u64 = 20_000;
     g.throughput(Throughput::Elements(ITEMS));
     for cap in [2usize, 16, 128] {
-        g.bench_with_input(BenchmarkId::new("producer_consumer", cap), &cap, |b, &cap| {
-            b.iter(|| {
-                let mut sim = Simulator::new(2);
-                let (tx, rx) = channel::bounded(cap);
-                sim.spawn("src", Box::new(Source { tx, n: ITEMS }));
-                sim.spawn("dst", Box::new(Drain { rx }));
-                sim.run_to_idle();
-                sim.now()
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("producer_consumer", cap),
+            &cap,
+            |b, &cap| {
+                b.iter(|| {
+                    let mut sim = Simulator::new(2);
+                    let (tx, rx) = channel::bounded(cap);
+                    sim.spawn("src", Box::new(Source { tx, n: ITEMS }));
+                    sim.spawn("dst", Box::new(Drain { rx }));
+                    sim.run_to_idle();
+                    sim.now()
+                })
+            },
+        );
     }
     g.finish();
 }

@@ -46,7 +46,11 @@ fn page_size_sweep(cfg: &ExpConfig) {
         );
         rows.push(vec![page_size.to_string(), f(p.unshared), f(p.z)]);
     }
-    announce(&write_csv("ablation_page_size.csv", &["page_size", "x_unshared", "z"], &rows));
+    announce(&write_csv(
+        "ablation_page_size.csv",
+        &["page_size", "x_unshared", "z"],
+        &rows,
+    ));
 }
 
 fn buffer_depth_sweep(cfg: &ExpConfig) {
@@ -63,11 +67,24 @@ fn buffer_depth_sweep(cfg: &ExpConfig) {
             queue_capacity: depth,
             ..EngineConfig::default()
         };
-        let tp = measure_throughput(&catalog, &vec![spec.clone(); 8], &ecfg, cfg.measure_floor.max(48), cap);
-        println!("  depth {depth:>3}: shared tp = {:.4}/Munit", tp.per_time * 1e6);
+        let tp = measure_throughput(
+            &catalog,
+            &vec![spec.clone(); 8],
+            &ecfg,
+            cfg.measure_floor.max(48),
+            cap,
+        );
+        println!(
+            "  depth {depth:>3}: shared tp = {:.4}/Munit",
+            tp.per_time * 1e6
+        );
         rows.push(vec![depth.to_string(), f(tp.per_time)]);
     }
-    announce(&write_csv("ablation_buffer_depth.csv", &["depth", "x_shared"], &rows));
+    announce(&write_csv(
+        "ablation_buffer_depth.csv",
+        &["depth", "x_shared"],
+        &rows,
+    ));
 }
 
 fn fanout_cost_sweep(cfg: &ExpConfig) {
@@ -112,10 +129,10 @@ fn group_size_sweep(cfg: &ExpConfig) {
         }
     }
     // Compare with the model's recommended partition.
-    let (info, _) = profile_query(&catalog, &spec, &EngineConfig::default())
-        .expect("profiling succeeds");
-    let partition = optimal_partition(&info.plan, info.pivot, 48, 32.0)
-        .expect("partition computed");
+    let (info, _) =
+        profile_query(&catalog, &spec, &EngineConfig::default()).expect("profiling succeeds");
+    let partition =
+        optimal_partition(&info.plan, info.pivot, 48, 32.0).expect("partition computed");
     let (best_g, best_tp) = best.expect("at least one point");
     println!(
         "  engine-best group size: {best_g} ({:.4}/Munit); model recommends ~{} (predicted {:.4})",
@@ -123,12 +140,20 @@ fn group_size_sweep(cfg: &ExpConfig) {
         partition.group_size(),
         partition.rate
     );
-    announce(&write_csv("ablation_group_size.csv", &["max_group", "x_shared"], &rows));
+    announce(&write_csv(
+        "ablation_group_size.csv",
+        &["max_group", "x_shared"],
+        &rows,
+    ));
 }
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let cfg = if quick { ExpConfig::quick() } else { ExpConfig::default() };
+    let cfg = if quick {
+        ExpConfig::quick()
+    } else {
+        ExpConfig::default()
+    };
     let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
     match which.as_str() {
         "page" => page_size_sweep(&cfg),

@@ -27,7 +27,9 @@ fn main() {
         if quick {
             cmd.arg("--quick");
         }
-        let status = cmd.status().unwrap_or_else(|e| panic!("running {figure}: {e}"));
+        let status = cmd
+            .status()
+            .unwrap_or_else(|e| panic!("running {figure}: {e}"));
         assert!(status.success(), "{figure} failed with {status}");
     }
     println!("\nAll figures regenerated; CSVs in results/.");

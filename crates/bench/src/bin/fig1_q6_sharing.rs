@@ -18,7 +18,10 @@ fn main() {
     let contexts = [1usize, 2, 8, 32];
 
     println!("Figure 1: sharing speedup for TPC-H Q6 (shared scan) vs never-share");
-    println!("clients = {clients:?}, contexts = {contexts:?}, SF = {}", cfg.scale_factor);
+    println!(
+        "clients = {clients:?}, contexts = {contexts:?}, SF = {}",
+        cfg.scale_factor
+    );
     let points = speedup_sweep(&catalog, &spec, &clients, &contexts, cfg.measure_floor);
 
     let mut rows = Vec::new();
@@ -40,8 +43,14 @@ fn main() {
             f(p.z),
         ]);
     }
-    println!("{}", ascii_chart("Speedup Z(m, n) of sharing Q6", "Z", &series));
-    println!("{:>4} {:>8} {:>12} {:>12} {:>8}", "cpu", "clients", "x_shared", "x_unshared", "Z");
+    println!(
+        "{}",
+        ascii_chart("Speedup Z(m, n) of sharing Q6", "Z", &series)
+    );
+    println!(
+        "{:>4} {:>8} {:>12} {:>12} {:>8}",
+        "cpu", "clients", "x_shared", "x_unshared", "Z"
+    );
     for p in &points {
         println!(
             "{:>4} {:>8} {:>12.6} {:>12.6} {:>8.3}",

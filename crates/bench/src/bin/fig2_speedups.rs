@@ -47,16 +47,37 @@ fn panel(cfg: &ExpConfig, specs: &[QuerySpec], csv: &str, title: &str) {
         }
     }
     println!("{}", ascii_chart(title, "Z", &series));
-    let path = write_csv(csv, &["query", "contexts", "clients", "x_shared", "x_unshared", "z"], &rows);
+    let path = write_csv(
+        csv,
+        &[
+            "query",
+            "contexts",
+            "clients",
+            "x_shared",
+            "x_unshared",
+            "z",
+        ],
+        &rows,
+    );
     announce(&path);
 }
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let cfg = if quick { ExpConfig::quick() } else { ExpConfig::default() };
+    let cfg = if quick {
+        ExpConfig::quick()
+    } else {
+        ExpConfig::default()
+    };
     let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
-    println!("Figure 2: measured sharing speedups (SF = {})", cfg.scale_factor);
-    println!("{:>4} {:>4} {:>8} {:>12} {:>12} {:>8}", "q", "cpu", "clients", "x_shared", "x_unshared", "Z");
+    println!(
+        "Figure 2: measured sharing speedups (SF = {})",
+        cfg.scale_factor
+    );
+    println!(
+        "{:>4} {:>4} {:>8} {:>12} {:>12} {:>8}",
+        "q", "cpu", "clients", "x_shared", "x_unshared", "Z"
+    );
     if which == "scan" || which == "all" || which == "--quick" {
         panel(
             &cfg,

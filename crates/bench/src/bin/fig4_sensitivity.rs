@@ -33,8 +33,19 @@ fn left() {
         }
         series.push((format!("{n} CPU"), pts));
     }
-    println!("{}", ascii_chart("Figure 4 left: Z vs clients as processors vary", "Z", &series));
-    announce(&write_csv("fig4_left_cpus.csv", &["contexts", "clients", "z"], &rows));
+    println!(
+        "{}",
+        ascii_chart(
+            "Figure 4 left: Z vs clients as processors vary",
+            "Z",
+            &series
+        )
+    );
+    announce(&write_csv(
+        "fig4_left_cpus.csv",
+        &["contexts", "clients", "z"],
+        &rows,
+    ));
 }
 
 fn center() {
@@ -51,8 +62,19 @@ fn center() {
         }
         series.push((format!("s={s}"), pts));
     }
-    println!("{}", ascii_chart("Figure 4 center: Z vs clients as serial cost s varies (32 CPU)", "Z", &series));
-    announce(&write_csv("fig4_center_serial.csv", &["s", "clients", "z"], &rows));
+    println!(
+        "{}",
+        ascii_chart(
+            "Figure 4 center: Z vs clients as serial cost s varies (32 CPU)",
+            "Z",
+            &series
+        )
+    );
+    announce(&write_csv(
+        "fig4_center_serial.csv",
+        &["s", "clients", "z"],
+        &rows,
+    ));
 }
 
 fn right() {
@@ -66,12 +88,28 @@ fn right() {
             .map(|&m| (m as f64, z(&plan, pivot, m, 8.0)))
             .collect();
         for &(m, zv) in &pts {
-            rows.push(vec![moved.to_string(), format!("{:.0}%", frac * 100.0), (m as usize).to_string(), f(zv)]);
+            rows.push(vec![
+                moved.to_string(),
+                format!("{:.0}%", frac * 100.0),
+                (m as usize).to_string(),
+                f(zv),
+            ]);
         }
         series.push((format!("{moved}/5 ({:.0}%)", frac * 100.0), pts));
     }
-    println!("{}", ascii_chart("Figure 4 right: Z vs clients as work below pivot varies (8 CPU)", "Z", &series));
-    announce(&write_csv("fig4_right_fraction.csv", &["moved_below", "eliminated", "clients", "z"], &rows));
+    println!(
+        "{}",
+        ascii_chart(
+            "Figure 4 right: Z vs clients as work below pivot varies (8 CPU)",
+            "Z",
+            &series
+        )
+    );
+    announce(&write_csv(
+        "fig4_right_fraction.csv",
+        &["moved_below", "eliminated", "clients", "z"],
+        &rows,
+    ));
 }
 
 fn main() {

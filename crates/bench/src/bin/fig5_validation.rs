@@ -5,9 +5,7 @@
 //! agreement rate ("the model's recommendations are nearly always
 //! correct").
 
-use cordoba_bench::experiments::{
-    model_speedup, profile_all, speedup_sweep, ExpConfig,
-};
+use cordoba_bench::experiments::{model_speedup, profile_all, speedup_sweep, ExpConfig};
 use cordoba_bench::output::{announce, f, write_csv};
 use cordoba_engine::QuerySpec;
 use cordoba_workload::{q1, q13, q4, q6};
@@ -64,7 +62,14 @@ fn panel(cfg: &ExpConfig, specs: &[QuerySpec], csv: &str) -> PanelSummary {
     }
     announce(&write_csv(
         csv,
-        &["query", "contexts", "clients", "z_measured", "z_model", "rel_error"],
+        &[
+            "query",
+            "contexts",
+            "clients",
+            "z_measured",
+            "z_model",
+            "rel_error",
+        ],
         &rows,
     ));
     PanelSummary {
@@ -77,7 +82,11 @@ fn panel(cfg: &ExpConfig, specs: &[QuerySpec], csv: &str) -> PanelSummary {
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let cfg = if quick { ExpConfig::quick() } else { ExpConfig::default() };
+    let cfg = if quick {
+        ExpConfig::quick()
+    } else {
+        ExpConfig::default()
+    };
     let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
     println!("Figure 5: model validation (predicted vs measured Z)");
     println!(
@@ -85,7 +94,11 @@ fn main() {
         "q", "cpu", "clients", "measured", "model", "error"
     );
     if which == "scan" || which == "all" || which == "--quick" {
-        let s = panel(&cfg, &[q1(&cfg.costs), q6(&cfg.costs)], "fig5_scan_heavy.csv");
+        let s = panel(
+            &cfg,
+            &[q1(&cfg.costs), q6(&cfg.costs)],
+            "fig5_scan_heavy.csv",
+        );
         println!(
             "scan-heavy: mean err {:.1}% (paper 5.7%), max {:.1}% (paper 22%), decisions {}/{} correct",
             s.mean_err * 100.0,
@@ -95,7 +108,11 @@ fn main() {
         );
     }
     if which == "join" || which == "all" || which == "--quick" {
-        let s = panel(&cfg, &[q4(&cfg.costs), q13(&cfg.costs)], "fig5_join_heavy.csv");
+        let s = panel(
+            &cfg,
+            &[q4(&cfg.costs), q13(&cfg.costs)],
+            "fig5_join_heavy.csv",
+        );
         println!(
             "join-heavy: mean err {:.1}% (paper 5.9%), max {:.1}% (paper 30%), decisions {}/{} correct",
             s.mean_err * 100.0,

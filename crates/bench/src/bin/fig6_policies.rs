@@ -37,12 +37,7 @@ fn panel(cfg: &ExpConfig, clients: usize, contexts: usize, csv: &str) -> (f64, f
             p.always * 1e6,
             p.model * 1e6
         );
-        rows.push(vec![
-            format!("{frac}"),
-            f(p.never),
-            f(p.always),
-            f(p.model),
-        ]);
+        rows.push(vec![format!("{frac}"), f(p.never), f(p.always), f(p.model)]);
         never_series.push((frac * 100.0, p.never * 1e6));
         always_series.push((frac * 100.0, p.always * 1e6));
         model_series.push((frac * 100.0, p.model * 1e6));
@@ -61,7 +56,11 @@ fn panel(cfg: &ExpConfig, clients: usize, contexts: usize, csv: &str) -> (f64, f
             ],
         )
     );
-    announce(&write_csv(csv, &["q4_fraction", "never", "always", "model"], &rows));
+    announce(&write_csv(
+        csv,
+        &["q4_fraction", "never", "always", "model"],
+        &rows,
+    ));
     (
         sum_model_over_never / fractions.len() as f64,
         sum_model_over_always / fractions.len() as f64,
@@ -70,10 +69,17 @@ fn panel(cfg: &ExpConfig, clients: usize, contexts: usize, csv: &str) -> (f64, f
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let cfg = if quick { ExpConfig::quick() } else { ExpConfig::default() };
+    let cfg = if quick {
+        ExpConfig::quick()
+    } else {
+        ExpConfig::default()
+    };
     let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
     println!("Figure 6: policy comparison on a Q1/Q4 mix");
-    println!("{:>9} {:>12} {:>12} {:>12}", "q4 frac", "never", "always", "model");
+    println!(
+        "{:>9} {:>12} {:>12} {:>12}",
+        "q4 frac", "never", "always", "model"
+    );
     if which == "small" || which == "all" || which == "--quick" {
         let (vs_never, vs_always) = panel(&cfg, 20, 2, "fig6_2cpu.csv");
         println!("2 CPUs: model/never = {vs_never:.2}x, model/always = {vs_always:.2}x\n");

@@ -40,5 +40,9 @@ fn main() {
         rows.push(vec![spec.name.clone(), "pivot_w".into(), f(report.pivot_w)]);
         rows.push(vec![spec.name.clone(), "pivot_s".into(), f(report.pivot_s)]);
     }
-    announce(&write_csv("sec44_params.csv", &["query", "operator", "p"], &rows));
+    announce(&write_csv(
+        "sec44_params.csv",
+        &["query", "operator", "p"],
+        &rows,
+    ));
 }

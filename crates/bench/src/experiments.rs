@@ -39,7 +39,11 @@ impl Default for ExpConfig {
 impl ExpConfig {
     /// A faster configuration for smoke tests / CI.
     pub fn quick() -> Self {
-        Self { scale_factor: 0.002, measure_floor: 12, ..Self::default() }
+        Self {
+            scale_factor: 0.002,
+            measure_floor: 12,
+            ..Self::default()
+        }
     }
 
     /// Generates the experiment database.
@@ -55,13 +59,20 @@ impl ExpConfig {
 /// Approximate total virtual work of one query instance (sum of all
 /// operator active times in a solo run); used to size time caps.
 pub fn query_work(catalog: &Catalog, spec: &QuerySpec) -> VTime {
-    let cfg = EngineConfig { contexts: 1, ..EngineConfig::default() };
+    let cfg = EngineConfig {
+        contexts: 1,
+        ..EngineConfig::default()
+    };
     let out = run_once(catalog, std::slice::from_ref(spec), &cfg);
     out.task_stats.iter().map(|(_, s)| s.active).sum()
 }
 
 fn engine_cfg(contexts: usize, policy: Policy) -> EngineConfig {
-    EngineConfig { contexts, policy, ..EngineConfig::default() }
+    EngineConfig {
+        contexts,
+        policy,
+        ..EngineConfig::default()
+    }
 }
 
 /// One point of a sharing-speedup sweep (Figures 1/2/5 measured series).
@@ -118,7 +129,11 @@ pub fn sharing_speedup(
         contexts,
         shared: shared.per_time,
         unshared: unshared.per_time,
-        z: if unshared.per_time > 0.0 { shared.per_time / unshared.per_time } else { f64::NAN },
+        z: if unshared.per_time > 0.0 {
+            shared.per_time / unshared.per_time
+        } else {
+            f64::NAN
+        },
     }
 }
 
@@ -151,10 +166,7 @@ pub fn model_speedup(info: &QueryModelInfo, clients: usize, contexts: usize) -> 
 
 /// Profiles every query in `specs` (paper Section 3.1), returning the
 /// per-name model map the model-guided policy needs.
-pub fn profile_all(
-    catalog: &Catalog,
-    specs: &[QuerySpec],
-) -> HashMap<String, QueryModelInfo> {
+pub fn profile_all(catalog: &Catalog, specs: &[QuerySpec]) -> HashMap<String, QueryModelInfo> {
     let cfg = EngineConfig::default();
     specs
         .iter()
@@ -207,7 +219,10 @@ pub fn policy_comparison(
         q4_fraction,
         never: run(Policy::NeverShare),
         always: run(Policy::AlwaysShare),
-        model: run(Policy::ModelGuided { models: models.clone(), hysteresis: 0.0 }),
+        model: run(Policy::ModelGuided {
+            models: models.clone(),
+            hysteresis: 0.0,
+        }),
     }
 }
 

@@ -68,7 +68,10 @@ mod tests {
 
     #[test]
     fn csv_round_trip() {
-        std::env::set_var("CORDOBA_RESULTS", std::env::temp_dir().join("cordoba-test-results"));
+        std::env::set_var(
+            "CORDOBA_RESULTS",
+            std::env::temp_dir().join("cordoba-test-results"),
+        );
         let path = write_csv(
             "test.csv",
             &["a", "b"],

@@ -30,23 +30,40 @@ impl HardwareModel {
     /// A contention-free machine with `contexts` hardware contexts
     /// (`k = 1`), matching the paper's validated Q6 model.
     pub fn ideal(contexts: u32) -> Self {
-        Self { contexts, k_unshared: 1.0, k_shared: 1.0 }
+        Self {
+            contexts,
+            k_unshared: 1.0,
+            k_shared: 1.0,
+        }
     }
 
     /// A machine with a single contention exponent for both modes.
     pub fn with_contention(contexts: u32, k: f64) -> Result<Self> {
-        Self { contexts, k_unshared: k, k_shared: k }.validated()
+        Self {
+            contexts,
+            k_unshared: k,
+            k_shared: k,
+        }
+        .validated()
     }
 
     /// A machine with distinct exponents per execution mode.
     pub fn with_mode_contention(contexts: u32, k_unshared: f64, k_shared: f64) -> Result<Self> {
-        Self { contexts, k_unshared, k_shared }.validated()
+        Self {
+            contexts,
+            k_unshared,
+            k_shared,
+        }
+        .validated()
     }
 
     fn validated(self) -> Result<Self> {
         for k in [self.k_unshared, self.k_shared] {
             if !(k > 0.0 && k <= 1.0) {
-                return Err(ModelError::InvalidCost { what: "contention exponent k".into(), value: k });
+                return Err(ModelError::InvalidCost {
+                    what: "contention exponent k".into(),
+                    value: k,
+                });
             }
         }
         if self.contexts == 0 {
@@ -101,7 +118,6 @@ pub fn estimate_k(samples: &[(u32, f64)]) -> Result<f64> {
     Ok(x[1].clamp(f64::MIN_POSITIVE, 1.0))
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -120,8 +136,10 @@ mod tests {
 
     #[test]
     fn estimate_k_clamps_superlinear_to_one() {
-        let samples: Vec<(u32, f64)> =
-            [1u32, 2, 4].iter().map(|&n| (n, (n as f64).powf(1.4))).collect();
+        let samples: Vec<(u32, f64)> = [1u32, 2, 4]
+            .iter()
+            .map(|&n| (n, (n as f64).powf(1.4)))
+            .collect();
         assert_eq!(estimate_k(&samples).unwrap(), 1.0);
     }
 

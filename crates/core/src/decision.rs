@@ -39,7 +39,10 @@ pub struct ShareAdvisor {
 impl ShareAdvisor {
     /// Creates an advisor for the given hardware.
     pub fn new(hardware: HardwareModel) -> Self {
-        Self { hardware, hysteresis: 0.0 }
+        Self {
+            hardware,
+            hysteresis: 0.0,
+        }
     }
 
     /// Requires `Z > 1 + hysteresis` before recommending sharing.
@@ -128,12 +131,7 @@ impl Partition {
 /// `x_shared(gᵢ, n·gᵢ/m)`. `g = 1` reproduces the never-share baseline
 /// and `g = m` the always-share extreme, so the result is never worse
 /// than either.
-pub fn optimal_partition(
-    plan: &PlanSpec,
-    pivot: NodeId,
-    m: usize,
-    n: f64,
-) -> Result<Partition> {
+pub fn optimal_partition(plan: &PlanSpec, pivot: NodeId, m: usize, n: f64) -> Result<Partition> {
     if m == 0 {
         return Err(crate::error::ModelError::EmptyGroup);
     }
@@ -195,7 +193,10 @@ mod tests {
         let mut b = PlanSpec::new();
         let s1 = b.add_leaf(OperatorSpec::new("scan1", vec![12.0], vec![1.0]));
         let s2 = b.add_leaf(OperatorSpec::new("scan2", vec![30.0], vec![1.0]));
-        let join = b.add_node(OperatorSpec::new("join", vec![1.0, 2.0], vec![0.05]), vec![s1, s2]);
+        let join = b.add_node(
+            OperatorSpec::new("join", vec![1.0, 2.0], vec![0.05]),
+            vec![s1, s2],
+        );
         let agg = b.add_node(OperatorSpec::new("agg", vec![0.5], vec![]), vec![join]);
         (b.finish(agg).unwrap(), join)
     }
@@ -217,7 +218,11 @@ mod tests {
             let adv = ShareAdvisor::new(HardwareModel::ideal(contexts));
             for m in [2usize, 8, 32, 48] {
                 let d = adv.advise_homogeneous(&plan, join, m).unwrap();
-                assert!(d.speedup.z >= 1.0 - 1e-9, "contexts={contexts} m={m} z={}", d.speedup.z);
+                assert!(
+                    d.speedup.z >= 1.0 - 1e-9,
+                    "contexts={contexts} m={m} z={}",
+                    d.speedup.z
+                );
             }
         }
     }
@@ -227,7 +232,15 @@ mod tests {
         // ... and is an outright win whenever the machine would saturate
         // (m >= contexts), which is the regime the paper plots in Fig. 2.
         let (plan, join) = join_heavy();
-        for (contexts, m) in [(1u32, 2usize), (2, 2), (2, 8), (8, 8), (8, 32), (32, 32), (32, 48)] {
+        for (contexts, m) in [
+            (1u32, 2usize),
+            (2, 2),
+            (2, 8),
+            (8, 8),
+            (8, 32),
+            (32, 32),
+            (32, 48),
+        ] {
             let adv = ShareAdvisor::new(HardwareModel::ideal(contexts));
             let d = adv.advise_homogeneous(&plan, join, m).unwrap();
             assert!(d.share, "contexts={contexts} m={m} z={}", d.speedup.z);
@@ -313,9 +326,8 @@ mod tests {
         // Heavy contention on unshared execution (more aggregate data
         // touched) shrinks its effective processors toward 1, where
         // sharing wins.
-        let contended = ShareAdvisor::new(
-            HardwareModel::with_mode_contention(4, 0.05, 1.0).unwrap(),
-        );
+        let contended =
+            ShareAdvisor::new(HardwareModel::with_mode_contention(4, 0.05, 1.0).unwrap());
         assert!(contended.advise_homogeneous(&plan, scan, 48).unwrap().share);
     }
 }

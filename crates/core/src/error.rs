@@ -42,7 +42,10 @@ impl fmt::Display for ModelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ModelError::InvalidCost { what, value } => {
-                write!(f, "invalid cost for {what}: {value} (must be finite and >= 0)")
+                write!(
+                    f,
+                    "invalid cost for {what}: {value} (must be finite and >= 0)"
+                )
             }
             ModelError::UnknownNode(id) => write!(f, "node id {id} does not belong to this plan"),
             ModelError::EmptyPlan => write!(f, "plan contains no operators"),
@@ -70,7 +73,10 @@ pub(crate) fn check_cost(what: &str, value: f64) -> Result<f64> {
     if value.is_finite() && value >= 0.0 {
         Ok(value)
     } else {
-        Err(ModelError::InvalidCost { what: what.to_string(), value })
+        Err(ModelError::InvalidCost {
+            what: what.to_string(),
+            value,
+        })
     }
 }
 
@@ -93,7 +99,10 @@ mod tests {
 
     #[test]
     fn errors_display_mentions_key_info() {
-        let e = ModelError::InvalidCost { what: "s".into(), value: -2.0 };
+        let e = ModelError::InvalidCost {
+            what: "s".into(),
+            value: -2.0,
+        };
         assert!(e.to_string().contains("s"));
         assert!(e.to_string().contains("-2"));
         let e = ModelError::UnknownNode(7);

@@ -132,7 +132,11 @@ mod tests {
     use super::*;
 
     fn obs(m: usize, p: f64) -> PivotObservation {
-        PivotObservation { sharers: m, active_time: p * 100.0, progress_units: 100.0 }
+        PivotObservation {
+            sharers: m,
+            active_time: p * 100.0,
+            progress_units: 100.0,
+        }
     }
 
     #[test]
@@ -198,7 +202,11 @@ mod tests {
 
     #[test]
     fn non_positive_progress_rejected() {
-        let bad = PivotObservation { sharers: 2, active_time: 5.0, progress_units: 0.0 };
+        let bad = PivotObservation {
+            sharers: 2,
+            active_time: 5.0,
+            progress_units: 0.0,
+        };
         assert!(fit_pivot(&[obs(1, 5.0), bad]).is_err());
     }
 }

@@ -160,8 +160,14 @@ mod tests {
 
     #[test]
     fn hash_join_decomposes_into_build_and_probe_phases() {
-        let (plan, probe) =
-            hash_join(&scan("build", 3.0, 1.0), &scan("probe", 5.0, 1.0), 2.0, 1.5, 0.5).unwrap();
+        let (plan, probe) = hash_join(
+            &scan("build", 3.0, 1.0),
+            &scan("probe", 5.0, 1.0),
+            2.0,
+            1.5,
+            0.5,
+        )
+        .unwrap();
         assert_eq!(plan.op(probe).name, "hj.probe");
         let phases = decompose(&plan).unwrap();
         assert_eq!(phases.len(), 2);
@@ -187,8 +193,7 @@ mod tests {
     #[test]
     fn symmetric_hash_join_is_pipelinable() {
         let (plan, _) =
-            symmetric_hash_join(&scan("l", 4.0, 1.0), &scan("r", 2.0, 1.0), 1.0, 1.0, 0.5)
-                .unwrap();
+            symmetric_hash_join(&scan("l", 4.0, 1.0), &scan("r", 2.0, 1.0), 1.0, 1.0, 0.5).unwrap();
         assert_eq!(decompose(&plan).unwrap().len(), 1);
     }
 

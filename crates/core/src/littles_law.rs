@@ -53,4 +53,40 @@ mod tests {
     fn per_query_rate_rejects_zero_population() {
         per_query_rate(1.0, 0);
     }
+
+    #[test]
+    fn identities_hold_across_population_and_rate_grid() {
+        // N = X · W and R = X / N must hold simultaneously for any
+        // (N, R): the three helpers are one law, not three formulas.
+        for &n in &[1usize, 2, 5, 20, 100, 4096] {
+            for &r in &[1e-3, 0.25, 1.0, 7.5] {
+                let x = throughput(n, r);
+                let w = response_time(n, x);
+                assert!(
+                    (x * w - n as f64).abs() < 1e-9,
+                    "N = X·W failed: n={n} r={r}"
+                );
+                assert!(
+                    (per_query_rate(x, n) - r).abs() < 1e-12,
+                    "R = X/N failed: n={n} r={r}"
+                );
+                // W = 1/R in a closed system with homogeneous queries.
+                assert!((w - 1.0 / r).abs() < 1e-9, "W = 1/R failed: n={n} r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn throttling_rate_lowers_throughput_proportionally() {
+        // The work-sharing implication (Section 1.2): throttling every
+        // query to half its rate halves system throughput at fixed N,
+        // regardless of any work saved.
+        let x_full = throughput(16, 0.5);
+        let x_throttled = throughput(16, 0.25);
+        assert!((x_throttled / x_full - 0.5).abs() < 1e-12);
+        // So sharing must save enough work to beat the throttle: a
+        // shared group running at 60% rate with 50% of the work is a
+        // net win only through the rate it actually achieves.
+        assert!(throughput(16, 0.3) > x_throttled);
+    }
 }

@@ -63,7 +63,11 @@ impl<'a> UnsharedGroup<'a> {
                 m * (m / sum_pmax)
             }
             SystemKind::Open => {
-                let max_pmax = self.queries.iter().map(|q| q.p_max()).fold(0.0_f64, f64::max);
+                let max_pmax = self
+                    .queries
+                    .iter()
+                    .map(|q| q.p_max())
+                    .fold(0.0_f64, f64::max);
                 m / max_pmax
             }
         }
@@ -79,7 +83,11 @@ impl<'a> UnsharedGroup<'a> {
                 .map(|q| q.total_work() / q.p_max())
                 .sum(),
             SystemKind::Open => {
-                let max_pmax = self.queries.iter().map(|q| q.p_max()).fold(0.0_f64, f64::max);
+                let max_pmax = self
+                    .queries
+                    .iter()
+                    .map(|q| q.p_max())
+                    .fold(0.0_f64, f64::max);
                 self.queries.iter().map(|q| q.total_work()).sum::<f64>() / max_pmax
             }
         }
@@ -154,7 +162,10 @@ mod tests {
 
     #[test]
     fn empty_group_rejected() {
-        assert!(matches!(UnsharedGroup::new(&[]), Err(ModelError::EmptyGroup)));
+        assert!(matches!(
+            UnsharedGroup::new(&[]),
+            Err(ModelError::EmptyGroup)
+        ));
     }
 
     #[test]

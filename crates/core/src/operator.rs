@@ -58,7 +58,12 @@ impl OperatorSpec {
         for (j, s) in output_cost.iter().enumerate() {
             check_cost(&format!("{name}.s[{j}]"), *s)?;
         }
-        Ok(Self { name, input_work, output_cost, blocking: false })
+        Ok(Self {
+            name,
+            input_work,
+            output_cost,
+            blocking: false,
+        })
     }
 
     /// Marks the operator as stop-&-go (sort, hash build, ...).

@@ -52,7 +52,10 @@ pub fn decompose(plan: &PlanSpec) -> Result<Vec<Phase>> {
                     .unwrap_or(false)
         });
         let Some(block) = candidate else {
-            phases.push(Phase { plan: current, boundary: None });
+            phases.push(Phase {
+                plan: current,
+                boundary: None,
+            });
             return Ok(phases);
         };
         let (consume, remainder) = split_at(&current, block)?;
@@ -157,7 +160,9 @@ pub struct PhasedEvaluator {
 impl PhasedEvaluator {
     /// Decomposes `plan` into its pipelinable phases.
     pub fn new(plan: &PlanSpec) -> Result<Self> {
-        Ok(Self { phases: decompose(plan)? })
+        Ok(Self {
+            phases: decompose(plan)?,
+        })
     }
 
     /// The phases, in execution order.
@@ -193,8 +198,7 @@ impl PhasedEvaluator {
         for (i, phase) in self.phases.iter().enumerate() {
             // Unshared group rate for this phase: m independent copies.
             let q = crate::query::QueryModel::new(&phase.plan);
-            let x_unshared =
-                (m as f64) * (q.peak_rate()).min(n / (m as f64 * q.total_work()));
+            let x_unshared = (m as f64) * (q.peak_rate()).min(n / (m as f64 * q.total_work()));
             t_unshared += 1.0 / x_unshared;
             let x_shared = if i == phase_idx {
                 SharingEvaluator::homogeneous(&phase.plan, pivot, m)?.shared_rate(n)?
@@ -305,10 +309,19 @@ mod tests {
         // Merge join: two blocking sorts feeding a merge (Section 5.3.2).
         let mut b = PlanSpec::new();
         let s1 = b.add_leaf(OperatorSpec::new("scanL", vec![4.0], vec![1.0]));
-        let sort1 = b.add_node(OperatorSpec::new("sortL", vec![3.0], vec![1.0]).blocking(), vec![s1]);
+        let sort1 = b.add_node(
+            OperatorSpec::new("sortL", vec![3.0], vec![1.0]).blocking(),
+            vec![s1],
+        );
         let s2 = b.add_leaf(OperatorSpec::new("scanR", vec![6.0], vec![1.0]));
-        let sort2 = b.add_node(OperatorSpec::new("sortR", vec![3.5], vec![1.0]).blocking(), vec![s2]);
-        let merge = b.add_node(OperatorSpec::new("merge", vec![1.0, 1.0], vec![]), vec![sort1, sort2]);
+        let sort2 = b.add_node(
+            OperatorSpec::new("sortR", vec![3.5], vec![1.0]).blocking(),
+            vec![s2],
+        );
+        let merge = b.add_node(
+            OperatorSpec::new("merge", vec![1.0, 1.0], vec![]),
+            vec![sort1, sort2],
+        );
         let plan = b.finish(merge).unwrap();
 
         let phases = decompose(&plan).unwrap();
@@ -326,6 +339,109 @@ mod tests {
         assert_eq!(leaf_names.len(), 2);
         assert!(leaf_names.contains(&"sortL.emit".to_string()));
         assert!(leaf_names.contains(&"sortR.emit".to_string()));
+    }
+
+    /// scan -> sort1 -> filter -> sort2 -> out (two nested boundaries).
+    fn nested_query() -> PlanSpec {
+        PlanSpec::pipeline(vec![
+            OperatorSpec::new("scan", vec![4.0], vec![1.0]),
+            OperatorSpec::new("sort1", vec![3.0], vec![1.0]).blocking(),
+            OperatorSpec::new("filter", vec![0.5], vec![0.5]),
+            OperatorSpec::new("sort2", vec![2.0], vec![1.0]).blocking(),
+            OperatorSpec::new("out", vec![0.1], vec![]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn decomposition_conserves_total_work() {
+        // Stop-&-go accounting: splitting a blocking operator into
+        // consume (keeps w, drops s) and emit (keeps s, drops w) must
+        // neither create nor destroy work — Σ over phases of u' equals
+        // the original plan's u'.
+        for plan in [sort_query(), nested_query()] {
+            let original = QueryModel::new(&plan).total_work();
+            let phases = decompose(&plan).unwrap();
+            let split: f64 = phases
+                .iter()
+                .map(|ph| QueryModel::new(&ph.plan).total_work())
+                .sum();
+            assert!(
+                (split - original).abs() < 1e-9,
+                "work not conserved: {split} vs {original}"
+            );
+        }
+    }
+
+    #[test]
+    fn consume_keeps_input_work_and_emit_keeps_output_cost() {
+        // Every `.consume` root carries exactly the blocking operator's
+        // w with no s; every `.emit` leaf carries exactly its s with no
+        // w. Nothing about the phase boundary is double-counted.
+        let plan = nested_query();
+        let w_of = |name: &str| {
+            plan.node_ids()
+                .find(|&id| plan.op(id).name == name)
+                .map(|id| plan.op(id))
+                .unwrap()
+                .clone()
+        };
+        for ph in decompose(&plan).unwrap() {
+            for id in ph.plan.node_ids() {
+                let op = ph.plan.op(id);
+                if let Some(base) = op.name.strip_suffix(".consume") {
+                    let orig = w_of(base);
+                    assert!(op.output_cost.is_empty(), "{} kept s", op.name);
+                    assert!(
+                        (op.input_work.iter().sum::<f64>() - orig.input_work.iter().sum::<f64>())
+                            .abs()
+                            < 1e-12,
+                        "{} changed w",
+                        op.name
+                    );
+                    assert!(!op.blocking, "{} still blocking", op.name);
+                } else if let Some(base) = op.name.strip_suffix(".emit") {
+                    let orig = w_of(base);
+                    assert!(
+                        op.input_work.iter().sum::<f64>() == 0.0,
+                        "{} kept w",
+                        op.name
+                    );
+                    assert!(
+                        (op.output_cost.iter().sum::<f64>() - orig.output_cost.iter().sum::<f64>())
+                            .abs()
+                            < 1e-12,
+                        "{} changed s",
+                        op.name
+                    );
+                    assert!(ph.plan.children(id).is_empty(), "{} kept children", op.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn phase_count_is_blocking_count_plus_one() {
+        for (plan, blocking) in [
+            (sort_query(), 1usize),
+            (nested_query(), 2),
+            (
+                PlanSpec::pipeline(vec![
+                    OperatorSpec::new("scan", vec![1.0], vec![1.0]),
+                    OperatorSpec::new("agg", vec![1.0], vec![]),
+                ])
+                .unwrap(),
+                0,
+            ),
+        ] {
+            let phases = decompose(&plan).unwrap();
+            assert_eq!(phases.len(), blocking + 1);
+            // Every non-final phase names its boundary; the final one
+            // never does.
+            for (i, ph) in phases.iter().enumerate() {
+                assert_eq!(ph.boundary.is_none(), i == phases.len() - 1);
+            }
+        }
     }
 
     #[test]

@@ -169,7 +169,10 @@ impl PlanBuilder {
     /// Adds a leaf operator (no inputs), returning its id.
     pub fn add_leaf(&mut self, op: OperatorSpec) -> NodeId {
         let id = NodeId(self.nodes.len());
-        self.nodes.push(PlanNode { op, children: vec![] });
+        self.nodes.push(PlanNode {
+            op,
+            children: vec![],
+        });
         id
     }
 
@@ -211,9 +214,16 @@ impl PlanBuilder {
             }
         }
         if reachable != n {
-            return Err(ModelError::DisconnectedPlan { reachable, total: n });
+            return Err(ModelError::DisconnectedPlan {
+                reachable,
+                total: n,
+            });
         }
-        Ok(PlanSpec { nodes: self.nodes, root, parent })
+        Ok(PlanSpec {
+            nodes: self.nodes,
+            root,
+            parent,
+        })
     }
 }
 
@@ -263,7 +273,10 @@ mod tests {
 
     #[test]
     fn empty_pipeline_is_error() {
-        assert_eq!(PlanSpec::pipeline(vec![]).unwrap_err(), ModelError::EmptyPlan);
+        assert_eq!(
+            PlanSpec::pipeline(vec![]).unwrap_err(),
+            ModelError::EmptyPlan
+        );
     }
 
     #[test]
@@ -290,7 +303,10 @@ mod tests {
         let mut b = PlanSpec::new();
         let s1 = b.add_leaf(OperatorSpec::new("scan1", vec![4.0], vec![1.0]));
         let s2 = b.add_leaf(OperatorSpec::new("scan2", vec![6.0], vec![1.0]));
-        let join = b.add_node(OperatorSpec::new("join", vec![1.0, 1.0], vec![0.5]), vec![s1, s2]);
+        let join = b.add_node(
+            OperatorSpec::new("join", vec![1.0, 1.0], vec![0.5]),
+            vec![s1, s2],
+        );
         let agg = b.add_node(OperatorSpec::new("agg", vec![1.0], vec![]), vec![join]);
         let plan = b.finish(agg).unwrap();
 
@@ -305,7 +321,10 @@ mod tests {
         let mut b = PlanSpec::new();
         let _orphan = b.add_leaf(OperatorSpec::new("orphan", vec![1.0], vec![]));
         let root = b.add_leaf(OperatorSpec::new("root", vec![1.0], vec![]));
-        assert!(matches!(b.finish(root), Err(ModelError::DisconnectedPlan { .. })));
+        assert!(matches!(
+            b.finish(root),
+            Err(ModelError::DisconnectedPlan { .. })
+        ));
     }
 
     #[test]
@@ -321,7 +340,10 @@ mod tests {
     fn unknown_root_rejected() {
         let mut b = PlanSpec::new();
         let _leaf = b.add_leaf(OperatorSpec::new("leaf", vec![1.0], vec![]));
-        assert!(matches!(b.finish(NodeId(5)), Err(ModelError::UnknownNode(5))));
+        assert!(matches!(
+            b.finish(NodeId(5)),
+            Err(ModelError::UnknownNode(5))
+        ));
     }
 
     #[test]

@@ -114,7 +114,12 @@ impl SharingEvaluator {
                 })
             })
             .collect::<Result<Vec<_>>>()?;
-        Ok(Self { below, pivot_work, members, system: SystemKind::Closed })
+        Ok(Self {
+            below,
+            pivot_work,
+            members,
+            system: SystemKind::Closed,
+        })
     }
 
     /// Builds an evaluator directly from raw parameters, bypassing plan
@@ -134,7 +139,12 @@ impl SharingEvaluator {
                 crate::error::check_cost(&format!("member[{i}].above[{k}]"), *p)?;
             }
         }
-        Ok(Self { below, pivot_work, members, system: SystemKind::Closed })
+        Ok(Self {
+            below,
+            pivot_work,
+            members,
+            system: SystemKind::Closed,
+        })
     }
 
     /// Selects the queueing regime used for the unshared baseline.
@@ -152,7 +162,12 @@ impl SharingEvaluator {
     /// `p_φ(M) = w_φ + Σ_m s_mφ`: the pivot's per-unit-progress work when
     /// serving every member (paper Section 4.3).
     pub fn pivot_p(&self) -> f64 {
-        self.pivot_work + self.members.iter().map(|m| m.pivot_output_cost).sum::<f64>()
+        self.pivot_work
+            + self
+                .members
+                .iter()
+                .map(|m| m.pivot_output_cost)
+                .sum::<f64>()
     }
 
     /// `p_max` of the shared plan: the slowest of {operators below φ,
@@ -227,7 +242,11 @@ impl SharingEvaluator {
                     .iter()
                     .map(|mb| self.member_p_max(mb))
                     .fold(0.0_f64, f64::max);
-                let total: f64 = self.members.iter().map(|mb| self.member_total_work(mb)).sum();
+                let total: f64 = self
+                    .members
+                    .iter()
+                    .map(|mb| self.member_total_work(mb))
+                    .sum();
                 Ok(m * (1.0 / p_max).min(n / total))
             }
         }
@@ -249,7 +268,11 @@ impl SharingEvaluator {
                     .iter()
                     .map(|mb| self.member_p_max(mb))
                     .fold(0.0_f64, f64::max);
-                self.members.iter().map(|mb| self.member_total_work(mb)).sum::<f64>() / p_max
+                self.members
+                    .iter()
+                    .map(|mb| self.member_total_work(mb))
+                    .sum::<f64>()
+                    / p_max
             }
         }
     }
@@ -306,7 +329,10 @@ mod tests {
     fn synthetic() -> (PlanSpec, NodeId) {
         let mut b = PlanSpec::new();
         let bottom = b.add_leaf(OperatorSpec::new("bottom", vec![10.0], vec![]));
-        let pivot = b.add_node(OperatorSpec::new("pivot", vec![6.0], vec![1.0]), vec![bottom]);
+        let pivot = b.add_node(
+            OperatorSpec::new("pivot", vec![6.0], vec![1.0]),
+            vec![bottom],
+        );
         let top = b.add_node(OperatorSpec::new("top", vec![10.0], vec![]), vec![pivot]);
         (b.finish(top).unwrap(), pivot)
     }
@@ -380,7 +406,9 @@ mod tests {
         // worthwhile: loses at moderate load, wins at high load.
         let (plan, pivot) = synthetic();
         let z = |m: usize, n: f64| {
-            SharingEvaluator::homogeneous(&plan, pivot, m).unwrap().speedup(n)
+            SharingEvaluator::homogeneous(&plan, pivot, m)
+                .unwrap()
+                .speedup(n)
         };
         // 4 CPUs: always (paper: "always (4 CPU)").
         assert!(z(8, 4.0) > 1.0 && z(40, 4.0) > 1.0);
@@ -417,7 +445,10 @@ mod tests {
         // With s = 0 sharing imposes no serialization (Section 6.2).
         let mut b = PlanSpec::new();
         let bottom = b.add_leaf(OperatorSpec::new("bottom", vec![10.0], vec![]));
-        let pivot = b.add_node(OperatorSpec::new("pivot", vec![6.0], vec![0.0]), vec![bottom]);
+        let pivot = b.add_node(
+            OperatorSpec::new("pivot", vec![6.0], vec![0.0]),
+            vec![bottom],
+        );
         let top = b.add_node(OperatorSpec::new("top", vec![10.0], vec![]), vec![pivot]);
         let plan = b.finish(top).unwrap();
         let ev = SharingEvaluator::homogeneous(&plan, pivot, 30).unwrap();
@@ -477,13 +508,90 @@ mod tests {
     }
 
     #[test]
+    fn z_non_increasing_in_processor_count() {
+        // More processors only ever erode the benefit of sharing: the
+        // shared plan saturates at n_s = u'_s / p_max_s, the unshared
+        // group at the (never smaller) n_u = u'_u / p_max_u, so Z(m, ·)
+        // is flat, then ∝ 1/n, then flat again — never increasing.
+        for (plan, pivot) in [q6(), synthetic()] {
+            for m in [2usize, 8, 32] {
+                let ev = SharingEvaluator::homogeneous(&plan, pivot, m).unwrap();
+                let mut prev = f64::INFINITY;
+                for n in [
+                    1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0, 64.0, 128.0,
+                ] {
+                    let z = ev.speedup(n);
+                    assert!(
+                        z <= prev + 1e-12,
+                        "Z must not increase with n: m={m} n={n} z={z} prev={prev}"
+                    );
+                    prev = z;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn z_non_decreasing_in_group_size_on_uniprocessor() {
+        // On one processor every additional sharer saves more replicated
+        // below-pivot work while the pivot's serialization cannot bite
+        // (there is no parallelism to lose), so Z(·, 1) only grows.
+        for (plan, pivot) in [q6(), synthetic()] {
+            let mut prev = 0.0;
+            for m in 1..=32 {
+                let z = SharingEvaluator::homogeneous(&plan, pivot, m)
+                    .unwrap()
+                    .speedup(1.0);
+                assert!(
+                    z + 1e-12 >= prev,
+                    "Z must not drop as sharers join at n=1: m={m} z={z} prev={prev}"
+                );
+                prev = z;
+            }
+        }
+    }
+
+    #[test]
+    fn group_rates_monotone_in_n_and_capped() {
+        // Both x_shared(n) and x_unshared(n) are min(rate-cap, n/work)
+        // shapes: non-decreasing in n and capped by the group's peak.
+        for (plan, pivot) in [q6(), synthetic()] {
+            for m in [1usize, 4, 16] {
+                let ev = SharingEvaluator::homogeneous(&plan, pivot, m).unwrap();
+                let m_f = m as f64;
+                let shared_cap = m_f / ev.shared_p_max();
+                let mut prev_s = 0.0;
+                let mut prev_u = 0.0;
+                for n in [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0] {
+                    let xs = ev.shared_rate(n).unwrap();
+                    let xu = ev.unshared_rate(n).unwrap();
+                    assert!(xs + 1e-12 >= prev_s, "x_shared dipped at m={m} n={n}");
+                    assert!(xu + 1e-12 >= prev_u, "x_unshared dipped at m={m} n={n}");
+                    assert!(
+                        xs <= shared_cap + 1e-12,
+                        "x_shared above cap at m={m} n={n}"
+                    );
+                    prev_s = xs;
+                    prev_u = xu;
+                }
+            }
+        }
+    }
+
+    #[test]
     fn from_parts_matches_plan_construction() {
         let (plan, pivot) = synthetic();
         let from_plan = SharingEvaluator::homogeneous(&plan, pivot, 5).unwrap();
         let from_parts = SharingEvaluator::from_parts(
             vec![10.0],
             6.0,
-            vec![GroupMember { pivot_output_cost: 1.0, above: vec![10.0] }; 5],
+            vec![
+                GroupMember {
+                    pivot_output_cost: 1.0,
+                    above: vec![10.0]
+                };
+                5
+            ],
         )
         .unwrap();
         for n in [1.0, 8.0, 32.0] {

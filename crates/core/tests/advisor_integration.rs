@@ -1,0 +1,81 @@
+//! Integration: the model pipeline from plan construction through
+//! advisor recommendations, exercised across hardware descriptions —
+//! the full path the engine's model-guided policy drives at runtime.
+
+use cordoba_core::contention::HardwareModel;
+use cordoba_core::decision::ShareAdvisor;
+use cordoba_core::phases::PhasedEvaluator;
+use cordoba_core::{OperatorSpec, PlanSpec};
+
+/// The paper's profiled Q6: scan (w=9.66, s=10.34) feeding a p=0.97
+/// aggregate, shareable at the scan.
+fn q6() -> (PlanSpec, cordoba_core::NodeId) {
+    let mut b = PlanSpec::new();
+    let scan = b.add_leaf(OperatorSpec::new("scan", vec![9.66], vec![10.34]));
+    let agg = b.add_node(OperatorSpec::new("agg", vec![0.97], vec![]), vec![scan]);
+    (b.finish(agg).unwrap(), scan)
+}
+
+#[test]
+fn advisor_reproduces_paper_q6_recommendations() {
+    // Section 4.4: sharing 16 Q6 queries wins on one context, loses on
+    // a 32-context machine.
+    let (plan, scan) = q6();
+    let uni = ShareAdvisor::new(HardwareModel::ideal(1));
+    let t1 = ShareAdvisor::new(HardwareModel::ideal(32));
+    assert!(uni.advise_homogeneous(&plan, scan, 16).unwrap().share);
+    assert!(!t1.advise_homogeneous(&plan, scan, 16).unwrap().share);
+}
+
+#[test]
+fn hysteresis_suppresses_borderline_recommendations() {
+    // A borderline group (Z barely above 1) is recommended at zero
+    // hysteresis and suppressed once the margin exceeds the benefit.
+    let (plan, scan) = q6();
+    let n = 1;
+    let plain = ShareAdvisor::new(HardwareModel::ideal(n));
+    let z = plain.advise_homogeneous(&plan, scan, 2).unwrap().speedup.z;
+    assert!(z > 1.0);
+    let strict = plain.with_hysteresis(z - 1.0 + 0.01);
+    assert!(!strict.advise_homogeneous(&plan, scan, 2).unwrap().share);
+}
+
+#[test]
+fn contention_shrinks_effective_processors_toward_sharing() {
+    // Heavy contention (low k) makes a 32-context machine behave like a
+    // much smaller one, where sharing Q6 becomes attractive again —
+    // the Section 4.1.4 interaction.
+    let (plan, scan) = q6();
+    let contended = ShareAdvisor::new(HardwareModel::with_contention(32, 0.2).unwrap());
+    let d = contended.advise_homogeneous(&plan, scan, 16).unwrap();
+    assert!(d.n_shared < 32.0);
+    let ideal = ShareAdvisor::new(HardwareModel::ideal(32));
+    let d_ideal = ideal.advise_homogeneous(&plan, scan, 16).unwrap();
+    assert!(
+        d.speedup.z > d_ideal.speedup.z,
+        "contention must favor sharing: {} vs {}",
+        d.speedup.z,
+        d_ideal.speedup.z
+    );
+}
+
+#[test]
+fn phased_and_flat_evaluation_agree_on_pipelinable_plans() {
+    // A plan with no blocking operators decomposes into one phase, so
+    // the phased speedup must equal the flat evaluator's.
+    use cordoba_core::sharing::SharingEvaluator;
+    let (plan, scan) = q6();
+    let phased = PhasedEvaluator::new(&plan).unwrap();
+    assert_eq!(phased.phases().len(), 1);
+    let (idx, node) = phased.find_op("scan").unwrap();
+    for (m, n) in [(4usize, 1.0), (16, 8.0), (32, 32.0)] {
+        let whole = phased.speedup(idx, node, m, n).unwrap();
+        let flat = SharingEvaluator::homogeneous(&plan, scan, m)
+            .unwrap()
+            .speedup(n);
+        assert!(
+            (whole - flat).abs() < 1e-9,
+            "m={m} n={n}: {whole} vs {flat}"
+        );
+    }
+}

@@ -129,7 +129,11 @@ impl DispatcherTask {
                 }
             }
             if !joined {
-                let window = if core.policy.may_share() { core.window } else { 0 };
+                let window = if core.policy.may_share() {
+                    core.window
+                } else {
+                    0
+                };
                 core.pending.push(PendingGroup {
                     pivot: arrival.spec.pivot.clone(),
                     members: vec![arrival],
@@ -173,8 +177,7 @@ impl DispatcherTask {
                     let label = format!("q{}/{}", member.submission, member.spec.name);
                     match split_at_pivot(&member.spec.plan, pivot, &catalog) {
                         Some(fragment) => {
-                            let (sink_tx, sink_rx) =
-                                channel::bounded(core.wiring.queue_capacity);
+                            let (sink_tx, sink_rx) = channel::bounded(core.wiring.queue_capacity);
                             let mut sources = VecDeque::from([rx]);
                             instantiate_into(
                                 ctx,
@@ -273,10 +276,7 @@ impl Task for DispatcherTask {
         if let Some(next_due) = core.pending.iter().map(|g| g.due).min() {
             let delay = next_due.saturating_sub(now);
             Step::sleep(1, delay)
-        } else if core.resubmit
-            || !core.arrivals.is_empty()
-            || core.external_arrivals_pending > 0
-        {
+        } else if core.resubmit || !core.arrivals.is_empty() || core.external_arrivals_pending > 0 {
             // Parked until a sink or arrival driver wakes us.
             Step::blocked(u64::from(dispatched))
         } else {

@@ -37,7 +37,10 @@ pub enum Policy {
 impl Policy {
     /// Convenience constructor for the model-guided policy.
     pub fn model_guided(models: HashMap<String, QueryModelInfo>) -> Self {
-        Policy::ModelGuided { models, hysteresis: 0.0 }
+        Policy::ModelGuided {
+            models,
+            hysteresis: 0.0,
+        }
     }
 
     /// Whether this policy ever forms groups.
@@ -97,7 +100,10 @@ mod tests {
         let mut b = PlanSpec::new();
         let scan = b.add_leaf(OperatorSpec::new("scan", vec![9.66], vec![10.34]));
         let agg = b.add_node(OperatorSpec::new("agg", vec![0.97], vec![]), vec![scan]);
-        QueryModelInfo { plan: b.finish(agg).unwrap(), pivot: scan }
+        QueryModelInfo {
+            plan: b.finish(agg).unwrap(),
+            pivot: scan,
+        }
     }
 
     /// Join-heavy model: big scans below a cheap-output pivot.
@@ -105,9 +111,15 @@ mod tests {
         let mut b = PlanSpec::new();
         let s1 = b.add_leaf(OperatorSpec::new("scan1", vec![12.0], vec![1.0]));
         let s2 = b.add_leaf(OperatorSpec::new("scan2", vec![30.0], vec![1.0]));
-        let join = b.add_node(OperatorSpec::new("join", vec![2.0, 1.0], vec![0.05]), vec![s1, s2]);
+        let join = b.add_node(
+            OperatorSpec::new("join", vec![2.0, 1.0], vec![0.05]),
+            vec![s1, s2],
+        );
         let agg = b.add_node(OperatorSpec::new("agg", vec![0.5], vec![]), vec![join]);
-        QueryModelInfo { plan: b.finish(agg).unwrap(), pivot: join }
+        QueryModelInfo {
+            plan: b.finish(agg).unwrap(),
+            pivot: join,
+        }
     }
 
     fn model_policy() -> Policy {
@@ -164,7 +176,10 @@ mod tests {
     fn hysteresis_blocks_borderline() {
         let mut models = HashMap::new();
         models.insert("q6".to_string(), q6_info());
-        let strict = Policy::ModelGuided { models, hysteresis: 10.0 };
+        let strict = Policy::ModelGuided {
+            models,
+            hysteresis: 10.0,
+        };
         assert!(!strict.admit(&["q6".into()], "q6", 1.0));
     }
 }

@@ -82,7 +82,8 @@ pub fn profile_query(
         });
         if m == 1 {
             let reference = pivot_stats.progress;
-            (p_by_preorder, labels) = collect_ops(&out, &spec.plan, pivot_pre, subtree_size, reference)?;
+            (p_by_preorder, labels) =
+                collect_ops(&out, &spec.plan, pivot_pre, subtree_size, reference)?;
         }
     }
 
@@ -92,9 +93,18 @@ pub fn profile_query(
         pivot_w: fit.w,
         pivot_s: fit.s,
         fit_rss: fit.rss,
-        operators: labels.into_iter().zip(p_by_preorder.iter().copied()).collect(),
+        operators: labels
+            .into_iter()
+            .zip(p_by_preorder.iter().copied())
+            .collect(),
     };
-    Ok((QueryModelInfo { plan, pivot: pivot_id }, report))
+    Ok((
+        QueryModelInfo {
+            plan,
+            pivot: pivot_id,
+        },
+        report,
+    ))
 }
 
 fn find_stats<'a>(
@@ -200,7 +210,10 @@ fn build_model_plan(
         } else {
             OperatorSpec::try_new(plan.op_name(), vec![p[my]], vec![])?
         };
-        if matches!(plan, PhysicalPlan::Aggregate { .. } | PhysicalPlan::Sort { .. }) {
+        if matches!(
+            plan,
+            PhysicalPlan::Aggregate { .. } | PhysicalPlan::Sort { .. }
+        ) {
             op = op.blocking();
         }
         let id = if children.is_empty() {
@@ -216,7 +229,16 @@ fn build_model_plan(
     let mut b = PlanSpec::new();
     let mut preorder = 0usize;
     let mut pivot_id = None;
-    let root = walk(plan, p, pivot_pre, w, s, &mut preorder, &mut b, &mut pivot_id)?;
+    let root = walk(
+        plan,
+        p,
+        pivot_pre,
+        w,
+        s,
+        &mut preorder,
+        &mut b,
+        &mut pivot_id,
+    )?;
     let plan_spec = b.finish(root)?;
     let pivot_id =
         pivot_id.ok_or_else(|| ModelError::Estimation("pivot index out of range".into()))?;
@@ -246,7 +268,10 @@ mod tests {
 
     /// Scan with known (w, s) = (8, 3) feeding filter (1/tuple) + agg.
     fn query() -> QuerySpec {
-        let scan = PhysicalPlan::Scan { table: "t".into(), cost: OpCost::new(8.0, 3.0) };
+        let scan = PhysicalPlan::Scan {
+            table: "t".into(),
+            cost: OpCost::new(8.0, 3.0),
+        };
         let plan = PhysicalPlan::Aggregate {
             input: Box::new(PhysicalPlan::Filter {
                 input: Box::new(scan.clone()),

@@ -22,7 +22,11 @@ pub struct QuerySpec {
 impl QuerySpec {
     /// A non-shareable query.
     pub fn unshared(name: impl Into<String>, plan: PhysicalPlan) -> Self {
-        Self { name: name.into(), plan, pivot: None }
+        Self {
+            name: name.into(),
+            plan,
+            pivot: None,
+        }
     }
 
     /// A query shareable at the given sub-plan.
@@ -35,7 +39,11 @@ impl QuerySpec {
             crate::sharing::contains_subtree(&plan, &pivot),
             "pivot sub-plan is not part of the query plan"
         );
-        Self { name: name.into(), plan, pivot: Some(pivot) }
+        Self {
+            name: name.into(),
+            plan,
+            pivot: Some(pivot),
+        }
     }
 }
 
@@ -45,7 +53,10 @@ mod tests {
     use cordoba_exec::{expr::Predicate, OpCost};
 
     fn scan() -> PhysicalPlan {
-        PhysicalPlan::Scan { table: "t".into(), cost: OpCost::default() }
+        PhysicalPlan::Scan {
+            table: "t".into(),
+            cost: OpCost::default(),
+        }
     }
 
     #[test]
@@ -65,7 +76,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "not part of the query plan")]
     fn foreign_pivot_rejected() {
-        let other = PhysicalPlan::Scan { table: "other".into(), cost: OpCost::default() };
+        let other = PhysicalPlan::Scan {
+            table: "other".into(),
+            cost: OpCost::default(),
+        };
         QuerySpec::shared_at("q", scan(), other);
     }
 

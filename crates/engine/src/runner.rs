@@ -74,7 +74,10 @@ pub struct RunReport {
 impl RunReport {
     /// Completions inside the measurement window.
     pub fn measured_completions(&self) -> usize {
-        self.completions.iter().filter(|(t, _)| *t >= self.warmup).count()
+        self.completions
+            .iter()
+            .filter(|(t, _)| *t >= self.warmup)
+            .count()
     }
 
     /// Throughput in queries per unit of virtual time, over the
@@ -103,10 +106,17 @@ impl RunReport {
     }
 }
 
-fn build_core(catalog: &Catalog, cfg: &EngineConfig, resubmit: bool, collect: bool) -> Rc<RefCell<EngineCore>> {
+fn build_core(
+    catalog: &Catalog,
+    cfg: &EngineConfig,
+    resubmit: bool,
+    collect: bool,
+) -> Rc<RefCell<EngineCore>> {
     Rc::new(RefCell::new(EngineCore {
         catalog: Rc::new(catalog.clone()),
-        wiring: WiringConfig { queue_capacity: cfg.queue_capacity },
+        wiring: WiringConfig {
+            queue_capacity: cfg.queue_capacity,
+        },
         policy: cfg.policy.clone(),
         contexts: cfg.contexts,
         window: cfg.window,
@@ -137,7 +147,10 @@ pub fn run_closed_loop(catalog: &Catalog, clients: &[QuerySpec], cfg: &EngineCon
     for spec in clients {
         core.borrow_mut().submit(spec.clone());
     }
-    let dispatcher = sim.spawn("dispatcher", Box::new(DispatcherTask { core: core.clone() }));
+    let dispatcher = sim.spawn(
+        "dispatcher",
+        Box::new(DispatcherTask { core: core.clone() }),
+    );
     core.borrow_mut().dispatcher = Some(dispatcher);
     sim.run(Some(cfg.duration));
     let core = core.borrow();
@@ -168,7 +181,10 @@ impl ClosedLoop {
         for spec in clients {
             core.borrow_mut().submit(spec.clone());
         }
-        let dispatcher = sim.spawn("dispatcher", Box::new(DispatcherTask { core: core.clone() }));
+        let dispatcher = sim.spawn(
+            "dispatcher",
+            Box::new(DispatcherTask { core: core.clone() }),
+        );
         core.borrow_mut().dispatcher = Some(dispatcher);
         Self { sim, core }
     }
@@ -265,7 +281,11 @@ pub fn measure_throughput(
     let window = cl.now().saturating_sub(t0);
     let completions = cl.completions() - c0;
     Throughput {
-        per_time: if window == 0 { 0.0 } else { completions as f64 / window as f64 },
+        per_time: if window == 0 {
+            0.0
+        } else {
+            completions as f64 / window as f64
+        },
         completions,
         window,
     }
@@ -380,7 +400,10 @@ pub fn run_open_loop(
     core.borrow_mut().external_arrivals_pending = schedule.len();
     let mut sim = Simulator::new(cfg.contexts);
     let submitted = schedule.len();
-    let dispatcher = sim.spawn("dispatcher", Box::new(DispatcherTask { core: core.clone() }));
+    let dispatcher = sim.spawn(
+        "dispatcher",
+        Box::new(DispatcherTask { core: core.clone() }),
+    );
     core.borrow_mut().dispatcher = Some(dispatcher);
     sim.spawn(
         "arrivals",
@@ -430,7 +453,10 @@ pub fn run_once(catalog: &Catalog, specs: &[QuerySpec], cfg: &EngineConfig) -> O
     for spec in specs {
         core.borrow_mut().submit(spec.clone());
     }
-    let dispatcher = sim.spawn("dispatcher", Box::new(DispatcherTask { core: core.clone() }));
+    let dispatcher = sim.spawn(
+        "dispatcher",
+        Box::new(DispatcherTask { core: core.clone() }),
+    );
     core.borrow_mut().dispatcher = Some(dispatcher);
     let outcome = sim.run(None);
     assert!(
@@ -467,7 +493,7 @@ pub fn run_once(catalog: &Catalog, specs: &[QuerySpec], cfg: &EngineConfig) -> O
 mod tests {
     use super::*;
     use cordoba_exec::expr::{Agg, CmpOp, Predicate, ScalarExpr};
-    use cordoba_exec::{PhysicalPlan, reference};
+    use cordoba_exec::{reference, PhysicalPlan};
     use cordoba_storage::{DataType, Field, Schema, TableBuilder};
 
     fn catalog() -> Catalog {
@@ -485,7 +511,10 @@ mod tests {
     }
 
     fn scan() -> PhysicalPlan {
-        PhysicalPlan::Scan { table: "t".into(), cost: OpCost::new(4.0, 2.0) }
+        PhysicalPlan::Scan {
+            table: "t".into(),
+            cost: OpCost::new(4.0, 2.0),
+        }
     }
 
     /// sum(v) over k < 256, shareable at the scan.
@@ -510,7 +539,11 @@ mod tests {
     #[test]
     fn run_once_unshared_matches_reference() {
         let cat = catalog();
-        let cfg = EngineConfig { contexts: 2, policy: Policy::NeverShare, ..Default::default() };
+        let cfg = EngineConfig {
+            contexts: 2,
+            policy: Policy::NeverShare,
+            ..Default::default()
+        };
         let out = run_once(&cat, &[query(), query()], &cfg);
         assert_eq!(out.results.len(), 2);
         for r in &out.results {
@@ -523,7 +556,11 @@ mod tests {
     #[test]
     fn run_once_shared_matches_reference_and_merges() {
         let cat = catalog();
-        let cfg = EngineConfig { contexts: 2, policy: Policy::AlwaysShare, ..Default::default() };
+        let cfg = EngineConfig {
+            contexts: 2,
+            policy: Policy::AlwaysShare,
+            ..Default::default()
+        };
         let out = run_once(&cat, &[query(), query(), query()], &cfg);
         assert_eq!(out.group_sizes, vec![3], "all three queries must merge");
         for r in &out.results {
@@ -534,8 +571,16 @@ mod tests {
     #[test]
     fn shared_scan_runs_once_saving_work() {
         let cat = catalog();
-        let never = EngineConfig { contexts: 1, policy: Policy::NeverShare, ..Default::default() };
-        let always = EngineConfig { contexts: 1, policy: Policy::AlwaysShare, ..Default::default() };
+        let never = EngineConfig {
+            contexts: 1,
+            policy: Policy::NeverShare,
+            ..Default::default()
+        };
+        let always = EngineConfig {
+            contexts: 1,
+            policy: Policy::AlwaysShare,
+            ..Default::default()
+        };
         let out_n = run_once(&cat, &[query(), query(), query(), query()], &never);
         let out_s = run_once(&cat, &[query(), query(), query(), query()], &always);
         // On one context the shared batch must finish faster (the scan's
@@ -548,7 +593,10 @@ mod tests {
         );
         // Exactly one shared scan task vs four private ones.
         let scans = |o: &OnceOutcome| {
-            o.task_stats.iter().filter(|(n, _)| n.contains("scan(t)")).count()
+            o.task_stats
+                .iter()
+                .filter(|(n, _)| n.contains("scan(t)"))
+                .count()
         };
         assert_eq!(scans(&out_s), 1);
         assert_eq!(scans(&out_n), 4);
@@ -591,8 +639,15 @@ mod tests {
         let cat = catalog();
         let schedule = poisson_arrivals(&query(), 12, 5_000, 7);
         assert_eq!(schedule.len(), 12);
-        assert!(schedule.windows(2).all(|w| w[0].0 <= w[1].0), "sorted by time");
-        let cfg = EngineConfig { contexts: 4, policy: Policy::AlwaysShare, ..Default::default() };
+        assert!(
+            schedule.windows(2).all(|w| w[0].0 <= w[1].0),
+            "sorted by time"
+        );
+        let cfg = EngineConfig {
+            contexts: 4,
+            policy: Policy::AlwaysShare,
+            ..Default::default()
+        };
         let report = run_open_loop(&cat, schedule, &cfg, 1_000_000_000);
         assert_eq!(report.completed, 12, "{report:?}");
         assert_eq!(report.response_times.len(), 12);
@@ -606,11 +661,18 @@ mod tests {
         // Arrivals far apart never co-reside in the formation window,
         // so even always-share dispatches singletons; a burst merges.
         let cat = catalog();
-        let cfg = EngineConfig { contexts: 2, policy: Policy::AlwaysShare, ..Default::default() };
-        let sparse: ArrivalSchedule =
-            (0..6).map(|i| (i * 50_000_000, query())).collect();
+        let cfg = EngineConfig {
+            contexts: 2,
+            policy: Policy::AlwaysShare,
+            ..Default::default()
+        };
+        let sparse: ArrivalSchedule = (0..6).map(|i| (i * 50_000_000, query())).collect();
         let sparse_report = run_open_loop(&cat, sparse, &cfg, u64::MAX / 4);
-        assert!(sparse_report.group_sizes.iter().all(|&g| g == 1), "{:?}", sparse_report.group_sizes);
+        assert!(
+            sparse_report.group_sizes.iter().all(|&g| g == 1),
+            "{:?}",
+            sparse_report.group_sizes
+        );
         let burst: ArrivalSchedule = (0..6).map(|_| (1000, query())).collect();
         let burst_report = run_open_loop(&cat, burst, &cfg, u64::MAX / 4);
         assert_eq!(burst_report.group_sizes, vec![6]);
@@ -622,7 +684,10 @@ mod tests {
     #[test]
     fn open_loop_respects_time_cap() {
         let cat = catalog();
-        let cfg = EngineConfig { contexts: 1, ..Default::default() };
+        let cfg = EngineConfig {
+            contexts: 1,
+            ..Default::default()
+        };
         let schedule: ArrivalSchedule = (0..50).map(|_| (0, query())).collect();
         let report = run_open_loop(&cat, schedule, &cfg, 50_000);
         assert!(report.completed < 50, "cap must cut the run short");

@@ -42,7 +42,9 @@ fn replace_first(
 ) -> PhysicalPlan {
     if !*replaced && plan == pivot {
         *replaced = true;
-        return PhysicalPlan::Source { schema: schema.clone() };
+        return PhysicalPlan::Source {
+            schema: schema.clone(),
+        };
     }
     let mut clone = plan.clone();
     match &mut clone {
@@ -113,7 +115,10 @@ mod tests {
     }
 
     fn scan() -> PhysicalPlan {
-        PhysicalPlan::Scan { table: "t".into(), cost: OpCost::default() }
+        PhysicalPlan::Scan {
+            table: "t".into(),
+            cost: OpCost::default(),
+        }
     }
 
     fn filter_over_scan() -> PhysicalPlan {
@@ -128,7 +133,10 @@ mod tests {
     fn contains_matches_nested() {
         assert!(contains_subtree(&filter_over_scan(), &scan()));
         assert!(contains_subtree(&filter_over_scan(), &filter_over_scan()));
-        let other = PhysicalPlan::Scan { table: "u".into(), cost: OpCost::default() };
+        let other = PhysicalPlan::Scan {
+            table: "u".into(),
+            cost: OpCost::default(),
+        };
         assert!(!contains_subtree(&filter_over_scan(), &other));
     }
 
@@ -143,7 +151,10 @@ mod tests {
             other => panic!("expected filter, got {other:?}"),
         }
         // Source schema equals the pivot's output schema.
-        assert_eq!(fragment.output_schema(&cat), filter_over_scan().output_schema(&cat));
+        assert_eq!(
+            fragment.output_schema(&cat),
+            filter_over_scan().output_schema(&cat)
+        );
     }
 
     #[test]
@@ -200,8 +211,14 @@ mod tests {
     fn preorder_indices_match_wiring_labels() {
         // filter(scan): filter=0, scan=1.
         assert_eq!(pivot_preorder(&filter_over_scan(), &scan()), Some(1));
-        assert_eq!(pivot_preorder(&filter_over_scan(), &filter_over_scan()), Some(0));
-        let other = PhysicalPlan::Scan { table: "u".into(), cost: OpCost::default() };
+        assert_eq!(
+            pivot_preorder(&filter_over_scan(), &filter_over_scan()),
+            Some(0)
+        );
+        let other = PhysicalPlan::Scan {
+            table: "u".into(),
+            cost: OpCost::default(),
+        };
         assert_eq!(pivot_preorder(&filter_over_scan(), &other), None);
     }
 
@@ -211,7 +228,10 @@ mod tests {
         let cat = catalog();
         // A pivot over a *known* table that simply isn't part of the
         // plan (an unknown table would already fail schema derivation).
-        let other = PhysicalPlan::Scan { table: "t".into(), cost: OpCost::per_tuple(123.0) };
+        let other = PhysicalPlan::Scan {
+            table: "t".into(),
+            cost: OpCost::per_tuple(123.0),
+        };
         split_at_pivot(&filter_over_scan(), &other, &cat);
     }
 }

@@ -13,7 +13,8 @@ use crate::sharing::split_at_pivot;
 use cordoba_exec::{reference, PhysicalPlan};
 use cordoba_storage::{Catalog, Page, Table, TableBuilder, Value};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
+use std::thread;
 use std::time::{Duration, Instant};
 
 /// Outcome of a threaded run.
@@ -32,12 +33,12 @@ pub fn run_unshared(catalog: &Catalog, spec: &QuerySpec, m: usize, threads: usiz
     let next = AtomicUsize::new(0);
     let mut results: Vec<Option<Vec<Vec<Value>>>> = vec![None; m];
     let mut slots: Vec<_> = results.iter_mut().collect();
-    crossbeam::thread::scope(|scope| {
-        let (done_tx, done_rx) = crossbeam::channel::bounded::<(usize, Vec<Vec<Value>>)>(m.max(1));
+    thread::scope(|scope| {
+        let (done_tx, done_rx) = mpsc::sync_channel::<(usize, Vec<Vec<Value>>)>(m.max(1));
         for _ in 0..threads.max(1).min(m.max(1)) {
             let done_tx = done_tx.clone();
             let next = &next;
-            scope.spawn(move |_| loop {
+            scope.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= m {
                     break;
@@ -50,10 +51,12 @@ pub fn run_unshared(catalog: &Catalog, spec: &QuerySpec, m: usize, threads: usiz
         for (i, rows) in done_rx {
             *slots[i] = Some(rows);
         }
-    })
-    .expect("worker panicked");
+    });
     ThreadReport {
-        results: results.into_iter().map(|r| r.expect("all queries ran")).collect(),
+        results: results
+            .into_iter()
+            .map(|r| r.expect("all queries ran"))
+            .collect(),
         elapsed: start.elapsed(),
     }
 }
@@ -75,19 +78,18 @@ pub fn run_shared(catalog: &Catalog, spec: &QuerySpec, m: usize) -> ThreadReport
 
     let mut results: Vec<Option<Vec<Vec<Value>>>> = vec![None; m];
     let mut slots: Vec<_> = results.iter_mut().collect();
-    crossbeam::thread::scope(|scope| {
+    thread::scope(|scope| {
         // One bounded channel per consumer: the fan-out serialization
         // point of the model.
         let mut txs = Vec::with_capacity(m);
-        let mut handles = Vec::with_capacity(m);
-        let (done_tx, done_rx) = crossbeam::channel::bounded::<(usize, Vec<Vec<Value>>)>(m.max(1));
+        let (done_tx, done_rx) = mpsc::sync_channel::<(usize, Vec<Vec<Value>>)>(m.max(1));
         for i in 0..m {
-            let (tx, rx) = crossbeam::channel::bounded::<Arc<Page>>(16);
+            let (tx, rx) = mpsc::sync_channel::<Arc<Page>>(16);
             txs.push(tx);
             let fragment = fragment.clone();
             let done_tx = done_tx.clone();
             let pivot_schema = pivot_table.schema().clone();
-            handles.push(scope.spawn(move |_| {
+            scope.spawn(move || {
                 // Materialize the received stream, then run the private
                 // fragment over it (Source replaced by a scan of the
                 // received pages).
@@ -107,12 +109,12 @@ pub fn run_shared(catalog: &Catalog, spec: &QuerySpec, m: usize) -> ThreadReport
                     None => table_rows(&received.finish()),
                 };
                 done_tx.send((i, rows)).expect("collector alive");
-            }));
+            });
         }
         drop(done_tx);
         // Producer: deliver every page to every consumer, sequentially —
         // exactly the pivot's M·s serialization.
-        scope.spawn(move |_| {
+        scope.spawn(move || {
             for page in pivot_table.pages() {
                 for tx in &txs {
                     tx.send(page.clone()).expect("consumer alive");
@@ -122,10 +124,12 @@ pub fn run_shared(catalog: &Catalog, spec: &QuerySpec, m: usize) -> ThreadReport
         for (i, rows) in done_rx {
             *slots[i] = Some(rows);
         }
-    })
-    .expect("thread panicked");
+    });
     ThreadReport {
-        results: results.into_iter().map(|r| r.expect("all consumers reported")).collect(),
+        results: results
+            .into_iter()
+            .map(|r| r.expect("all consumers reported"))
+            .collect(),
         elapsed: start.elapsed(),
     }
 }
@@ -189,7 +193,10 @@ mod tests {
     }
 
     fn query() -> QuerySpec {
-        let scan = PhysicalPlan::Scan { table: "t".into(), cost: OpCost::default() };
+        let scan = PhysicalPlan::Scan {
+            table: "t".into(),
+            cost: OpCost::default(),
+        };
         let plan = PhysicalPlan::Aggregate {
             input: Box::new(PhysicalPlan::Filter {
                 input: Box::new(scan.clone()),

@@ -1,0 +1,93 @@
+//! Integration: every sharing policy must preserve query results, and
+//! the threaded executor must agree with the simulated engine — results
+//! are policy-invariant even when the schedule is not.
+
+use cordoba_engine::{run_once, thread_exec, EngineConfig, Policy, QuerySpec};
+use cordoba_exec::expr::{Agg, CmpOp, Predicate, ScalarExpr};
+use cordoba_exec::{reference, OpCost, PhysicalPlan};
+use cordoba_storage::{Catalog, DataType, Field, Schema, TableBuilder, Value};
+
+fn catalog() -> Catalog {
+    let schema = Schema::new(vec![
+        Field::new("k", DataType::Int),
+        Field::new("v", DataType::Float),
+    ]);
+    let mut b = TableBuilder::new("t", schema);
+    for i in 0..3000 {
+        b.push_row(&[Value::Int(i % 97), Value::Float((i % 13) as f64)]);
+    }
+    let mut c = Catalog::new();
+    c.register(b.finish());
+    c
+}
+
+/// Grouped aggregate over a filtered scan, shareable at the scan.
+fn query() -> QuerySpec {
+    let scan = PhysicalPlan::Scan {
+        table: "t".into(),
+        cost: OpCost::default(),
+    };
+    let plan = PhysicalPlan::Aggregate {
+        input: Box::new(PhysicalPlan::Filter {
+            input: Box::new(scan.clone()),
+            predicate: Predicate::col_cmp(0, CmpOp::Lt, 50i64),
+            cost: OpCost::default(),
+        }),
+        group_by: vec![0],
+        aggs: vec![
+            ("n".into(), Agg::Count),
+            ("total".into(), Agg::Sum(ScalarExpr::col(1))),
+        ],
+        cost: OpCost::default(),
+    };
+    QuerySpec::shared_at("grouped", plan, scan)
+}
+
+#[test]
+fn all_policies_preserve_results_across_context_counts() {
+    let catalog = catalog();
+    let spec = query();
+    let expected = reference::execute(&catalog, &spec.plan);
+    assert!(!expected.is_empty());
+    for contexts in [1usize, 2, 8] {
+        for policy in [Policy::NeverShare, Policy::AlwaysShare] {
+            let label = format!("{policy:?} on {contexts} contexts");
+            let out = run_once(
+                &catalog,
+                &vec![spec.clone(); 5],
+                &EngineConfig {
+                    contexts,
+                    policy: policy.clone(),
+                    ..EngineConfig::default()
+                },
+            );
+            assert_eq!(out.results.len(), 5, "{label}: lost queries");
+            for rows in &out.results {
+                assert_eq!(rows, &expected, "{label}: diverged");
+            }
+        }
+    }
+}
+
+#[test]
+fn threaded_and_simulated_execution_agree() {
+    let catalog = catalog();
+    let spec = query();
+    let expected = reference::execute(&catalog, &spec.plan);
+    let threaded = thread_exec::run_shared(&catalog, &spec, 4);
+    for rows in &threaded.results {
+        assert_eq!(rows, &expected, "threaded shared run diverged");
+    }
+    let sim = run_once(
+        &catalog,
+        &vec![spec.clone(); 4],
+        &EngineConfig {
+            contexts: 4,
+            policy: Policy::AlwaysShare,
+            ..EngineConfig::default()
+        },
+    );
+    for rows in &sim.results {
+        assert_eq!(rows, &expected, "simulated shared run diverged");
+    }
+}

@@ -25,12 +25,20 @@ pub struct OpCost {
 impl OpCost {
     /// A cost spec with only per-input-tuple work.
     pub const fn per_tuple(w: f64) -> Self {
-        Self { per_tuple: w, per_page: 0.0, out_per_tuple: 0.0 }
+        Self {
+            per_tuple: w,
+            per_page: 0.0,
+            out_per_tuple: 0.0,
+        }
     }
 
     /// A cost spec with input work and per-consumer output cost.
     pub const fn new(per_tuple: f64, out_per_tuple: f64) -> Self {
-        Self { per_tuple, per_page: 0.0, out_per_tuple }
+        Self {
+            per_tuple,
+            per_page: 0.0,
+            out_per_tuple,
+        }
     }
 
     /// Adds a fixed per-page overhead.
@@ -42,7 +50,9 @@ impl OpCost {
 
     /// Virtual cost of consuming `tuples` input tuples from one page.
     pub fn input_cost(&self, tuples: usize) -> VTime {
-        (self.per_page + self.per_tuple * tuples as f64).round().max(0.0) as VTime
+        (self.per_page + self.per_tuple * tuples as f64)
+            .round()
+            .max(0.0) as VTime
     }
 
     /// Virtual cost of delivering `tuples` output tuples to one consumer.
@@ -55,7 +65,11 @@ impl Default for OpCost {
     /// One work unit per tuple, free output: a neutral default used by
     /// tests; real workloads calibrate explicitly.
     fn default() -> Self {
-        Self { per_tuple: 1.0, per_page: 0.0, out_per_tuple: 0.0 }
+        Self {
+            per_tuple: 1.0,
+            per_page: 0.0,
+            out_per_tuple: 0.0,
+        }
     }
 }
 
@@ -65,7 +79,11 @@ mod tests {
 
     #[test]
     fn input_cost_rounds() {
-        let c = OpCost { per_tuple: 1.5, per_page: 2.0, out_per_tuple: 0.0 };
+        let c = OpCost {
+            per_tuple: 1.5,
+            per_page: 2.0,
+            out_per_tuple: 0.0,
+        };
         assert_eq!(c.input_cost(0), 2);
         assert_eq!(c.input_cost(3), 7); // 2 + 4.5 rounds to 7 (6.5 -> 7)
     }
@@ -79,7 +97,11 @@ mod tests {
 
     #[test]
     fn zero_costs_allowed() {
-        let c = OpCost { per_tuple: 0.0, per_page: 0.0, out_per_tuple: 0.0 };
+        let c = OpCost {
+            per_tuple: 0.0,
+            per_page: 0.0,
+            out_per_tuple: 0.0,
+        };
         assert_eq!(c.input_cost(1000), 0);
         assert_eq!(c.output_cost(1000), 0);
     }

@@ -26,26 +26,47 @@ fn render(plan: &PhysicalPlan, catalog: &Catalog, depth: usize, out: &mut String
         PhysicalPlan::Source { .. } => "[external pages]".to_string(),
         PhysicalPlan::Filter { cost, .. } => cost_str(cost.per_tuple, cost.out_per_tuple),
         PhysicalPlan::Project { exprs, cost, .. } => {
-            format!("[exprs={}] {}", exprs.len(), cost_str(cost.per_tuple, cost.out_per_tuple))
+            format!(
+                "[exprs={}] {}",
+                exprs.len(),
+                cost_str(cost.per_tuple, cost.out_per_tuple)
+            )
         }
-        PhysicalPlan::Aggregate { group_by, aggs, cost, .. } => format!(
+        PhysicalPlan::Aggregate {
+            group_by,
+            aggs,
+            cost,
+            ..
+        } => format!(
             "[group={} aggs={}] {}",
             group_by.len(),
             aggs.len(),
             cost_str(cost.per_tuple, cost.out_per_tuple)
         ),
         PhysicalPlan::Sort { keys, cost, .. } => {
-            format!("[keys={keys:?}] {}", cost_str(cost.per_tuple, cost.out_per_tuple))
+            format!(
+                "[keys={keys:?}] {}",
+                cost_str(cost.per_tuple, cost.out_per_tuple)
+            )
         }
-        PhysicalPlan::HashJoin { build_key, probe_key, build_cost, probe_cost, .. } => format!(
+        PhysicalPlan::HashJoin {
+            build_key,
+            probe_key,
+            build_cost,
+            probe_cost,
+            ..
+        } => format!(
             "[build.{build_key} = probe.{probe_key}] (build w={}/t; probe {})",
             trim(build_cost.per_tuple),
             cost_str(probe_cost.per_tuple, probe_cost.out_per_tuple)
         ),
-        PhysicalPlan::NestedLoopJoin { cost, .. } => {
-            cost_str(cost.per_tuple, cost.out_per_tuple)
-        }
-        PhysicalPlan::MergeJoin { left_key, right_key, cost, .. } => format!(
+        PhysicalPlan::NestedLoopJoin { cost, .. } => cost_str(cost.per_tuple, cost.out_per_tuple),
+        PhysicalPlan::MergeJoin {
+            left_key,
+            right_key,
+            cost,
+            ..
+        } => format!(
             "[left.{left_key} = right.{right_key}] {}",
             cost_str(cost.per_tuple, cost.out_per_tuple)
         ),
@@ -115,7 +136,12 @@ mod tests {
     #[test]
     fn renders_join_keys() {
         let cat = catalog();
-        let scan = || Box::new(PhysicalPlan::Scan { table: "t".into(), cost: OpCost::default() });
+        let scan = || {
+            Box::new(PhysicalPlan::Scan {
+                table: "t".into(),
+                cost: OpCost::default(),
+            })
+        };
         let plan = PhysicalPlan::HashJoin {
             build: scan(),
             probe: scan(),
@@ -126,7 +152,10 @@ mod tests {
             probe_cost: OpCost::new(3.0, 0.4),
         };
         let text = explain(&plan, &cat);
-        assert!(text.contains("hashjoin(Semi) [build.0 = probe.0]"), "{text}");
+        assert!(
+            text.contains("hashjoin(Semi) [build.0 = probe.0]"),
+            "{text}"
+        );
         assert!(text.contains("build w=4/t"));
         // Semi join output = probe schema (2 cols).
         assert!(text.lines().next().unwrap().contains("-> 2 cols"));

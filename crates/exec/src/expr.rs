@@ -198,7 +198,11 @@ impl Predicate {
 
     /// `col <op> literal` over a column index.
     pub fn col_cmp(col: usize, op: CmpOp, lit: impl Into<LitValue>) -> Self {
-        Predicate::Cmp { left: ScalarExpr::Col(col), op, right: lit.into().0 }
+        Predicate::Cmp {
+            left: ScalarExpr::Col(col),
+            op,
+            right: lit.into().0,
+        }
     }
 
     /// Evaluates against a tuple.
@@ -330,8 +334,14 @@ mod tests {
         let t = p.tuple(0);
         assert_eq!(ScalarExpr::col(0).eval(&t), Scalar::Int(10));
         assert_eq!(ScalarExpr::col(1).eval(&t), Scalar::Float(2.5));
-        assert_eq!(ScalarExpr::col(2).eval(&t), Scalar::Date(Date::from_ymd(1994, 6, 1)));
-        assert_eq!(ScalarExpr::col(3).eval(&t), Scalar::Str("special pinto requests"));
+        assert_eq!(
+            ScalarExpr::col(2).eval(&t),
+            Scalar::Date(Date::from_ymd(1994, 6, 1))
+        );
+        assert_eq!(
+            ScalarExpr::col(3).eval(&t),
+            Scalar::Str("special pinto requests")
+        );
     }
 
     #[test]
@@ -351,7 +361,10 @@ mod tests {
             other => panic!("expected float, got {other:?}"),
         }
         // int + int stays int
-        let e = ScalarExpr::Add(Box::new(ScalarExpr::col(0)), Box::new(ScalarExpr::IntLit(5)));
+        let e = ScalarExpr::Add(
+            Box::new(ScalarExpr::col(0)),
+            Box::new(ScalarExpr::IntLit(5)),
+        );
         assert_eq!(e.eval(&t), Scalar::Int(15));
     }
 
@@ -387,7 +400,10 @@ mod tests {
     #[test]
     fn like_on_tuples() {
         let p = page();
-        let like = Predicate::Like { col: 3, pattern: "%special%requests%".into() };
+        let like = Predicate::Like {
+            col: 3,
+            pattern: "%special%requests%".into(),
+        };
         assert!(like.eval(&p.tuple(0)));
         assert!(!like.eval(&p.tuple(1)));
     }
@@ -426,6 +442,10 @@ mod tests {
     fn arithmetic_on_strings_panics() {
         let p = page();
         let t = p.tuple(0);
-        ScalarExpr::Add(Box::new(ScalarExpr::col(3)), Box::new(ScalarExpr::IntLit(1))).eval(&t);
+        ScalarExpr::Add(
+            Box::new(ScalarExpr::col(3)),
+            Box::new(ScalarExpr::IntLit(1)),
+        )
+        .eval(&t);
     }
 }

@@ -59,7 +59,11 @@ impl Acc {
             Acc::Count(n) => out.extend_from_slice(&n.to_le_bytes()),
             Acc::Sum(s) => out.extend_from_slice(&s.to_le_bytes()),
             Acc::Avg { sum, count } => {
-                let avg = if *count == 0 { 0.0 } else { sum / *count as f64 };
+                let avg = if *count == 0 {
+                    0.0
+                } else {
+                    sum / *count as f64
+                };
                 out.extend_from_slice(&avg.to_le_bytes());
             }
             Acc::Min(m) => out.extend_from_slice(&m.unwrap_or(0.0).to_le_bytes()),
@@ -153,7 +157,10 @@ impl Task for AggregateTask {
                 let mut pages = 0usize;
                 let mut exhausted = false;
                 {
-                    let iter = self.emit_iter.as_mut().expect("emitting phase has iterator");
+                    let iter = self
+                        .emit_iter
+                        .as_mut()
+                        .expect("emitting phase has iterator");
                     loop {
                         let Some((key, accs)) = iter.next() else {
                             exhausted = true;
@@ -233,14 +240,31 @@ mod tests {
         let (tx2, rx2) = channel::bounded(4);
         sim.spawn(
             "scan",
-            Box::new(ScanTask::new(table.pages().to_vec(), OpCost::default(), Fanout::new(vec![tx1], 0.0))),
+            Box::new(ScanTask::new(
+                table.pages().to_vec(),
+                OpCost::default(),
+                Fanout::new(vec![tx1], 0.0),
+            )),
         );
         sim.spawn(
             "agg",
-            Box::new(AggregateTask::new(rx1, group_by, aggs, out_schema, OpCost::default(), Fanout::new(vec![tx2], 0.0))),
+            Box::new(AggregateTask::new(
+                rx1,
+                group_by,
+                aggs,
+                out_schema,
+                OpCost::default(),
+                Fanout::new(vec![tx2], 0.0),
+            )),
         );
         let out = Rc::new(RefCell::new(Vec::new()));
-        sim.spawn("sink", Box::new(CollectingSink { rx: rx2, rows: out.clone() }));
+        sim.spawn(
+            "sink",
+            Box::new(CollectingSink {
+                rx: rx2,
+                rows: out.clone(),
+            }),
+        );
         assert!(sim.run_to_idle().completed_all());
         let out = out.borrow().clone();
         out

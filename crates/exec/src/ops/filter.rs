@@ -130,10 +130,22 @@ mod tests {
         );
         sim.spawn(
             "filter",
-            Box::new(FilterTask::new(rx1, schema, predicate, OpCost::per_tuple(1.0), Fanout::new(vec![tx2], 0.0))),
+            Box::new(FilterTask::new(
+                rx1,
+                schema,
+                predicate,
+                OpCost::per_tuple(1.0),
+                Fanout::new(vec![tx2], 0.0),
+            )),
         );
         let rows_out = Rc::new(Cell::new(0));
-        sim.spawn("sink", Box::new(CountingSink { rx: rx2, rows: rows_out.clone() }));
+        sim.spawn(
+            "sink",
+            Box::new(CountingSink {
+                rx: rx2,
+                rows: rows_out.clone(),
+            }),
+        );
         assert!(sim.run_to_idle().completed_all());
         rows_out.get()
     }

@@ -255,11 +255,19 @@ mod tests {
         let (txo, rxo) = channel::bounded(4);
         sim.spawn(
             "scan_b",
-            Box::new(ScanTask::new(btable.pages().to_vec(), OpCost::default(), Fanout::new(vec![txb], 0.0))),
+            Box::new(ScanTask::new(
+                btable.pages().to_vec(),
+                OpCost::default(),
+                Fanout::new(vec![txb], 0.0),
+            )),
         );
         sim.spawn(
             "scan_p",
-            Box::new(ScanTask::new(ptable.pages().to_vec(), OpCost::default(), Fanout::new(vec![txp], 0.0))),
+            Box::new(ScanTask::new(
+                ptable.pages().to_vec(),
+                OpCost::default(),
+                Fanout::new(vec![txp], 0.0),
+            )),
         );
         sim.spawn(
             "join",
@@ -277,7 +285,13 @@ mod tests {
             )),
         );
         let out = Rc::new(RefCell::new(Vec::new()));
-        sim.spawn("sink", Box::new(CollectingSink { rx: rxo, rows: out.clone() }));
+        sim.spawn(
+            "sink",
+            Box::new(CollectingSink {
+                rx: rxo,
+                rows: out.clone(),
+            }),
+        );
         assert!(sim.run_to_idle().completed_all());
         let out = out.borrow().clone();
         out
@@ -289,9 +303,24 @@ mod tests {
         assert_eq!(
             got,
             vec![
-                vec![Value::Int(1), Value::Int(100), Value::Int(1), Value::Int(10)],
-                vec![Value::Int(2), Value::Int(200), Value::Int(2), Value::Int(20)],
-                vec![Value::Int(2), Value::Int(200), Value::Int(2), Value::Int(21)],
+                vec![
+                    Value::Int(1),
+                    Value::Int(100),
+                    Value::Int(1),
+                    Value::Int(10)
+                ],
+                vec![
+                    Value::Int(2),
+                    Value::Int(200),
+                    Value::Int(2),
+                    Value::Int(20)
+                ],
+                vec![
+                    Value::Int(2),
+                    Value::Int(200),
+                    Value::Int(2),
+                    Value::Int(21)
+                ],
             ]
         );
     }
@@ -353,11 +382,19 @@ mod tests {
             let (txo, rxo) = channel::bounded(4);
             sim.spawn(
                 "scan_b",
-                Box::new(ScanTask::new(btable.pages().to_vec(), OpCost::default(), Fanout::new(vec![txb], 0.0))),
+                Box::new(ScanTask::new(
+                    btable.pages().to_vec(),
+                    OpCost::default(),
+                    Fanout::new(vec![txb], 0.0),
+                )),
             );
             sim.spawn(
                 "scan_p",
-                Box::new(ScanTask::new(ptable.pages().to_vec(), OpCost::default(), Fanout::new(vec![txp], 0.0))),
+                Box::new(ScanTask::new(
+                    ptable.pages().to_vec(),
+                    OpCost::default(),
+                    Fanout::new(vec![txp], 0.0),
+                )),
             );
             sim.spawn(
                 "join",
@@ -375,7 +412,13 @@ mod tests {
                 )),
             );
             let out = Rc::new(RefCell::new(Vec::new()));
-            sim.spawn("sink", Box::new(CollectingSink { rx: rxo, rows: out.clone() }));
+            sim.spawn(
+                "sink",
+                Box::new(CollectingSink {
+                    rx: rxo,
+                    rows: out.clone(),
+                }),
+            );
             assert!(sim.run_to_idle().completed_all());
             assert_eq!(out.borrow().len(), expect, "{kind:?}");
         }
@@ -383,6 +426,10 @@ mod tests {
 
     fn tb_finish_empty(b: &mut TableBuilder) -> Arc<cordoba_storage::Table> {
         // Build an empty table with the builder's schema.
-        std::mem::replace(b, TableBuilder::new("x", Schema::new(vec![Field::new("d", DataType::Int)]))).finish()
+        std::mem::replace(
+            b,
+            TableBuilder::new("x", Schema::new(vec![Field::new("d", DataType::Int)])),
+        )
+        .finish()
     }
 }

@@ -41,7 +41,8 @@ impl Side {
                         );
                     }
                     self.last_key = Some(key);
-                    self.rows.push_back((key, t.raw().to_vec().into_boxed_slice()));
+                    self.rows
+                        .push_back((key, t.raw().to_vec().into_boxed_slice()));
                 }
                 Some(n)
             }
@@ -92,8 +93,20 @@ impl MergeJoinTask {
         fanout: Fanout,
     ) -> Self {
         Self {
-            left: Side { rx: rx_left, key_idx: left_key, rows: VecDeque::new(), closed: false, last_key: None },
-            right: Side { rx: rx_right, key_idx: right_key, rows: VecDeque::new(), closed: false, last_key: None },
+            left: Side {
+                rx: rx_left,
+                key_idx: left_key,
+                rows: VecDeque::new(),
+                closed: false,
+                last_key: None,
+            },
+            right: Side {
+                rx: rx_right,
+                key_idx: right_key,
+                rows: VecDeque::new(),
+                closed: false,
+                last_key: None,
+            },
             cost,
             builder: PageBuilder::new(out_schema),
             outbox: Outbox::new(fanout),
@@ -182,7 +195,11 @@ impl Task for MergeJoinTask {
             [false, true]
         };
         for is_left in order {
-            let side = if is_left { &mut self.left } else { &mut self.right };
+            let side = if is_left {
+                &mut self.left
+            } else {
+                &mut self.right
+            };
             if !side.closed {
                 if let Some(n) = side.pull(ctx) {
                     pulled += n;
@@ -225,8 +242,14 @@ mod tests {
     use std::rc::Rc;
 
     fn run_merge(left: Vec<(i64, i64)>, right: Vec<(i64, i64)>) -> Vec<Vec<Value>> {
-        let ls = Schema::new(vec![Field::new("lk", DataType::Int), Field::new("lv", DataType::Int)]);
-        let rs = Schema::new(vec![Field::new("rk", DataType::Int), Field::new("rv", DataType::Int)]);
+        let ls = Schema::new(vec![
+            Field::new("lk", DataType::Int),
+            Field::new("lv", DataType::Int),
+        ]);
+        let rs = Schema::new(vec![
+            Field::new("rk", DataType::Int),
+            Field::new("rv", DataType::Int),
+        ]);
         let mut lt = TableBuilder::with_page_size("l", ls.clone(), 64);
         for (k, v) in &left {
             lt.push_row(&[Value::Int(*k), Value::Int(*v)]);
@@ -242,18 +265,40 @@ mod tests {
         let (txo, rxo) = channel::bounded(2);
         sim.spawn(
             "l",
-            Box::new(ScanTask::new(lt.finish().pages().to_vec(), OpCost::default(), Fanout::new(vec![txl], 0.0))),
+            Box::new(ScanTask::new(
+                lt.finish().pages().to_vec(),
+                OpCost::default(),
+                Fanout::new(vec![txl], 0.0),
+            )),
         );
         sim.spawn(
             "r",
-            Box::new(ScanTask::new(rt.finish().pages().to_vec(), OpCost::default(), Fanout::new(vec![txr], 0.0))),
+            Box::new(ScanTask::new(
+                rt.finish().pages().to_vec(),
+                OpCost::default(),
+                Fanout::new(vec![txr], 0.0),
+            )),
         );
         sim.spawn(
             "mj",
-            Box::new(MergeJoinTask::new(rxl, rxr, 0, 0, out_schema, OpCost::default(), Fanout::new(vec![txo], 0.0))),
+            Box::new(MergeJoinTask::new(
+                rxl,
+                rxr,
+                0,
+                0,
+                out_schema,
+                OpCost::default(),
+                Fanout::new(vec![txo], 0.0),
+            )),
         );
         let out = Rc::new(RefCell::new(Vec::new()));
-        sim.spawn("sink", Box::new(CollectingSink { rx: rxo, rows: out.clone() }));
+        sim.spawn(
+            "sink",
+            Box::new(CollectingSink {
+                rx: rxo,
+                rows: out.clone(),
+            }),
+        );
         let outcome = sim.run_to_idle();
         assert!(outcome.completed_all(), "{outcome:?}");
         let out = out.borrow().clone();
@@ -269,8 +314,18 @@ mod tests {
         assert_eq!(
             got,
             vec![
-                vec![Value::Int(1), Value::Int(10), Value::Int(1), Value::Int(100)],
-                vec![Value::Int(5), Value::Int(50), Value::Int(5), Value::Int(500)],
+                vec![
+                    Value::Int(1),
+                    Value::Int(10),
+                    Value::Int(1),
+                    Value::Int(100)
+                ],
+                vec![
+                    Value::Int(5),
+                    Value::Int(50),
+                    Value::Int(5),
+                    Value::Int(500)
+                ],
             ]
         );
     }
@@ -285,7 +340,10 @@ mod tests {
             .map(|r| (r[1].as_int().unwrap(), r[3].as_int().unwrap()))
             .collect();
         pairs.sort_unstable();
-        assert_eq!(pairs, vec![(1, 10), (1, 20), (1, 30), (2, 10), (2, 20), (2, 30)]);
+        assert_eq!(
+            pairs,
+            vec![(1, 10), (1, 20), (1, 30), (2, 10), (2, 20), (2, 30)]
+        );
     }
 
     #[test]

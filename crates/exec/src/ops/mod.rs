@@ -11,6 +11,8 @@ pub mod sink;
 pub mod sort;
 
 #[cfg(test)]
+mod join_properties;
+#[cfg(test)]
 pub(crate) mod testutil;
 
 pub use aggregate::AggregateTask;
@@ -45,7 +47,11 @@ impl Fanout {
     /// list is allowed (a root operator nobody listens to — used in
     /// drain benchmarks).
     pub fn new(outs: Vec<Sender<Arc<Page>>>, out_per_tuple: f64) -> Self {
-        Self { outs, pending: None, out_per_tuple }
+        Self {
+            outs,
+            pending: None,
+            out_per_tuple,
+        }
     }
 
     /// Number of consumers.
@@ -115,7 +121,10 @@ pub struct Outbox {
 impl Outbox {
     /// Wraps a fan-out in an ordered outbox.
     pub fn new(fanout: Fanout) -> Self {
-        Self { queue: std::collections::VecDeque::new(), fanout }
+        Self {
+            queue: std::collections::VecDeque::new(),
+            fanout,
+        }
     }
 
     /// Number of consumers of the underlying fan-out.
@@ -152,7 +161,10 @@ impl Outbox {
 
     /// Closes all consumer channels.
     pub fn close(&mut self, ctx: &mut TaskCtx<'_>) {
-        debug_assert!(self.is_drained(), "closing an outbox with undelivered pages");
+        debug_assert!(
+            self.is_drained(),
+            "closing an outbox with undelivered pages"
+        );
         self.fanout.close(ctx);
     }
 }
@@ -233,7 +245,12 @@ mod tests {
 
     #[test]
     fn total_f64_orders_nan_consistently() {
-        let mut v = [TotalF64(f64::NAN), TotalF64(1.0), TotalF64(-1.0), TotalF64(0.0)];
+        let mut v = [
+            TotalF64(f64::NAN),
+            TotalF64(1.0),
+            TotalF64(-1.0),
+            TotalF64(0.0),
+        ];
         v.sort();
         assert_eq!(v[0].0, -1.0);
         assert_eq!(v[1].0, 0.0);
@@ -254,7 +271,11 @@ mod tests {
         let key = key_of(&page.tuple(0), &[0, 1, 2]);
         assert_eq!(
             key,
-            vec![KeyVal::Int(9), KeyVal::Float(TotalF64(1.5)), KeyVal::Str("ab".into())]
+            vec![
+                KeyVal::Int(9),
+                KeyVal::Float(TotalF64(1.5)),
+                KeyVal::Str("ab".into())
+            ]
         );
         // Encode back and compare to the original raw row.
         let mut bytes = Vec::new();

@@ -178,18 +178,39 @@ mod tests {
         let (txout, rxout) = channel::bounded(4);
         sim.spawn(
             "outer",
-            Box::new(ScanTask::new(lt.finish().pages().to_vec(), OpCost::default(), Fanout::new(vec![txo], 0.0))),
+            Box::new(ScanTask::new(
+                lt.finish().pages().to_vec(),
+                OpCost::default(),
+                Fanout::new(vec![txo], 0.0),
+            )),
         );
         sim.spawn(
             "inner",
-            Box::new(ScanTask::new(rt.finish().pages().to_vec(), OpCost::default(), Fanout::new(vec![txi], 0.0))),
+            Box::new(ScanTask::new(
+                rt.finish().pages().to_vec(),
+                OpCost::default(),
+                Fanout::new(vec![txi], 0.0),
+            )),
         );
         sim.spawn(
             "nlj",
-            Box::new(NestedLoopJoinTask::new(rxo, rxi, pred, pair, OpCost::default(), Fanout::new(vec![txout], 0.0))),
+            Box::new(NestedLoopJoinTask::new(
+                rxo,
+                rxi,
+                pred,
+                pair,
+                OpCost::default(),
+                Fanout::new(vec![txout], 0.0),
+            )),
         );
         let out = Rc::new(RefCell::new(Vec::new()));
-        sim.spawn("sink", Box::new(CollectingSink { rx: rxout, rows: out.clone() }));
+        sim.spawn(
+            "sink",
+            Box::new(CollectingSink {
+                rx: rxout,
+                rows: out.clone(),
+            }),
+        );
         assert!(sim.run_to_idle().completed_all());
         let mut got = out.borrow().clone();
         got.sort_by_key(|r| (r[0].as_int(), r[1].as_int()));
@@ -228,18 +249,39 @@ mod tests {
         let (txout, rxout) = channel::bounded(4);
         sim.spawn(
             "outer",
-            Box::new(ScanTask::new(lt.finish().pages().to_vec(), OpCost::default(), Fanout::new(vec![txo], 0.0))),
+            Box::new(ScanTask::new(
+                lt.finish().pages().to_vec(),
+                OpCost::default(),
+                Fanout::new(vec![txo], 0.0),
+            )),
         );
         sim.spawn(
             "inner",
-            Box::new(ScanTask::new(rt.finish().pages().to_vec(), OpCost::default(), Fanout::new(vec![txi], 0.0))),
+            Box::new(ScanTask::new(
+                rt.finish().pages().to_vec(),
+                OpCost::default(),
+                Fanout::new(vec![txi], 0.0),
+            )),
         );
         sim.spawn(
             "nlj",
-            Box::new(NestedLoopJoinTask::new(rxo, rxi, pred, pair, OpCost::default(), Fanout::new(vec![txout], 0.0))),
+            Box::new(NestedLoopJoinTask::new(
+                rxo,
+                rxi,
+                pred,
+                pair,
+                OpCost::default(),
+                Fanout::new(vec![txout], 0.0),
+            )),
         );
         let out = Rc::new(RefCell::new(Vec::new()));
-        sim.spawn("sink", Box::new(CollectingSink { rx: rxout, rows: out.clone() }));
+        sim.spawn(
+            "sink",
+            Box::new(CollectingSink {
+                rx: rxout,
+                rows: out.clone(),
+            }),
+        );
         assert!(sim.run_to_idle().completed_all());
         // pairs: (1,3),(1,6),(5,6)
         assert_eq!(out.borrow().len(), 3);

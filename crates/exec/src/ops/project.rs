@@ -29,7 +29,11 @@ impl ProjectTask {
         cost: OpCost,
         fanout: Fanout,
     ) -> Self {
-        assert_eq!(exprs.len(), out_schema.len(), "one expression per output field");
+        assert_eq!(
+            exprs.len(),
+            out_schema.len(),
+            "one expression per output field"
+        );
         Self {
             rx,
             exprs,
@@ -85,7 +89,10 @@ impl Task for ProjectTask {
                     for e in &self.exprs {
                         self.scratch.push(e.eval(&t).to_value());
                     }
-                    assert!(self.builder.push_row(&self.scratch), "builder cannot be full here");
+                    assert!(
+                        self.builder.push_row(&self.scratch),
+                        "builder cannot be full here"
+                    );
                 }
                 if self.builder.is_full() {
                     let full = self.builder.finish_and_reset();
@@ -141,14 +148,30 @@ mod tests {
         let (tx2, rx2) = channel::bounded(4);
         sim.spawn(
             "scan",
-            Box::new(ScanTask::new(table.pages().to_vec(), OpCost::default(), Fanout::new(vec![tx1], 0.0))),
+            Box::new(ScanTask::new(
+                table.pages().to_vec(),
+                OpCost::default(),
+                Fanout::new(vec![tx1], 0.0),
+            )),
         );
         sim.spawn(
             "project",
-            Box::new(ProjectTask::new(rx1, out_schema, exprs, OpCost::default(), Fanout::new(vec![tx2], 0.0))),
+            Box::new(ProjectTask::new(
+                rx1,
+                out_schema,
+                exprs,
+                OpCost::default(),
+                Fanout::new(vec![tx2], 0.0),
+            )),
         );
         let rows = Rc::new(RefCell::new(Vec::new()));
-        sim.spawn("sink", Box::new(CollectingSink { rx: rx2, rows: rows.clone() }));
+        sim.spawn(
+            "sink",
+            Box::new(CollectingSink {
+                rx: rx2,
+                rows: rows.clone(),
+            }),
+        );
         assert!(sim.run_to_idle().completed_all());
         let rows = rows.borrow();
         assert_eq!(rows.len(), 2);
@@ -179,13 +202,29 @@ mod tests {
         let (tx2, rx2) = channel::bounded(1);
         sim.spawn(
             "scan",
-            Box::new(ScanTask::new(table.pages().to_vec(), OpCost::default(), Fanout::new(vec![tx1], 0.0))),
+            Box::new(ScanTask::new(
+                table.pages().to_vec(),
+                OpCost::default(),
+                Fanout::new(vec![tx1], 0.0),
+            )),
         );
-        let task = ProjectTask::new(rx1, out_schema.clone(), exprs, OpCost::default(), Fanout::new(vec![tx2], 0.0))
-            .with_output_page_size(out_schema, 64);
+        let task = ProjectTask::new(
+            rx1,
+            out_schema.clone(),
+            exprs,
+            OpCost::default(),
+            Fanout::new(vec![tx2], 0.0),
+        )
+        .with_output_page_size(out_schema, 64);
         sim.spawn("project", Box::new(task));
         let rows = Rc::new(RefCell::new(Vec::new()));
-        sim.spawn("sink", Box::new(CollectingSink { rx: rx2, rows: rows.clone() }));
+        sim.spawn(
+            "sink",
+            Box::new(CollectingSink {
+                rx: rx2,
+                rows: rows.clone(),
+            }),
+        );
         assert!(sim.run_to_idle().completed_all());
         let rows = rows.borrow();
         assert_eq!(rows.len(), 64);

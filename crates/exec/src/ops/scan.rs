@@ -22,7 +22,12 @@ pub struct ScanTask {
 impl ScanTask {
     /// Creates a scan over `pages` delivering to `fanout`.
     pub fn new(pages: Vec<Arc<Page>>, cost: OpCost, fanout: Fanout) -> Self {
-        Self { pages, pos: 0, cost, fanout }
+        Self {
+            pages,
+            pos: 0,
+            cost,
+            fanout,
+        }
     }
 }
 
@@ -78,9 +83,19 @@ mod tests {
         let rows = std::rc::Rc::new(std::cell::Cell::new(0));
         sim.spawn(
             "scan",
-            Box::new(ScanTask::new(table_pages(37), OpCost::per_tuple(2.0), Fanout::new(vec![tx], 0.5))),
+            Box::new(ScanTask::new(
+                table_pages(37),
+                OpCost::per_tuple(2.0),
+                Fanout::new(vec![tx], 0.5),
+            )),
         );
-        sim.spawn("sink", Box::new(CountingSink { rx, rows: rows.clone() }));
+        sim.spawn(
+            "sink",
+            Box::new(CountingSink {
+                rx,
+                rows: rows.clone(),
+            }),
+        );
         assert!(sim.run_to_idle().completed_all());
         assert_eq!(rows.get(), 37);
     }
@@ -93,7 +108,11 @@ mod tests {
         let rows = std::rc::Rc::new(std::cell::Cell::new(0));
         let scan = sim.spawn(
             "scan",
-            Box::new(ScanTask::new(table_pages(37), OpCost::new(2.0, 0.5), Fanout::new(vec![tx], 0.5))),
+            Box::new(ScanTask::new(
+                table_pages(37),
+                OpCost::new(2.0, 0.5),
+                Fanout::new(vec![tx], 0.5),
+            )),
         );
         sim.spawn("sink", Box::new(CountingSink { rx, rows }));
         sim.run_to_idle();
@@ -120,13 +139,23 @@ mod tests {
         }
         let scan = sim.spawn(
             "scan",
-            Box::new(ScanTask::new(table_pages(32), OpCost::new(2.0, 1.0), Fanout::new(txs, 1.0))),
+            Box::new(ScanTask::new(
+                table_pages(32),
+                OpCost::new(2.0, 1.0),
+                Fanout::new(txs, 1.0),
+            )),
         );
         let counts: Vec<_> = rxs
             .into_iter()
             .map(|rx| {
                 let rows = std::rc::Rc::new(std::cell::Cell::new(0));
-                sim.spawn("sink", Box::new(CountingSink { rx, rows: rows.clone() }));
+                sim.spawn(
+                    "sink",
+                    Box::new(CountingSink {
+                        rx,
+                        rows: rows.clone(),
+                    }),
+                );
                 rows
             })
             .collect();
@@ -145,9 +174,19 @@ mod tests {
         let rows = std::rc::Rc::new(std::cell::Cell::new(0));
         sim.spawn(
             "scan",
-            Box::new(ScanTask::new(vec![], OpCost::default(), Fanout::new(vec![tx], 0.0))),
+            Box::new(ScanTask::new(
+                vec![],
+                OpCost::default(),
+                Fanout::new(vec![tx], 0.0),
+            )),
         );
-        sim.spawn("sink", Box::new(CountingSink { rx, rows: rows.clone() }));
+        sim.spawn(
+            "sink",
+            Box::new(CountingSink {
+                rx,
+                rows: rows.clone(),
+            }),
+        );
         assert!(sim.run_to_idle().completed_all());
         assert_eq!(rows.get(), 0);
     }
@@ -172,7 +211,11 @@ mod tests {
         let (tx, rx) = channel::bounded(1);
         let scan = sim.spawn(
             "scan",
-            Box::new(ScanTask::new(table_pages(32), OpCost::per_tuple(1.0), Fanout::new(vec![tx], 0.0))),
+            Box::new(ScanTask::new(
+                table_pages(32),
+                OpCost::per_tuple(1.0),
+                Fanout::new(vec![tx], 0.0),
+            )),
         );
         sim.spawn("sink", Box::new(SlowSink { rx }));
         assert!(sim.run_to_idle().completed_all());

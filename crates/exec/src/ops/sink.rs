@@ -25,7 +25,13 @@ pub struct SinkTask {
 impl SinkTask {
     /// Creates a sink that merely drains and counts.
     pub fn new(rx: Receiver<Arc<Page>>, cost: OpCost) -> Self {
-        Self { rx, cost, rows_seen: 0, collect_into: None, on_done: None }
+        Self {
+            rx,
+            cost,
+            rows_seen: 0,
+            collect_into: None,
+            on_done: None,
+        }
     }
 
     /// Also collect result pages into the shared buffer.
@@ -91,15 +97,21 @@ mod tests {
         let (tx, rx) = channel::bounded(4);
         sim.spawn(
             "scan",
-            Box::new(ScanTask::new(pages(20), OpCost::default(), Fanout::new(vec![tx], 0.0))),
+            Box::new(ScanTask::new(
+                pages(20),
+                OpCost::default(),
+                Fanout::new(vec![tx], 0.0),
+            )),
         );
         let seen = Rc::new(Cell::new(0u64));
         let seen2 = seen.clone();
         sim.spawn(
             "sink",
-            Box::new(SinkTask::new(rx, OpCost::default()).on_done(Box::new(move |_, rows| {
-                seen2.set(rows);
-            }))),
+            Box::new(
+                SinkTask::new(rx, OpCost::default()).on_done(Box::new(move |_, rows| {
+                    seen2.set(rows);
+                })),
+            ),
         );
         assert!(sim.run_to_idle().completed_all());
         assert_eq!(seen.get(), 20);
@@ -111,7 +123,11 @@ mod tests {
         let (tx, rx) = channel::bounded(4);
         sim.spawn(
             "scan",
-            Box::new(ScanTask::new(pages(20), OpCost::default(), Fanout::new(vec![tx], 0.0))),
+            Box::new(ScanTask::new(
+                pages(20),
+                OpCost::default(),
+                Fanout::new(vec![tx], 0.0),
+            )),
         );
         let buf = Rc::new(RefCell::new(Vec::new()));
         sim.spawn(
@@ -130,19 +146,25 @@ mod tests {
         let (tx, rx) = channel::bounded(4);
         sim.spawn(
             "scan",
-            Box::new(ScanTask::new(pages(4), OpCost::default(), Fanout::new(vec![tx], 0.0))),
+            Box::new(ScanTask::new(
+                pages(4),
+                OpCost::default(),
+                Fanout::new(vec![tx], 0.0),
+            )),
         );
         sim.spawn(
             "sink",
-            Box::new(SinkTask::new(rx, OpCost::default()).on_done(Box::new(|ctx, _| {
-                struct Follow;
-                impl Task for Follow {
-                    fn step(&mut self, _: &mut TaskCtx<'_>) -> Step {
-                        Step::done(5)
+            Box::new(
+                SinkTask::new(rx, OpCost::default()).on_done(Box::new(|ctx, _| {
+                    struct Follow;
+                    impl Task for Follow {
+                        fn step(&mut self, _: &mut TaskCtx<'_>) -> Step {
+                            Step::done(5)
+                        }
                     }
-                }
-                ctx.spawn("follow-up", Box::new(Follow));
-            }))),
+                    ctx.spawn("follow-up", Box::new(Follow));
+                })),
+            ),
         );
         let out = sim.run_to_idle();
         assert!(out.completed_all());

@@ -11,7 +11,10 @@ use std::sync::Arc;
 
 enum PhaseState {
     Consuming,
-    Emitting { rows: Vec<(Vec<KeyVal>, Box<[u8]>)>, next: usize },
+    Emitting {
+        rows: Vec<(Vec<KeyVal>, Box<[u8]>)>,
+        next: usize,
+    },
     Done,
 }
 
@@ -36,8 +39,7 @@ impl SortTask {
         cost: OpCost,
         fanout: Fanout,
     ) -> Self {
-        let emit_batch_rows =
-            (crate::ops::sort::DEFAULT_EMIT_BYTES / schema.row_width()).max(1);
+        let emit_batch_rows = (crate::ops::sort::DEFAULT_EMIT_BYTES / schema.row_width()).max(1);
         Self {
             rx,
             keys,
@@ -140,14 +142,30 @@ mod tests {
         let (tx2, rx2) = channel::bounded(4);
         sim.spawn(
             "scan",
-            Box::new(ScanTask::new(table.pages().to_vec(), OpCost::default(), Fanout::new(vec![tx1], 0.0))),
+            Box::new(ScanTask::new(
+                table.pages().to_vec(),
+                OpCost::default(),
+                Fanout::new(vec![tx1], 0.0),
+            )),
         );
         sim.spawn(
             "sort",
-            Box::new(SortTask::new(rx1, schema, keys, OpCost::default(), Fanout::new(vec![tx2], 0.0))),
+            Box::new(SortTask::new(
+                rx1,
+                schema,
+                keys,
+                OpCost::default(),
+                Fanout::new(vec![tx2], 0.0),
+            )),
         );
         let out = Rc::new(RefCell::new(Vec::new()));
-        sim.spawn("sink", Box::new(CollectingSink { rx: rx2, rows: out.clone() }));
+        sim.spawn(
+            "sink",
+            Box::new(CollectingSink {
+                rx: rx2,
+                rows: out.clone(),
+            }),
+        );
         assert!(sim.run_to_idle().completed_all());
         let out = out.borrow().clone();
         out

@@ -169,7 +169,12 @@ impl PhysicalPlan {
                         .collect(),
                 )
             }
-            PhysicalPlan::Aggregate { input, group_by, aggs, .. } => {
+            PhysicalPlan::Aggregate {
+                input,
+                group_by,
+                aggs,
+                ..
+            } => {
                 let in_schema = input.output_schema(catalog);
                 let mut fields: Vec<Field> = group_by
                     .iter()
@@ -185,21 +190,20 @@ impl PhysicalPlan {
                 Schema::new(fields)
             }
             PhysicalPlan::Sort { input, .. } => input.output_schema(catalog),
-            PhysicalPlan::HashJoin { build, probe, kind, .. } => match kind {
+            PhysicalPlan::HashJoin {
+                build, probe, kind, ..
+            } => match kind {
                 JoinKind::Semi | JoinKind::Anti => probe.output_schema(catalog),
-                JoinKind::Inner | JoinKind::LeftOuter => concat_schemas(
-                    &probe.output_schema(catalog),
-                    &build.output_schema(catalog),
-                ),
+                JoinKind::Inner | JoinKind::LeftOuter => {
+                    concat_schemas(&probe.output_schema(catalog), &build.output_schema(catalog))
+                }
             },
-            PhysicalPlan::NestedLoopJoin { outer, inner, .. } => concat_schemas(
-                &outer.output_schema(catalog),
-                &inner.output_schema(catalog),
-            ),
-            PhysicalPlan::MergeJoin { left, right, .. } => concat_schemas(
-                &left.output_schema(catalog),
-                &right.output_schema(catalog),
-            ),
+            PhysicalPlan::NestedLoopJoin { outer, inner, .. } => {
+                concat_schemas(&outer.output_schema(catalog), &inner.output_schema(catalog))
+            }
+            PhysicalPlan::MergeJoin { left, right, .. } => {
+                concat_schemas(&left.output_schema(catalog), &right.output_schema(catalog))
+            }
         }
     }
 
@@ -234,7 +238,11 @@ impl PhysicalPlan {
 
     /// Number of operator nodes in the plan.
     pub fn node_count(&self) -> usize {
-        1 + self.children().iter().map(|c| c.node_count()).sum::<usize>()
+        1 + self
+            .children()
+            .iter()
+            .map(|c| c.node_count())
+            .sum::<usize>()
     }
 }
 
@@ -289,7 +297,10 @@ mod tests {
     }
 
     fn scan() -> PhysicalPlan {
-        PhysicalPlan::Scan { table: "t".into(), cost: OpCost::default() }
+        PhysicalPlan::Scan {
+            table: "t".into(),
+            cost: OpCost::default(),
+        }
     }
 
     #[test]
@@ -302,7 +313,11 @@ mod tests {
             cost: OpCost::default(),
         };
         assert_eq!(f.output_schema(&cat), base);
-        let s = PhysicalPlan::Sort { input: Box::new(scan()), keys: vec![0], cost: OpCost::default() };
+        let s = PhysicalPlan::Sort {
+            input: Box::new(scan()),
+            keys: vec![0],
+            cost: OpCost::default(),
+        };
         assert_eq!(s.output_schema(&cat), base);
     }
 
@@ -312,8 +327,17 @@ mod tests {
         let p = PhysicalPlan::Project {
             input: Box::new(scan()),
             exprs: vec![
-                ("k2".into(), ScalarExpr::Add(Box::new(ScalarExpr::col(0)), Box::new(ScalarExpr::IntLit(1)))),
-                ("vk".into(), ScalarExpr::Mul(Box::new(ScalarExpr::col(1)), Box::new(ScalarExpr::col(0)))),
+                (
+                    "k2".into(),
+                    ScalarExpr::Add(
+                        Box::new(ScalarExpr::col(0)),
+                        Box::new(ScalarExpr::IntLit(1)),
+                    ),
+                ),
+                (
+                    "vk".into(),
+                    ScalarExpr::Mul(Box::new(ScalarExpr::col(1)), Box::new(ScalarExpr::col(0))),
+                ),
                 ("tag".into(), ScalarExpr::col(2)),
             ],
             cost: OpCost::default(),
@@ -370,7 +394,10 @@ mod tests {
     #[test]
     fn plan_equality_drives_sharing_detection() {
         assert_eq!(scan(), scan());
-        let other = PhysicalPlan::Scan { table: "t".into(), cost: OpCost::per_tuple(9.0) };
+        let other = PhysicalPlan::Scan {
+            table: "t".into(),
+            cost: OpCost::per_tuple(9.0),
+        };
         assert_ne!(scan(), other);
         let f1 = PhysicalPlan::Filter {
             input: Box::new(scan()),

@@ -25,7 +25,9 @@ pub fn execute_table(catalog: &Catalog, plan: &PhysicalPlan) -> Arc<Table> {
         PhysicalPlan::Source { .. } => {
             panic!("reference executor cannot run plans with Source leaves")
         }
-        PhysicalPlan::Filter { input, predicate, .. } => {
+        PhysicalPlan::Filter {
+            input, predicate, ..
+        } => {
             let input = execute_table(catalog, input);
             let mut out = TableBuilder::new("filter", input.schema().clone());
             for page in input.pages() {
@@ -50,7 +52,12 @@ pub fn execute_table(catalog: &Catalog, plan: &PhysicalPlan) -> Arc<Table> {
             }
             out.finish()
         }
-        PhysicalPlan::Aggregate { input, group_by, aggs, .. } => {
+        PhysicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+            ..
+        } => {
             let input = execute_table(catalog, input);
             let schema = plan.output_schema(catalog);
             let mut groups: BTreeMap<Vec<KeyVal>, Vec<RefAcc>> = BTreeMap::new();
@@ -94,14 +101,23 @@ pub fn execute_table(catalog: &Catalog, plan: &PhysicalPlan) -> Arc<Table> {
             }
             out.finish()
         }
-        PhysicalPlan::HashJoin { build, probe, build_key, probe_key, kind, .. } => {
+        PhysicalPlan::HashJoin {
+            build,
+            probe,
+            build_key,
+            probe_key,
+            kind,
+            ..
+        } => {
             let build_t = execute_table(catalog, build);
             let probe_t = execute_table(catalog, probe);
             let schema = plan.output_schema(catalog);
             let mut map: HashMap<i64, Vec<Vec<Value>>> = HashMap::new();
             for page in build_t.pages() {
                 for t in page.tuples() {
-                    map.entry(t.get_int(*build_key)).or_default().push(t.to_values());
+                    map.entry(t.get_int(*build_key))
+                        .or_default()
+                        .push(t.to_values());
                 }
             }
             let defaults: Vec<Value> = build_t
@@ -154,7 +170,13 @@ pub fn execute_table(catalog: &Catalog, plan: &PhysicalPlan) -> Arc<Table> {
             }
             out.finish()
         }
-        PhysicalPlan::MergeJoin { left, right, left_key, right_key, .. } => {
+        PhysicalPlan::MergeJoin {
+            left,
+            right,
+            left_key,
+            right_key,
+            ..
+        } => {
             // Reference semantics: inner equi-join (order given by the
             // sorted inputs). Implemented via the same grouping logic.
             let left_t = execute_table(catalog, left);
@@ -172,8 +194,14 @@ pub fn execute_table(catalog: &Catalog, plan: &PhysicalPlan) -> Arc<Table> {
                     right_rows.push((t.get_int(*right_key), t.to_values()));
                 }
             }
-            assert!(left_rows.windows(2).all(|w| w[0].0 <= w[1].0), "left input sorted");
-            assert!(right_rows.windows(2).all(|w| w[0].0 <= w[1].0), "right input sorted");
+            assert!(
+                left_rows.windows(2).all(|w| w[0].0 <= w[1].0),
+                "left input sorted"
+            );
+            assert!(
+                right_rows.windows(2).all(|w| w[0].0 <= w[1].0),
+                "right input sorted"
+            );
             let mut out = TableBuilder::new("mergejoin", schema);
             let (mut i, mut j) = (0usize, 0usize);
             while i < left_rows.len() && j < right_rows.len() {
@@ -202,7 +230,12 @@ pub fn execute_table(catalog: &Catalog, plan: &PhysicalPlan) -> Arc<Table> {
             }
             out.finish()
         }
-        PhysicalPlan::NestedLoopJoin { outer, inner, predicate, .. } => {
+        PhysicalPlan::NestedLoopJoin {
+            outer,
+            inner,
+            predicate,
+            ..
+        } => {
             let outer_t = execute_table(catalog, outer);
             let inner_t = execute_table(catalog, inner);
             let schema = plan.output_schema(catalog);
@@ -276,9 +309,11 @@ impl RefAcc {
         match self {
             RefAcc::Count(n) => Value::Int(*n),
             RefAcc::Sum(s) => Value::Float(*s),
-            RefAcc::Avg { sum, count } => {
-                Value::Float(if *count == 0 { 0.0 } else { sum / *count as f64 })
-            }
+            RefAcc::Avg { sum, count } => Value::Float(if *count == 0 {
+                0.0
+            } else {
+                sum / *count as f64
+            }),
             RefAcc::Min(m) => Value::Float(m.unwrap_or(0.0)),
             RefAcc::Max(m) => Value::Float(m.unwrap_or(0.0)),
         }
@@ -326,7 +361,11 @@ mod tests {
         let mut b = TableBuilder::new("t", schema);
         for i in 0..20 {
             let tag = if i % 2 == 0 { "ev" } else { "od" };
-            b.push_row(&[Value::Int(i), Value::Float(i as f64), Value::Str(tag.into())]);
+            b.push_row(&[
+                Value::Int(i),
+                Value::Float(i as f64),
+                Value::Str(tag.into()),
+            ]);
         }
         let mut c = Catalog::new();
         c.register(b.finish());
@@ -334,7 +373,10 @@ mod tests {
     }
 
     fn scan() -> Box<PhysicalPlan> {
-        Box::new(PhysicalPlan::Scan { table: "t".into(), cost: OpCost::default() })
+        Box::new(PhysicalPlan::Scan {
+            table: "t".into(),
+            cost: OpCost::default(),
+        })
     }
 
     #[test]
@@ -373,7 +415,11 @@ mod tests {
     #[test]
     fn sort_orders_rows() {
         let cat = catalog();
-        let plan = PhysicalPlan::Sort { input: scan(), keys: vec![2, 0], cost: OpCost::default() };
+        let plan = PhysicalPlan::Sort {
+            input: scan(),
+            keys: vec![2, 0],
+            cost: OpCost::default(),
+        };
         let rows = execute(&cat, &plan);
         assert_eq!(rows.len(), 20);
         assert_eq!(rows[0][2], Value::Str("ev".into()));
@@ -416,7 +462,9 @@ mod tests {
     fn source_leaves_rejected() {
         let cat = catalog();
         let schema = cat.expect("t").schema().clone();
-        let plan = PhysicalPlan::Source { schema: crate::plan::SchemaRef(schema) };
+        let plan = PhysicalPlan::Source {
+            schema: crate::plan::SchemaRef(schema),
+        };
         execute(&cat, &plan);
     }
 }

@@ -47,7 +47,17 @@ pub fn instantiate_into(
 ) -> SpawnedOps {
     let mut spawned = Vec::new();
     let mut preorder = 0usize;
-    wire(sim, catalog, plan, outs, sources, label, cfg, &mut preorder, &mut spawned);
+    wire(
+        sim,
+        catalog,
+        plan,
+        outs,
+        sources,
+        label,
+        cfg,
+        &mut preorder,
+        &mut spawned,
+    );
     spawned
 }
 
@@ -118,10 +128,10 @@ fn wire(
     // Child receivers are created before spawning this node so that
     // Source receivers are consumed in preorder.
     let child_input = |sim: &mut dyn Spawner,
-                           child: &PhysicalPlan,
-                           sources: &mut VecDeque<Receiver<Arc<Page>>>,
-                           preorder: &mut usize,
-                           spawned: &mut SpawnedOps|
+                       child: &PhysicalPlan,
+                       sources: &mut VecDeque<Receiver<Arc<Page>>>,
+                       preorder: &mut usize,
+                       spawned: &mut SpawnedOps|
      -> Receiver<Arc<Page>> {
         if let PhysicalPlan::Source { .. } = child {
             *preorder += 1;
@@ -130,7 +140,17 @@ fn wire(
                 .expect("a receiver per Source leaf, in preorder");
         }
         let (tx, rx) = channel::bounded(cfg.queue_capacity);
-        wire(sim, catalog, child, vec![tx], sources, label, cfg, preorder, spawned);
+        wire(
+            sim,
+            catalog,
+            child,
+            vec![tx],
+            sources,
+            label,
+            cfg,
+            preorder,
+            spawned,
+        );
         rx
     };
 
@@ -139,7 +159,11 @@ fn wire(
             let pages = catalog.expect(table).pages().to_vec();
             let id = sim.spawn_task(
                 name.clone(),
-                Box::new(ScanTask::new(pages, *cost, Fanout::new(outs, cost.out_per_tuple))),
+                Box::new(ScanTask::new(
+                    pages,
+                    *cost,
+                    Fanout::new(outs, cost.out_per_tuple),
+                )),
             );
             spawned.push((id, name));
         }
@@ -150,11 +174,18 @@ fn wire(
                 .expect("a receiver per Source leaf, in preorder");
             let id = sim.spawn_task(
                 name.clone(),
-                Box::new(RelayTask { rx, fanout: Fanout::new(outs, 0.0) }),
+                Box::new(RelayTask {
+                    rx,
+                    fanout: Fanout::new(outs, 0.0),
+                }),
             );
             spawned.push((id, name));
         }
-        PhysicalPlan::Filter { input, predicate, cost } => {
+        PhysicalPlan::Filter {
+            input,
+            predicate,
+            cost,
+        } => {
             let schema = input.output_schema(catalog);
             let rx = child_input(sim, input, sources, preorder, spawned);
             let id = sim.spawn_task(
@@ -184,7 +215,12 @@ fn wire(
             );
             spawned.push((id, name));
         }
-        PhysicalPlan::Aggregate { input, group_by, aggs, cost } => {
+        PhysicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+            cost,
+        } => {
             let out_schema = plan.output_schema(catalog);
             let rx = child_input(sim, input, sources, preorder, spawned);
             let id = sim.spawn_task(
@@ -245,7 +281,12 @@ fn wire(
             );
             spawned.push((id, name));
         }
-        PhysicalPlan::NestedLoopJoin { outer, inner, predicate, cost } => {
+        PhysicalPlan::NestedLoopJoin {
+            outer,
+            inner,
+            predicate,
+            cost,
+        } => {
             let pair_schema = plan.output_schema(catalog);
             let rx_outer = child_input(sim, outer, sources, preorder, spawned);
             let rx_inner = child_input(sim, inner, sources, preorder, spawned);
@@ -262,7 +303,13 @@ fn wire(
             );
             spawned.push((id, name));
         }
-        PhysicalPlan::MergeJoin { left, right, left_key, right_key, cost } => {
+        PhysicalPlan::MergeJoin {
+            left,
+            right,
+            left_key,
+            right_key,
+            cost,
+        } => {
             let out_schema = plan.output_schema(catalog);
             let rx_left = child_input(sim, left, sources, preorder, spawned);
             let rx_right = child_input(sim, right, sources, preorder, spawned);
@@ -298,7 +345,10 @@ pub fn run_and_collect(
         Box::new(crate::ops::SinkTask::new(rx, sink_cost).collecting(buf.clone())),
     );
     let outcome = sim.run_to_idle();
-    assert!(outcome.completed_all(), "query did not complete: {outcome:?}");
+    assert!(
+        outcome.completed_all(),
+        "query did not complete: {outcome:?}"
+    );
     let pages = buf.borrow();
     pages
         .iter()
@@ -331,7 +381,10 @@ mod tests {
         let cat = catalog();
         let plan = PhysicalPlan::Aggregate {
             input: Box::new(PhysicalPlan::Filter {
-                input: Box::new(PhysicalPlan::Scan { table: "t".into(), cost: OpCost::default() }),
+                input: Box::new(PhysicalPlan::Scan {
+                    table: "t".into(),
+                    cost: OpCost::default(),
+                }),
                 predicate: Predicate::col_cmp(0, CmpOp::Lt, 10i64),
                 cost: OpCost::default(),
             }),
@@ -394,7 +447,9 @@ mod tests {
     fn bare_source_root_relays() {
         let cat = catalog();
         let schema = cat.expect("t").schema().clone();
-        let fragment = PhysicalPlan::Source { schema: crate::plan::SchemaRef(schema) };
+        let fragment = PhysicalPlan::Source {
+            schema: crate::plan::SchemaRef(schema),
+        };
         let mut sim = Simulator::new(1);
         let (scan_tx, scan_rx) = channel::bounded(4);
         sim.spawn(

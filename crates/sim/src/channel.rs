@@ -64,19 +64,28 @@ pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
         waiting_senders: Vec::new(),
         waiting_receivers: Vec::new(),
     }));
-    (Sender { inner: inner.clone() }, Receiver { inner })
+    (
+        Sender {
+            inner: inner.clone(),
+        },
+        Receiver { inner },
+    )
 }
 
 impl<T> Clone for Sender<T> {
     fn clone(&self) -> Self {
         self.inner.borrow_mut().senders += 1;
-        Sender { inner: self.inner.clone() }
+        Sender {
+            inner: self.inner.clone(),
+        }
     }
 }
 
 impl<T> Clone for Receiver<T> {
     fn clone(&self) -> Self {
-        Receiver { inner: self.inner.clone() }
+        Receiver {
+            inner: self.inner.clone(),
+        }
     }
 }
 

@@ -24,7 +24,11 @@ pub struct SimConfig {
 
 impl Default for SimConfig {
     fn default() -> Self {
-        Self { contexts: 1, max_zero_cost_spins: 1_000_000, trace: false }
+        Self {
+            contexts: 1,
+            max_zero_cost_spins: 1_000_000,
+            trace: false,
+        }
     }
 }
 
@@ -118,7 +122,10 @@ impl crate::task::Spawner for Simulator {
 impl Simulator {
     /// Creates a simulator with `contexts` hardware contexts.
     pub fn new(contexts: usize) -> Self {
-        Self::with_config(SimConfig { contexts, ..SimConfig::default() })
+        Self::with_config(SimConfig {
+            contexts,
+            ..SimConfig::default()
+        })
     }
 
     /// Creates a simulator from a full configuration.
@@ -209,7 +216,11 @@ impl Simulator {
                 } else {
                     StopReason::Deadlock
                 };
-                return RunOutcome { reason, now: self.now, live_tasks: self.live_tasks };
+                return RunOutcome {
+                    reason,
+                    now: self.now,
+                    live_tasks: self.live_tasks,
+                };
             };
             if let Some(lim) = limit {
                 if t > lim {
@@ -435,8 +446,20 @@ mod tests {
         // same time, not one after the other, thanks to per-step
         // round-robin.
         let mut sim = Simulator::new(1);
-        let a = sim.spawn("a", Box::new(Burn { steps: 100, cost: 1 }));
-        let b = sim.spawn("b", Box::new(Burn { steps: 100, cost: 1 }));
+        let a = sim.spawn(
+            "a",
+            Box::new(Burn {
+                steps: 100,
+                cost: 1,
+            }),
+        );
+        let b = sim.spawn(
+            "b",
+            Box::new(Burn {
+                steps: 100,
+                cost: 1,
+            }),
+        );
         sim.run_to_idle();
         let fa = sim.task_stats(a).completed_at.unwrap();
         let fb = sim.task_stats(b).completed_at.unwrap();
@@ -446,7 +469,13 @@ mod tests {
     #[test]
     fn time_limit_stops_midway() {
         let mut sim = Simulator::new(1);
-        sim.spawn("burn", Box::new(Burn { steps: 100, cost: 10 }));
+        sim.spawn(
+            "burn",
+            Box::new(Burn {
+                steps: 100,
+                cost: 10,
+            }),
+        );
         let out = sim.run(Some(500));
         assert_eq!(out.reason, StopReason::TimeLimit);
         assert_eq!(out.live_tasks, 1);
@@ -518,19 +547,38 @@ mod tests {
     fn run_pipeline(contexts: usize, items: u64, costs: &[VTime], cap: usize) -> VTime {
         let mut sim = Simulator::new(contexts);
         let (tx0, mut rx_prev) = channel::bounded(cap);
-        sim.spawn("source", Box::new(Source { tx: tx0, n: items, cost: costs[0] }));
+        sim.spawn(
+            "source",
+            Box::new(Source {
+                tx: tx0,
+                n: items,
+                cost: costs[0],
+            }),
+        );
         for (i, &c) in costs[1..].iter().enumerate() {
             let last = i == costs.len() - 2;
             if last {
                 sim.spawn(
                     format!("stage{i}"),
-                    Box::new(Pipe { rx: rx_prev.clone(), tx: None, cost: c, stash: None, forwarded: 0 }),
+                    Box::new(Pipe {
+                        rx: rx_prev.clone(),
+                        tx: None,
+                        cost: c,
+                        stash: None,
+                        forwarded: 0,
+                    }),
                 );
             } else {
                 let (tx, rx) = channel::bounded(cap);
                 sim.spawn(
                     format!("stage{i}"),
-                    Box::new(Pipe { rx: rx_prev.clone(), tx: Some(tx), cost: c, stash: None, forwarded: 0 }),
+                    Box::new(Pipe {
+                        rx: rx_prev.clone(),
+                        tx: Some(tx),
+                        cost: c,
+                        stash: None,
+                        forwarded: 0,
+                    }),
                 );
                 rx_prev = rx;
             }
@@ -568,7 +616,13 @@ mod tests {
         let p = sim.spawn("producer", Box::new(Source { tx, n: 50, cost: 1 }));
         sim.spawn(
             "consumer",
-            Box::new(Pipe { rx, tx: None, cost: 100, stash: None, forwarded: 0 }),
+            Box::new(Pipe {
+                rx,
+                tx: None,
+                cost: 100,
+                stash: None,
+                forwarded: 0,
+            }),
         );
         sim.run_to_idle();
         let p_done = sim.task_stats(p).completed_at.unwrap();
@@ -597,8 +651,20 @@ mod tests {
         let mut sim = Simulator::new(2);
         let (tx_a, rx_a) = channel::bounded(1);
         let (tx_b, rx_b) = channel::bounded(1);
-        sim.spawn("w1", Box::new(Waiter { rx: rx_a, _tx_keepalive: tx_b }));
-        sim.spawn("w2", Box::new(Waiter { rx: rx_b, _tx_keepalive: tx_a }));
+        sim.spawn(
+            "w1",
+            Box::new(Waiter {
+                rx: rx_a,
+                _tx_keepalive: tx_b,
+            }),
+        );
+        sim.spawn(
+            "w2",
+            Box::new(Waiter {
+                rx: rx_b,
+                _tx_keepalive: tx_a,
+            }),
+        );
         let out = sim.run_to_idle();
         assert_eq!(out.reason, StopReason::Deadlock);
         assert_eq!(out.live_tasks, 2);
@@ -701,14 +767,22 @@ mod tests {
                 Step::yielded(0)
             }
         }
-        let mut sim = Simulator::with_config(SimConfig { contexts: 1, max_zero_cost_spins: 100, ..SimConfig::default() });
+        let mut sim = Simulator::with_config(SimConfig {
+            contexts: 1,
+            max_zero_cost_spins: 100,
+            ..SimConfig::default()
+        });
         sim.spawn("spinner", Box::new(Spinner));
         sim.run_to_idle();
     }
 
     #[test]
     fn trace_records_busy_intervals_when_enabled() {
-        let mut sim = Simulator::with_config(SimConfig { contexts: 2, trace: true, ..SimConfig::default() });
+        let mut sim = Simulator::with_config(SimConfig {
+            contexts: 2,
+            trace: true,
+            ..SimConfig::default()
+        });
         sim.spawn("a", Box::new(Burn { steps: 3, cost: 10 }));
         sim.spawn("b", Box::new(Burn { steps: 2, cost: 10 }));
         sim.run_to_idle();
@@ -728,7 +802,13 @@ mod tests {
     #[test]
     fn utilization_counts_only_busy_time() {
         let mut sim = Simulator::new(4);
-        sim.spawn("a", Box::new(Burn { steps: 10, cost: 10 }));
+        sim.spawn(
+            "a",
+            Box::new(Burn {
+                steps: 10,
+                cost: 10,
+            }),
+        );
         sim.run_to_idle();
         // One task on four contexts: utilization = 1/4.
         assert!((sim.stats().utilization() - 0.25).abs() < 1e-12);

@@ -62,7 +62,12 @@ mod tests {
 
     #[test]
     fn p_estimate_divides_active_by_progress() {
-        let s = TaskStats { active: 200, steps: 10, progress: 10.0, completed_at: None };
+        let s = TaskStats {
+            active: 200,
+            steps: 10,
+            progress: 10.0,
+            completed_at: None,
+        };
         assert_eq!(s.p_estimate(), Some(20.0));
         let none = TaskStats::default();
         assert_eq!(none.p_estimate(), None);
@@ -70,14 +75,22 @@ mod tests {
 
     #[test]
     fn utilization_bounds() {
-        let s = SimStats { makespan: 100, contexts: 2, busy: vec![100, 50] };
+        let s = SimStats {
+            makespan: 100,
+            contexts: 2,
+            busy: vec![100, 50],
+        };
         assert!((s.utilization() - 0.75).abs() < 1e-12);
         assert!((s.mean_busy_contexts() - 1.5).abs() < 1e-12);
     }
 
     #[test]
     fn empty_run_has_zero_utilization() {
-        let s = SimStats { makespan: 0, contexts: 4, busy: vec![0; 4] };
+        let s = SimStats {
+            makespan: 0,
+            contexts: 4,
+            busy: vec![0; 4],
+        };
         assert_eq!(s.utilization(), 0.0);
     }
 }

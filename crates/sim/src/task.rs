@@ -4,16 +4,7 @@ use crate::VTime;
 
 /// Identifier of a spawned task, unique within one [`crate::Simulator`].
 #[derive(
-    Debug,
-    Clone,
-    Copy,
-    PartialEq,
-    Eq,
-    Hash,
-    PartialOrd,
-    Ord,
-    serde::Serialize,
-    serde::Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
 )]
 pub struct TaskId(pub(crate) usize);
 
@@ -55,22 +46,34 @@ pub struct Step {
 impl Step {
     /// A step that did `cost` work and can continue.
     pub fn yielded(cost: VTime) -> Self {
-        Self { cost, status: StepStatus::Yield }
+        Self {
+            cost,
+            status: StepStatus::Yield,
+        }
     }
 
     /// A step after which the task is blocked on a channel.
     pub fn blocked(cost: VTime) -> Self {
-        Self { cost, status: StepStatus::Blocked }
+        Self {
+            cost,
+            status: StepStatus::Blocked,
+        }
     }
 
     /// A step after which the task idles (off-context) for `delay`.
     pub fn sleep(cost: VTime, delay: VTime) -> Self {
-        Self { cost, status: StepStatus::Sleep(delay) }
+        Self {
+            cost,
+            status: StepStatus::Sleep(delay),
+        }
     }
 
     /// A step after which the task is finished.
     pub fn done(cost: VTime) -> Self {
-        Self { cost, status: StepStatus::Done }
+        Self {
+            cost,
+            status: StepStatus::Done,
+        }
     }
 }
 
@@ -155,9 +158,27 @@ mod tests {
 
     #[test]
     fn step_constructors() {
-        assert_eq!(Step::yielded(5), Step { cost: 5, status: StepStatus::Yield });
-        assert_eq!(Step::blocked(0), Step { cost: 0, status: StepStatus::Blocked });
-        assert_eq!(Step::done(2), Step { cost: 2, status: StepStatus::Done });
+        assert_eq!(
+            Step::yielded(5),
+            Step {
+                cost: 5,
+                status: StepStatus::Yield
+            }
+        );
+        assert_eq!(
+            Step::blocked(0),
+            Step {
+                cost: 0,
+                status: StepStatus::Blocked
+            }
+        );
+        assert_eq!(
+            Step::done(2),
+            Step {
+                cost: 2,
+                status: StepStatus::Done
+            }
+        );
     }
 
     #[test]

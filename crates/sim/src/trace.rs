@@ -42,7 +42,10 @@ pub fn render_gantt(spans: &[Span], contexts: usize, width: usize) -> String {
         }
     }
     let mut out = String::new();
-    out.push_str(&format!("t = {t0}..{t1} ({} per col)\n", ((t1 - t0) as f64 / width as f64).round()));
+    out.push_str(&format!(
+        "t = {t0}..{t1} ({} per col)\n",
+        ((t1 - t0) as f64 / width as f64).round()
+    ));
     for (i, lane) in lanes.iter().enumerate() {
         out.push_str(&format!("ctx {i:>2} |{}|\n", String::from_utf8_lossy(lane)));
     }
@@ -68,7 +71,12 @@ mod tests {
     use super::*;
 
     fn span(task: usize, context: usize, start: VTime, end: VTime) -> Span {
-        Span { task: TaskId(task), context, start, end }
+        Span {
+            task: TaskId(task),
+            context,
+            start,
+            end,
+        }
     }
 
     #[test]

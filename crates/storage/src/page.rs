@@ -41,8 +41,15 @@ impl Page {
     ///
     /// Panics if `row >= self.rows()`.
     pub fn tuple(&self, row: usize) -> TupleRef<'_> {
-        assert!(row < self.rows, "row {row} out of range ({} rows)", self.rows);
-        TupleRef { page: self, base: row * self.schema.row_width() }
+        assert!(
+            row < self.rows,
+            "row {row} out of range ({} rows)",
+            self.rows
+        );
+        TupleRef {
+            page: self,
+            base: row * self.schema.row_width(),
+        }
     }
 
     /// Iterates over all tuples in the page.
@@ -95,7 +102,9 @@ impl<'a> TupleRef<'a> {
     #[inline]
     pub fn get_date(&self, idx: usize) -> Date {
         debug_assert_eq!(self.page.schema.fields()[idx].dtype, DataType::Date);
-        Date(i32::from_le_bytes(self.field_slice(idx).try_into().expect("4 bytes")))
+        Date(i32::from_le_bytes(
+            self.field_slice(idx).try_into().expect("4 bytes"),
+        ))
     }
 
     /// Reads a `Str` field, trimming the space padding.
@@ -118,7 +127,9 @@ impl<'a> TupleRef<'a> {
 
     /// Materializes the whole row (tests / result collection).
     pub fn to_values(&self) -> Vec<Value> {
-        (0..self.page.schema.len()).map(|i| self.get_value(i)).collect()
+        (0..self.page.schema.len())
+            .map(|i| self.get_value(i))
+            .collect()
     }
 
     /// This row's raw encoded bytes (exactly `row_width` long). Rows of
@@ -170,7 +181,12 @@ impl PageBuilder {
             "row width {} exceeds page size {page_size}",
             schema.row_width()
         );
-        Self { data: Vec::with_capacity(capacity_rows * schema.row_width()), schema, rows: 0, capacity_rows }
+        Self {
+            data: Vec::with_capacity(capacity_rows * schema.row_width()),
+            schema,
+            rows: 0,
+            capacity_rows,
+        }
     }
 
     /// Rows that still fit.
@@ -247,14 +263,22 @@ impl PageBuilder {
 
     /// Freezes the builder into an immutable, shareable page.
     pub fn finish(self) -> Arc<Page> {
-        Arc::new(Page { schema: self.schema, data: self.data.into_boxed_slice(), rows: self.rows })
+        Arc::new(Page {
+            schema: self.schema,
+            data: self.data.into_boxed_slice(),
+            rows: self.rows,
+        })
     }
 
     /// Freezes and resets, keeping the builder usable — the streaming
     /// operators' workhorse.
     pub fn finish_and_reset(&mut self) -> Arc<Page> {
         let data = std::mem::take(&mut self.data).into_boxed_slice();
-        let page = Arc::new(Page { schema: self.schema.clone(), data, rows: self.rows });
+        let page = Arc::new(Page {
+            schema: self.schema.clone(),
+            data,
+            rows: self.rows,
+        });
         self.rows = 0;
         self.data = Vec::with_capacity(self.capacity_rows * self.schema.row_width());
         page
@@ -366,7 +390,12 @@ mod tests {
         let vals = page.tuple(0).to_values();
         assert_eq!(
             vals,
-            vec![Value::Int(1), Value::Float(2.0), Value::Date(Date(3)), Value::Str("x".into())]
+            vec![
+                Value::Int(1),
+                Value::Float(2.0),
+                Value::Date(Date(3)),
+                Value::Str("x".into())
+            ]
         );
     }
 

@@ -41,7 +41,10 @@ pub struct Field {
 impl Field {
     /// Creates a field.
     pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
-        Self { name: name.into(), dtype }
+        Self {
+            name: name.into(),
+            dtype,
+        }
     }
 }
 
@@ -72,7 +75,11 @@ impl Schema {
             offsets.push(off);
             off += f.dtype.width();
         }
-        Arc::new(Self { fields, offsets, row_width: off })
+        Arc::new(Self {
+            fields,
+            offsets,
+            row_width: off,
+        })
     }
 
     /// The fields in order.

@@ -89,7 +89,10 @@ impl TableBuilder {
                 PageBuilder::with_page_size(self.schema.clone(), self.page_size),
             );
             self.pages.push(full.finish());
-            assert!(self.current.push_row(values), "fresh page must accept a row");
+            assert!(
+                self.current.push_row(values),
+                "fresh page must accept a row"
+            );
         }
         self.row_count += 1;
     }

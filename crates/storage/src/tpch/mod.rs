@@ -25,12 +25,10 @@ use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 
 /// TPC-H's five order priorities (uniformly distributed in `o_orderpriority`).
-pub const ORDER_PRIORITIES: [&str; 5] =
-    ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECI", "5-LOW"];
+pub const ORDER_PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECI", "5-LOW"];
 
 /// TPC-H's seven ship modes (uniform in `l_shipmode`).
-pub const SHIP_MODES: [&str; 7] =
-    ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
+pub const SHIP_MODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
 
 /// First order date in the population.
 pub fn start_date() -> Date {
@@ -77,7 +75,10 @@ impl Default for TpchConfig {
 impl TpchConfig {
     /// Config at the given scale factor with defaults elsewhere.
     pub fn scale(scale_factor: f64) -> Self {
-        Self { scale_factor, ..Self::default() }
+        Self {
+            scale_factor,
+            ..Self::default()
+        }
     }
 
     /// Number of customers at this scale.
@@ -142,7 +143,13 @@ pub fn generate(config: &TpchConfig) -> Catalog {
 /// Generates the `customer` table.
 pub fn generate_customer(config: &TpchConfig) -> Arc<Table> {
     let mut rng = SmallRng::seed_from_u64(config.seed ^ 0x01);
-    let segments = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+    let segments = [
+        "AUTOMOBILE",
+        "BUILDING",
+        "FURNITURE",
+        "MACHINERY",
+        "HOUSEHOLD",
+    ];
     let mut b = TableBuilder::with_page_size("customer", customer_schema(), config.page_size);
     for key in 1..=config.customers() as i64 {
         b.push_row(&[
@@ -223,7 +230,11 @@ mod tests {
     use super::*;
 
     fn small() -> TpchConfig {
-        TpchConfig { scale_factor: 0.002, seed: 42, ..TpchConfig::default() }
+        TpchConfig {
+            scale_factor: 0.002,
+            seed: 42,
+            ..TpchConfig::default()
+        }
     }
 
     #[test]
@@ -255,7 +266,10 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let a = generate(&small());
-        let b = generate(&TpchConfig { seed: 43, ..small() });
+        let b = generate(&TpchConfig {
+            seed: 43,
+            ..small()
+        });
         let rows_a: Vec<_> = a.expect("orders").scan_values().take(10).collect();
         let rows_b: Vec<_> = b.expect("orders").scan_values().take(10).collect();
         assert_ne!(rows_a, rows_b);
@@ -328,7 +342,11 @@ mod tests {
     fn q6_predicate_selectivity_near_tpch() {
         // Official Q6 (year 1994, discount 0.06±0.01, qty < 24) selects
         // ~1.9% of lineitem.
-        let catalog = generate(&TpchConfig { scale_factor: 0.01, seed: 7, ..TpchConfig::default() });
+        let catalog = generate(&TpchConfig {
+            scale_factor: 0.01,
+            seed: 7,
+            ..TpchConfig::default()
+        });
         let li = catalog.expect("lineitem");
         let s = li.schema().clone();
         let (ship, disc, qty) = (
@@ -359,7 +377,10 @@ mod tests {
 
     #[test]
     fn special_comment_rate_respected() {
-        let cfg = TpchConfig { special_comment_rate: 0.10, ..small() };
+        let cfg = TpchConfig {
+            special_comment_rate: 0.10,
+            ..small()
+        };
         let catalog = generate(&cfg);
         let orders = catalog.expect("orders");
         let idx = orders.schema().index_of("o_comment");

@@ -7,9 +7,30 @@ use rand::Rng;
 /// Word pool loosely mirroring dbgen's text grammar vocabulary. Words
 /// are short so comments fit the fixed-width `Str(48)` column.
 const WORDS: [&str; 24] = [
-    "furiously", "quickly", "carefully", "blithely", "slyly", "deposits", "packages", "accounts",
-    "pinto", "beans", "foxes", "ideas", "theodolites", "platelets", "requests", "instructions",
-    "sleep", "haggle", "nag", "boost", "wake", "cajole", "detect", "along",
+    "furiously",
+    "quickly",
+    "carefully",
+    "blithely",
+    "slyly",
+    "deposits",
+    "packages",
+    "accounts",
+    "pinto",
+    "beans",
+    "foxes",
+    "ideas",
+    "theodolites",
+    "platelets",
+    "requests",
+    "instructions",
+    "sleep",
+    "haggle",
+    "nag",
+    "boost",
+    "wake",
+    "cajole",
+    "detect",
+    "along",
 ];
 
 /// Maximum generated comment length (must fit the `o_comment` column).
@@ -27,7 +48,10 @@ impl CommentGenerator {
     /// Creates a generator. `special_rate` is clamped to `[0, 1]`.
     pub fn new(seed: u64, special_rate: f64) -> Self {
         use rand::SeedableRng;
-        Self { rng: SmallRng::seed_from_u64(seed), special_rate: special_rate.clamp(0.0, 1.0) }
+        Self {
+            rng: SmallRng::seed_from_u64(seed),
+            special_rate: special_rate.clamp(0.0, 1.0),
+        }
     }
 
     /// Produces the next comment. An independent `rng` decides the

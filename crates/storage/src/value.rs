@@ -112,7 +112,10 @@ mod tests {
         assert_eq!(Value::Int(42).to_string(), "42");
         assert_eq!(Value::Float(0.05).to_string(), "0.0500");
         assert_eq!(Value::Str("hi".into()).to_string(), "hi");
-        assert_eq!(Value::Date(Date::from_ymd(1998, 12, 1)).to_string(), "1998-12-01");
+        assert_eq!(
+            Value::Date(Date::from_ymd(1998, 12, 1)).to_string(),
+            "1998-12-01"
+        );
     }
 
     #[test]

@@ -1,0 +1,87 @@
+//! Integration: the TPC-H-subset generator must be deterministic under
+//! a seed, scale linearly, and produce the value distributions the
+//! workload queries' selectivities depend on.
+
+use cordoba_storage::tpch::{generate, TpchConfig};
+use cordoba_storage::Value;
+
+fn config(scale: f64, seed: u64) -> TpchConfig {
+    TpchConfig {
+        scale_factor: scale,
+        seed,
+        ..TpchConfig::default()
+    }
+}
+
+#[test]
+fn generation_is_deterministic_under_seed() {
+    let a = generate(&config(0.002, 7));
+    let b = generate(&config(0.002, 7));
+    for name in ["customer", "orders", "lineitem"] {
+        let ta = a.expect(name);
+        let tb = b.expect(name);
+        assert_eq!(ta.row_count(), tb.row_count(), "{name} row counts differ");
+        let rows_a: Vec<Vec<Value>> = ta.scan_values().collect();
+        let rows_b: Vec<Vec<Value>> = tb.scan_values().collect();
+        assert_eq!(rows_a, rows_b, "{name} rows differ between runs");
+    }
+}
+
+#[test]
+fn different_seeds_produce_different_data() {
+    let a = generate(&config(0.002, 7));
+    let b = generate(&config(0.002, 8));
+    let rows_a: Vec<Vec<Value>> = a.expect("lineitem").scan_values().collect();
+    let rows_b: Vec<Vec<Value>> = b.expect("lineitem").scan_values().collect();
+    assert_ne!(rows_a, rows_b, "seed must change generated values");
+}
+
+#[test]
+fn scale_factor_scales_table_sizes() {
+    let small = generate(&config(0.002, 1));
+    let large = generate(&config(0.008, 1));
+    for name in ["customer", "orders", "lineitem"] {
+        let s = small.expect(name).row_count();
+        let l = large.expect(name).row_count();
+        assert!(
+            l > 3 * s && l < 5 * s,
+            "{name}: 4x scale produced {l} rows from {s}"
+        );
+    }
+}
+
+#[test]
+fn lineitem_distributions_support_query_selectivities() {
+    // Q6 filters on discount, quantity, and shipdate; all three must
+    // cover the ranges its predicate slices, or selectivity collapses
+    // to 0/1 and the paper's cost ratios are meaningless.
+    let catalog = generate(&config(0.004, 42));
+    let lineitem = catalog.expect("lineitem");
+    let schema = lineitem.schema();
+    let col = |n: &str| {
+        schema
+            .field_names()
+            .iter()
+            .position(|f| *f == n)
+            .unwrap_or_else(|| panic!("missing column {n}"))
+    };
+    let (qty_i, disc_i) = (col("l_quantity"), col("l_discount"));
+    let mut qty_lo = f64::MAX;
+    let mut qty_hi = f64::MIN;
+    let mut discounts = std::collections::BTreeSet::new();
+    for row in lineitem.scan_values() {
+        if let Value::Float(q) = row[qty_i] {
+            qty_lo = qty_lo.min(q);
+            qty_hi = qty_hi.max(q);
+        }
+        if let Value::Float(d) = row[disc_i] {
+            discounts.insert((d * 100.0).round() as i64);
+        }
+    }
+    assert!(qty_lo < 24.0, "no small quantities (min {qty_lo})");
+    assert!(qty_hi >= 24.0, "no large quantities (max {qty_hi})");
+    assert!(
+        discounts.len() >= 8,
+        "discount domain too narrow: {discounts:?}"
+    );
+}

@@ -13,7 +13,10 @@ use cordoba_engine::QuerySpec;
 ///
 /// Panics unless `0.0 <= q4_fraction <= 1.0`.
 pub fn q1_q4_mix(costs: &CostProfile, clients: usize, q4_fraction: f64) -> Vec<QuerySpec> {
-    assert!((0.0..=1.0).contains(&q4_fraction), "fraction must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&q4_fraction),
+        "fraction must be in [0, 1]"
+    );
     let q1 = q1(costs);
     let q4 = q4(costs);
     let n_q4 = (clients as f64 * q4_fraction).round() as usize;

@@ -111,7 +111,9 @@ pub fn q4(catalog: &Catalog) -> Vec<(String, i64)> {
             continue;
         }
         if late.contains(&row[0].as_int().unwrap()) {
-            *counts.entry(row[3].as_str().unwrap().to_string()).or_insert(0) += 1;
+            *counts
+                .entry(row[3].as_str().unwrap().to_string())
+                .or_insert(0) += 1;
         }
     }
     counts.into_iter().collect()
@@ -145,7 +147,11 @@ mod tests {
     use cordoba_storage::tpch::{generate, TpchConfig};
 
     fn catalog() -> Catalog {
-        generate(&TpchConfig { scale_factor: 0.002, seed: 77, ..TpchConfig::default() })
+        generate(&TpchConfig {
+            scale_factor: 0.002,
+            seed: 77,
+            ..TpchConfig::default()
+        })
     }
 
     #[test]

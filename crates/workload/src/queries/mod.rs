@@ -61,7 +61,10 @@ mod tests {
 
     #[test]
     fn all_queries_have_pivots_and_valid_schemas() {
-        let catalog = generate(&TpchConfig { scale_factor: 0.001, ..TpchConfig::default() });
+        let catalog = generate(&TpchConfig {
+            scale_factor: 0.001,
+            ..TpchConfig::default()
+        });
         for spec in all(&CostProfile::paper()) {
             assert!(spec.pivot.is_some(), "{} must be shareable", spec.name);
             // Schema derivation must succeed for plan and pivot.

@@ -82,7 +82,11 @@ mod tests {
 
     #[test]
     fn q1_matches_naive_computation() {
-        let catalog = generate(&TpchConfig { scale_factor: 0.002, seed: 5, ..TpchConfig::default() });
+        let catalog = generate(&TpchConfig {
+            scale_factor: 0.002,
+            seed: 5,
+            ..TpchConfig::default()
+        });
         let got = reference::execute(&catalog, &q1(&CostProfile::paper()).plan);
         let want = crate::naive::q1(&catalog);
         assert_eq!(got.len(), want.len(), "group count");
@@ -112,7 +116,11 @@ mod tests {
         // TPC-H Q1 famously yields 4 groups (AF, NF, NO, RF); NO is
         // excluded here only if the 90-day cutoff filters all 'O' rows,
         // which it does not.
-        let catalog = generate(&TpchConfig { scale_factor: 0.002, seed: 5, ..TpchConfig::default() });
+        let catalog = generate(&TpchConfig {
+            scale_factor: 0.002,
+            seed: 5,
+            ..TpchConfig::default()
+        });
         let got = reference::execute(&catalog, &q1(&CostProfile::paper()).plan);
         let groups: Vec<(String, String)> = got
             .iter()

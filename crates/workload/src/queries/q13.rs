@@ -26,7 +26,10 @@ use cordoba_exec::{JoinKind, PhysicalPlan};
 /// outer-joined onto the customer table.
 pub(crate) fn q13_join(costs: &CostProfile) -> PhysicalPlan {
     let qualifying_orders = PhysicalPlan::Filter {
-        input: Box::new(PhysicalPlan::Scan { table: "orders".into(), cost: costs.scan }),
+        input: Box::new(PhysicalPlan::Scan {
+            table: "orders".into(),
+            cost: costs.scan,
+        }),
         predicate: Predicate::Not(Box::new(Predicate::Like {
             col: ord::COMMENT,
             pattern: "%special%requests%".into(),
@@ -41,7 +44,10 @@ pub(crate) fn q13_join(costs: &CostProfile) -> PhysicalPlan {
     };
     PhysicalPlan::HashJoin {
         build: Box::new(per_customer_counts),
-        probe: Box::new(PhysicalPlan::Scan { table: "customer".into(), cost: costs.scan }),
+        probe: Box::new(PhysicalPlan::Scan {
+            table: "customer".into(),
+            cost: costs.scan,
+        }),
         build_key: 0, // o_custkey in the counts schema
         probe_key: cust::CUSTKEY,
         kind: JoinKind::LeftOuter,
@@ -75,7 +81,11 @@ mod tests {
 
     #[test]
     fn q13_matches_naive_computation() {
-        let catalog = generate(&TpchConfig { scale_factor: 0.002, seed: 31, ..TpchConfig::default() });
+        let catalog = generate(&TpchConfig {
+            scale_factor: 0.002,
+            seed: 31,
+            ..TpchConfig::default()
+        });
         let got = reference::execute(&catalog, &q13(&CostProfile::paper()).plan);
         let want = crate::naive::q13(&catalog);
         let got_pairs: Vec<(i64, i64)> = got
@@ -87,7 +97,11 @@ mod tests {
 
     #[test]
     fn q13_distribution_covers_all_customers() {
-        let catalog = generate(&TpchConfig { scale_factor: 0.002, seed: 31, ..TpchConfig::default() });
+        let catalog = generate(&TpchConfig {
+            scale_factor: 0.002,
+            seed: 31,
+            ..TpchConfig::default()
+        });
         let got = reference::execute(&catalog, &q13(&CostProfile::paper()).plan);
         let total: i64 = got.iter().map(|r| r[1].as_int().unwrap()).sum();
         assert_eq!(total, catalog.expect("customer").row_count() as i64);

@@ -28,7 +28,10 @@ use cordoba_storage::Date;
 /// against late lineitems).
 pub(crate) fn q4_join(costs: &CostProfile) -> PhysicalPlan {
     let late_lineitems = PhysicalPlan::Filter {
-        input: Box::new(PhysicalPlan::Scan { table: "lineitem".into(), cost: costs.scan }),
+        input: Box::new(PhysicalPlan::Scan {
+            table: "lineitem".into(),
+            cost: costs.scan,
+        }),
         predicate: Predicate::cmp(
             ScalarExpr::Col(li::COMMITDATE),
             CmpOp::Lt,
@@ -37,7 +40,10 @@ pub(crate) fn q4_join(costs: &CostProfile) -> PhysicalPlan {
         cost: costs.filter,
     };
     let quarter_orders = PhysicalPlan::Filter {
-        input: Box::new(PhysicalPlan::Scan { table: "orders".into(), cost: costs.scan }),
+        input: Box::new(PhysicalPlan::Scan {
+            table: "orders".into(),
+            cost: costs.scan,
+        }),
         predicate: Predicate::And(vec![
             Predicate::col_cmp(ord::ORDERDATE, CmpOp::Ge, Date::from_ymd(1993, 7, 1)),
             Predicate::col_cmp(ord::ORDERDATE, CmpOp::Lt, Date::from_ymd(1993, 10, 1)),
@@ -76,7 +82,11 @@ mod tests {
 
     #[test]
     fn q4_matches_naive_computation() {
-        let catalog = generate(&TpchConfig { scale_factor: 0.002, seed: 21, ..TpchConfig::default() });
+        let catalog = generate(&TpchConfig {
+            scale_factor: 0.002,
+            seed: 21,
+            ..TpchConfig::default()
+        });
         let got = reference::execute(&catalog, &q4(&CostProfile::paper()).plan);
         let want = crate::naive::q4(&catalog);
         assert_eq!(got.len(), want.len());
@@ -92,7 +102,11 @@ mod tests {
     fn q4_exists_semantics_counts_orders_once() {
         // An order with several late lineitems must count once: total
         // order_count <= orders in the date window.
-        let catalog = generate(&TpchConfig { scale_factor: 0.002, seed: 21, ..TpchConfig::default() });
+        let catalog = generate(&TpchConfig {
+            scale_factor: 0.002,
+            seed: 21,
+            ..TpchConfig::default()
+        });
         let got = reference::execute(&catalog, &q4(&CostProfile::paper()).plan);
         let counted: i64 = got.iter().map(|r| r[1].as_int().unwrap()).sum();
         let lo = Date::from_ymd(1993, 7, 1);

@@ -22,7 +22,10 @@ use cordoba_storage::Date;
 
 /// The shareable pivot: the full `lineitem` scan.
 pub(crate) fn lineitem_scan(costs: &CostProfile) -> PhysicalPlan {
-    PhysicalPlan::Scan { table: "lineitem".into(), cost: costs.scan }
+    PhysicalPlan::Scan {
+        table: "lineitem".into(),
+        cost: costs.scan,
+    }
 }
 
 /// Per-client Q6 predicate parameters. The paper's Figure 1 experiment
@@ -42,7 +45,11 @@ pub struct Q6Params {
 impl Default for Q6Params {
     /// The official validation parameters (1994 / 0.06 / 24).
     fn default() -> Self {
-        Self { year: 1994, discount: 0.06, max_quantity: 24.0 }
+        Self {
+            year: 1994,
+            discount: 0.06,
+            max_quantity: 24.0,
+        }
     }
 }
 
@@ -69,7 +76,11 @@ pub fn q6_with_params(costs: &CostProfile, params: Q6Params) -> QuerySpec {
     let scan = lineitem_scan(costs);
     let predicate = Predicate::And(vec![
         Predicate::col_cmp(li::SHIPDATE, CmpOp::Ge, Date::from_ymd(params.year, 1, 1)),
-        Predicate::col_cmp(li::SHIPDATE, CmpOp::Lt, Date::from_ymd(params.year + 1, 1, 1)),
+        Predicate::col_cmp(
+            li::SHIPDATE,
+            CmpOp::Lt,
+            Date::from_ymd(params.year + 1, 1, 1),
+        ),
         // Epsilon guards keep the ±0.01 band closed under f64 rounding
         // (generated discounts are multiples of 0.01, far above 1e-9).
         Predicate::col_cmp(li::DISCOUNT, CmpOp::Ge, params.discount - 0.01 - 1e-9),
@@ -101,7 +112,11 @@ mod tests {
 
     #[test]
     fn q6_matches_naive_computation() {
-        let catalog = generate(&TpchConfig { scale_factor: 0.002, seed: 11, ..TpchConfig::default() });
+        let catalog = generate(&TpchConfig {
+            scale_factor: 0.002,
+            seed: 11,
+            ..TpchConfig::default()
+        });
         let spec = q6(&CostProfile::paper());
         let got = reference::execute(&catalog, &spec.plan);
         let want = crate::naive::q6(&catalog);
@@ -118,7 +133,11 @@ mod tests {
     #[test]
     fn q6_selectivity_is_low() {
         // Scan-heavy: the aggregate sees ~2% of lineitem.
-        let catalog = generate(&TpchConfig { scale_factor: 0.002, seed: 11, ..TpchConfig::default() });
+        let catalog = generate(&TpchConfig {
+            scale_factor: 0.002,
+            seed: 11,
+            ..TpchConfig::default()
+        });
         let spec = q6(&CostProfile::paper());
         let PhysicalPlan::Aggregate { input, .. } = &spec.plan else {
             panic!()

@@ -33,12 +33,21 @@ pub fn five_way_split(moved_below: usize) -> (PlanSpec, NodeId) {
     let mut b = PlanSpec::new();
     let mut below = b.add_leaf(OperatorSpec::new("bottom", vec![10.0], vec![]));
     for i in 0..moved_below {
-        below = b.add_node(OperatorSpec::new(format!("below{i}"), vec![8.0], vec![]), vec![below]);
+        below = b.add_node(
+            OperatorSpec::new(format!("below{i}"), vec![8.0], vec![]),
+            vec![below],
+        );
     }
-    let pivot = b.add_node(OperatorSpec::new("pivot", vec![6.0], vec![1.0]), vec![below]);
+    let pivot = b.add_node(
+        OperatorSpec::new("pivot", vec![6.0], vec![1.0]),
+        vec![below],
+    );
     let mut above = pivot;
     for i in moved_below..5 {
-        above = b.add_node(OperatorSpec::new(format!("above{i}"), vec![8.0], vec![]), vec![above]);
+        above = b.add_node(
+            OperatorSpec::new(format!("above{i}"), vec![8.0], vec![]),
+            vec![above],
+        );
     }
     (b.finish(above).expect("valid pipeline"), pivot)
 }

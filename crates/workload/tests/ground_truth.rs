@@ -1,0 +1,97 @@
+//! Integration: every TPC-H plan in the workload must agree with its
+//! naive straight-line reimplementation over raw rows — the plans'
+//! ground truth — and declare a pivot that is really a sub-plan.
+
+use cordoba_exec::reference;
+use cordoba_storage::tpch::{generate, TpchConfig};
+use cordoba_storage::{Catalog, Value};
+use cordoba_workload::queries::all;
+use cordoba_workload::{naive, CostProfile};
+
+fn catalog() -> Catalog {
+    generate(&TpchConfig {
+        scale_factor: 0.004,
+        seed: 1234,
+        ..TpchConfig::default()
+    })
+}
+
+fn as_f64(v: &Value) -> f64 {
+    match v {
+        Value::Float(f) => *f,
+        Value::Int(i) => *i as f64,
+        other => panic!("not numeric: {other:?}"),
+    }
+}
+
+#[test]
+fn q6_plan_matches_naive_revenue() {
+    let catalog = catalog();
+    let rows = reference::execute(&catalog, &cordoba_workload::q6(&CostProfile::paper()).plan);
+    assert_eq!(rows.len(), 1, "Q6 aggregates to a single row");
+    let revenue = as_f64(rows[0].last().unwrap());
+    let expected = naive::q6(&catalog);
+    assert!(
+        (revenue - expected).abs() < 1e-6 * expected.abs().max(1.0),
+        "plan {revenue} vs naive {expected}"
+    );
+}
+
+#[test]
+fn q1_plan_matches_naive_groups() {
+    let catalog = catalog();
+    let rows = reference::execute(&catalog, &cordoba_workload::q1(&CostProfile::paper()).plan);
+    let groups = naive::q1(&catalog);
+    assert_eq!(rows.len(), groups.len(), "Q1 group count");
+    // naive::q1 returns groups in the plan's sorted output order; each
+    // row must carry the group's count and quantity sum somewhere.
+    let close = |a: f64, b: f64| (a - b).abs() < 1e-6 * b.abs().max(1.0);
+    for (row, g) in rows.iter().zip(&groups) {
+        let numeric: Vec<f64> = row
+            .iter()
+            .filter(|v| matches!(v, Value::Int(_) | Value::Float(_)))
+            .map(as_f64)
+            .collect();
+        assert!(
+            numeric.iter().any(|&v| close(v, g.count as f64)),
+            "count {} of {g:?} missing from {row:?}",
+            g.count
+        );
+        assert!(
+            numeric.iter().any(|&v| close(v, g.sum_qty)),
+            "sum_qty {} of {g:?} missing from {row:?}",
+            g.sum_qty
+        );
+    }
+}
+
+#[test]
+fn every_query_has_a_pivot_contained_in_its_plan() {
+    // The engine merges groups by structural equality of the pivot; a
+    // pivot that is not a sub-plan of its own query can never match.
+    fn contains(plan: &cordoba_exec::PhysicalPlan, needle: &cordoba_exec::PhysicalPlan) -> bool {
+        plan == needle || plan.children().iter().any(|c| contains(c, needle))
+    }
+    for spec in all(&CostProfile::paper()) {
+        let pivot = spec
+            .pivot
+            .as_ref()
+            .unwrap_or_else(|| panic!("{} has no pivot", spec.name));
+        assert!(
+            contains(&spec.plan, pivot),
+            "{}'s pivot is not a sub-plan of its plan",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn all_queries_return_deterministic_nonempty_results() {
+    let catalog = catalog();
+    for spec in all(&CostProfile::paper()) {
+        let first = reference::execute(&catalog, &spec.plan);
+        let second = reference::execute(&catalog, &spec.plan);
+        assert!(!first.is_empty(), "{} returned no rows", spec.name);
+        assert_eq!(first, second, "{} is nondeterministic", spec.name);
+    }
+}

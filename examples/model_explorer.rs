@@ -26,8 +26,14 @@ fn main() {
 
     let mut b = PlanSpec::new();
     let bottom = b.add_leaf(OperatorSpec::new("below", vec![below_p], vec![]));
-    let pivot = b.add_node(OperatorSpec::new("pivot", vec![pivot_w], vec![pivot_s]), vec![bottom]);
-    let top = b.add_node(OperatorSpec::new("above", vec![above_p], vec![]), vec![pivot]);
+    let pivot = b.add_node(
+        OperatorSpec::new("pivot", vec![pivot_w], vec![pivot_s]),
+        vec![bottom],
+    );
+    let top = b.add_node(
+        OperatorSpec::new("above", vec![above_p], vec![]),
+        vec![pivot],
+    );
     let plan = b.finish(top).expect("valid pipeline");
 
     let q = QueryModel::new(&plan);
@@ -39,9 +45,11 @@ fn main() {
         q.peak_utilization()
     );
 
-    let eliminated =
-        (below_p + pivot_w) / (below_p + pivot_w + pivot_s + above_p);
-    println!("sharing eliminates {:.0}% of each query's work, but serializes", eliminated * 100.0);
+    let eliminated = (below_p + pivot_w) / (below_p + pivot_w + pivot_s + above_p);
+    println!(
+        "sharing eliminates {:.0}% of each query's work, but serializes",
+        eliminated * 100.0
+    );
     println!("s = {pivot_s} per consumer at the pivot. Z(m, n) = x_shared / x_unshared:\n");
 
     let ms = [2usize, 4, 8, 16, 32, 48];

@@ -27,15 +27,19 @@ fn main() {
     for mean_gap in [2_000_000u64, 500_000, 150_000, 50_000] {
         let run = |policy: Policy| {
             let schedule = poisson_arrivals(&spec, queries, mean_gap, 11);
-            let cfg = EngineConfig { contexts: 2, policy, ..EngineConfig::default() };
+            let cfg = EngineConfig {
+                contexts: 2,
+                policy,
+                ..EngineConfig::default()
+            };
             run_open_loop(&catalog, schedule, &cfg, u64::MAX / 4)
         };
         let never = run(Policy::NeverShare);
         let always = run(Policy::AlwaysShare);
         assert_eq!(never.completed, queries);
         assert_eq!(always.completed, queries);
-        let group: f64 = always.group_sizes.iter().sum::<usize>() as f64
-            / always.group_sizes.len() as f64;
+        let group: f64 =
+            always.group_sizes.iter().sum::<usize>() as f64 / always.group_sizes.len() as f64;
         println!(
             "{:>14} {:>14.0} {:>14.0} {:>11.2} {:>11.2}",
             mean_gap,

@@ -18,22 +18,32 @@ fn main() {
     // Profile Q1 and Q4 once (offline parameter estimation).
     let mut models = HashMap::new();
     for spec in [q1(&costs), q4(&costs)] {
-        let (info, _) = profile_query(&catalog, &spec, &EngineConfig::default())
-            .expect("profiling succeeds");
+        let (info, _) =
+            profile_query(&catalog, &spec, &EngineConfig::default()).expect("profiling succeeds");
         models.insert(spec.name.clone(), info);
     }
 
     let clients = q1_q4_mix(&costs, 16, 0.5);
     println!("16 clients, 50% Q1 / 50% Q4, throughput in queries per M work units:\n");
-    println!("{:>9} {:>12} {:>12} {:>12} {:>10}", "contexts", "never", "always", "model", "winner");
+    println!(
+        "{:>9} {:>12} {:>12} {:>12} {:>10}",
+        "contexts", "never", "always", "model", "winner"
+    );
     for contexts in [2usize, 8, 32] {
         let run = |policy: Policy| {
-            let cfg = EngineConfig { contexts, policy, ..EngineConfig::default() };
+            let cfg = EngineConfig {
+                contexts,
+                policy,
+                ..EngineConfig::default()
+            };
             measure_throughput(&catalog, &clients, &cfg, 32, 4_000_000_000).per_time * 1e6
         };
         let never = run(Policy::NeverShare);
         let always = run(Policy::AlwaysShare);
-        let model = run(Policy::ModelGuided { models: models.clone(), hysteresis: 0.0 });
+        let model = run(Policy::ModelGuided {
+            models: models.clone(),
+            hysteresis: 0.0,
+        });
         let winner = if model >= never && model >= always {
             "model"
         } else if always >= never {

@@ -28,18 +28,29 @@ fn main() {
     let clients = vec![spec.clone(); 8];
 
     // 3. Measure shared vs unshared throughput on 1 and 32 contexts.
-    println!("\n{:>9} {:>12} {:>12} {:>9}", "contexts", "shared", "unshared", "Z");
+    println!(
+        "\n{:>9} {:>12} {:>12} {:>9}",
+        "contexts", "shared", "unshared", "Z"
+    );
     let mut measured = Vec::new();
     for contexts in [1usize, 32] {
         let run = |policy: Policy| {
-            let cfg = EngineConfig { contexts, policy, ..EngineConfig::default() };
+            let cfg = EngineConfig {
+                contexts,
+                policy,
+                ..EngineConfig::default()
+            };
             measure_throughput(&catalog, &clients, &cfg, 24, 2_000_000_000).per_time
         };
         let shared = run(Policy::AlwaysShare);
         let unshared = run(Policy::NeverShare);
         let z = shared / unshared;
         measured.push((contexts, z));
-        println!("{contexts:>9} {:>12.4} {:>12.4} {z:>9.3}", shared * 1e6, unshared * 1e6);
+        println!(
+            "{contexts:>9} {:>12.4} {:>12.4} {z:>9.3}",
+            shared * 1e6,
+            unshared * 1e6
+        );
     }
 
     // 4. The model predicts this from profiled parameters (Section 3.1).
@@ -55,7 +66,11 @@ fn main() {
             .speedup(contexts as f64);
         println!(
             "n = {contexts:>2}: measured Z = {z_measured:.3}, model Z = {z_model:.3} -> {}",
-            if z_model > 1.0 { "SHARE" } else { "DON'T SHARE" }
+            if z_model > 1.0 {
+                "SHARE"
+            } else {
+                "DON'T SHARE"
+            }
         );
     }
     println!("\nSharing a scan-heavy query helps on a uniprocessor and hurts on a CMP —");

@@ -18,8 +18,8 @@ fn main() {
 
     println!("Share/don't-share decision matrix (model-guided, profiled parameters)\n");
     for spec in all(&CostProfile::paper()) {
-        let (info, report) = profile_query(&catalog, &spec, &EngineConfig::default())
-            .expect("profiling succeeds");
+        let (info, report) =
+            profile_query(&catalog, &spec, &EngineConfig::default()).expect("profiling succeeds");
         println!(
             "== {} ==  pivot w = {:.2}, s = {:.2}",
             spec.name, report.pivot_w, report.pivot_s

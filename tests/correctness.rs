@@ -11,7 +11,11 @@ use cordoba::workload::queries::all;
 use cordoba::workload::CostProfile;
 
 fn catalog() -> cordoba::storage::Catalog {
-    generate(&TpchConfig { scale_factor: 0.002, seed: 99, ..TpchConfig::default() })
+    generate(&TpchConfig {
+        scale_factor: 0.002,
+        seed: 99,
+        ..TpchConfig::default()
+    })
 }
 
 #[test]
@@ -24,7 +28,11 @@ fn every_query_matches_reference_unshared_and_shared() {
             (Policy::NeverShare, "never"),
             (Policy::AlwaysShare, "always"),
         ] {
-            let cfg = EngineConfig { contexts: 4, policy, ..EngineConfig::default() };
+            let cfg = EngineConfig {
+                contexts: 4,
+                policy,
+                ..EngineConfig::default()
+            };
             let out = run_once(&catalog, &vec![spec.clone(); 3], &cfg);
             for (i, rows) in out.results.iter().enumerate() {
                 assert_eq!(
@@ -44,13 +52,21 @@ fn shared_groups_form_only_under_sharing_policies() {
     let never = run_once(
         &catalog,
         &vec![spec.clone(); 4],
-        &EngineConfig { contexts: 2, policy: Policy::NeverShare, ..EngineConfig::default() },
+        &EngineConfig {
+            contexts: 2,
+            policy: Policy::NeverShare,
+            ..EngineConfig::default()
+        },
     );
     assert_eq!(never.group_sizes, vec![1, 1, 1, 1]);
     let always = run_once(
         &catalog,
         &vec![spec.clone(); 4],
-        &EngineConfig { contexts: 2, policy: Policy::AlwaysShare, ..EngineConfig::default() },
+        &EngineConfig {
+            contexts: 2,
+            policy: Policy::AlwaysShare,
+            ..EngineConfig::default()
+        },
     );
     assert_eq!(always.group_sizes, vec![4]);
 }
@@ -59,7 +75,11 @@ fn shared_groups_form_only_under_sharing_policies() {
 fn q6_revenue_matches_naive_through_the_simulated_engine() {
     let catalog = catalog();
     let spec = cordoba::workload::q6(&CostProfile::paper());
-    let cfg = EngineConfig { contexts: 8, policy: Policy::AlwaysShare, ..EngineConfig::default() };
+    let cfg = EngineConfig {
+        contexts: 8,
+        policy: Policy::AlwaysShare,
+        ..EngineConfig::default()
+    };
     let out = run_once(&catalog, &vec![spec; 2], &cfg);
     let naive = cordoba::workload::naive::q6(&catalog);
     for rows in &out.results {
@@ -77,7 +97,11 @@ fn mixed_q1_q6_group_merges_at_the_common_scan_and_stays_correct() {
     let costs = CostProfile::paper();
     let q1 = cordoba::workload::q1(&costs);
     let q6 = cordoba::workload::q6(&costs);
-    let cfg = EngineConfig { contexts: 4, policy: Policy::AlwaysShare, ..EngineConfig::default() };
+    let cfg = EngineConfig {
+        contexts: 4,
+        policy: Policy::AlwaysShare,
+        ..EngineConfig::default()
+    };
     let out = run_once(&catalog, &[q1.clone(), q6.clone(), q1.clone()], &cfg);
     assert_eq!(out.group_sizes, vec![3], "Q1+Q6 must merge at the scan");
     let expect_q1 = reference::execute(&catalog, &q1.plan);
@@ -99,7 +123,11 @@ fn clients_with_different_predicates_share_one_scan() {
     let clients: Vec<_> = (0..6)
         .map(|c| q6_with_params(&costs, Q6Params::for_client(c)))
         .collect();
-    let cfg = EngineConfig { contexts: 4, policy: Policy::AlwaysShare, ..EngineConfig::default() };
+    let cfg = EngineConfig {
+        contexts: 4,
+        policy: Policy::AlwaysShare,
+        ..EngineConfig::default()
+    };
     let out = run_once(&catalog, &clients, &cfg);
     // One group, one scan, six private filter/aggregate chains.
     assert_eq!(out.group_sizes, vec![6]);
@@ -122,7 +150,10 @@ fn clients_with_different_predicates_share_one_scan() {
         r.dedup();
         r.len()
     };
-    assert!(distinct >= 4, "different predicates give different revenues: {revenues:?}");
+    assert!(
+        distinct >= 4,
+        "different predicates give different revenues: {revenues:?}"
+    );
 }
 
 #[test]
@@ -137,7 +168,10 @@ fn model_guided_policy_results_always_correct() {
     ];
     let models = {
         let mut m = std::collections::HashMap::new();
-        for spec in [cordoba::workload::q4(&costs), cordoba::workload::q13(&costs)] {
+        for spec in [
+            cordoba::workload::q4(&costs),
+            cordoba::workload::q13(&costs),
+        ] {
             let (info, _) = cordoba::engine::profiling::profile_query(
                 &catalog,
                 &spec,
@@ -150,12 +184,20 @@ fn model_guided_policy_results_always_correct() {
     };
     let cfg = EngineConfig {
         contexts: 2,
-        policy: Policy::ModelGuided { models, hysteresis: 0.0 },
+        policy: Policy::ModelGuided {
+            models,
+            hysteresis: 0.0,
+        },
         ..EngineConfig::default()
     };
     let out = run_once(&catalog, &specs, &cfg);
     for (spec, rows) in specs.iter().zip(&out.results) {
-        assert_eq!(rows, &reference::execute(&catalog, &spec.plan), "{}", spec.name);
+        assert_eq!(
+            rows,
+            &reference::execute(&catalog, &spec.plan),
+            "{}",
+            spec.name
+        );
     }
 }
 
@@ -163,7 +205,11 @@ fn model_guided_policy_results_always_correct() {
 fn results_are_deterministic_across_runs() {
     let catalog = catalog();
     let spec = cordoba::workload::q13(&CostProfile::paper());
-    let cfg = EngineConfig { contexts: 8, policy: Policy::AlwaysShare, ..EngineConfig::default() };
+    let cfg = EngineConfig {
+        contexts: 8,
+        policy: Policy::AlwaysShare,
+        ..EngineConfig::default()
+    };
     let a = run_once(&catalog, &vec![spec.clone(); 3], &cfg);
     let b = run_once(&catalog, &vec![spec.clone(); 3], &cfg);
     assert_eq!(a.results, b.results);

@@ -7,14 +7,27 @@ use cordoba::storage::tpch::{generate, TpchConfig};
 use cordoba::workload::{mix::q1_q4_mix, q1, q4, q6, CostProfile};
 
 fn catalog() -> cordoba::storage::Catalog {
-    generate(&TpchConfig { scale_factor: 0.002, seed: 3, ..TpchConfig::default() })
+    generate(&TpchConfig {
+        scale_factor: 0.002,
+        seed: 3,
+        ..TpchConfig::default()
+    })
 }
 
-fn z_of(catalog: &cordoba::storage::Catalog, spec: &cordoba::engine::QuerySpec, m: usize, n: usize) -> f64 {
+fn z_of(
+    catalog: &cordoba::storage::Catalog,
+    spec: &cordoba::engine::QuerySpec,
+    m: usize,
+    n: usize,
+) -> f64 {
     let clients = vec![spec.clone(); m];
     let cap = 4_000_000_000;
     let run = |policy: Policy| {
-        let cfg = EngineConfig { contexts: n, policy, ..EngineConfig::default() };
+        let cfg = EngineConfig {
+            contexts: n,
+            policy,
+            ..EngineConfig::default()
+        };
         measure_throughput(catalog, &clients, &cfg, 16.max(2 * m), cap).per_time
     };
     run(Policy::AlwaysShare) / run(Policy::NeverShare)
@@ -41,14 +54,26 @@ fn figure2_scan_heavy_flattens_join_heavy_keeps_growing() {
     let q6 = q6(&costs);
     let z_small = z_of(&catalog, &q6, 4, 1);
     let z_large = z_of(&catalog, &q6, 24, 1);
-    assert!(z_large < z_small * 1.8, "q6 should plateau: {z_small} -> {z_large}");
-    assert!(z_large > z_small, "but still grow slightly: {z_small} -> {z_large}");
+    assert!(
+        z_large < z_small * 1.8,
+        "q6 should plateau: {z_small} -> {z_large}"
+    );
+    assert!(
+        z_large > z_small,
+        "but still grow slightly: {z_small} -> {z_large}"
+    );
     // ... while join-heavy speedup keeps climbing roughly with m.
     let q4 = q4(&costs);
     let j_small = z_of(&catalog, &q4, 4, 1);
     let j_large = z_of(&catalog, &q4, 16, 1);
-    assert!(j_large > j_small * 2.0, "q4 keeps growing: {j_small} -> {j_large}");
-    assert!(j_large > 8.0, "q4 at m=16, 1 CPU should be large, got {j_large}");
+    assert!(
+        j_large > j_small * 2.0,
+        "q4 keeps growing: {j_small} -> {j_large}"
+    );
+    assert!(
+        j_large > 8.0,
+        "q4 at m=16, 1 CPU should be large, got {j_large}"
+    );
 }
 
 #[test]
@@ -81,12 +106,19 @@ fn figure6_policy_ordering_on_large_machine() {
     let clients = q1_q4_mix(&costs, 24, 0.5);
     let cap = 8_000_000_000;
     let run = |policy: Policy| {
-        let cfg = EngineConfig { contexts: 32, policy, ..EngineConfig::default() };
+        let cfg = EngineConfig {
+            contexts: 32,
+            policy,
+            ..EngineConfig::default()
+        };
         measure_throughput(&catalog, &clients, &cfg, 48, cap).per_time
     };
     let never = run(Policy::NeverShare);
     let always = run(Policy::AlwaysShare);
-    let model = run(Policy::ModelGuided { models, hysteresis: 0.0 });
+    let model = run(Policy::ModelGuided {
+        models,
+        hysteresis: 0.0,
+    });
     // The paper's 32-CPU panel: model > never >> always.
     assert!(model >= never * 0.98, "model {model} vs never {never}");
     assert!(never > always * 1.3, "never {never} vs always {always}");
@@ -113,15 +145,25 @@ fn figure6_policy_ordering_on_small_machine() {
     let clients = q1_q4_mix(&costs, 12, 0.5);
     let cap = 8_000_000_000;
     let run = |policy: Policy| {
-        let cfg = EngineConfig { contexts: 2, policy, ..EngineConfig::default() };
+        let cfg = EngineConfig {
+            contexts: 2,
+            policy,
+            ..EngineConfig::default()
+        };
         measure_throughput(&catalog, &clients, &cfg, 32, cap).per_time
     };
     let never = run(Policy::NeverShare);
     let always = run(Policy::AlwaysShare);
-    let model = run(Policy::ModelGuided { models, hysteresis: 0.0 });
+    let model = run(Policy::ModelGuided {
+        models,
+        hysteresis: 0.0,
+    });
     // The paper's 2-CPU panel: always-share wins; model tracks it.
     assert!(always > never, "always {always} vs never {never}");
-    assert!(model >= always * 0.9, "model {model} must track always {always}");
+    assert!(
+        model >= always * 0.9,
+        "model {model} must track always {always}"
+    );
 }
 
 #[test]
@@ -135,13 +177,21 @@ fn shared_utilization_is_capped_while_unshared_scales() {
     let mut shared = ClosedLoop::new(
         &catalog,
         &clients,
-        &EngineConfig { contexts: 32, policy: Policy::AlwaysShare, ..EngineConfig::default() },
+        &EngineConfig {
+            contexts: 32,
+            policy: Policy::AlwaysShare,
+            ..EngineConfig::default()
+        },
     );
     shared.run_until_completions(64, 8_000_000_000);
     let mut unshared = ClosedLoop::new(
         &catalog,
         &clients,
-        &EngineConfig { contexts: 32, policy: Policy::NeverShare, ..EngineConfig::default() },
+        &EngineConfig {
+            contexts: 32,
+            policy: Policy::NeverShare,
+            ..EngineConfig::default()
+        },
     );
     unshared.run_until_completions(64, 8_000_000_000);
     let busy_shared = shared.stats().mean_busy_contexts();

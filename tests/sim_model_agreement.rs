@@ -48,7 +48,10 @@ fn simulated_rate(stage_costs: &[f64], contexts: usize) -> f64 {
         );
         prev_rx = rx;
     }
-    sim.spawn("sink", Box::new(SinkTask::new(prev_rx, OpCost::per_tuple(0.0))));
+    sim.spawn(
+        "sink",
+        Box::new(SinkTask::new(prev_rx, OpCost::per_tuple(0.0))),
+    );
     let out = sim.run_to_idle();
     assert!(out.completed_all(), "{out:?}");
     ROWS as f64 / sim.now() as f64

@@ -1,0 +1,249 @@
+//! Offline stand-in for the `rand` crate (0.8 API subset — see
+//! `vendor/README.md`).
+//!
+//! Provides exactly what the workspace uses: a seedable, deterministic
+//! [`rngs::SmallRng`] plus [`Rng::gen_range`] over integer/float ranges
+//! and [`Rng::gen_bool`]. The generator is xoshiro256++ seeded through
+//! SplitMix64 — the same construction the real `SmallRng` uses on
+//! 64-bit targets, though the exact stream is not guaranteed to match.
+//! Workspace code only relies on *determinism under a fixed seed*, not
+//! on a particular stream.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level uniform u64 source.
+pub trait RngCore {
+    /// Next uniformly distributed 64-bit value.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// RNGs constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples uniformly from a range (`low..high` or `low..=high`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        sample_f64_unit(self.next_u64()) < p.clamp(0.0, 1.0)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Maps a u64 to `[0, 1)` with 53 bits of precision.
+fn sample_f64_unit(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Ranges that can be sampled uniformly for a value type `T`.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = uniform_u128_below(rng, span);
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = uniform_u128_below(rng, span);
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+impl_int_range!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+/// Uniform value in `[0, span)` by rejection sampling (span ≥ 1).
+fn uniform_u128_below<R: RngCore + ?Sized>(rng: &mut R, span: u128) -> u128 {
+    debug_assert!(span >= 1);
+    if span == 1 {
+        return 0;
+    }
+    // A span of exactly 2^64 (e.g. `i64::MIN..=i64::MAX`) wraps the
+    // cast to 0: that is the full 64-bit domain, no rejection needed.
+    let span = span as u64;
+    if span == 0 {
+        return rng.next_u64() as u128;
+    }
+    let zone = u64::MAX - (u64::MAX - span + 1) % span;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return (v % span) as u128;
+        }
+    }
+}
+
+macro_rules! impl_float_range {
+    // `$bits` is the type's mantissa precision: unit samples built on
+    // it are exact in `$t`, so `u < 1.0` (exclusive) and `u <= 1.0`
+    // (inclusive) hold after the cast — casting a 53-bit f64 sample to
+    // f32 could round up to 1.0 and leak the excluded bound.
+    ($($t:ty, $bits:expr);*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                loop {
+                    let u = (rng.next_u64() >> (64 - $bits)) as $t
+                        / (1u64 << $bits) as $t;
+                    // u < 1, but lo + u·(hi−lo) can still round up to
+                    // hi; reject that draw to honor the open bound.
+                    let v = self.start + u * (self.end - self.start);
+                    if v < self.end {
+                        return v;
+                    }
+                }
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                // u spans [0, 1] inclusive so `hi` is reachable; clamp
+                // guards against rounding past either bound.
+                let u = (rng.next_u64() >> (64 - $bits)) as $t
+                    / ((1u64 << $bits) - 1) as $t;
+                (lo + u * (hi - lo)).clamp(lo, hi)
+            }
+        }
+    )*};
+}
+impl_float_range!(f32, 24; f64, 53);
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator (the real crate's
+    /// `SmallRng` construction on 64-bit targets).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as rand_core does for small seeds.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            Self {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0i64..1000), b.gen_range(0i64..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&v));
+            let w = rng.gen_range(1usize..=7);
+            assert!((1..=7).contains(&w));
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn float_ranges_respect_bound_contracts() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..100_000 {
+            // Exclusive: the end bound must never appear, even after
+            // the f32 cast rounds.
+            let v = rng.gen_range(0.0f32..1.0f32);
+            assert!((0.0..1.0).contains(&v), "f32 open bound leaked: {v}");
+            // Inclusive: both bounds stay in range.
+            let w = rng.gen_range(900.0f64..=101_000.0);
+            assert!((900.0..=101_000.0).contains(&w));
+        }
+        // The inclusive top is actually reachable (u == 1 exists).
+        let mut hit_top = false;
+        let mut rng = SmallRng::seed_from_u64(10);
+        for _ in 0..2_000_000 {
+            if rng.gen_range(0.0f32..=1.0f32) == 1.0 {
+                hit_top = true;
+                break;
+            }
+        }
+        assert!(hit_top, "inclusive float range never reaches its end bound");
+    }
+
+    #[test]
+    fn full_domain_inclusive_range_does_not_panic() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let _ = rng.gen_range(i64::MIN..=i64::MAX);
+            let _ = rng.gen_range(0u64..=u64::MAX);
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert!(!rng.gen_bool(0.0));
+            assert!(rng.gen_bool(1.0));
+        }
+    }
+}

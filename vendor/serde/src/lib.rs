@@ -1,0 +1,62 @@
+//! Offline stand-in for the `serde` crate (see `vendor/README.md`).
+//!
+//! The public registry is unreachable from this build environment, so
+//! this crate vendors the minimal trait surface the workspace compiles
+//! against: `Serialize` / `Deserialize` marker impls produced by no-op
+//! derives, plus the `Serializer` / `Deserializer` vocabulary used by
+//! the handful of manual impls. No wire format is implemented; swapping
+//! in the real `serde` later only requires editing the workspace
+//! manifest, not the source tree.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Serialization vocabulary (subset).
+pub mod ser {
+    use std::fmt::Display;
+
+    /// Error raised by a [`Serializer`](crate::Serializer).
+    pub trait Error: Sized + std::error::Error {
+        /// Builds an error from a display-able message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+/// Deserialization vocabulary (subset).
+pub mod de {
+    use std::fmt::Display;
+
+    /// Error raised by a [`Deserializer`](crate::Deserializer).
+    pub trait Error: Sized + std::error::Error {
+        /// Builds an error from a display-able message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+/// A data structure that can be serialized.
+pub trait Serialize {
+    /// Serializes `self` with the given serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A data structure that can be deserialized.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes `Self` from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A serialization back end (subset: enough for derived no-op impls).
+pub trait Serializer: Sized {
+    /// Output produced on success.
+    type Ok;
+    /// Error type.
+    type Error: ser::Error;
+
+    /// Serializes a unit value — the only shape the no-op derives emit.
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A deserialization back end (subset).
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: de::Error;
+}

@@ -1,0 +1,77 @@
+//! No-op `#[derive(Serialize, Deserialize)]` for the vendored serde
+//! stand-in (see `vendor/README.md`): emits marker impls that satisfy
+//! trait bounds without implementing any wire format. Hand-rolled token
+//! scanning instead of `syn`/`quote` keeps the shim dependency-free.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the name of the struct/enum a derive is attached to.
+///
+/// Panics (a compile error at the derive site) on generic types — the
+/// workspace derives only on concrete types, and the shim prefers a
+/// loud failure over silently wrong impls.
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        match tt {
+            // Skip outer attributes: `#` followed by a bracket group.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                tokens.next();
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" || id.to_string() == "enum" => {
+                let name = match tokens.next() {
+                    Some(TokenTree::Ident(name)) => name.to_string(),
+                    other => panic!("serde shim derive: expected type name, got {other:?}"),
+                };
+                if let Some(TokenTree::Punct(p)) = tokens.peek() {
+                    if p.as_char() == '<' {
+                        panic!(
+                            "serde shim derive: generic type `{name}` is not supported; \
+                             write the impls manually or extend vendor/serde_derive"
+                        );
+                    }
+                }
+                return name;
+            }
+            _ => {}
+        }
+    }
+    panic!("serde shim derive: no struct/enum found in input");
+}
+
+/// No-op `#[derive(Serialize)]`: the impl serializes any value as unit.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize<__S: ::serde::Serializer>(\n\
+                 &self, serializer: __S,\n\
+             ) -> ::std::result::Result<__S::Ok, __S::Error> {{\n\
+                 serializer.serialize_unit()\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
+
+/// No-op `#[derive(Deserialize)]`: the impl always errors, since the
+/// shim has no wire format to read from.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<__D: ::serde::Deserializer<'de>>(\n\
+                 _deserializer: __D,\n\
+             ) -> ::std::result::Result<Self, __D::Error> {{\n\
+                 ::std::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(\n\
+                     \"vendored serde shim cannot deserialize\",\n\
+                 ))\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
