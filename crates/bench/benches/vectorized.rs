@@ -1,0 +1,155 @@
+//! Criterion micro-benchmarks for the vectorized execution path:
+//! every group times the tuple-at-a-time baseline against the
+//! compiled/vectorized kernel over the same TPC-H pages (the same
+//! pairs `bench_ops` records into `BENCH_ops.json`).
+
+use cordoba_bench::vec_kernels::*;
+use cordoba_exec::vexpr::{CompiledExpr, CompiledPredicate, ExprScratch};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::time::Duration;
+
+fn data() -> BenchData {
+    BenchData::generate(0.005)
+}
+
+fn configure(g: &mut criterion::BenchmarkGroup<'_>, rows: usize) {
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(300));
+    g.throughput(Throughput::Elements(rows as u64));
+}
+
+fn filter(c: &mut Criterion) {
+    let d = data();
+    let rows = d.lineitem_rows();
+    let pred = q6_predicate();
+    let compiled = CompiledPredicate::compile(&pred, &d.lineitem_schema);
+    let mut scratch = ExprScratch::default();
+    let mut sel = Vec::new();
+    let mut g = c.benchmark_group("filter");
+    configure(&mut g, rows);
+    g.bench_function("baseline_tuple_at_a_time", |b| {
+        b.iter(|| filter_baseline(&d.lineitem, &pred))
+    });
+    g.bench_function("vectorized_selection_vector", |b| {
+        b.iter(|| filter_vectorized(&d.lineitem, &compiled, &mut scratch, &mut sel))
+    });
+    g.finish();
+}
+
+fn expr(c: &mut Criterion) {
+    let d = data();
+    let rows = d.lineitem_rows();
+    let e = revenue_expr();
+    let compiled = CompiledExpr::compile(&e, &d.lineitem_schema);
+    let mut scratch = ExprScratch::default();
+    let mut col = Vec::new();
+    let mut g = c.benchmark_group("expr_eval");
+    configure(&mut g, rows);
+    g.bench_function("baseline_tree_walk", |b| {
+        b.iter(|| expr_baseline(&d.lineitem, &e))
+    });
+    g.bench_function("vectorized_compiled_program", |b| {
+        b.iter(|| expr_vectorized(&d.lineitem, &compiled, &mut scratch, &mut col))
+    });
+    g.finish();
+}
+
+fn join_build(c: &mut Criterion) {
+    let d = data();
+    let rows = d.orders_rows();
+    let mut g = c.benchmark_group("join_build");
+    configure(&mut g, rows);
+    g.bench_function("baseline_siphash_boxed_rows", |b| {
+        b.iter(|| join_build_baseline(&d.orders, 0))
+    });
+    g.bench_function("vectorized_arena_fxhash", |b| {
+        b.iter(|| join_build_vectorized(&d.orders, 0, d.orders_schema.row_width()))
+    });
+    g.finish();
+}
+
+fn join_probe(c: &mut Criterion) {
+    let d = data();
+    let rows = d.lineitem_rows();
+    let base_table = join_build_baseline(&d.orders, 0);
+    let vec_table = join_build_vectorized(&d.orders, 0, d.orders_schema.row_width());
+    let mut keys = Vec::new();
+    let mut g = c.benchmark_group("join_probe");
+    configure(&mut g, rows);
+    g.bench_function("baseline_per_tuple_lookup", |b| {
+        b.iter(|| join_probe_baseline(&base_table, &d.lineitem, 0))
+    });
+    g.bench_function("vectorized_gathered_keys", |b| {
+        b.iter(|| join_probe_vectorized(&vec_table, &d.lineitem, 0, &mut keys))
+    });
+    g.finish();
+}
+
+fn aggregate(c: &mut Criterion) {
+    let d = data();
+    let rows = d.lineitem_rows();
+    let e = revenue_expr();
+    let compiled = CompiledExpr::compile(&e, &d.lineitem_schema);
+    let group_by = q1_group_by();
+    let mut scratch = ExprScratch::default();
+    let mut col = Vec::new();
+    let mut g = c.benchmark_group("aggregate");
+    configure(&mut g, rows);
+    g.bench_function("baseline_keyof_btreemap", |b| {
+        b.iter(|| aggregate_baseline(&d.lineitem, &group_by, &e))
+    });
+    g.bench_function("vectorized_packed_keys", |b| {
+        b.iter(|| {
+            aggregate_vectorized(
+                &d.lineitem,
+                &d.lineitem_schema,
+                &group_by,
+                &compiled,
+                &mut scratch,
+                &mut col,
+            )
+        })
+    });
+    g.finish();
+}
+
+fn q6_end_to_end(c: &mut Criterion) {
+    let d = data();
+    let rows = d.lineitem_rows();
+    let pred = q6_predicate();
+    let e = revenue_expr();
+    let cpred = CompiledPredicate::compile(&pred, &d.lineitem_schema);
+    let cexpr = CompiledExpr::compile(&e, &d.lineitem_schema);
+    let mut scratch = ExprScratch::default();
+    let (mut sel, mut col) = (Vec::new(), Vec::new());
+    let mut g = c.benchmark_group("q6_end_to_end");
+    configure(&mut g, rows);
+    g.bench_function("baseline_tuple_at_a_time", |b| {
+        b.iter(|| q6_baseline(&d.lineitem, &pred, &e))
+    });
+    g.bench_function("vectorized_pipeline", |b| {
+        b.iter(|| {
+            q6_vectorized(
+                &d.lineitem,
+                &cpred,
+                &cexpr,
+                &mut scratch,
+                &mut sel,
+                &mut col,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    filter,
+    expr,
+    join_build,
+    join_probe,
+    aggregate,
+    q6_end_to_end
+);
+criterion_main!(benches);

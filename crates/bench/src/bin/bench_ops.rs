@@ -1,0 +1,206 @@
+//! Operator hot-path micro-benchmark harness: times the paired
+//! baseline (tuple-at-a-time) vs vectorized kernels from
+//! [`cordoba_bench::vec_kernels`] and writes `BENCH_ops.json` to the
+//! current directory (run from the repo root; override the path with
+//! `CORDOBA_BENCH_OPS`). This file is the perf trajectory record:
+//! every entry carries both sides plus the speedup, so regressions and
+//! wins are visible across PRs.
+//!
+//! Usage: `cargo run --release -p cordoba-bench --bin bench_ops`
+//! (append `-- --quick` for CI smoke runs: fewer samples, smaller
+//! scale factor).
+
+use cordoba_bench::vec_kernels::*;
+use cordoba_exec::vexpr::{CompiledExpr, CompiledPredicate, ExprScratch};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Median wall-clock nanoseconds over `samples` runs of `f`.
+fn median_ns<T>(samples: usize, mut f: impl FnMut() -> T) -> f64 {
+    // One warm-up run to fault in data and warm caches.
+    black_box(f());
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t = Instant::now();
+            black_box(f());
+            t.elapsed().as_secs_f64() * 1e9
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+struct Entry {
+    name: &'static str,
+    rows: usize,
+    baseline_ns: f64,
+    vectorized_ns: f64,
+    note: &'static str,
+}
+
+impl Entry {
+    fn speedup(&self) -> f64 {
+        self.baseline_ns / self.vectorized_ns
+    }
+
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "    {{\n",
+                "      \"name\": \"{}\",\n",
+                "      \"rows\": {},\n",
+                "      \"baseline_ns_per_row\": {:.2},\n",
+                "      \"vectorized_ns_per_row\": {:.2},\n",
+                "      \"speedup\": {:.2},\n",
+                "      \"note\": \"{}\"\n",
+                "    }}"
+            ),
+            self.name,
+            self.rows,
+            self.baseline_ns / self.rows as f64,
+            self.vectorized_ns / self.rows as f64,
+            self.speedup(),
+            self.note,
+        )
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (sf, samples) = if quick { (0.002, 5) } else { (0.02, 15) };
+    let data = BenchData::generate(sf);
+    let li_rows = data.lineitem_rows();
+    let ord_rows = data.orders_rows();
+    eprintln!(
+        "bench_ops: sf={sf} lineitem={li_rows} rows, orders={ord_rows} rows, {samples} samples"
+    );
+
+    let mut scratch = ExprScratch::default();
+    let mut entries = Vec::new();
+
+    // Filter: Q6 predicate over lineitem.
+    let pred = q6_predicate();
+    let cpred = CompiledPredicate::compile(&pred, &data.lineitem_schema);
+    let mut sel = Vec::new();
+    entries.push(Entry {
+        name: "filter_q6",
+        rows: li_rows,
+        baseline_ns: median_ns(samples, || filter_baseline(&data.lineitem, &pred)),
+        vectorized_ns: median_ns(samples, || {
+            filter_vectorized(&data.lineitem, &cpred, &mut scratch, &mut sel)
+        }),
+        note: "Q6 predicate -> selection vector",
+    });
+
+    // Expression: revenue over lineitem.
+    let expr = revenue_expr();
+    let cexpr = CompiledExpr::compile(&expr, &data.lineitem_schema);
+    let mut col = Vec::new();
+    entries.push(Entry {
+        name: "expr_revenue",
+        rows: li_rows,
+        baseline_ns: median_ns(samples, || expr_baseline(&data.lineitem, &expr)),
+        vectorized_ns: median_ns(samples, || {
+            expr_vectorized(&data.lineitem, &cexpr, &mut scratch, &mut col)
+        }),
+        note: "extendedprice * (1 - discount), compiled postfix program",
+    });
+
+    // Join build: orders keyed by o_orderkey.
+    entries.push(Entry {
+        name: "join_build_orders",
+        rows: ord_rows,
+        baseline_ns: median_ns(samples, || join_build_baseline(&data.orders, 0)),
+        vectorized_ns: median_ns(samples, || {
+            join_build_vectorized(&data.orders, 0, data.orders_schema.row_width())
+        }),
+        note: "arena + chained offsets + FxHash; zero per-row allocations",
+    });
+
+    // Join probe: lineitem probing the orders table.
+    let base_table = join_build_baseline(&data.orders, 0);
+    let vec_table = join_build_vectorized(&data.orders, 0, data.orders_schema.row_width());
+    let mut keys = Vec::new();
+    entries.push(Entry {
+        name: "join_probe_lineitem",
+        rows: li_rows,
+        baseline_ns: median_ns(samples, || {
+            join_probe_baseline(&base_table, &data.lineitem, 0)
+        }),
+        vectorized_ns: median_ns(samples, || {
+            join_probe_vectorized(&vec_table, &data.lineitem, 0, &mut keys)
+        }),
+        note: "gathered keys + FxHash lookup over arena chains",
+    });
+
+    // Aggregate: Q1 grouping with the revenue expression.
+    let group_by = q1_group_by();
+    entries.push(Entry {
+        name: "aggregate_q1",
+        rows: li_rows,
+        baseline_ns: median_ns(samples, || {
+            aggregate_baseline(&data.lineitem, &group_by, &expr)
+        }),
+        vectorized_ns: median_ns(samples, || {
+            aggregate_vectorized(
+                &data.lineitem,
+                &data.lineitem_schema,
+                &group_by,
+                &cexpr,
+                &mut scratch,
+                &mut col,
+            )
+        }),
+        note: "packed u64 group keys + pre-evaluated input column",
+    });
+
+    // End-to-end Q6: filter -> repack -> revenue sum, both shapes.
+    entries.push(Entry {
+        name: "q6_end_to_end",
+        rows: li_rows,
+        baseline_ns: median_ns(samples, || q6_baseline(&data.lineitem, &pred, &expr)),
+        vectorized_ns: median_ns(samples, || {
+            q6_vectorized(
+                &data.lineitem,
+                &cpred,
+                &cexpr,
+                &mut scratch,
+                &mut sel,
+                &mut col,
+            )
+        }),
+        note: "selection vector -> dense repack -> compiled revenue over filtered pages",
+    });
+
+    for e in &entries {
+        println!(
+            "{:<22} {:>10} rows  baseline {:>8.2} ns/row  vectorized {:>8.2} ns/row  speedup {:>5.2}x",
+            e.name,
+            e.rows,
+            e.baseline_ns / e.rows as f64,
+            e.vectorized_ns / e.rows as f64,
+            e.speedup()
+        );
+    }
+
+    let path = std::env::var("CORDOBA_BENCH_OPS").unwrap_or_else(|_| "BENCH_ops.json".to_string());
+    let body: Vec<String> = entries.iter().map(Entry::json).collect();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"suite\": \"operator hot-path microbenchmarks (baseline tuple-at-a-time vs vectorized)\",\n",
+            "  \"harness\": \"crates/bench/src/bin/bench_ops.rs (median of {} samples)\",\n",
+            "  \"scale_factor\": {},\n",
+            "  \"quick\": {},\n",
+            "  \"join_build\": {{ \"arena_backed\": true, \"per_row_heap_allocations\": 0 }},\n",
+            "  \"benches\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        samples,
+        sf,
+        quick,
+        body.join(",\n")
+    );
+    std::fs::write(&path, json).expect("write BENCH_ops.json");
+    eprintln!("wrote {path}");
+}

@@ -15,3 +15,4 @@
 
 pub mod experiments;
 pub mod output;
+pub mod vec_kernels;

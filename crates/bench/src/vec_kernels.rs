@@ -1,0 +1,396 @@
+//! Paired baseline/vectorized kernels for the operator hot paths.
+//!
+//! Each pair runs the *same* logical computation two ways over the same
+//! TPC-H pages: the baseline replicates the pre-vectorization operator
+//! inner loop (recursive `eval` per tuple, SipHash map with one boxed
+//! row per build tuple, per-tuple group-key materialization), while the
+//! vectorized side uses the compiled-program / selection-vector / arena
+//! machinery the operators now run on. The criterion bench
+//! (`benches/vectorized.rs`) and the `bench_ops` binary (which writes
+//! `BENCH_ops.json` at the repo root) both time exactly these
+//! functions, so the recorded speedups are the operator inner-loop
+//! speedups, free of simulator scheduling noise.
+
+use cordoba_core::FxHashMap;
+use cordoba_exec::expr::{CmpOp, Predicate, ScalarExpr};
+use cordoba_exec::ops::{key_of, BuildTable, KeyVal};
+use cordoba_exec::vexpr::{CompiledExpr, CompiledPredicate, ExprScratch};
+use cordoba_storage::tpch::{generate, TpchConfig};
+use cordoba_storage::{Date, Page, PageBuilder, Schema};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// Pages + schemas the kernels run over.
+pub struct BenchData {
+    /// `lineitem` pages (filter / expr / aggregate / probe side).
+    pub lineitem: Vec<Arc<Page>>,
+    /// `orders` pages (join build side).
+    pub orders: Vec<Arc<Page>>,
+    /// `lineitem` schema.
+    pub lineitem_schema: Arc<Schema>,
+    /// `orders` schema.
+    pub orders_schema: Arc<Schema>,
+}
+
+impl BenchData {
+    /// Generates deterministic TPC-H data at `scale_factor`.
+    pub fn generate(scale_factor: f64) -> Self {
+        let catalog = generate(&TpchConfig {
+            scale_factor,
+            seed: 1,
+            ..TpchConfig::default()
+        });
+        let lineitem = catalog.expect("lineitem");
+        let orders = catalog.expect("orders");
+        Self {
+            lineitem_schema: lineitem.schema().clone(),
+            orders_schema: orders.schema().clone(),
+            lineitem: lineitem.pages().to_vec(),
+            orders: orders.pages().to_vec(),
+        }
+    }
+
+    /// Total lineitem rows.
+    pub fn lineitem_rows(&self) -> usize {
+        self.lineitem.iter().map(|p| p.rows()).sum()
+    }
+
+    /// Total orders rows.
+    pub fn orders_rows(&self) -> usize {
+        self.orders.iter().map(|p| p.rows()).sum()
+    }
+}
+
+/// TPC-H Q6's selection over `lineitem` (date window, discount band,
+/// quantity bound) — the canonical scan predicate.
+pub fn q6_predicate() -> Predicate {
+    Predicate::And(vec![
+        Predicate::col_cmp(7, CmpOp::Ge, Date::from_ymd(1994, 1, 1)),
+        Predicate::col_cmp(7, CmpOp::Lt, Date::from_ymd(1995, 1, 1)),
+        Predicate::col_cmp(3, CmpOp::Ge, 0.05),
+        Predicate::col_cmp(3, CmpOp::Le, 0.07),
+        Predicate::col_cmp(1, CmpOp::Lt, 24.0),
+    ])
+}
+
+/// Q6/Q1's revenue expression: `l_extendedprice * (1 - l_discount)`.
+pub fn revenue_expr() -> ScalarExpr {
+    ScalarExpr::Mul(
+        Box::new(ScalarExpr::col(2)),
+        Box::new(ScalarExpr::Sub(
+            Box::new(ScalarExpr::FloatLit(1.0)),
+            Box::new(ScalarExpr::col(3)),
+        )),
+    )
+}
+
+// ---------------------------------------------------------------- filter
+
+/// Baseline filter: recursive `Predicate::eval` per tuple.
+pub fn filter_baseline(pages: &[Arc<Page>], pred: &Predicate) -> usize {
+    let mut kept = 0;
+    for page in pages {
+        for t in page.tuples() {
+            if pred.eval(&t) {
+                kept += 1;
+            }
+        }
+    }
+    kept
+}
+
+/// Vectorized filter: compiled program to a selection vector per page.
+pub fn filter_vectorized(
+    pages: &[Arc<Page>],
+    pred: &CompiledPredicate,
+    scratch: &mut ExprScratch,
+    sel: &mut Vec<u32>,
+) -> usize {
+    let mut kept = 0;
+    for page in pages {
+        pred.select(page, scratch, sel);
+        kept += sel.len();
+    }
+    kept
+}
+
+// ------------------------------------------------------------------ expr
+
+/// Baseline expression evaluation: recursive `ScalarExpr::eval` per
+/// tuple, summed so nothing is optimized away.
+pub fn expr_baseline(pages: &[Arc<Page>], expr: &ScalarExpr) -> f64 {
+    let mut acc = 0.0;
+    for page in pages {
+        for t in page.tuples() {
+            acc += expr.eval(&t).as_f64().expect("numeric");
+        }
+    }
+    acc
+}
+
+/// Vectorized expression evaluation: compiled program into a reused
+/// `f64` column per page.
+pub fn expr_vectorized(
+    pages: &[Arc<Page>],
+    expr: &CompiledExpr,
+    scratch: &mut ExprScratch,
+    col: &mut Vec<f64>,
+) -> f64 {
+    let mut acc = 0.0;
+    for page in pages {
+        expr.eval_f64_into(page, scratch, col);
+        acc += col.iter().sum::<f64>();
+    }
+    acc
+}
+
+// ------------------------------------------------------------------ join
+
+/// Baseline hash-join build: the pre-vectorization layout — SipHash
+/// `HashMap`, one boxed row allocation per build tuple.
+pub fn join_build_baseline(pages: &[Arc<Page>], key_col: usize) -> HashMap<i64, Vec<Box<[u8]>>> {
+    let mut table: HashMap<i64, Vec<Box<[u8]>>> = HashMap::new();
+    for page in pages {
+        for t in page.tuples() {
+            table
+                .entry(t.get_int(key_col))
+                .or_default()
+                .push(t.raw().to_vec().into_boxed_slice());
+        }
+    }
+    table
+}
+
+/// Vectorized hash-join build: contiguous arena + chained offsets +
+/// integer hashing; zero per-row allocations.
+pub fn join_build_vectorized(pages: &[Arc<Page>], key_col: usize, row_width: usize) -> BuildTable {
+    let mut table = BuildTable::new(row_width);
+    for page in pages {
+        table.insert_page(page, key_col);
+    }
+    table
+}
+
+/// Baseline probe: per-tuple key read + SipHash lookup (match bytes
+/// summed so the chain walk is not optimized away).
+pub fn join_probe_baseline(
+    table: &HashMap<i64, Vec<Box<[u8]>>>,
+    pages: &[Arc<Page>],
+    key_col: usize,
+) -> usize {
+    let mut matched = 0;
+    for page in pages {
+        for t in page.tuples() {
+            if let Some(rows) = table.get(&t.get_int(key_col)) {
+                matched += rows.len();
+            }
+        }
+    }
+    matched
+}
+
+/// Vectorized probe: gathered key column + integer-hashed lookup over
+/// the arena chains.
+pub fn join_probe_vectorized(
+    table: &BuildTable,
+    pages: &[Arc<Page>],
+    key_col: usize,
+    keys: &mut Vec<i64>,
+) -> usize {
+    let mut matched = 0;
+    for page in pages {
+        page.gather_i64(key_col, keys);
+        for &key in keys.iter() {
+            matched += table.matches(key).count();
+        }
+    }
+    matched
+}
+
+// ------------------------------------------------------------- aggregate
+
+/// Baseline Q1-style aggregation: per-tuple `key_of` materialization
+/// into an ordered map plus recursive expression evaluation per tuple.
+pub fn aggregate_baseline(pages: &[Arc<Page>], group_by: &[usize], expr: &ScalarExpr) -> usize {
+    let mut groups: BTreeMap<Vec<KeyVal>, (i64, f64)> = BTreeMap::new();
+    for page in pages {
+        for t in page.tuples() {
+            let key = key_of(&t, group_by);
+            let acc = groups.entry(key).or_insert((0, 0.0));
+            acc.0 += 1;
+            acc.1 += expr.eval(&t).as_f64().expect("numeric");
+        }
+    }
+    groups.len()
+}
+
+/// Vectorized Q1-style aggregation: packed `u64` group keys (the ≤ 8
+/// byte fast path), integer-hashed slots, and a pre-evaluated input
+/// column — the inner loop `AggregateTask` now runs.
+pub fn aggregate_vectorized(
+    pages: &[Arc<Page>],
+    schema: &Arc<Schema>,
+    group_by: &[usize],
+    expr: &CompiledExpr,
+    scratch: &mut ExprScratch,
+    col: &mut Vec<f64>,
+) -> usize {
+    let fields: Vec<(usize, usize)> = group_by
+        .iter()
+        .map(|&c| (schema.offset(c), schema.fields()[c].dtype.width()))
+        .collect();
+    assert!(fields.iter().map(|&(_, w)| w).sum::<usize>() <= 8);
+    let mut map: FxHashMap<u64, u32> = FxHashMap::default();
+    let mut slots: Vec<(i64, f64)> = Vec::new();
+    for page in pages {
+        expr.eval_f64_into(page, scratch, col);
+        for (r, raw) in page.raw_rows().enumerate() {
+            let mut bytes = [0u8; 8];
+            let mut at = 0;
+            for &(off, w) in &fields {
+                bytes[at..at + w].copy_from_slice(&raw[off..off + w]);
+                at += w;
+            }
+            let idx = *map.entry(u64::from_le_bytes(bytes)).or_insert_with(|| {
+                slots.push((0, 0.0));
+                (slots.len() - 1) as u32
+            });
+            let acc = &mut slots[idx as usize];
+            acc.0 += 1;
+            acc.1 += col[r];
+        }
+    }
+    slots.len()
+}
+
+/// The fixed aggregate kernel configuration used by both harnesses:
+/// Q1's `(l_returnflag, l_linestatus)` grouping over the revenue
+/// expression.
+pub fn q1_group_by() -> Vec<usize> {
+    vec![5, 6]
+}
+
+// ---------------------------------------------------------- end-to-end Q6
+
+/// Baseline end-to-end Q6: tuple-at-a-time predicate + revenue sum, the
+/// exact loop the filter/aggregate pipeline used to run per tuple.
+pub fn q6_baseline(pages: &[Arc<Page>], pred: &Predicate, expr: &ScalarExpr) -> (usize, f64) {
+    let (mut n, mut revenue) = (0usize, 0.0);
+    for page in pages {
+        for t in page.tuples() {
+            if pred.eval(&t) {
+                n += 1;
+                revenue += expr.eval(&t).as_f64().expect("numeric");
+            }
+        }
+    }
+    (n, revenue)
+}
+
+/// Vectorized end-to-end Q6, shaped like the operator pipeline:
+/// selection vector, survivors repacked into dense pages with bulk row
+/// copies, compiled revenue program over the *filtered* pages.
+pub fn q6_vectorized(
+    pages: &[Arc<Page>],
+    pred: &CompiledPredicate,
+    expr: &CompiledExpr,
+    scratch: &mut ExprScratch,
+    sel: &mut Vec<u32>,
+    col: &mut Vec<f64>,
+) -> (usize, f64) {
+    let (mut n, mut revenue) = (0usize, 0.0);
+    let Some(first) = pages.first() else {
+        return (n, revenue);
+    };
+    let mut builder = PageBuilder::new(first.schema().clone());
+    let flush = |builder: &mut PageBuilder, scratch: &mut ExprScratch, col: &mut Vec<f64>| {
+        if builder.is_empty() {
+            return (0usize, 0.0);
+        }
+        let page = builder.finish_and_reset();
+        expr.eval_f64_into(&page, scratch, col);
+        (page.rows(), col.iter().sum::<f64>())
+    };
+    for page in pages {
+        pred.select(page, scratch, sel);
+        let mut taken = 0;
+        while taken < sel.len() {
+            taken += page.copy_rows_into(&sel[taken..], &mut builder);
+            if builder.is_full() {
+                let (dn, dr) = flush(&mut builder, scratch, col);
+                n += dn;
+                revenue += dr;
+            }
+        }
+    }
+    let (dn, dr) = flush(&mut builder, scratch, col);
+    n += dn;
+    revenue += dr;
+    (n, revenue)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data() -> BenchData {
+        BenchData::generate(0.002)
+    }
+
+    #[test]
+    fn kernel_pairs_agree() {
+        let d = data();
+        let mut scratch = ExprScratch::default();
+
+        let pred = q6_predicate();
+        let compiled = CompiledPredicate::compile(&pred, &d.lineitem_schema);
+        let mut sel = Vec::new();
+        assert_eq!(
+            filter_baseline(&d.lineitem, &pred),
+            filter_vectorized(&d.lineitem, &compiled, &mut scratch, &mut sel)
+        );
+
+        let expr = revenue_expr();
+        let cexpr = CompiledExpr::compile(&expr, &d.lineitem_schema);
+        let mut col = Vec::new();
+        let base = expr_baseline(&d.lineitem, &expr);
+        let vect = expr_vectorized(&d.lineitem, &cexpr, &mut scratch, &mut col);
+        assert!((base - vect).abs() <= base.abs() * 1e-12);
+
+        let base_table = join_build_baseline(&d.orders, 0);
+        let vec_table = join_build_vectorized(&d.orders, 0, d.orders_schema.row_width());
+        assert_eq!(
+            base_table.values().map(Vec::len).sum::<usize>(),
+            vec_table.rows()
+        );
+        let mut keys = Vec::new();
+        assert_eq!(
+            join_probe_baseline(&base_table, &d.lineitem, 0),
+            join_probe_vectorized(&vec_table, &d.lineitem, 0, &mut keys)
+        );
+
+        assert_eq!(
+            aggregate_baseline(&d.lineitem, &q1_group_by(), &expr),
+            aggregate_vectorized(
+                &d.lineitem,
+                &d.lineitem_schema,
+                &q1_group_by(),
+                &cexpr,
+                &mut scratch,
+                &mut col
+            )
+        );
+
+        let (bn, br) = q6_baseline(&d.lineitem, &pred, &expr);
+        let (vn, vr) = q6_vectorized(
+            &d.lineitem,
+            &compiled,
+            &cexpr,
+            &mut scratch,
+            &mut sel,
+            &mut col,
+        );
+        assert_eq!(bn, vn);
+        assert!((br - vr).abs() <= br.abs() * 1e-9, "{br} vs {vr}");
+    }
+}

@@ -55,6 +55,7 @@ pub mod contention;
 pub mod decision;
 pub mod error;
 pub mod estimate;
+pub mod fxhash;
 pub mod joins;
 pub mod linalg;
 pub mod littles_law;
@@ -68,6 +69,7 @@ pub mod sharing;
 pub use contention::HardwareModel;
 pub use decision::{Decision, ShareAdvisor};
 pub use error::{ModelError, Result};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use operator::OperatorSpec;
 pub use plan::{NodeId, PlanSpec};
 pub use query::QueryModel;

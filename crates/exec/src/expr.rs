@@ -147,7 +147,9 @@ pub enum CmpOp {
 }
 
 impl CmpOp {
-    fn holds(self, ord: std::cmp::Ordering) -> bool {
+    /// Whether an `Ordering` between two operands satisfies the
+    /// comparison (shared with the vectorized evaluator).
+    pub(crate) fn holds(self, ord: std::cmp::Ordering) -> bool {
         use std::cmp::Ordering::*;
         matches!(
             (self, ord),

@@ -30,9 +30,11 @@ pub mod expr;
 pub mod ops;
 pub mod plan;
 pub mod reference;
+pub mod vexpr;
 pub mod wiring;
 
 pub use cost::OpCost;
 pub use explain::explain;
 pub use expr::{Agg, CmpOp, Predicate, Scalar, ScalarExpr};
 pub use plan::{JoinKind, PhysicalPlan};
+pub use vexpr::{CompiledExpr, CompiledPredicate, ExprScratch};

@@ -1,10 +1,18 @@
-//! Hash aggregation (stop-&-go): consumes its whole input, then emits
-//! one row per group. Groups live in a `BTreeMap` so emission order is
-//! deterministic (sorted by group key), matching the reference executor.
+//! Hash aggregation (stop-&-go), vectorized: aggregate input
+//! expressions compile once into [`CompiledExpr`] programs evaluated
+//! page-at-a-time into `f64` columns, and group keys take a packed
+//! fast path — any combination of group columns totalling ≤ 8 bytes
+//! (single Int, Q1's two 1-byte flags, Q13's count, a lone Date) packs
+//! into a `u64` looked up in an [`FxHashMap`] with no per-row
+//! allocation. Wider keys fall back to the ordered per-tuple map.
+//! Emission is always sorted by group key, matching the reference
+//! executor.
 
 use crate::cost::OpCost;
 use crate::expr::Agg;
 use crate::ops::{encode_keyval, key_of, Fanout, KeyVal, Outbox};
+use crate::vexpr::{CompiledExpr, ExprScratch};
+use cordoba_core::FxHashMap;
 use cordoba_sim::channel::{Receiver, Recv};
 use cordoba_sim::{Step, Task, TaskCtx};
 use cordoba_storage::{Page, PageBuilder, Schema};
@@ -32,25 +40,18 @@ impl Acc {
         }
     }
 
-    fn update(&mut self, agg: &Agg, tuple: &cordoba_storage::TupleRef<'_>) {
-        match (self, agg) {
-            (Acc::Count(n), Agg::Count) => *n += 1,
-            (Acc::Sum(s), Agg::Sum(e)) => {
-                *s += e.eval(tuple).as_f64().expect("SUM over numeric expression")
-            }
-            (Acc::Avg { sum, count }, Agg::Avg(e)) => {
-                *sum += e.eval(tuple).as_f64().expect("AVG over numeric expression");
+    /// Folds in one row's pre-evaluated input (`Count` ignores it).
+    #[inline]
+    fn update(&mut self, v: f64) {
+        match self {
+            Acc::Count(n) => *n += 1,
+            Acc::Sum(s) => *s += v,
+            Acc::Avg { sum, count } => {
+                *sum += v;
                 *count += 1;
             }
-            (Acc::Min(m), Agg::Min(e)) => {
-                let v = e.eval(tuple).as_f64().expect("MIN over numeric expression");
-                *m = Some(m.map_or(v, |cur| cur.min(v)));
-            }
-            (Acc::Max(m), Agg::Max(e)) => {
-                let v = e.eval(tuple).as_f64().expect("MAX over numeric expression");
-                *m = Some(m.map_or(v, |cur| cur.max(v)));
-            }
-            (acc, agg) => panic!("accumulator/spec mismatch: {acc:?} vs {agg:?}"),
+            Acc::Min(m) => *m = Some(m.map_or(v, |cur| cur.min(v))),
+            Acc::Max(m) => *m = Some(m.map_or(v, |cur| cur.max(v))),
         }
     }
 
@@ -72,6 +73,21 @@ impl Acc {
     }
 }
 
+/// How group keys are consumed on the hot path.
+enum GroupState {
+    /// Group columns pack into ≤ 8 bytes: a `u64` key per row, slot
+    /// indices in an integer-hashed map, zero per-row allocation. The
+    /// decoded ordered key is computed once per *group* for emission.
+    Packed {
+        map: FxHashMap<u64, u32>,
+        slots: Vec<(Vec<KeyVal>, Vec<Acc>)>,
+        /// `(byte offset, width)` of each group column within a row.
+        fields: Vec<(usize, usize)>,
+    },
+    /// Wide keys: ordered map keyed by the decoded tuple key.
+    General(BTreeMap<Vec<KeyVal>, Vec<Acc>>),
+}
+
 enum PhaseState {
     Consuming,
     Emitting,
@@ -83,21 +99,30 @@ pub struct AggregateTask {
     rx: Receiver<Arc<Page>>,
     group_by: Vec<usize>,
     aggs: Vec<Agg>,
+    /// One compiled input program per aggregate (`None` for `Count`).
+    progs: Vec<Option<CompiledExpr>>,
     cost: OpCost,
     out_schema: Arc<Schema>,
-    groups: BTreeMap<Vec<KeyVal>, Vec<Acc>>,
+    groups: GroupState,
     state: PhaseState,
     outbox: Outbox,
     /// Pages per emit step (bounds step size during emission).
     emit_batch: usize,
-    emit_iter: Option<std::collections::btree_map::IntoIter<Vec<KeyVal>, Vec<Acc>>>,
+    emit_iter: Option<std::vec::IntoIter<(Vec<KeyVal>, Vec<Acc>)>>,
+    scratch: ExprScratch,
+    /// Per-aggregate evaluated input columns (empty for `Count`).
+    agg_cols: Vec<Vec<f64>>,
+    /// Packed per-row keys for the fast path.
+    keys: Vec<u64>,
 }
 
 impl AggregateTask {
-    /// Creates an aggregation task. `out_schema` must be the plan-derived
-    /// schema (group columns then aggregate columns).
+    /// Creates an aggregation task reading pages of `in_schema`.
+    /// `out_schema` must be the plan-derived schema (group columns then
+    /// aggregate columns); aggregate inputs are compiled here, once.
     pub fn new(
         rx: Receiver<Arc<Page>>,
+        in_schema: Arc<Schema>,
         group_by: Vec<usize>,
         aggs: Vec<Agg>,
         out_schema: Arc<Schema>,
@@ -105,17 +130,120 @@ impl AggregateTask {
         fanout: Fanout,
     ) -> Self {
         assert_eq!(out_schema.len(), group_by.len() + aggs.len());
+        let progs = aggs
+            .iter()
+            .map(|a| match a {
+                Agg::Count => None,
+                Agg::Sum(e) | Agg::Avg(e) | Agg::Min(e) | Agg::Max(e) => {
+                    Some(CompiledExpr::compile(e, &in_schema))
+                }
+            })
+            .collect();
+        let key_width: usize = group_by
+            .iter()
+            .map(|&c| in_schema.fields()[c].dtype.width())
+            .sum();
+        let groups = if key_width <= 8 {
+            GroupState::Packed {
+                map: FxHashMap::default(),
+                slots: Vec::new(),
+                fields: group_by
+                    .iter()
+                    .map(|&c| (in_schema.offset(c), in_schema.fields()[c].dtype.width()))
+                    .collect(),
+            }
+        } else {
+            GroupState::General(BTreeMap::new())
+        };
+        let agg_cols = vec![Vec::new(); aggs.len()];
         Self {
             rx,
             group_by,
             aggs,
+            progs,
             cost,
             out_schema,
-            groups: BTreeMap::new(),
+            groups,
             state: PhaseState::Consuming,
             outbox: Outbox::new(fanout),
             emit_batch: 4,
             emit_iter: None,
+            scratch: ExprScratch::default(),
+            agg_cols,
+            keys: Vec::new(),
+        }
+    }
+
+    /// Folds one page into the group state.
+    fn consume_page(&mut self, page: &Page) {
+        for (col, prog) in self.agg_cols.iter_mut().zip(&self.progs) {
+            if let Some(p) = prog {
+                p.eval_f64_into(page, &mut self.scratch, col);
+            }
+        }
+        match &mut self.groups {
+            GroupState::Packed { map, slots, fields } => {
+                // Pack each row's group-column bytes into a u64. Fixed
+                // widths and offsets make packed equality coincide with
+                // decoded-key equality (strings are space-padded, and
+                // float bit equality is `total_cmp` equality).
+                self.keys.clear();
+                self.keys.reserve(page.rows());
+                if let [(off, 8)] = fields[..] {
+                    // Single 8-byte column: the field bytes are the key.
+                    for raw in page.raw_rows() {
+                        let bytes: [u8; 8] = raw[off..off + 8].try_into().expect("8 bytes");
+                        self.keys.push(u64::from_le_bytes(bytes));
+                    }
+                } else {
+                    for raw in page.raw_rows() {
+                        let mut bytes = [0u8; 8];
+                        let mut at = 0;
+                        for &(off, w) in fields.iter() {
+                            bytes[at..at + w].copy_from_slice(&raw[off..off + w]);
+                            at += w;
+                        }
+                        self.keys.push(u64::from_le_bytes(bytes));
+                    }
+                }
+                for (r, &packed) in self.keys.iter().enumerate() {
+                    let idx = *map.entry(packed).or_insert_with(|| {
+                        slots.push((
+                            key_of(&page.tuple(r), &self.group_by),
+                            self.aggs.iter().map(Acc::new).collect(),
+                        ));
+                        (slots.len() - 1) as u32
+                    });
+                    let accs = &mut slots[idx as usize].1;
+                    for (acc, col) in accs.iter_mut().zip(&self.agg_cols) {
+                        acc.update(col.get(r).copied().unwrap_or(0.0));
+                    }
+                }
+            }
+            GroupState::General(groups) => {
+                for (r, t) in page.tuples().enumerate() {
+                    let key = key_of(&t, &self.group_by);
+                    let accs = groups
+                        .entry(key)
+                        .or_insert_with(|| self.aggs.iter().map(Acc::new).collect());
+                    for (acc, col) in accs.iter_mut().zip(&self.agg_cols) {
+                        acc.update(col.get(r).copied().unwrap_or(0.0));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drains the group state into sorted emission order.
+    fn drain_emit_order(&mut self) -> Vec<(Vec<KeyVal>, Vec<Acc>)> {
+        match &mut self.groups {
+            GroupState::Packed { map, slots, .. } => {
+                map.clear();
+                let mut v = std::mem::take(slots);
+                v.sort_by(|a, b| a.0.cmp(&b.0));
+                v
+            }
+            GroupState::General(groups) => std::mem::take(groups).into_iter().collect(),
         }
     }
 }
@@ -132,22 +260,14 @@ impl Task for AggregateTask {
                     let n = page.rows();
                     cost += self.cost.input_cost(n);
                     ctx.add_progress(n as f64);
-                    for t in page.tuples() {
-                        let key = key_of(&t, &self.group_by);
-                        let accs = self
-                            .groups
-                            .entry(key)
-                            .or_insert_with(|| self.aggs.iter().map(Acc::new).collect());
-                        for (acc, agg) in accs.iter_mut().zip(&self.aggs) {
-                            acc.update(agg, &t);
-                        }
-                    }
+                    self.consume_page(&page);
                     Step::yielded(cost)
                 }
                 Recv::Empty => Step::blocked(cost),
                 Recv::Closed => {
                     self.state = PhaseState::Emitting;
-                    self.emit_iter = Some(std::mem::take(&mut self.groups).into_iter());
+                    let ordered = self.drain_emit_order();
+                    self.emit_iter = Some(ordered.into_iter());
                     Step::yielded(cost)
                 }
             },
@@ -230,7 +350,7 @@ mod tests {
         aggs: Vec<Agg>,
         out_schema: Arc<Schema>,
     ) -> Vec<Vec<Value>> {
-        let mut tb = TableBuilder::new("t", in_schema);
+        let mut tb = TableBuilder::new("t", in_schema.clone());
         for r in &rows {
             tb.push_row(r);
         }
@@ -250,6 +370,7 @@ mod tests {
             "agg",
             Box::new(AggregateTask::new(
                 rx1,
+                in_schema,
                 group_by,
                 aggs,
                 out_schema,
@@ -394,6 +515,67 @@ mod tests {
                 vec![Value::Int(0), Value::Int(2)],
                 vec![Value::Int(3), Value::Int(3)],
                 vec![Value::Int(7), Value::Int(1)],
+            ]
+        );
+    }
+
+    #[test]
+    fn negative_int_keys_sort_correctly_through_packed_path() {
+        // Packed u64 hashing must not disturb sorted signed emission.
+        let in_schema = Schema::new(vec![Field::new("k", DataType::Int)]);
+        let out_schema = Schema::new(vec![
+            Field::new("k", DataType::Int),
+            Field::new("n", DataType::Int),
+        ]);
+        let rows = vec![
+            vec![Value::Int(5)],
+            vec![Value::Int(-3)],
+            vec![Value::Int(0)],
+            vec![Value::Int(-3)],
+        ];
+        let got = run_agg(rows, in_schema, vec![0], vec![Agg::Count], out_schema);
+        assert_eq!(
+            got,
+            vec![
+                vec![Value::Int(-3), Value::Int(2)],
+                vec![Value::Int(0), Value::Int(1)],
+                vec![Value::Int(5), Value::Int(1)],
+            ]
+        );
+    }
+
+    #[test]
+    fn wide_keys_take_general_path() {
+        // Two Int group columns (16 bytes) exceed the packed width.
+        let in_schema = Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::new("b", DataType::Int),
+            Field::new("v", DataType::Float),
+        ]);
+        let out_schema = Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::new("b", DataType::Int),
+            Field::new("s", DataType::Float),
+        ]);
+        let rows = vec![
+            vec![Value::Int(1), Value::Int(2), Value::Float(10.0)],
+            vec![Value::Int(1), Value::Int(1), Value::Float(20.0)],
+            vec![Value::Int(1), Value::Int(2), Value::Float(30.0)],
+            vec![Value::Int(0), Value::Int(9), Value::Float(40.0)],
+        ];
+        let got = run_agg(
+            rows,
+            in_schema,
+            vec![0, 1],
+            vec![Agg::Sum(ScalarExpr::col(2))],
+            out_schema,
+        );
+        assert_eq!(
+            got,
+            vec![
+                vec![Value::Int(0), Value::Int(9), Value::Float(40.0)],
+                vec![Value::Int(1), Value::Int(1), Value::Float(20.0)],
+                vec![Value::Int(1), Value::Int(2), Value::Float(40.0)],
             ]
         );
     }

@@ -1,9 +1,12 @@
-//! Streaming filter: evaluates a predicate per tuple, repacking
-//! survivors densely into fresh pages.
+//! Streaming filter, vectorized: the predicate is compiled once into a
+//! [`CompiledPredicate`] and evaluated page-at-a-time into a selection
+//! vector; survivors are repacked densely into fresh pages with bulk
+//! row copies ([`Page::copy_rows_into`] coalesces consecutive runs).
 
 use crate::cost::OpCost;
 use crate::expr::Predicate;
 use crate::ops::Fanout;
+use crate::vexpr::{CompiledPredicate, ExprScratch};
 use cordoba_sim::channel::{Receiver, Recv};
 use cordoba_sim::{Step, Task, TaskCtx};
 use cordoba_storage::{Page, PageBuilder, Schema};
@@ -12,16 +15,19 @@ use std::sync::Arc;
 /// Filter task.
 pub struct FilterTask {
     rx: Receiver<Arc<Page>>,
-    predicate: Predicate,
+    predicate: CompiledPredicate,
     cost: OpCost,
     builder: PageBuilder,
     fanout: Fanout,
     input_closed: bool,
     flushed: bool,
+    scratch: ExprScratch,
+    sel: Vec<u32>,
 }
 
 impl FilterTask {
-    /// Creates a filter reading pages of `schema` from `rx`.
+    /// Creates a filter reading pages of `schema` from `rx`. The
+    /// predicate is compiled against `schema` here, once.
     pub fn new(
         rx: Receiver<Arc<Page>>,
         schema: Arc<Schema>,
@@ -31,12 +37,14 @@ impl FilterTask {
     ) -> Self {
         Self {
             rx,
-            predicate,
+            predicate: CompiledPredicate::compile(&predicate, &schema),
             cost,
             builder: PageBuilder::new(schema),
             fanout,
             input_closed: false,
             flushed: false,
+            scratch: ExprScratch::default(),
+            sel: Vec::new(),
         }
     }
 }
@@ -67,14 +75,15 @@ impl Task for FilterTask {
                 cost += self.cost.input_cost(n);
                 ctx.add_progress(n as f64);
                 let mut out_page = None;
-                for t in page.tuples() {
-                    if self.predicate.eval(&t) {
-                        if self.builder.is_full() {
-                            debug_assert!(out_page.is_none(), "≤1 output page per input page");
-                            out_page = Some(self.builder.finish_and_reset());
-                        }
-                        t.copy_into(&mut self.builder);
+                self.predicate
+                    .select(&page, &mut self.scratch, &mut self.sel);
+                let mut taken = 0;
+                while taken < self.sel.len() {
+                    if self.builder.is_full() {
+                        debug_assert!(out_page.is_none(), "≤1 output page per input page");
+                        out_page = Some(self.builder.finish_and_reset());
                     }
+                    taken += page.copy_rows_into(&self.sel[taken..], &mut self.builder);
                 }
                 if self.builder.is_full() && out_page.is_none() {
                     out_page = Some(self.builder.finish_and_reset());

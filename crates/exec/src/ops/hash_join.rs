@@ -1,15 +1,140 @@
 //! Hash join: blocking build over one input, pipelined probe over the
 //! other. Supports inner, semi (EXISTS — TPC-H Q4), anti, and left
 //! outer (TPC-H Q13) semantics on integer equi-keys.
+//!
+//! The build side is allocation-free per row: every build page's
+//! payload is appended to one contiguous arena in a single copy, and
+//! rows sharing a key are chained through index links in a flat entry
+//! vector keyed by an [`FxHashMap`] (integer hashing, no SipHash) —
+//! the layout Jahangiri et al. (PAPERS.md) show join throughput hinges
+//! on, replacing the old `HashMap<i64, Vec<Box<[u8]>>>` with its
+//! boxed-row heap allocation per build tuple. Probe keys are gathered
+//! page-at-a-time through [`Page::gather_i64`].
 
 use crate::cost::OpCost;
 use crate::ops::{default_row_bytes, Fanout, Outbox};
 use crate::plan::JoinKind;
+use cordoba_core::FxHashMap;
 use cordoba_sim::channel::{Receiver, Recv};
 use cordoba_sim::{Step, Task, TaskCtx};
 use cordoba_storage::{Page, PageBuilder, Schema};
-use std::collections::HashMap;
 use std::sync::Arc;
+
+/// Sentinel terminating a bucket chain.
+const NIL: u32 = u32::MAX;
+
+/// One chained build row: the byte offset of its row in the arena and
+/// the index of the next row with the same key.
+#[derive(Debug, Clone, Copy)]
+struct BuildEntry {
+    offset: u32,
+    next: u32,
+}
+
+/// The arena-backed hash-join build table: contiguous row bytes,
+/// chained same-key rows, and an integer-hashed directory. Insertion
+/// performs zero per-row heap allocations (the arena and entry vector
+/// grow amortized, by page).
+#[derive(Debug, Default)]
+pub struct BuildTable {
+    /// key -> (first, last) entry index; `last` keeps chains in
+    /// insertion order so inner joins emit matches in build order.
+    heads: FxHashMap<i64, (u32, u32)>,
+    entries: Vec<BuildEntry>,
+    arena: Vec<u8>,
+    row_width: usize,
+    key_scratch: Vec<i64>,
+}
+
+impl BuildTable {
+    /// Creates an empty build table for rows of `row_width` bytes.
+    pub fn new(row_width: usize) -> Self {
+        Self {
+            row_width,
+            ..Self::default()
+        }
+    }
+
+    /// Number of build rows inserted.
+    pub fn rows(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Arena bytes in use (diagnostics / memory accounting).
+    pub fn arena_bytes(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Inserts every row of `page`, keyed by Int column `key_col`: one
+    /// bulk payload copy plus one directory update per row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page's rows are not `row_width` wide or the arena
+    /// exceeds `u32` addressing (> 4 GiB of build rows).
+    pub fn insert_page(&mut self, page: &Page, key_col: usize) {
+        assert_eq!(page.schema().row_width(), self.row_width);
+        let base = self.arena.len();
+        self.arena.extend_from_slice(page.payload());
+        assert!(
+            self.arena.len() <= u32::MAX as usize,
+            "build arena exceeds u32 addressing"
+        );
+        let mut keys = std::mem::take(&mut self.key_scratch);
+        page.gather_i64(key_col, &mut keys);
+        for (r, &key) in keys.iter().enumerate() {
+            let idx = self.entries.len() as u32;
+            self.entries.push(BuildEntry {
+                offset: (base + r * self.row_width) as u32,
+                next: NIL,
+            });
+            match self.heads.entry(key) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert((idx, idx));
+                }
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    let (_, last) = *e.get();
+                    self.entries[last as usize].next = idx;
+                    e.get_mut().1 = idx;
+                }
+            }
+        }
+        self.key_scratch = keys;
+    }
+
+    /// Whether any build row has `key`.
+    pub fn contains(&self, key: i64) -> bool {
+        self.heads.contains_key(&key)
+    }
+
+    /// Iterates the raw rows matching `key`, in insertion order.
+    pub fn matches(&self, key: i64) -> MatchIter<'_> {
+        MatchIter {
+            table: self,
+            next: self.heads.get(&key).map_or(NIL, |&(first, _)| first),
+        }
+    }
+}
+
+/// Iterator over a key's chained build rows.
+pub struct MatchIter<'a> {
+    table: &'a BuildTable,
+    next: u32,
+}
+
+impl<'a> Iterator for MatchIter<'a> {
+    type Item = &'a [u8];
+
+    fn next(&mut self) -> Option<&'a [u8]> {
+        if self.next == NIL {
+            return None;
+        }
+        let entry = self.table.entries[self.next as usize];
+        self.next = entry.next;
+        let at = entry.offset as usize;
+        Some(&self.table.arena[at..at + self.table.row_width])
+    }
+}
 
 enum PhaseState {
     Building,
@@ -27,13 +152,12 @@ pub struct HashJoinTask {
     kind: JoinKind,
     build_cost: OpCost,
     probe_cost: OpCost,
-    /// key -> raw build rows (empty-row vec never stored).
-    table: HashMap<i64, Vec<Box<[u8]>>>,
+    table: BuildTable,
     build_defaults: Vec<u8>,
     builder: PageBuilder,
     outbox: Outbox,
     state: PhaseState,
-    scratch: Vec<u8>,
+    probe_keys: Vec<i64>,
 }
 
 impl HashJoinTask {
@@ -64,31 +188,63 @@ impl HashJoinTask {
             kind,
             build_cost,
             probe_cost,
-            table: HashMap::new(),
+            table: BuildTable::new(build_schema.row_width()),
             build_defaults: default_row_bytes(&build_schema),
             builder: PageBuilder::new(out_schema),
             outbox: Outbox::new(fanout),
             state: PhaseState::Building,
-            scratch: Vec::new(),
+            probe_keys: Vec::new(),
         }
     }
 
-    fn emit_row(&mut self, probe_raw: &[u8], build_raw: Option<&[u8]>) {
-        self.scratch.clear();
-        self.scratch.extend_from_slice(probe_raw);
-        match self.kind {
-            JoinKind::Semi | JoinKind::Anti => {}
-            JoinKind::Inner | JoinKind::LeftOuter => {
-                self.scratch
-                    .extend_from_slice(build_raw.unwrap_or(&self.build_defaults));
+    /// Probes one page, emitting result rows into the builder/outbox.
+    fn probe_page(&mut self, page: &Page) {
+        page.gather_i64(self.probe_key, &mut self.probe_keys);
+        for (probe_raw, &key) in page.raw_rows().zip(&self.probe_keys) {
+            match self.kind {
+                JoinKind::Inner => {
+                    for build_raw in self.table.matches(key) {
+                        emit_row(&mut self.builder, &mut self.outbox, probe_raw, build_raw);
+                    }
+                }
+                JoinKind::Semi => {
+                    if self.table.contains(key) {
+                        emit_row(&mut self.builder, &mut self.outbox, probe_raw, &[]);
+                    }
+                }
+                JoinKind::Anti => {
+                    if !self.table.contains(key) {
+                        emit_row(&mut self.builder, &mut self.outbox, probe_raw, &[]);
+                    }
+                }
+                JoinKind::LeftOuter => {
+                    let mut m = self.table.matches(key).peekable();
+                    if m.peek().is_none() {
+                        emit_row(
+                            &mut self.builder,
+                            &mut self.outbox,
+                            probe_raw,
+                            &self.build_defaults,
+                        );
+                    } else {
+                        for build_raw in m {
+                            emit_row(&mut self.builder, &mut self.outbox, probe_raw, build_raw);
+                        }
+                    }
+                }
             }
         }
-        if !self.builder.push_raw(&self.scratch) {
-            let full = self.builder.finish_and_reset();
-            self.outbox.push(full);
-            assert!(self.builder.push_raw(&self.scratch));
-        }
     }
+}
+
+/// Appends `probe_raw ++ build_raw` to the builder, spilling full pages
+/// to the outbox. The two fragments are written directly — no
+/// intermediate row scratch buffer.
+fn emit_row(builder: &mut PageBuilder, outbox: &mut Outbox, probe_raw: &[u8], build_raw: &[u8]) {
+    if builder.is_full() {
+        outbox.push(builder.finish_and_reset());
+    }
+    assert!(builder.push_raw_parts(probe_raw, build_raw));
 }
 
 impl Task for HashJoinTask {
@@ -103,13 +259,7 @@ impl Task for HashJoinTask {
                     let n = page.rows();
                     cost += self.build_cost.input_cost(n);
                     ctx.add_progress(n as f64);
-                    for t in page.tuples() {
-                        let key = t.get_int(self.build_key);
-                        self.table
-                            .entry(key)
-                            .or_default()
-                            .push(t.raw().to_vec().into_boxed_slice());
-                    }
+                    self.table.insert_page(&page, self.build_key);
                     Step::yielded(cost)
                 }
                 Recv::Empty => Step::blocked(cost),
@@ -123,39 +273,7 @@ impl Task for HashJoinTask {
                     let n = page.rows();
                     cost += self.probe_cost.input_cost(n);
                     ctx.add_progress(n as f64);
-                    for t in page.tuples() {
-                        let key = t.get_int(self.probe_key);
-                        let matches = self.table.get(&key);
-                        match self.kind {
-                            JoinKind::Inner => {
-                                if let Some(rows) = matches {
-                                    let rows = rows.clone();
-                                    for b in &rows {
-                                        self.emit_row(t.raw(), Some(b));
-                                    }
-                                }
-                            }
-                            JoinKind::Semi => {
-                                if matches.is_some() {
-                                    self.emit_row(t.raw(), None);
-                                }
-                            }
-                            JoinKind::Anti => {
-                                if matches.is_none() {
-                                    self.emit_row(t.raw(), None);
-                                }
-                            }
-                            JoinKind::LeftOuter => match matches {
-                                Some(rows) => {
-                                    let rows = rows.clone();
-                                    for b in &rows {
-                                        self.emit_row(t.raw(), Some(b));
-                                    }
-                                }
-                                None => self.emit_row(t.raw(), None),
-                            },
-                        }
-                    }
+                    self.probe_page(&page);
                     let (c, drained) = self.outbox.flush(ctx);
                     cost += c;
                     if drained {
@@ -229,6 +347,31 @@ mod tests {
             vec![Value::Int(3), Value::Int(300)],
         ];
         (schema, rows)
+    }
+
+    #[test]
+    fn build_table_chains_preserve_insertion_order() {
+        let (schema, rows) = build_side();
+        let mut tb = TableBuilder::new("b", schema.clone());
+        for r in &rows {
+            tb.push_row(r);
+        }
+        let table = tb.finish();
+        let mut bt = BuildTable::new(schema.row_width());
+        for page in table.pages() {
+            bt.insert_page(page, 0);
+        }
+        assert_eq!(bt.rows(), 4);
+        assert_eq!(bt.arena_bytes(), 4 * schema.row_width());
+        assert!(bt.contains(1) && bt.contains(2) && bt.contains(4));
+        assert!(!bt.contains(3));
+        // Key 2's two rows come back in build order (20 then 21).
+        let values: Vec<i64> = bt
+            .matches(2)
+            .map(|raw| i64::from_le_bytes(raw[8..16].try_into().unwrap()))
+            .collect();
+        assert_eq!(values, vec![20, 21]);
+        assert_eq!(bt.matches(99).count(), 0);
     }
 
     fn run_join(kind: JoinKind) -> Vec<Vec<Value>> {

@@ -17,7 +17,7 @@ pub(crate) mod testutil;
 
 pub use aggregate::AggregateTask;
 pub use filter::FilterTask;
-pub use hash_join::HashJoinTask;
+pub use hash_join::{BuildTable, HashJoinTask};
 pub use merge_join::MergeJoinTask;
 pub use nlj::NestedLoopJoinTask;
 pub use project::ProjectTask;

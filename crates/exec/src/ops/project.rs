@@ -1,8 +1,13 @@
-//! Streaming projection: computes output columns per tuple.
+//! Streaming projection, vectorized: expressions compile once into
+//! [`CompiledExpr`] programs, each page is evaluated column-at-a-time
+//! into a row-major scratch buffer, and finished rows move into output
+//! pages as raw bytes — no per-tuple expression dispatch and no
+//! [`cordoba_storage::Value`] materialization on the hot path.
 
 use crate::cost::OpCost;
 use crate::expr::ScalarExpr;
 use crate::ops::{Fanout, Outbox};
+use crate::vexpr::{CompiledExpr, ExprScratch};
 use cordoba_sim::channel::{Receiver, Recv};
 use cordoba_sim::{Step, Task, TaskCtx};
 use cordoba_storage::{Page, PageBuilder, Schema};
@@ -11,19 +16,23 @@ use std::sync::Arc;
 /// Projection task.
 pub struct ProjectTask {
     rx: Receiver<Arc<Page>>,
-    exprs: Vec<ScalarExpr>,
+    compiled: Vec<CompiledExpr>,
+    out_schema: Arc<Schema>,
     cost: OpCost,
     builder: PageBuilder,
     outbox: Outbox,
     input_closed: bool,
     flushed_tail: bool,
-    scratch: Vec<cordoba_storage::Value>,
+    scratch: ExprScratch,
+    row_bytes: Vec<u8>,
 }
 
 impl ProjectTask {
-    /// Creates a projection producing `out_schema` rows via `exprs`.
+    /// Creates a projection producing `out_schema` rows via `exprs`,
+    /// compiled here against the input `in_schema`.
     pub fn new(
         rx: Receiver<Arc<Page>>,
+        in_schema: Arc<Schema>,
         out_schema: Arc<Schema>,
         exprs: Vec<ScalarExpr>,
         cost: OpCost,
@@ -36,19 +45,24 @@ impl ProjectTask {
         );
         Self {
             rx,
-            exprs,
+            compiled: exprs
+                .iter()
+                .map(|e| CompiledExpr::compile(e, &in_schema))
+                .collect(),
+            out_schema: out_schema.clone(),
             cost,
             builder: PageBuilder::new(out_schema),
             outbox: Outbox::new(fanout),
             input_closed: false,
             flushed_tail: false,
-            scratch: Vec::new(),
+            scratch: ExprScratch::default(),
+            row_bytes: Vec::new(),
         }
     }
 
     /// Overrides the output page size (tests and ablations).
-    pub fn with_output_page_size(mut self, out_schema: Arc<Schema>, page_size: usize) -> Self {
-        self.builder = PageBuilder::with_page_size(out_schema, page_size);
+    pub fn with_output_page_size(mut self, page_size: usize) -> Self {
+        self.builder = PageBuilder::with_page_size(self.out_schema.clone(), page_size);
         self
     }
 }
@@ -80,19 +94,29 @@ impl Task for ProjectTask {
                 let n = page.rows();
                 cost += self.cost.input_cost(n);
                 ctx.add_progress(n as f64);
-                for t in page.tuples() {
+                let w = self.out_schema.row_width();
+                // The output fields tile the whole row width, so
+                // `encode_column` overwrites every byte — only the
+                // length needs adjusting, not the contents.
+                if self.row_bytes.len() != n * w {
+                    self.row_bytes.resize(n * w, 0);
+                }
+                for (i, ce) in self.compiled.iter().enumerate() {
+                    ce.encode_column(
+                        &page,
+                        &mut self.scratch,
+                        self.out_schema.fields()[i].dtype,
+                        &mut self.row_bytes,
+                        self.out_schema.offset(i),
+                        w,
+                    );
+                }
+                for row in self.row_bytes.chunks_exact(w) {
                     if self.builder.is_full() {
                         let full = self.builder.finish_and_reset();
                         self.outbox.push(full);
                     }
-                    self.scratch.clear();
-                    for e in &self.exprs {
-                        self.scratch.push(e.eval(&t).to_value());
-                    }
-                    assert!(
-                        self.builder.push_row(&self.scratch),
-                        "builder cannot be full here"
-                    );
+                    assert!(self.builder.push_raw(row), "builder cannot be full here");
                 }
                 if self.builder.is_full() {
                     let full = self.builder.finish_and_reset();
@@ -158,6 +182,7 @@ mod tests {
             "project",
             Box::new(ProjectTask::new(
                 rx1,
+                schema,
                 out_schema,
                 exprs,
                 OpCost::default(),
@@ -210,12 +235,13 @@ mod tests {
         );
         let task = ProjectTask::new(
             rx1,
-            out_schema.clone(),
+            schema,
+            out_schema,
             exprs,
             OpCost::default(),
             Fanout::new(vec![tx2], 0.0),
         )
-        .with_output_page_size(out_schema, 64);
+        .with_output_page_size(64);
         sim.spawn("project", Box::new(task));
         let rows = Rc::new(RefCell::new(Vec::new()));
         sim.spawn(

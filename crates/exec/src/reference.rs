@@ -7,8 +7,9 @@
 use crate::expr::Agg;
 use crate::ops::{key_of, KeyVal};
 use crate::plan::{JoinKind, PhysicalPlan};
+use cordoba_core::FxHashMap;
 use cordoba_storage::{Catalog, DataType, Table, TableBuilder, Value};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Executes a plan, returning materialized result rows.
@@ -112,7 +113,7 @@ pub fn execute_table(catalog: &Catalog, plan: &PhysicalPlan) -> Arc<Table> {
             let build_t = execute_table(catalog, build);
             let probe_t = execute_table(catalog, probe);
             let schema = plan.output_schema(catalog);
-            let mut map: HashMap<i64, Vec<Vec<Value>>> = HashMap::new();
+            let mut map: FxHashMap<i64, Vec<Vec<Value>>> = FxHashMap::default();
             for page in build_t.pages() {
                 for t in page.tuples() {
                     map.entry(t.get_int(*build_key))

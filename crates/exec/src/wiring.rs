@@ -201,12 +201,14 @@ fn wire(
             spawned.push((id, name));
         }
         PhysicalPlan::Project { input, exprs, cost } => {
+            let in_schema = input.output_schema(catalog);
             let out_schema = plan.output_schema(catalog);
             let rx = child_input(sim, input, sources, preorder, spawned);
             let id = sim.spawn_task(
                 name.clone(),
                 Box::new(ProjectTask::new(
                     rx,
+                    in_schema,
                     out_schema,
                     exprs.iter().map(|(_, e)| e.clone()).collect(),
                     *cost,
@@ -221,12 +223,14 @@ fn wire(
             aggs,
             cost,
         } => {
+            let in_schema = input.output_schema(catalog);
             let out_schema = plan.output_schema(catalog);
             let rx = child_input(sim, input, sources, preorder, spawned);
             let id = sim.spawn_task(
                 name.clone(),
                 Box::new(AggregateTask::new(
                     rx,
+                    in_schema,
                     group_by.clone(),
                     aggs.iter().map(|(_, a)| a.clone()).collect(),
                     out_schema,

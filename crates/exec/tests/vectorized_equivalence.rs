@@ -1,0 +1,302 @@
+//! Property tests for the vectorized execution path: compiled
+//! expression/predicate programs must agree with the tree-walking
+//! evaluators row for row, and the vectorized operator tasks (filter,
+//! project, aggregate, hash join) must reproduce the tuple-at-a-time
+//! reference executor on randomized schemas, pages, and plans.
+
+use cordoba_exec::expr::{Agg, CmpOp, Predicate, ScalarExpr};
+use cordoba_exec::vexpr::{CompiledExpr, CompiledPredicate, ExprScratch};
+use cordoba_exec::{reference, wiring, JoinKind, OpCost, PhysicalPlan};
+use cordoba_sim::Simulator;
+use cordoba_storage::{Catalog, DataType, Date, Field, Schema, TableBuilder, Value};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// One random row: (Int, Float source, Date day, short string).
+type RowSpec = (i64, i64, i64, String);
+
+/// A stream of random recipe triples driving expression/predicate
+/// construction; runs out gracefully (defaults end recursion).
+struct Recipe<'a> {
+    items: &'a [(u8, u8, i64)],
+    at: usize,
+}
+
+impl<'a> Recipe<'a> {
+    fn new(items: &'a [(u8, u8, i64)]) -> Self {
+        Self { items, at: 0 }
+    }
+
+    fn next(&mut self) -> (u8, u8, i64) {
+        let item = self.items.get(self.at).copied().unwrap_or((3, 0, 1));
+        self.at += 1;
+        item
+    }
+}
+
+fn cmp_op(sel: u8) -> CmpOp {
+    [
+        CmpOp::Eq,
+        CmpOp::Ne,
+        CmpOp::Lt,
+        CmpOp::Le,
+        CmpOp::Gt,
+        CmpOp::Ge,
+    ][(sel % 6) as usize]
+}
+
+/// Builds a random well-typed numeric expression over columns 0 (Int)
+/// and 1 (Float).
+fn gen_num_expr(r: &mut Recipe<'_>, depth: u32) -> ScalarExpr {
+    let (kind, _, lit) = r.next();
+    match kind % 8 {
+        0..=2 if depth > 0 => {
+            let a = Box::new(gen_num_expr(r, depth - 1));
+            let b = Box::new(gen_num_expr(r, depth - 1));
+            match kind % 3 {
+                0 => ScalarExpr::Add(a, b),
+                1 => ScalarExpr::Sub(a, b),
+                _ => ScalarExpr::Mul(a, b),
+            }
+        }
+        0 | 4 => ScalarExpr::col(0),
+        1 | 5 => ScalarExpr::col(1),
+        2 | 6 => ScalarExpr::IntLit(lit),
+        _ => ScalarExpr::FloatLit(lit as f64 * 0.5),
+    }
+}
+
+/// Builds a random well-typed predicate over the 4-column test schema.
+fn gen_pred(r: &mut Recipe<'_>, depth: u32) -> Predicate {
+    let (kind, op_sel, lit) = r.next();
+    let op = cmp_op(op_sel);
+    match kind % 11 {
+        0 if depth > 0 => {
+            let n = 1 + (lit.unsigned_abs() % 3) as usize;
+            Predicate::And((0..n).map(|_| gen_pred(r, depth - 1)).collect())
+        }
+        1 if depth > 0 => {
+            let n = 1 + (lit.unsigned_abs() % 3) as usize;
+            Predicate::Or((0..n).map(|_| gen_pred(r, depth - 1)).collect())
+        }
+        2 if depth > 0 => Predicate::Not(Box::new(gen_pred(r, depth - 1))),
+        3 => Predicate::True,
+        4 => Predicate::col_cmp(0, op, lit),
+        5 => Predicate::col_cmp(1, op, lit as f64 * 0.5),
+        6 => Predicate::col_cmp(2, op, Date(lit as i32)),
+        7 => Predicate::col_cmp(
+            3,
+            op,
+            ["", "a", "ab", "bca", "c"][(lit.unsigned_abs() % 5) as usize],
+        ),
+        8 => Predicate::Like {
+            col: 3,
+            pattern: ["%a%", "b%", "%c", "%a%b%", "abc", "%"][(lit.unsigned_abs() % 6) as usize]
+                .to_string(),
+        },
+        _ => Predicate::cmp(gen_num_expr(r, 1), op, gen_num_expr(r, 1)),
+    }
+}
+
+fn test_schema() -> Arc<Schema> {
+    Schema::new(vec![
+        Field::new("k", DataType::Int),
+        Field::new("v", DataType::Float),
+        Field::new("d", DataType::Date),
+        Field::new("s", DataType::Str(3)),
+    ])
+}
+
+/// Registers the random rows as table `t` with small (128 B) pages so
+/// non-trivial inputs span several pages.
+fn catalog(rows: &[RowSpec]) -> Catalog {
+    let mut tb = TableBuilder::with_page_size("t", test_schema(), 128);
+    for (k, v, d, s) in rows {
+        tb.push_row(&[
+            Value::Int(*k),
+            Value::Float(*v as f64 * 0.5),
+            Value::Date(Date(*d as i32)),
+            Value::Str(s.clone()),
+        ]);
+    }
+    let mut c = Catalog::new();
+    c.register(tb.finish());
+    c
+}
+
+fn scan() -> Box<PhysicalPlan> {
+    Box::new(PhysicalPlan::Scan {
+        table: "t".into(),
+        cost: OpCost::default(),
+    })
+}
+
+/// Runs `plan` through the simulator wiring and collects result rows.
+fn run_sim(cat: &Catalog, plan: &PhysicalPlan) -> Vec<Vec<Value>> {
+    let mut sim = Simulator::new(3);
+    let (rx, _ops) =
+        wiring::instantiate(&mut sim, cat, plan, "vq", &wiring::WiringConfig::default());
+    wiring::run_and_collect(&mut sim, rx, OpCost::default())
+}
+
+fn rows_strategy() -> impl Strategy<Value = Vec<RowSpec>> {
+    proptest::collection::vec((-20i64..20, -40i64..40, 0i64..30, "[a-c]{0,3}"), 0..100)
+}
+
+fn recipe_strategy() -> impl Strategy<Value = Vec<(u8, u8, i64)>> {
+    proptest::collection::vec((0u8..=255, 0u8..=255, -30i64..30), 1..24)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// CompiledPredicate::select picks exactly the rows the
+    /// tree-walking Predicate::eval accepts, page by page.
+    #[test]
+    fn compiled_predicate_matches_tree_walk(rows in rows_strategy(), seed in recipe_strategy()) {
+        let cat = catalog(&rows);
+        let pred = gen_pred(&mut Recipe::new(&seed), 2);
+        let table = cat.expect("t");
+        let compiled = CompiledPredicate::compile(&pred, table.schema());
+        let mut scratch = ExprScratch::default();
+        let mut sel = Vec::new();
+        for page in table.pages() {
+            compiled.select(page, &mut scratch, &mut sel);
+            let expected: Vec<u32> = page
+                .tuples()
+                .enumerate()
+                .filter_map(|(r, t)| pred.eval(&t).then_some(r as u32))
+                .collect();
+            prop_assert_eq!(&sel, &expected, "predicate {:?}", pred);
+        }
+    }
+
+    /// CompiledExpr::eval_f64_into agrees bit-for-bit with the
+    /// tree-walking ScalarExpr::eval coerced to f64 (same per-row
+    /// operation order, so float results are identical, not just close).
+    #[test]
+    fn compiled_expr_matches_tree_walk(rows in rows_strategy(), seed in recipe_strategy()) {
+        let cat = catalog(&rows);
+        let expr = gen_num_expr(&mut Recipe::new(&seed), 3);
+        let table = cat.expect("t");
+        let compiled = CompiledExpr::compile(&expr, table.schema());
+        let mut scratch = ExprScratch::default();
+        let mut out = Vec::new();
+        for page in table.pages() {
+            compiled.eval_f64_into(page, &mut scratch, &mut out);
+            prop_assert_eq!(out.len(), page.rows());
+            for (r, t) in page.tuples().enumerate() {
+                let expected = expr.eval(&t).as_f64().expect("numeric expression");
+                prop_assert_eq!(
+                    out[r].to_bits(), expected.to_bits(),
+                    "expr {:?} row {}: {} vs {}", expr, r, out[r], expected
+                );
+            }
+        }
+    }
+
+    /// The vectorized filter task reproduces the reference executor.
+    #[test]
+    fn vectorized_filter_matches_reference(rows in rows_strategy(), seed in recipe_strategy()) {
+        let cat = catalog(&rows);
+        let plan = PhysicalPlan::Filter {
+            input: scan(),
+            predicate: gen_pred(&mut Recipe::new(&seed), 2),
+            cost: OpCost::default(),
+        };
+        let expected = reference::execute(&cat, &plan);
+        let got = run_sim(&cat, &plan);
+        prop_assert_eq!(got, expected);
+    }
+
+    /// The vectorized projection task reproduces the reference
+    /// executor, including string pass-through and literal columns.
+    #[test]
+    fn vectorized_project_matches_reference(rows in rows_strategy(), seed in recipe_strategy()) {
+        let cat = catalog(&rows);
+        let mut r = Recipe::new(&seed);
+        let plan = PhysicalPlan::Project {
+            input: scan(),
+            exprs: vec![
+                ("e0".into(), gen_num_expr(&mut r, 2)),
+                ("e1".into(), gen_num_expr(&mut r, 2)),
+                ("s".into(), ScalarExpr::col(3)),
+                ("lit".into(), ScalarExpr::StrLit("xy".into())),
+            ],
+            cost: OpCost::default(),
+        };
+        let expected = reference::execute(&cat, &plan);
+        let got = run_sim(&cat, &plan);
+        prop_assert_eq!(got, expected);
+    }
+
+    /// The vectorized aggregate task reproduces the reference executor
+    /// across all key paths: no groups, packed narrow keys (Int,
+    /// string), and wide keys on the general path.
+    #[test]
+    fn vectorized_aggregate_matches_reference(
+        rows in rows_strategy(),
+        seed in recipe_strategy(),
+        group_sel in 0u8..4,
+    ) {
+        let cat = catalog(&rows);
+        let mut r = Recipe::new(&seed);
+        let group_by = match group_sel {
+            0 => vec![],         // packed: zero-width key
+            1 => vec![0],        // packed: single Int
+            2 => vec![3],        // packed: 3-byte string
+            _ => vec![0, 1],     // general: 16-byte key
+        };
+        let plan = PhysicalPlan::Aggregate {
+            input: scan(),
+            group_by,
+            aggs: vec![
+                ("n".into(), Agg::Count),
+                ("sum".into(), Agg::Sum(gen_num_expr(&mut r, 2))),
+                ("avg".into(), Agg::Avg(gen_num_expr(&mut r, 2))),
+                ("min".into(), Agg::Min(gen_num_expr(&mut r, 2))),
+                ("max".into(), Agg::Max(gen_num_expr(&mut r, 2))),
+            ],
+            cost: OpCost::default(),
+        };
+        let expected = reference::execute(&cat, &plan);
+        let got = run_sim(&cat, &plan);
+        prop_assert_eq!(got, expected);
+    }
+
+    /// The arena-backed hash join reproduces the reference executor for
+    /// every join kind.
+    #[test]
+    fn vectorized_hash_join_matches_reference(
+        left in proptest::collection::vec((0i64..8, 0i64..100), 0..40),
+        right in proptest::collection::vec((0i64..8, 0i64..100), 0..40),
+        kind_sel in 0u8..4,
+    ) {
+        let kind = [JoinKind::Inner, JoinKind::Semi, JoinKind::Anti, JoinKind::LeftOuter]
+            [kind_sel as usize];
+        let mut cat = Catalog::new();
+        for (name, rows) in [("l", &left), ("r", &right)] {
+            let schema = Schema::new(vec![
+                Field::new(format!("{name}k"), DataType::Int),
+                Field::new(format!("{name}v"), DataType::Int),
+            ]);
+            let mut tb = TableBuilder::with_page_size(name, schema, 128);
+            for (k, v) in rows {
+                tb.push_row(&[Value::Int(*k), Value::Int(*v)]);
+            }
+            cat.register(tb.finish());
+        }
+        let plan = PhysicalPlan::HashJoin {
+            build: Box::new(PhysicalPlan::Scan { table: "r".into(), cost: OpCost::default() }),
+            probe: Box::new(PhysicalPlan::Scan { table: "l".into(), cost: OpCost::default() }),
+            build_key: 0,
+            probe_key: 0,
+            kind,
+            build_cost: OpCost::default(),
+            probe_cost: OpCost::default(),
+        };
+        let expected = reference::canonicalize(reference::execute(&cat, &plan));
+        let got = reference::canonicalize(run_sim(&cat, &plan));
+        prop_assert_eq!(got, expected, "{:?}", kind);
+    }
+}

@@ -46,20 +46,148 @@ impl Page {
             "row {row} out of range ({} rows)",
             self.rows
         );
+        self.tuple_unchecked(row)
+    }
+
+    /// Internal unchecked cursor: `row` is trusted to be in range (all
+    /// bases `0..rows` are valid by construction, so iteration skips
+    /// the public API's per-row assert).
+    #[inline]
+    fn tuple_unchecked(&self, row: usize) -> TupleRef<'_> {
         TupleRef {
             page: self,
             base: row * self.schema.row_width(),
         }
     }
 
-    /// Iterates over all tuples in the page.
+    /// Iterates over all tuples in the page (one range check for the
+    /// whole page, not one assert per row).
     pub fn tuples(&self) -> impl Iterator<Item = TupleRef<'_>> {
-        (0..self.rows).map(move |r| self.tuple(r))
+        (0..self.rows).map(move |r| self.tuple_unchecked(r))
     }
 
     /// Payload bytes in use (diagnostics / memory accounting).
     pub fn byte_len(&self) -> usize {
         self.rows * self.schema.row_width()
+    }
+
+    /// The page's full payload: `rows * row_width` contiguous bytes.
+    /// Bulk consumers (the hash-join arena) copy this in one shot
+    /// instead of row by row.
+    pub fn payload(&self) -> &[u8] {
+        &self.data[..self.rows * self.schema.row_width()]
+    }
+
+    /// Iterates over raw row byte slices (each exactly `row_width`
+    /// long) — the allocation-free way to walk encoded rows.
+    pub fn raw_rows(&self) -> impl Iterator<Item = &[u8]> {
+        self.payload().chunks_exact(self.schema.row_width())
+    }
+
+    /// Gathers an `Int` column into `out` (cleared first). One schema
+    /// lookup and one bounds proof per page; the per-row loads are
+    /// unchecked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if field `col` is not `Int`.
+    pub fn gather_i64(&self, col: usize, out: &mut Vec<i64>) {
+        let (off, w) = self.gather_bounds(col, DataType::Int);
+        out.clear();
+        out.reserve(self.rows);
+        for r in 0..self.rows {
+            // SAFETY: `gather_bounds` proved off + 8 <= w and
+            // rows * w <= data.len(), so r*w + off + 8 <= data.len().
+            let v = unsafe {
+                std::ptr::read_unaligned(self.data.as_ptr().add(r * w + off).cast::<i64>())
+            };
+            out.push(i64::from_le(v));
+        }
+    }
+
+    /// Gathers a `Float` column into `out` (cleared first); see
+    /// [`Page::gather_i64`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if field `col` is not `Float`.
+    pub fn gather_f64(&self, col: usize, out: &mut Vec<f64>) {
+        let (off, w) = self.gather_bounds(col, DataType::Float);
+        out.clear();
+        out.reserve(self.rows);
+        for r in 0..self.rows {
+            // SAFETY: as in `gather_i64`.
+            let v = unsafe {
+                std::ptr::read_unaligned(self.data.as_ptr().add(r * w + off).cast::<u64>())
+            };
+            out.push(f64::from_bits(u64::from_le(v)));
+        }
+    }
+
+    /// Gathers a `Date` column (day numbers) into `out` (cleared
+    /// first); see [`Page::gather_i64`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if field `col` is not `Date`.
+    pub fn gather_date(&self, col: usize, out: &mut Vec<i32>) {
+        let (off, w) = self.gather_bounds(col, DataType::Date);
+        out.clear();
+        out.reserve(self.rows);
+        for r in 0..self.rows {
+            // SAFETY: as in `gather_i64` (Date is 4 bytes, and
+            // off + 4 <= off + width <= w).
+            let v = unsafe {
+                std::ptr::read_unaligned(self.data.as_ptr().add(r * w + off).cast::<i32>())
+            };
+            out.push(i32::from_le(v));
+        }
+    }
+
+    /// Validates the invariant the unchecked gather loops rely on and
+    /// returns `(field offset, row width)`.
+    fn gather_bounds(&self, col: usize, want: DataType) -> (usize, usize) {
+        let dtype = self.schema.fields()[col].dtype;
+        assert_eq!(dtype, want, "gather type mismatch on field {col}");
+        let w = self.schema.row_width();
+        let off = self.schema.offset(col);
+        // Proves every unchecked read below stays in bounds: field ends
+        // within the row, and all rows lie within the payload.
+        assert!(off + dtype.width() <= w && self.rows * w <= self.data.len());
+        (off, w)
+    }
+
+    /// Copies the rows selected by `sel` (ascending row indices) into a
+    /// layout-compatible builder, stopping when the builder fills.
+    /// Returns how many selected rows were copied; consecutive indices
+    /// coalesce into single bulk copies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a selected index is out of range.
+    pub fn copy_rows_into(&self, sel: &[u32], builder: &mut PageBuilder) -> usize {
+        debug_assert_eq!(
+            self.schema.row_width(),
+            builder.schema.row_width(),
+            "copy_rows_into requires layout-compatible schemas"
+        );
+        let w = self.schema.row_width();
+        let payload = self.payload();
+        let fit = builder.remaining().min(sel.len());
+        let mut taken = 0;
+        while taken < fit {
+            let start = sel[taken] as usize;
+            let mut len = 1;
+            while taken + len < fit && sel[taken + len] as usize == start + len {
+                len += 1;
+            }
+            builder
+                .data
+                .extend_from_slice(&payload[start * w..(start + len) * w]);
+            taken += len;
+        }
+        builder.rows += taken;
+        taken
     }
 }
 
@@ -261,6 +389,20 @@ impl PageBuilder {
         true
     }
 
+    /// Appends a row assembled from two byte fragments (joins emit
+    /// `probe ++ build` without an intermediate scratch buffer; either
+    /// fragment may be empty). Returns `false` if full.
+    pub fn push_raw_parts(&mut self, head: &[u8], tail: &[u8]) -> bool {
+        debug_assert_eq!(head.len() + tail.len(), self.schema.row_width());
+        if self.is_full() {
+            return false;
+        }
+        self.data.extend_from_slice(head);
+        self.data.extend_from_slice(tail);
+        self.rows += 1;
+        true
+    }
+
     /// Freezes the builder into an immutable, shareable page.
     pub fn finish(self) -> Arc<Page> {
         Arc::new(Page {
@@ -429,6 +571,93 @@ mod tests {
         let b = PageBuilder::new(schema());
         let page = b.finish();
         let _ = page.tuple(0);
+    }
+
+    #[test]
+    fn gather_columns_match_tuple_accessors() {
+        let mut b = PageBuilder::new(schema());
+        for i in 0..37 {
+            b.push_row(&[
+                Value::Int(i * 7 - 100),
+                Value::Float(i as f64 * 0.5 - 3.0),
+                Value::Date(Date(i as i32 * 11 - 50)),
+                Value::Str("x".into()),
+            ]);
+        }
+        let page = b.finish();
+        let (mut ints, mut floats, mut dates) = (Vec::new(), Vec::new(), Vec::new());
+        page.gather_i64(0, &mut ints);
+        page.gather_f64(1, &mut floats);
+        page.gather_date(2, &mut dates);
+        assert_eq!(ints.len(), 37);
+        for (r, t) in page.tuples().enumerate() {
+            assert_eq!(ints[r], t.get_int(0));
+            assert_eq!(floats[r], t.get_float(1));
+            assert_eq!(dates[r], t.get_date(2).0);
+        }
+        // Gather clears previous contents.
+        page.gather_i64(0, &mut ints);
+        assert_eq!(ints.len(), 37);
+    }
+
+    #[test]
+    #[should_panic(expected = "gather type mismatch")]
+    fn gather_wrong_type_panics() {
+        let mut b = PageBuilder::new(schema());
+        b.push_row(&[
+            Value::Int(1),
+            Value::Float(2.0),
+            Value::Date(Date(3)),
+            Value::Str("x".into()),
+        ]);
+        let page = b.finish();
+        let mut out = Vec::new();
+        page.gather_i64(1, &mut out);
+    }
+
+    #[test]
+    fn copy_rows_into_selects_and_respects_capacity() {
+        let mut b = PageBuilder::new(schema());
+        for i in 0..10 {
+            b.push_row(&[
+                Value::Int(i),
+                Value::Float(0.0),
+                Value::Date(Date(0)),
+                Value::Str("".into()),
+            ]);
+        }
+        let page = b.finish();
+        // Mixed runs: consecutive [1,2,3] coalesce, then isolated 7, 9.
+        let sel = [1u32, 2, 3, 7, 9];
+        let mut out = PageBuilder::new(page.schema().clone());
+        assert_eq!(page.copy_rows_into(&sel, &mut out), 5);
+        let got: Vec<i64> = out.finish().tuples().map(|t| t.get_int(0)).collect();
+        assert_eq!(got, vec![1, 2, 3, 7, 9]);
+        // A builder with room for 2 rows takes only the first 2.
+        let mut small = PageBuilder::with_page_size(page.schema().clone(), 52);
+        assert_eq!(page.copy_rows_into(&sel, &mut small), 2);
+        let got: Vec<i64> = small.finish().tuples().map(|t| t.get_int(0)).collect();
+        assert_eq!(got, vec![1, 2]);
+    }
+
+    #[test]
+    fn payload_and_raw_rows_cover_page() {
+        let mut b = PageBuilder::new(schema());
+        for i in 0..4 {
+            b.push_row(&[
+                Value::Int(i),
+                Value::Float(0.0),
+                Value::Date(Date(0)),
+                Value::Str("".into()),
+            ]);
+        }
+        let page = b.finish();
+        assert_eq!(page.payload().len(), 4 * 26);
+        let rows: Vec<&[u8]> = page.raw_rows().collect();
+        assert_eq!(rows.len(), 4);
+        for (r, raw) in rows.iter().enumerate() {
+            assert_eq!(*raw, page.tuple(r).raw());
+        }
     }
 
     #[test]
