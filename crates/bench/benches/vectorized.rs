@@ -4,6 +4,7 @@
 //! pairs `bench_ops` records into `BENCH_ops.json`).
 
 use cordoba_bench::vec_kernels::*;
+use cordoba_exec::ops::{KeyScratch, PackedKeySpec};
 use cordoba_exec::vexpr::{CompiledExpr, CompiledPredicate, ExprScratch};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::time::Duration;
@@ -23,7 +24,7 @@ fn filter(c: &mut Criterion) {
     let d = data();
     let rows = d.lineitem_rows();
     let pred = q6_predicate();
-    let compiled = CompiledPredicate::compile(&pred, &d.lineitem_schema);
+    let compiled = CompiledPredicate::compile(&pred, &d.lineitem_schema).expect("compiles");
     let mut scratch = ExprScratch::default();
     let mut sel = Vec::new();
     let mut g = c.benchmark_group("filter");
@@ -41,7 +42,7 @@ fn expr(c: &mut Criterion) {
     let d = data();
     let rows = d.lineitem_rows();
     let e = revenue_expr();
-    let compiled = CompiledExpr::compile(&e, &d.lineitem_schema);
+    let compiled = CompiledExpr::compile(&e, &d.lineitem_schema).expect("compiles");
     let mut scratch = ExprScratch::default();
     let mut col = Vec::new();
     let mut g = c.benchmark_group("expr_eval");
@@ -90,7 +91,7 @@ fn aggregate(c: &mut Criterion) {
     let d = data();
     let rows = d.lineitem_rows();
     let e = revenue_expr();
-    let compiled = CompiledExpr::compile(&e, &d.lineitem_schema);
+    let compiled = CompiledExpr::compile(&e, &d.lineitem_schema).expect("compiles");
     let group_by = q1_group_by();
     let mut scratch = ExprScratch::default();
     let mut col = Vec::new();
@@ -119,8 +120,8 @@ fn q6_end_to_end(c: &mut Criterion) {
     let rows = d.lineitem_rows();
     let pred = q6_predicate();
     let e = revenue_expr();
-    let cpred = CompiledPredicate::compile(&pred, &d.lineitem_schema);
-    let cexpr = CompiledExpr::compile(&e, &d.lineitem_schema);
+    let cpred = CompiledPredicate::compile(&pred, &d.lineitem_schema).expect("compiles");
+    let cexpr = CompiledExpr::compile(&e, &d.lineitem_schema).expect("compiles");
     let mut scratch = ExprScratch::default();
     let (mut sel, mut col) = (Vec::new(), Vec::new());
     let mut g = c.benchmark_group("q6_end_to_end");
@@ -143,6 +144,77 @@ fn q6_end_to_end(c: &mut Criterion) {
     g.finish();
 }
 
+fn sort(c: &mut Criterion) {
+    let d = data();
+    let rows = d.lineitem_rows();
+    let keys = [7usize]; // l_shipdate
+    let spec = PackedKeySpec::try_new(&d.lineitem_schema, &keys).expect("4-byte key");
+    let mut scratch = KeyScratch::default();
+    let mut packed = Vec::new();
+    let mut g = c.benchmark_group("sort");
+    configure(&mut g, rows);
+    g.bench_function("baseline_keyof_boxed_rows", |b| {
+        b.iter(|| sort_baseline(&d.lineitem, &keys))
+    });
+    g.bench_function("vectorized_packed_u64_keys", |b| {
+        b.iter(|| sort_vectorized(&d.lineitem, &spec, &mut scratch, &mut packed))
+    });
+    g.finish();
+}
+
+fn merge_join(c: &mut Criterion) {
+    let d = data();
+    let rows = d.lineitem_rows() + d.orders_rows();
+    let mut buf = Vec::new();
+    let mut g = c.benchmark_group("merge_join");
+    configure(&mut g, rows);
+    g.bench_function("baseline_per_tuple_get_int", |b| {
+        b.iter(|| merge_join_baseline(&d.orders, &d.lineitem, 0, 0))
+    });
+    g.bench_function("vectorized_gathered_keys", |b| {
+        b.iter(|| merge_join_vectorized(&d.orders, &d.lineitem, 0, 0, &mut buf))
+    });
+    g.finish();
+}
+
+fn nlj(c: &mut Criterion) {
+    let d = data();
+    let (outer, inner, pred, pair) = nlj_config(&d);
+    let cpred = CompiledPredicate::compile(&pred, &pair).expect("compiles");
+    let pairs = outer.iter().map(|p| p.rows()).sum::<usize>()
+        * inner.iter().map(|p| p.rows()).sum::<usize>();
+    let mut scratch = ExprScratch::default();
+    let mut sel = Vec::new();
+    let mut g = c.benchmark_group("nlj");
+    configure(&mut g, pairs);
+    g.bench_function("baseline_one_row_page_per_pair", |b| {
+        b.iter(|| nlj_baseline(&outer, &inner, &pred, &pair))
+    });
+    g.bench_function("vectorized_candidate_pages", |b| {
+        b.iter(|| nlj_vectorized(&outer, &inner, &cpred, &pair, &mut scratch, &mut sel))
+    });
+    g.finish();
+}
+
+fn fused_literal(c: &mut Criterion) {
+    let d = data();
+    let rows = d.lineitem_rows();
+    let e = revenue_expr();
+    let unfused = CompiledExpr::compile_unfused(&e, &d.lineitem_schema).expect("compiles");
+    let fused = CompiledExpr::compile(&e, &d.lineitem_schema).expect("compiles");
+    let mut scratch = ExprScratch::default();
+    let mut col = Vec::new();
+    let mut g = c.benchmark_group("fused_literal");
+    configure(&mut g, rows);
+    g.bench_function("broadcast_literal_buffers", |b| {
+        b.iter(|| expr_vectorized(&d.lineitem, &unfused, &mut scratch, &mut col))
+    });
+    g.bench_function("fused_scalar_literal_instrs", |b| {
+        b.iter(|| expr_vectorized(&d.lineitem, &fused, &mut scratch, &mut col))
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     filter,
@@ -150,6 +222,10 @@ criterion_group!(
     join_build,
     join_probe,
     aggregate,
-    q6_end_to_end
+    q6_end_to_end,
+    sort,
+    merge_join,
+    nlj,
+    fused_literal
 );
 criterion_main!(benches);

@@ -8,12 +8,25 @@
 //!
 //! Usage: `cargo run --release -p cordoba-bench --bin bench_ops`
 //! (append `-- --quick` for CI smoke runs: fewer samples, smaller
-//! scale factor).
+//! scale factor; append `-- --check <path>` to compare the fresh
+//! within-run speedups against a committed `BENCH_ops.json` instead of
+//! writing one — exits non-zero on a gross regression).
 
 use cordoba_bench::vec_kernels::*;
+use cordoba_exec::ops::{KeyScratch, PackedKeySpec};
 use cordoba_exec::vexpr::{CompiledExpr, CompiledPredicate, ExprScratch};
 use std::hint::black_box;
 use std::time::Instant;
+
+/// A kernel's fresh within-run speedup (baseline / vectorized, both
+/// timed in the same process on the same host) may shrink to this
+/// fraction of the committed speedup before `--check` fails. The ratio
+/// is machine-independent — a slow CI runner scales both sides equally
+/// — so the gate catches a kernel silently falling back toward the
+/// tuple-at-a-time path without flaking on host speed. Generous on
+/// purpose: quick runs use a smaller scale factor and shared runners
+/// are noisy.
+const CHECK_TOLERANCE: f64 = 3.0;
 
 /// Median wall-clock nanoseconds over `samples` runs of `f`.
 fn median_ns<T>(samples: usize, mut f: impl FnMut() -> T) -> f64 {
@@ -80,7 +93,7 @@ fn main() {
 
     // Filter: Q6 predicate over lineitem.
     let pred = q6_predicate();
-    let cpred = CompiledPredicate::compile(&pred, &data.lineitem_schema);
+    let cpred = CompiledPredicate::compile(&pred, &data.lineitem_schema).expect("compiles");
     let mut sel = Vec::new();
     entries.push(Entry {
         name: "filter_q6",
@@ -94,7 +107,7 @@ fn main() {
 
     // Expression: revenue over lineitem.
     let expr = revenue_expr();
-    let cexpr = CompiledExpr::compile(&expr, &data.lineitem_schema);
+    let cexpr = CompiledExpr::compile(&expr, &data.lineitem_schema).expect("compiles");
     let mut col = Vec::new();
     entries.push(Entry {
         name: "expr_revenue",
@@ -172,6 +185,75 @@ fn main() {
         note: "selection vector -> dense repack -> compiled revenue over filtered pages",
     });
 
+    // Fused scalar-literal instructions: the same compiled revenue
+    // program with literal broadcasting (the pre-fusion codegen) vs the
+    // fused MulFLit/SubLitF form.
+    let unfused = CompiledExpr::compile_unfused(&expr, &data.lineitem_schema).expect("compiles");
+    entries.push(Entry {
+        name: "expr_fused_literal",
+        rows: li_rows,
+        baseline_ns: median_ns(samples, || {
+            expr_vectorized(&data.lineitem, &unfused, &mut scratch, &mut col)
+        }),
+        vectorized_ns: median_ns(samples, || {
+            expr_vectorized(&data.lineitem, &cexpr, &mut scratch, &mut col)
+        }),
+        note: "broadcast literal buffers vs fused MulFLit/SubLitF in-place passes",
+    });
+
+    // Sort: key extraction + sort by l_shipdate over lineitem.
+    let sort_keys = [7usize];
+    let spec = PackedKeySpec::try_new(&data.lineitem_schema, &sort_keys).expect("4-byte key");
+    let mut kscratch = KeyScratch::default();
+    let mut packed_keys = Vec::new();
+    entries.push(Entry {
+        name: "sort_shipdate",
+        rows: li_rows,
+        baseline_ns: median_ns(samples, || sort_baseline(&data.lineitem, &sort_keys)),
+        vectorized_ns: median_ns(samples, || {
+            sort_vectorized(&data.lineitem, &spec, &mut kscratch, &mut packed_keys)
+        }),
+        note: "per-row KeyVal allocation vs packed order-preserving u64 keys",
+    });
+
+    // Merge join: orders ⋈ lineitem on orderkey (both generated sorted).
+    let mut merge_buf = Vec::new();
+    entries.push(Entry {
+        name: "merge_join_orderkey",
+        rows: li_rows + ord_rows,
+        baseline_ns: median_ns(samples, || {
+            merge_join_baseline(&data.orders, &data.lineitem, 0, 0)
+        }),
+        vectorized_ns: median_ns(samples, || {
+            merge_join_vectorized(&data.orders, &data.lineitem, 0, 0, &mut merge_buf)
+        }),
+        note: "per-tuple get_int + assert vs page gathers + windowed sortedness sweep",
+    });
+
+    // NLJ: band join over small page subsets; rows = pairs examined.
+    let (outer, inner, nlj_pred, pair_schema) = nlj_config(&data);
+    let nlj_cpred = CompiledPredicate::compile(&nlj_pred, &pair_schema).expect("compiles");
+    let outer_rows: usize = outer.iter().map(|p| p.rows()).sum();
+    let inner_rows: usize = inner.iter().map(|p| p.rows()).sum();
+    entries.push(Entry {
+        name: "nlj_band_join",
+        rows: outer_rows * inner_rows,
+        baseline_ns: median_ns(samples, || {
+            nlj_baseline(&outer, &inner, &nlj_pred, &pair_schema)
+        }),
+        vectorized_ns: median_ns(samples, || {
+            nlj_vectorized(
+                &outer,
+                &inner,
+                &nlj_cpred,
+                &pair_schema,
+                &mut scratch,
+                &mut sel,
+            )
+        }),
+        note: "one-row page + eval per pair vs compiled predicate over candidate pages",
+    });
+
     for e in &entries {
         println!(
             "{:<22} {:>10} rows  baseline {:>8.2} ns/row  vectorized {:>8.2} ns/row  speedup {:>5.2}x",
@@ -181,6 +263,20 @@ fn main() {
             e.vectorized_ns / e.rows as f64,
             e.speedup()
         );
+    }
+
+    // Regression-check mode: compare against a committed BENCH_ops.json
+    // instead of writing one.
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(at) = args.iter().position(|a| a == "--check") {
+        let path = args
+            .get(at + 1)
+            .cloned()
+            .unwrap_or_else(|| "BENCH_ops.json".to_string());
+        if !check_against(&path, &entries) {
+            std::process::exit(1);
+        }
+        return;
     }
 
     let path = std::env::var("CORDOBA_BENCH_OPS").unwrap_or_else(|_| "BENCH_ops.json".to_string());
@@ -203,4 +299,64 @@ fn main() {
     );
     std::fs::write(&path, json).expect("write BENCH_ops.json");
     eprintln!("wrote {path}");
+}
+
+/// Parses the committed `BENCH_ops.json` into `(name, speedup)` pairs.
+/// Hand-rolled line scan — the file is written by this binary, so the
+/// shape is known exactly.
+fn committed_numbers(body: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let mut name: Option<String> = None;
+    for line in body.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("\"name\": \"") {
+            name = rest.strip_suffix("\",").map(str::to_string);
+        } else if let Some(rest) = line.strip_prefix("\"speedup\": ") {
+            if let (Some(n), Ok(v)) = (name.take(), rest.trim_end_matches(',').parse::<f64>()) {
+                out.push((n, v));
+            }
+        }
+    }
+    out
+}
+
+/// Compares each kernel's fresh within-run speedup against the
+/// committed one with [`CHECK_TOLERANCE`]; prints one verdict line per
+/// shared entry. Returns `false` when any kernel grossly regressed.
+/// Entries present on only one side (newly added kernels) are reported
+/// but don't fail.
+fn check_against(path: &str, entries: &[Entry]) -> bool {
+    let body = match std::fs::read_to_string(path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("bench check: cannot read {path}: {e}");
+            return false;
+        }
+    };
+    let committed = committed_numbers(&body);
+    let mut ok = true;
+    for e in entries {
+        let fresh = e.speedup();
+        match committed.iter().find(|(n, _)| n == e.name) {
+            Some(&(_, base)) => {
+                let regressed = fresh < base / CHECK_TOLERANCE;
+                println!(
+                    "{:<22} committed speedup {:>6.2}x  fresh {:>6.2}x  {}",
+                    e.name,
+                    base,
+                    fresh,
+                    if regressed { "REGRESSED" } else { "ok" }
+                );
+                ok &= !regressed;
+            }
+            None => println!("{:<22} (no committed speedup; fresh {fresh:.2}x)", e.name),
+        }
+    }
+    if !ok {
+        eprintln!(
+            "bench check: kernel speedups collapsed more than {CHECK_TOLERANCE}x vs {path} \
+             (a vectorized path likely fell back to tuple-at-a-time)"
+        );
+    }
+    ok
 }

@@ -13,7 +13,8 @@
 
 use cordoba_core::FxHashMap;
 use cordoba_exec::expr::{CmpOp, Predicate, ScalarExpr};
-use cordoba_exec::ops::{key_of, BuildTable, KeyVal};
+use cordoba_exec::ops::{key_of, BuildTable, KeyScratch, KeyVal, PackedKeySpec};
+use cordoba_exec::plan::concat_schemas;
 use cordoba_exec::vexpr::{CompiledExpr, CompiledPredicate, ExprScratch};
 use cordoba_storage::tpch::{generate, TpchConfig};
 use cordoba_storage::{Date, Page, PageBuilder, Schema};
@@ -329,6 +330,205 @@ pub fn q6_vectorized(
     (n, revenue)
 }
 
+// ------------------------------------------------------------------ sort
+
+/// Baseline sort intake + sort: per-tuple `key_of` materializing a
+/// `Vec<KeyVal>` (one heap allocation per row) plus a boxed row copy —
+/// the pre-vectorization `SortTask` loop.
+pub fn sort_baseline(pages: &[Arc<Page>], keys: &[usize]) -> usize {
+    let mut rows: Vec<(Vec<KeyVal>, Box<[u8]>)> = Vec::new();
+    for page in pages {
+        for t in page.tuples() {
+            rows.push((key_of(&t, keys), t.raw().to_vec().into_boxed_slice()));
+        }
+    }
+    rows.sort_by(|a, b| a.0.cmp(&b.0));
+    rows.len()
+}
+
+/// Vectorized sort intake + sort: order-preserving packed `u64` keys
+/// gathered page-at-a-time and a stable permutation sort over machine
+/// words — the `SortTask` hot loop after vectorization (pages stay
+/// whole; no per-row copies or allocations on intake).
+pub fn sort_vectorized(
+    pages: &[Arc<Page>],
+    spec: &PackedKeySpec,
+    scratch: &mut KeyScratch,
+    keys: &mut Vec<u64>,
+) -> usize {
+    keys.clear();
+    for page in pages {
+        spec.extend_keys(page, scratch, keys);
+    }
+    let mut order: Vec<u32> = (0..keys.len() as u32).collect();
+    order.sort_by_key(|&r| keys[r as usize]);
+    order.len()
+}
+
+// ------------------------------------------------------------ merge join
+
+/// Counts the join pairs of two sorted key streams (group sizes
+/// multiply) — the merge loop shared by both merge-join kernels.
+fn merge_count(l: &[i64], r: &[i64]) -> usize {
+    let (mut i, mut j, mut pairs) = (0usize, 0usize, 0usize);
+    while i < l.len() && j < r.len() {
+        match l[i].cmp(&r[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                let key = l[i];
+                let (li, rj) = (i, j);
+                while i < l.len() && l[i] == key {
+                    i += 1;
+                }
+                while j < r.len() && r[j] == key {
+                    j += 1;
+                }
+                pairs += (i - li) * (j - rj);
+            }
+        }
+    }
+    pairs
+}
+
+/// Baseline merge-join key extraction: per-tuple `get_int` plus a
+/// per-row sortedness assert — the pre-vectorization `Side::pull` loop.
+pub fn merge_join_baseline(
+    left: &[Arc<Page>],
+    right: &[Arc<Page>],
+    left_key: usize,
+    right_key: usize,
+) -> usize {
+    let extract = |pages: &[Arc<Page>], key: usize| {
+        let mut keys: Vec<i64> = Vec::new();
+        let mut last = i64::MIN;
+        for page in pages {
+            for t in page.tuples() {
+                let k = t.get_int(key);
+                assert!(k >= last, "merge input sorted");
+                last = k;
+                keys.push(k);
+            }
+        }
+        keys
+    };
+    merge_count(&extract(left, left_key), &extract(right, right_key))
+}
+
+/// Vectorized merge-join key extraction: one [`Page::gather_i64`] per
+/// page and a windowed sortedness sweep over the gathered column — the
+/// `Side::pull` loop after vectorization.
+pub fn merge_join_vectorized(
+    left: &[Arc<Page>],
+    right: &[Arc<Page>],
+    left_key: usize,
+    right_key: usize,
+    buf: &mut Vec<i64>,
+) -> usize {
+    let mut extract = |pages: &[Arc<Page>], key: usize| {
+        let mut keys: Vec<i64> = Vec::new();
+        let mut last = i64::MIN;
+        for page in pages {
+            page.gather_i64(key, buf);
+            assert!(buf.first().is_none_or(|&f| f >= last), "merge input sorted");
+            assert!(buf.windows(2).all(|w| w[0] <= w[1]), "merge input sorted");
+            last = buf.last().copied().unwrap_or(last);
+            keys.extend_from_slice(buf);
+        }
+        keys
+    };
+    let l = extract(left, left_key);
+    let r = extract(right, right_key);
+    merge_count(&l, &r)
+}
+
+// ------------------------------------------------------------------- nlj
+
+/// The NLJ bench configuration: outer pages, inner pages, predicate,
+/// and the pair schema the predicate runs on.
+pub type NljConfig = (Vec<Arc<Page>>, Vec<Arc<Page>>, Predicate, Arc<Schema>);
+
+/// The NLJ bench plan: a band join `l_orderkey < o_orderkey` over a
+/// small outer/inner page subset, with the pair schema it runs on.
+pub fn nlj_config(d: &BenchData) -> NljConfig {
+    let outer: Vec<Arc<Page>> = d.lineitem.iter().take(2).cloned().collect();
+    let inner: Vec<Arc<Page>> = d.orders.iter().take(2).cloned().collect();
+    let pred = Predicate::cmp(
+        ScalarExpr::col(0),
+        CmpOp::Lt,
+        ScalarExpr::col(d.lineitem_schema.len()),
+    );
+    let pair = concat_schemas(&d.lineitem_schema, &d.orders_schema);
+    (outer, inner, pred, pair)
+}
+
+/// Baseline NLJ probe: one single-row page materialized per
+/// (outer, inner) pair, tree-walking `Predicate::eval` per candidate —
+/// the pre-vectorization `NestedLoopJoinTask` inner loop.
+pub fn nlj_baseline(
+    outer: &[Arc<Page>],
+    inner: &[Arc<Page>],
+    pred: &Predicate,
+    pair_schema: &Arc<Schema>,
+) -> usize {
+    let mut matched = 0;
+    let mut probe = PageBuilder::new(pair_schema.clone());
+    let mut row = Vec::new();
+    for opage in outer {
+        for ot in opage.tuples() {
+            for ipage in inner {
+                for it in ipage.tuples() {
+                    row.clear();
+                    row.extend_from_slice(ot.raw());
+                    row.extend_from_slice(it.raw());
+                    assert!(probe.push_raw(&row));
+                    let candidate = probe.finish_and_reset();
+                    if pred.eval(&candidate.tuple(0)) {
+                        matched += 1;
+                    }
+                }
+            }
+        }
+    }
+    matched
+}
+
+/// Vectorized NLJ probe: candidate pairs batched into whole pages, the
+/// compiled predicate evaluated page-at-a-time into a selection vector
+/// — the `NestedLoopJoinTask` inner loop after vectorization.
+pub fn nlj_vectorized(
+    outer: &[Arc<Page>],
+    inner: &[Arc<Page>],
+    pred: &CompiledPredicate,
+    pair_schema: &Arc<Schema>,
+    scratch: &mut ExprScratch,
+    sel: &mut Vec<u32>,
+) -> usize {
+    let mut matched = 0;
+    let mut cand = PageBuilder::new(pair_schema.clone());
+    for opage in outer {
+        for ot in opage.tuples() {
+            let oraw = ot.raw();
+            for ipage in inner {
+                for iraw in ipage.raw_rows() {
+                    if !cand.push_raw_parts(oraw, iraw) {
+                        let page = cand.finish_and_reset();
+                        pred.select(&page, scratch, sel);
+                        matched += sel.len();
+                        assert!(cand.push_raw_parts(oraw, iraw));
+                    }
+                }
+            }
+        }
+    }
+    if !cand.is_empty() {
+        let page = cand.finish_and_reset();
+        pred.select(&page, scratch, sel);
+        matched += sel.len();
+    }
+    matched
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -343,7 +543,7 @@ mod tests {
         let mut scratch = ExprScratch::default();
 
         let pred = q6_predicate();
-        let compiled = CompiledPredicate::compile(&pred, &d.lineitem_schema);
+        let compiled = CompiledPredicate::compile(&pred, &d.lineitem_schema).expect("compiles");
         let mut sel = Vec::new();
         assert_eq!(
             filter_baseline(&d.lineitem, &pred),
@@ -351,7 +551,7 @@ mod tests {
         );
 
         let expr = revenue_expr();
-        let cexpr = CompiledExpr::compile(&expr, &d.lineitem_schema);
+        let cexpr = CompiledExpr::compile(&expr, &d.lineitem_schema).expect("compiles");
         let mut col = Vec::new();
         let base = expr_baseline(&d.lineitem, &expr);
         let vect = expr_vectorized(&d.lineitem, &cexpr, &mut scratch, &mut col);
@@ -392,5 +592,73 @@ mod tests {
         );
         assert_eq!(bn, vn);
         assert!((br - vr).abs() <= br.abs() * 1e-9, "{br} vs {vr}");
+    }
+
+    #[test]
+    fn sort_kernels_agree_on_permutation() {
+        let d = data();
+        let keys = [7usize]; // l_shipdate: 4-byte packed Date key
+                             // Baseline permutation: stable sort by decoded KeyVal tuples.
+        let mut rows: Vec<(Vec<KeyVal>, u32)> = Vec::new();
+        for page in &d.lineitem {
+            for t in page.tuples() {
+                rows.push((key_of(&t, &keys), rows.len() as u32));
+            }
+        }
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+        let base_perm: Vec<u32> = rows.iter().map(|r| r.1).collect();
+        // Vectorized permutation: stable sort by packed u64 keys.
+        let spec = PackedKeySpec::try_new(&d.lineitem_schema, &keys).expect("≤ 8 bytes");
+        let mut scratch = KeyScratch::default();
+        let mut packed = Vec::new();
+        for page in &d.lineitem {
+            spec.extend_keys(page, &mut scratch, &mut packed);
+        }
+        let mut vec_perm: Vec<u32> = (0..packed.len() as u32).collect();
+        vec_perm.sort_by_key(|&r| packed[r as usize]);
+        assert_eq!(base_perm, vec_perm);
+        // And the benched kernels agree on cardinality.
+        let mut keybuf = Vec::new();
+        assert_eq!(
+            sort_baseline(&d.lineitem, &keys),
+            sort_vectorized(&d.lineitem, &spec, &mut scratch, &mut keybuf)
+        );
+    }
+
+    #[test]
+    fn merge_join_kernels_agree() {
+        let d = data();
+        let mut buf = Vec::new();
+        let base = merge_join_baseline(&d.orders, &d.lineitem, 0, 0);
+        let vect = merge_join_vectorized(&d.orders, &d.lineitem, 0, 0, &mut buf);
+        assert_eq!(base, vect);
+        // Every lineitem row joins its (unique-keyed) order exactly once.
+        assert_eq!(base, d.lineitem_rows());
+    }
+
+    #[test]
+    fn nlj_kernels_agree() {
+        let d = data();
+        let (outer, inner, pred, pair) = nlj_config(&d);
+        let cpred = CompiledPredicate::compile(&pred, &pair).expect("compiles");
+        let mut scratch = ExprScratch::default();
+        let mut sel = Vec::new();
+        let base = nlj_baseline(&outer, &inner, &pred, &pair);
+        let vect = nlj_vectorized(&outer, &inner, &cpred, &pair, &mut scratch, &mut sel);
+        assert_eq!(base, vect);
+        assert!(base > 0, "band join must match something");
+    }
+
+    #[test]
+    fn fused_and_unfused_revenue_agree() {
+        let d = data();
+        let expr = revenue_expr();
+        let fused = CompiledExpr::compile(&expr, &d.lineitem_schema).expect("compiles");
+        let unfused = CompiledExpr::compile_unfused(&expr, &d.lineitem_schema).expect("compiles");
+        let mut scratch = ExprScratch::default();
+        let mut col = Vec::new();
+        let a = expr_vectorized(&d.lineitem, &fused, &mut scratch, &mut col);
+        let b = expr_vectorized(&d.lineitem, &unfused, &mut scratch, &mut col);
+        assert_eq!(a.to_bits(), b.to_bits(), "fusion must be bit-exact");
     }
 }

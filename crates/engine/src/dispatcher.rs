@@ -12,7 +12,7 @@ use crate::query::QuerySpec;
 use crate::sharing::split_at_pivot;
 use cordoba_exec::ops::SinkTask;
 use cordoba_exec::wiring::{instantiate_into, WiringConfig};
-use cordoba_exec::{OpCost, PhysicalPlan};
+use cordoba_exec::{FaultCell, OpCost, PhysicalPlan};
 use cordoba_sim::channel::{self};
 use cordoba_sim::{Spawner, Step, Task, TaskCtx, TaskId, VTime};
 use cordoba_storage::{Catalog, Page};
@@ -55,6 +55,11 @@ pub(crate) struct EngineCore {
     pub dispatcher: Option<TaskId>,
     /// `(virtual completion time, query name)` per finished query.
     pub completions: Vec<(VTime, String)>,
+    /// `(submission id, error)` per failed query: plans rejected at
+    /// instantiation and runtime faults (e.g. unsorted merge inputs).
+    /// Failed queries never appear in `completions` and are not
+    /// resubmitted.
+    pub failures: Vec<(usize, String)>,
     /// Submission time by submission id (0 for pre-run submissions).
     pub arrival_times: Vec<VTime>,
     /// `(submission id, completion time)` pairs, for response times.
@@ -143,6 +148,13 @@ impl DispatcherTask {
         }
     }
 
+    /// Records a query rejected at instantiation (malformed plan): it
+    /// counts as finished (failed), never as a completion.
+    fn fail_query(core: &mut EngineCore, submission: usize, err: &cordoba_exec::ExecError) {
+        core.failures.push((submission, err.to_string()));
+        core.live_queries = core.live_queries.saturating_sub(1);
+    }
+
     fn spawn_group(
         core: &mut EngineCore,
         core_rc: &Rc<RefCell<EngineCore>>,
@@ -163,8 +175,9 @@ impl DispatcherTask {
                     outs.push(tx);
                     rxs.push(rx);
                 }
+                let pivot_fault = FaultCell::default();
                 let mut no_sources = VecDeque::new();
-                instantiate_into(
+                if let Err(err) = instantiate_into(
                     ctx,
                     &catalog,
                     pivot,
@@ -172,14 +185,27 @@ impl DispatcherTask {
                     &mut no_sources,
                     &format!("g{gid}/shared"),
                     &core.wiring,
-                );
+                    &pivot_fault,
+                ) {
+                    // Malformed pivot: the whole group fails; nothing
+                    // was spawned (instantiation is all-or-nothing).
+                    for member in group.members {
+                        Self::fail_query(core, member.submission, &err);
+                    }
+                    return;
+                }
                 for (member, rx) in group.members.into_iter().zip(rxs) {
                     let label = format!("q{}/{}", member.submission, member.spec.name);
                     match split_at_pivot(&member.spec.plan, pivot, &catalog) {
                         Some(fragment) => {
+                            let member_fault = FaultCell::default();
                             let (sink_tx, sink_rx) = channel::bounded(core.wiring.queue_capacity);
+                            // Keep a cancellation handle: if the private
+                            // fragment is rejected, the pivot must not
+                            // block forever on this member's channel.
+                            let rx_cancel = rx.clone();
                             let mut sources = VecDeque::from([rx]);
-                            instantiate_into(
+                            match instantiate_into(
                                 ctx,
                                 &catalog,
                                 &fragment,
@@ -187,13 +213,35 @@ impl DispatcherTask {
                                 &mut sources,
                                 &label,
                                 &core.wiring,
-                            );
-                            Self::spawn_sink(core, core_rc, ctx, sink_rx, member, &label);
+                                &member_fault,
+                            ) {
+                                Ok(_) => Self::spawn_sink(
+                                    core,
+                                    core_rc,
+                                    ctx,
+                                    sink_rx,
+                                    member,
+                                    &label,
+                                    vec![pivot_fault.clone(), member_fault],
+                                ),
+                                Err(err) => {
+                                    rx_cancel.close(ctx);
+                                    Self::fail_query(core, member.submission, &err);
+                                }
+                            }
                         }
                         None => {
                             // Entire query shared: sink reads the pivot
                             // output directly.
-                            Self::spawn_sink(core, core_rc, ctx, rx, member, &label);
+                            Self::spawn_sink(
+                                core,
+                                core_rc,
+                                ctx,
+                                rx,
+                                member,
+                                &label,
+                                vec![pivot_fault.clone()],
+                            );
                         }
                     }
                 }
@@ -201,9 +249,10 @@ impl DispatcherTask {
             None => {
                 for member in group.members {
                     let label = format!("q{}/{}", member.submission, member.spec.name);
+                    let fault = FaultCell::default();
                     let (tx, rx) = channel::bounded(core.wiring.queue_capacity);
                     let mut no_sources = VecDeque::new();
-                    instantiate_into(
+                    match instantiate_into(
                         ctx,
                         &catalog,
                         &member.spec.plan,
@@ -211,13 +260,19 @@ impl DispatcherTask {
                         &mut no_sources,
                         &label,
                         &core.wiring,
-                    );
-                    Self::spawn_sink(core, core_rc, ctx, rx, member, &label);
+                        &fault,
+                    ) {
+                        Ok(_) => {
+                            Self::spawn_sink(core, core_rc, ctx, rx, member, &label, vec![fault])
+                        }
+                        Err(err) => Self::fail_query(core, member.submission, &err),
+                    }
                 }
             }
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn spawn_sink(
         core: &mut EngineCore,
         core_rc: &Rc<RefCell<EngineCore>>,
@@ -225,6 +280,7 @@ impl DispatcherTask {
         rx: channel::Receiver<Arc<Page>>,
         member: Arrival,
         label: &str,
+        faults: Vec<FaultCell>,
     ) {
         let engine = Rc::downgrade(core_rc);
         let spec = member.spec.clone();
@@ -236,6 +292,14 @@ impl DispatcherTask {
         let sink = sink.on_done(Box::new(move |ctx, _rows| {
             let engine = engine.upgrade().expect("engine outlives queries");
             let mut core = engine.borrow_mut();
+            // A fault anywhere in this query's operator graph (its
+            // private fragment or the shared pivot) turns the finish
+            // into a failure: no completion, no resubmission.
+            if let Some(err) = faults.iter().find_map(|f| f.get()) {
+                core.failures.push((submission, err.to_string()));
+                core.live_queries = core.live_queries.saturating_sub(1);
+                return;
+            }
             core.completions.push((ctx.now(), spec.name.clone()));
             core.completion_records.push((submission, ctx.now()));
             core.live_queries = core.live_queries.saturating_sub(1);

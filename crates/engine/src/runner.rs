@@ -127,6 +127,7 @@ fn build_core(
         pending: Vec::new(),
         dispatcher: None,
         completions: Vec::new(),
+        failures: Vec::new(),
         arrival_times: Vec::new(),
         completion_records: Vec::new(),
         group_sizes: Vec::new(),
@@ -433,7 +434,9 @@ pub fn run_open_loop(
 /// Result of a one-shot (no resubmission) run.
 #[derive(Debug, Clone)]
 pub struct OnceOutcome {
-    /// Result rows per submitted query, in submission order.
+    /// Result rows per submitted query, in submission order. Failed
+    /// queries have empty (or partial, for runtime faults) rows — check
+    /// `failures`.
     pub results: Vec<Vec<Vec<Value>>>,
     /// Per-task `(label, stats)` for profiling.
     pub task_stats: Vec<(String, cordoba_sim::TaskStats)>,
@@ -441,6 +444,9 @@ pub struct OnceOutcome {
     pub makespan: VTime,
     /// Sizes of the dispatched sharing groups.
     pub group_sizes: Vec<usize>,
+    /// `(submission id, error)` for queries that failed: plans rejected
+    /// at instantiation or runtime faults (unsorted merge inputs).
+    pub failures: Vec<(usize, String)>,
 }
 
 /// Runs a batch of queries once (closed system disabled) to completion,
@@ -486,6 +492,7 @@ pub fn run_once(catalog: &Catalog, specs: &[QuerySpec], cfg: &EngineConfig) -> O
         task_stats,
         makespan,
         group_sizes: core.group_sizes.clone(),
+        failures: core.failures.clone(),
     }
 }
 
@@ -600,6 +607,34 @@ mod tests {
         };
         assert_eq!(scans(&out_s), 1);
         assert_eq!(scans(&out_n), 4);
+    }
+
+    #[test]
+    fn malformed_query_fails_without_killing_the_batch() {
+        // One malformed query (string-ish arithmetic via an
+        // out-of-range column) among healthy ones: the bad submission
+        // is recorded as a failure, everything else completes normally.
+        let cat = catalog();
+        let bad = QuerySpec::unshared(
+            "bad",
+            PhysicalPlan::Project {
+                input: Box::new(scan()),
+                exprs: vec![("e".into(), ScalarExpr::col(9))],
+                cost: OpCost::default(),
+            },
+        );
+        let cfg = EngineConfig {
+            contexts: 2,
+            policy: Policy::NeverShare,
+            ..Default::default()
+        };
+        let out = run_once(&cat, &[query(), bad, query()], &cfg);
+        assert_eq!(out.failures.len(), 1, "{:?}", out.failures);
+        assert_eq!(out.failures[0].0, 1, "submission id of the bad query");
+        assert!(out.failures[0].1.contains("out of range"));
+        assert_eq!(out.results[0], expected_rows(&cat));
+        assert!(out.results[1].is_empty(), "failed query has no rows");
+        assert_eq!(out.results[2], expected_rows(&cat));
     }
 
     #[test]

@@ -25,6 +25,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod cost;
+pub mod error;
 pub mod explain;
 pub mod expr;
 pub mod ops;
@@ -34,6 +35,7 @@ pub mod vexpr;
 pub mod wiring;
 
 pub use cost::OpCost;
+pub use error::{ExecError, FaultCell};
 pub use explain::explain;
 pub use expr::{Agg, CmpOp, Predicate, Scalar, ScalarExpr};
 pub use plan::{JoinKind, PhysicalPlan};

@@ -9,6 +9,7 @@
 //! executor.
 
 use crate::cost::OpCost;
+use crate::error::ExecError;
 use crate::expr::Agg;
 use crate::ops::{encode_keyval, key_of, Fanout, KeyVal, Outbox};
 use crate::vexpr::{CompiledExpr, ExprScratch};
@@ -120,6 +121,8 @@ impl AggregateTask {
     /// Creates an aggregation task reading pages of `in_schema`.
     /// `out_schema` must be the plan-derived schema (group columns then
     /// aggregate columns); aggregate inputs are compiled here, once.
+    /// Errs on non-numeric aggregate inputs, out-of-range group
+    /// columns, or an output schema of the wrong arity.
     pub fn new(
         rx: Receiver<Arc<Page>>,
         in_schema: Arc<Schema>,
@@ -128,17 +131,32 @@ impl AggregateTask {
         out_schema: Arc<Schema>,
         cost: OpCost,
         fanout: Fanout,
-    ) -> Self {
-        assert_eq!(out_schema.len(), group_by.len() + aggs.len());
+    ) -> Result<Self, ExecError> {
+        if out_schema.len() != group_by.len() + aggs.len() {
+            return Err(ExecError::plan(format!(
+                "aggregate output schema has {} fields for {} groups + {} aggregates",
+                out_schema.len(),
+                group_by.len(),
+                aggs.len()
+            )));
+        }
+        for &c in &group_by {
+            if c >= in_schema.len() {
+                return Err(crate::plan::column_range_error("group-by", c, &in_schema));
+            }
+        }
         let progs = aggs
             .iter()
             .map(|a| match a {
-                Agg::Count => None,
+                Agg::Count => Ok(None),
+                // `compile_f64` requires a numeric input, so a string
+                // or date aggregate errs here instead of panicking on
+                // the first evaluated page.
                 Agg::Sum(e) | Agg::Avg(e) | Agg::Min(e) | Agg::Max(e) => {
-                    Some(CompiledExpr::compile(e, &in_schema))
+                    CompiledExpr::compile_f64(e, &in_schema).map(Some)
                 }
             })
-            .collect();
+            .collect::<Result<Vec<_>, _>>()?;
         let key_width: usize = group_by
             .iter()
             .map(|&c| in_schema.fields()[c].dtype.width())
@@ -156,7 +174,7 @@ impl AggregateTask {
             GroupState::General(BTreeMap::new())
         };
         let agg_cols = vec![Vec::new(); aggs.len()];
-        Self {
+        Ok(Self {
             rx,
             group_by,
             aggs,
@@ -171,7 +189,7 @@ impl AggregateTask {
             scratch: ExprScratch::default(),
             agg_cols,
             keys: Vec::new(),
-        }
+        })
     }
 
     /// Folds one page into the group state.
@@ -368,15 +386,18 @@ mod tests {
         );
         sim.spawn(
             "agg",
-            Box::new(AggregateTask::new(
-                rx1,
-                in_schema,
-                group_by,
-                aggs,
-                out_schema,
-                OpCost::default(),
-                Fanout::new(vec![tx2], 0.0),
-            )),
+            Box::new(
+                AggregateTask::new(
+                    rx1,
+                    in_schema,
+                    group_by,
+                    aggs,
+                    out_schema,
+                    OpCost::default(),
+                    Fanout::new(vec![tx2], 0.0),
+                )
+                .expect("aggregate inputs compile"),
+            ),
         );
         let out = Rc::new(RefCell::new(Vec::new()));
         sim.spawn(

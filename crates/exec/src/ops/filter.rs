@@ -4,6 +4,7 @@
 //! row copies ([`Page::copy_rows_into`] coalesces consecutive runs).
 
 use crate::cost::OpCost;
+use crate::error::ExecError;
 use crate::expr::Predicate;
 use crate::ops::Fanout;
 use crate::vexpr::{CompiledPredicate, ExprScratch};
@@ -27,17 +28,18 @@ pub struct FilterTask {
 
 impl FilterTask {
     /// Creates a filter reading pages of `schema` from `rx`. The
-    /// predicate is compiled against `schema` here, once.
+    /// predicate is compiled against `schema` here, once; a predicate
+    /// that does not type-check errs before any task is spawned.
     pub fn new(
         rx: Receiver<Arc<Page>>,
         schema: Arc<Schema>,
         predicate: Predicate,
         cost: OpCost,
         fanout: Fanout,
-    ) -> Self {
-        Self {
+    ) -> Result<Self, ExecError> {
+        Ok(Self {
             rx,
-            predicate: CompiledPredicate::compile(&predicate, &schema),
+            predicate: CompiledPredicate::compile(&predicate, &schema)?,
             cost,
             builder: PageBuilder::new(schema),
             fanout,
@@ -45,7 +47,7 @@ impl FilterTask {
             flushed: false,
             scratch: ExprScratch::default(),
             sel: Vec::new(),
-        }
+        })
     }
 }
 
@@ -139,13 +141,16 @@ mod tests {
         );
         sim.spawn(
             "filter",
-            Box::new(FilterTask::new(
-                rx1,
-                schema,
-                predicate,
-                OpCost::per_tuple(1.0),
-                Fanout::new(vec![tx2], 0.0),
-            )),
+            Box::new(
+                FilterTask::new(
+                    rx1,
+                    schema,
+                    predicate,
+                    OpCost::per_tuple(1.0),
+                    Fanout::new(vec![tx2], 0.0),
+                )
+                .expect("predicate compiles"),
+            ),
         );
         let rows_out = Rc::new(Cell::new(0));
         sim.spawn(

@@ -12,7 +12,8 @@
 //! page-at-a-time through [`Page::gather_i64`].
 
 use crate::cost::OpCost;
-use crate::ops::{default_row_bytes, Fanout, Outbox};
+use crate::error::ExecError;
+use crate::ops::{default_row_bytes, int_key, Fanout, Outbox};
 use crate::plan::JoinKind;
 use cordoba_core::FxHashMap;
 use cordoba_sim::channel::{Receiver, Recv};
@@ -165,8 +166,9 @@ impl HashJoinTask {
     ///
     /// `out_schema` must be the plan-derived schema for `kind`
     /// (probe ++ build for Inner/LeftOuter, probe only for Semi/Anti);
-    /// `build_schema` is the build input's schema (for outer-join
-    /// default fill).
+    /// `build_schema` / `probe_schema` are the input schemas (default
+    /// fill for outer joins, key-column validation). Errs when a key
+    /// column is out of range or not `Int`.
     #[allow(clippy::too_many_arguments)]
     pub fn new(
         rx_build: Receiver<Arc<Page>>,
@@ -175,12 +177,15 @@ impl HashJoinTask {
         probe_key: usize,
         kind: JoinKind,
         build_schema: Arc<Schema>,
+        probe_schema: &Arc<Schema>,
         out_schema: Arc<Schema>,
         build_cost: OpCost,
         probe_cost: OpCost,
         fanout: Fanout,
-    ) -> Self {
-        Self {
+    ) -> Result<Self, ExecError> {
+        int_key("hash join build", &build_schema, build_key)?;
+        int_key("hash join probe", probe_schema, probe_key)?;
+        Ok(Self {
             rx_build,
             rx_probe,
             build_key,
@@ -194,7 +199,7 @@ impl HashJoinTask {
             outbox: Outbox::new(fanout),
             state: PhaseState::Building,
             probe_keys: Vec::new(),
-        }
+        })
     }
 
     /// Probes one page, emitting result rows into the builder/outbox.
@@ -414,18 +419,22 @@ mod tests {
         );
         sim.spawn(
             "join",
-            Box::new(HashJoinTask::new(
-                rxb,
-                rxp,
-                0,
-                0,
-                kind,
-                bs,
-                out_schema,
-                OpCost::default(),
-                OpCost::default(),
-                Fanout::new(vec![txo], 0.0),
-            )),
+            Box::new(
+                HashJoinTask::new(
+                    rxb,
+                    rxp,
+                    0,
+                    0,
+                    kind,
+                    bs,
+                    &ps,
+                    out_schema,
+                    OpCost::default(),
+                    OpCost::default(),
+                    Fanout::new(vec![txo], 0.0),
+                )
+                .expect("valid keys"),
+            ),
         );
         let out = Rc::new(RefCell::new(Vec::new()));
         sim.spawn(
@@ -541,18 +550,22 @@ mod tests {
             );
             sim.spawn(
                 "join",
-                Box::new(HashJoinTask::new(
-                    rxb,
-                    rxp,
-                    0,
-                    0,
-                    kind,
-                    bs.clone(),
-                    out_schema,
-                    OpCost::default(),
-                    OpCost::default(),
-                    Fanout::new(vec![txo], 0.0),
-                )),
+                Box::new(
+                    HashJoinTask::new(
+                        rxb,
+                        rxp,
+                        0,
+                        0,
+                        kind,
+                        bs.clone(),
+                        &ps,
+                        out_schema,
+                        OpCost::default(),
+                        OpCost::default(),
+                        Fanout::new(vec![txo], 0.0),
+                    )
+                    .expect("valid keys"),
+                ),
             );
             let out = Rc::new(RefCell::new(Vec::new()));
             sim.spawn(

@@ -158,8 +158,9 @@ proptest! {
         let expected = reference::canonicalize(reference::execute(&catalog, &plan));
 
         let mut sim = Simulator::new(3);
-        let (rx, _ops) =
-            wiring::instantiate(&mut sim, &catalog, &plan, "hj", &wiring::WiringConfig::default());
+        let (rx, _ops, _fault) =
+            wiring::instantiate(&mut sim, &catalog, &plan, "hj", &wiring::WiringConfig::default())
+                .expect("plan wires");
         let rows = Rc::new(RefCell::new(Vec::new()));
         sim.spawn(
             "sink",

@@ -6,9 +6,18 @@
 //! the fully-pipelinable merge phase of the paper's Section 5.3.2
 //! merge-join decomposition (the blocking sorts are separate upstream
 //! operators).
+//!
+//! Join keys are extracted with one [`Page::gather_i64`] per arriving
+//! page (no per-tuple `get_int`), and the sorted-ascending input
+//! contract is checked on the gathered column. A violation does **not**
+//! abort the process: the task records a typed
+//! [`ExecError::UnsortedMergeInput`] in the query's [`FaultCell`],
+//! cancels its inputs, closes its outputs, and finishes — the query
+//! fails, the simulator (and every other query in it) keeps running.
 
 use crate::cost::OpCost;
-use crate::ops::{Fanout, Outbox};
+use crate::error::{ExecError, FaultCell};
+use crate::ops::{int_key, Fanout, Outbox};
 use cordoba_sim::channel::{Receiver, Recv};
 use cordoba_sim::{Step, Task, TaskCtx};
 use cordoba_storage::{Page, PageBuilder, Schema};
@@ -19,38 +28,53 @@ use std::sync::Arc;
 struct Side {
     rx: Receiver<Arc<Page>>,
     key_idx: usize,
+    name: &'static str,
     rows: VecDeque<(i64, Box<[u8]>)>,
     closed: bool,
     last_key: Option<i64>,
+    /// Reused gathered-key buffer (one gather per page).
+    key_buf: Vec<i64>,
 }
 
 impl Side {
-    /// Pulls one page into the buffer. Returns `Some(tuples)` when a
-    /// page arrived, `None` when the channel was empty (waiter
-    /// registered) or just closed.
-    fn pull(&mut self, ctx: &mut TaskCtx<'_>) -> Option<usize> {
+    /// Pulls one page into the buffer. Returns `Ok(Some(tuples))` when a
+    /// page arrived, `Ok(None)` when the channel was empty (waiter
+    /// registered) or just closed, and `Err` when the page violates the
+    /// sorted-ascending key contract.
+    fn pull(&mut self, ctx: &mut TaskCtx<'_>) -> Result<Option<usize>, ExecError> {
         match self.rx.try_recv(ctx) {
             Recv::Value(page) => {
                 let n = page.rows();
-                for t in page.tuples() {
-                    let key = t.get_int(self.key_idx);
-                    if let Some(prev) = self.last_key {
-                        assert!(
-                            key >= prev,
-                            "merge join input must be sorted: {key} after {prev}"
-                        );
+                page.gather_i64(self.key_idx, &mut self.key_buf);
+                // Vectorized sortedness check over the gathered column:
+                // page-start continuity plus in-page monotonicity.
+                if let (Some(&first), Some(prev)) = (self.key_buf.first(), self.last_key) {
+                    if first < prev {
+                        return Err(self.unsorted(prev, first));
                     }
-                    self.last_key = Some(key);
-                    self.rows
-                        .push_back((key, t.raw().to_vec().into_boxed_slice()));
                 }
-                Some(n)
+                if let Some(w) = self.key_buf.windows(2).find(|w| w[1] < w[0]) {
+                    return Err(self.unsorted(w[0], w[1]));
+                }
+                self.last_key = self.key_buf.last().copied().or(self.last_key);
+                for (&key, raw) in self.key_buf.iter().zip(page.raw_rows()) {
+                    self.rows.push_back((key, raw.to_vec().into_boxed_slice()));
+                }
+                Ok(Some(n))
             }
-            Recv::Empty => None,
+            Recv::Empty => Ok(None),
             Recv::Closed => {
                 self.closed = true;
-                None
+                Ok(None)
             }
+        }
+    }
+
+    fn unsorted(&self, prev: i64, key: i64) -> ExecError {
+        ExecError::UnsortedMergeInput {
+            side: self.name,
+            prev,
+            key,
         }
     }
 
@@ -77,42 +101,53 @@ pub struct MergeJoinTask {
     cost: OpCost,
     builder: PageBuilder,
     outbox: Outbox,
-    scratch: Vec<u8>,
+    fault: FaultCell,
     done: bool,
 }
 
 impl MergeJoinTask {
-    /// Creates a merge join; `out_schema` must be left ++ right.
+    /// Creates a merge join; `out_schema` must be left ++ right. Errs
+    /// when a key column is out of range or not `Int`.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         rx_left: Receiver<Arc<Page>>,
         rx_right: Receiver<Arc<Page>>,
+        left_schema: &Arc<Schema>,
+        right_schema: &Arc<Schema>,
         left_key: usize,
         right_key: usize,
         out_schema: Arc<Schema>,
         cost: OpCost,
         fanout: Fanout,
-    ) -> Self {
-        Self {
+        fault: FaultCell,
+    ) -> Result<Self, ExecError> {
+        int_key("merge join left", left_schema, left_key)?;
+        int_key("merge join right", right_schema, right_key)?;
+        Ok(Self {
             left: Side {
                 rx: rx_left,
                 key_idx: left_key,
+                name: "left",
                 rows: VecDeque::new(),
                 closed: false,
                 last_key: None,
+                key_buf: Vec::new(),
             },
             right: Side {
                 rx: rx_right,
                 key_idx: right_key,
+                name: "right",
                 rows: VecDeque::new(),
                 closed: false,
                 last_key: None,
+                key_buf: Vec::new(),
             },
             cost,
             builder: PageBuilder::new(out_schema),
             outbox: Outbox::new(fanout),
-            scratch: Vec::new(),
+            fault,
             done: false,
-        }
+        })
     }
 
     /// Merges as far as the buffered rows allow. Returns emitted rows.
@@ -148,13 +183,11 @@ impl MergeJoinTask {
                     };
                     for li in 0..lg {
                         for ri in 0..rg {
-                            self.scratch.clear();
-                            self.scratch.extend_from_slice(&self.left.rows[li].1);
-                            self.scratch.extend_from_slice(&self.right.rows[ri].1);
-                            if !self.builder.push_raw(&self.scratch) {
+                            let (lrow, rrow) = (&self.left.rows[li].1, &self.right.rows[ri].1);
+                            if !self.builder.push_raw_parts(lrow, rrow) {
                                 let full = self.builder.finish_and_reset();
                                 self.outbox.push(full);
-                                assert!(self.builder.push_raw(&self.scratch));
+                                assert!(self.builder.push_raw_parts(lrow, rrow));
                             }
                             emitted += 1;
                         }
@@ -164,6 +197,21 @@ impl MergeJoinTask {
                 }
             }
         }
+    }
+
+    /// Fails the query: records the fault, cancels both inputs, drops
+    /// all buffered state, and closes the outputs without delivering
+    /// further pages.
+    fn fail(&mut self, ctx: &mut TaskCtx<'_>, err: ExecError) -> Step {
+        self.fault.set(err);
+        self.left.rx.close(ctx);
+        self.right.rx.close(ctx);
+        self.left.rows.clear();
+        self.right.rows.clear();
+        self.outbox.abandon();
+        self.outbox.close(ctx);
+        self.done = true;
+        Step::done(1)
     }
 }
 
@@ -201,9 +249,13 @@ impl Task for MergeJoinTask {
                 &mut self.right
             };
             if !side.closed {
-                if let Some(n) = side.pull(ctx) {
-                    pulled += n;
-                    break;
+                match side.pull(ctx) {
+                    Ok(Some(n)) => {
+                        pulled += n;
+                        break;
+                    }
+                    Ok(None) => {}
+                    Err(err) => return self.fail(ctx, err),
                 }
             }
         }
@@ -241,7 +293,10 @@ mod tests {
     use std::cell::RefCell;
     use std::rc::Rc;
 
-    fn run_merge(left: Vec<(i64, i64)>, right: Vec<(i64, i64)>) -> Vec<Vec<Value>> {
+    fn try_run_merge(
+        left: Vec<(i64, i64)>,
+        right: Vec<(i64, i64)>,
+    ) -> Result<Vec<Vec<Value>>, ExecError> {
         let ls = Schema::new(vec![
             Field::new("lk", DataType::Int),
             Field::new("lv", DataType::Int),
@@ -259,6 +314,7 @@ mod tests {
             rt.push_row(&[Value::Int(*k), Value::Int(*v)]);
         }
         let out_schema = concat_schemas(&ls, &rs);
+        let fault = FaultCell::default();
         let mut sim = Simulator::new(2);
         let (txl, rxl) = channel::bounded(2);
         let (txr, rxr) = channel::bounded(2);
@@ -281,15 +337,21 @@ mod tests {
         );
         sim.spawn(
             "mj",
-            Box::new(MergeJoinTask::new(
-                rxl,
-                rxr,
-                0,
-                0,
-                out_schema,
-                OpCost::default(),
-                Fanout::new(vec![txo], 0.0),
-            )),
+            Box::new(
+                MergeJoinTask::new(
+                    rxl,
+                    rxr,
+                    &ls,
+                    &rs,
+                    0,
+                    0,
+                    out_schema,
+                    OpCost::default(),
+                    Fanout::new(vec![txo], 0.0),
+                    fault.clone(),
+                )
+                .expect("valid keys"),
+            ),
         );
         let out = Rc::new(RefCell::new(Vec::new()));
         sim.spawn(
@@ -300,9 +362,20 @@ mod tests {
             }),
         );
         let outcome = sim.run_to_idle();
+        if let Some(err) = fault.take() {
+            assert!(
+                outcome.completed_all(),
+                "failure must not wedge: {outcome:?}"
+            );
+            return Err(err);
+        }
         assert!(outcome.completed_all(), "{outcome:?}");
         let out = out.borrow().clone();
-        out
+        Ok(out)
+    }
+
+    fn run_merge(left: Vec<(i64, i64)>, right: Vec<(i64, i64)>) -> Vec<Vec<Value>> {
+        try_run_merge(left, right).expect("sorted inputs")
     }
 
     #[test]
@@ -380,8 +453,52 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "must be sorted")]
-    fn unsorted_input_detected() {
-        run_merge(vec![(3, 1), (1, 2)], vec![(1, 1)]);
+    fn unsorted_input_fails_query_with_typed_error() {
+        // In-page violation on the left side.
+        let err = try_run_merge(vec![(3, 1), (1, 2)], vec![(1, 1)]).unwrap_err();
+        assert_eq!(
+            err,
+            ExecError::UnsortedMergeInput {
+                side: "left",
+                prev: 3,
+                key: 1
+            }
+        );
+        // Cross-page violation on the right side (4 rows per 64-byte
+        // page): the bad key leads its page, so the check spans pages.
+        let right: Vec<(i64, i64)> = (0..8).map(|i| (10 + i, i)).chain([(2, 99)]).collect();
+        let err = try_run_merge(vec![(1, 1)], right).unwrap_err();
+        assert_eq!(
+            err,
+            ExecError::UnsortedMergeInput {
+                side: "right",
+                prev: 17,
+                key: 2
+            }
+        );
+    }
+
+    #[test]
+    fn non_int_key_errors_at_construction() {
+        let ls = Schema::new(vec![Field::new("lk", DataType::Float)]);
+        let rs = Schema::new(vec![Field::new("rk", DataType::Int)]);
+        let out = concat_schemas(&ls, &rs);
+        let (_txl, rxl) = channel::bounded::<Arc<Page>>(1);
+        let (_txr, rxr) = channel::bounded::<Arc<Page>>(1);
+        let err = MergeJoinTask::new(
+            rxl,
+            rxr,
+            &ls,
+            &rs,
+            0,
+            0,
+            out,
+            OpCost::default(),
+            Fanout::new(vec![], 0.0),
+            FaultCell::default(),
+        )
+        .err()
+        .expect("constructor must reject");
+        assert!(err.to_string().contains("must be Int"), "{err}");
     }
 }

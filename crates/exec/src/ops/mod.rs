@@ -9,6 +9,7 @@ pub mod project;
 pub mod scan;
 pub mod sink;
 pub mod sort;
+pub mod sort_key;
 
 #[cfg(test)]
 mod join_properties;
@@ -24,6 +25,7 @@ pub use project::ProjectTask;
 pub use scan::ScanTask;
 pub use sink::SinkTask;
 pub use sort::SortTask;
+pub use sort_key::{KeyScratch, PackedKeySpec};
 
 use cordoba_sim::channel::Sender;
 use cordoba_sim::{TaskCtx, VTime};
@@ -105,6 +107,12 @@ impl Fanout {
             out.close(ctx);
         }
     }
+
+    /// Discards a mid-delivery page (query abort): consumers already
+    /// served keep it, the rest never see it.
+    pub fn abandon(&mut self) {
+        self.pending = None;
+    }
 }
 
 /// An ordered queue of produced pages awaiting fan-out delivery.
@@ -167,6 +175,13 @@ impl Outbox {
         );
         self.fanout.close(ctx);
     }
+
+    /// Discards every undelivered page (query abort) so the outbox can
+    /// close without delivering stale results downstream.
+    pub fn abandon(&mut self) {
+        self.queue.clear();
+        self.fanout.abandon();
+    }
 }
 
 /// A totally ordered key component for grouping and sorting.
@@ -195,6 +210,26 @@ impl Ord for TotalF64 {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         self.0.total_cmp(&other.0)
     }
+}
+
+/// Validates that `col` is an `Int` column of `schema` — the join-key
+/// contract shared by the hash and merge joins.
+pub(crate) fn int_key(
+    what: &str,
+    schema: &Arc<Schema>,
+    col: usize,
+) -> Result<(), crate::error::ExecError> {
+    let dtype = schema
+        .fields()
+        .get(col)
+        .map(|f| f.dtype)
+        .ok_or_else(|| crate::plan::column_range_error(what, col, schema))?;
+    if dtype != DataType::Int {
+        return Err(crate::error::ExecError::plan(format!(
+            "{what} key column {col} must be Int, got {dtype:?}"
+        )));
+    }
+    Ok(())
 }
 
 /// Extracts the `cols` of a tuple as an ordered key.

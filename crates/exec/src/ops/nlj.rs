@@ -2,10 +2,21 @@
 //! outer side, testing an arbitrary predicate over each (outer, inner)
 //! pair. Fully general but O(|outer| · |inner|) — used for small inputs
 //! and as a join oracle in tests.
+//!
+//! The predicate compiles **once** into a [`CompiledPredicate`] over the
+//! pair schema. Candidate pairs are assembled page-at-a-time into a
+//! reused candidate page (outer row bytes ++ inner row bytes), the
+//! compiled program evaluates the whole page into a selection vector,
+//! and survivors move to the output with bulk row copies — replacing
+//! the old one-row-page-per-pair `Predicate::eval` loop. The inner side
+//! lands in one contiguous arena (a bulk payload copy per page, no
+//! boxed row per tuple).
 
 use crate::cost::OpCost;
+use crate::error::ExecError;
 use crate::expr::Predicate;
 use crate::ops::{Fanout, Outbox};
+use crate::vexpr::{CompiledPredicate, ExprScratch};
 use cordoba_sim::channel::{Receiver, Recv};
 use cordoba_sim::{Step, Task, TaskCtx};
 use cordoba_storage::{Page, PageBuilder, Schema};
@@ -22,19 +33,26 @@ enum PhaseState {
 pub struct NestedLoopJoinTask {
     rx_outer: Receiver<Arc<Page>>,
     rx_inner: Receiver<Arc<Page>>,
-    predicate: Predicate,
+    predicate: CompiledPredicate,
     cost: OpCost,
-    inner_rows: Vec<Box<[u8]>>,
-    pair_schema: Arc<Schema>,
+    /// Materialized inner rows, contiguous.
+    inner_arena: Vec<u8>,
+    /// Byte width of one inner row (set when the first page arrives).
+    inner_width: usize,
+    inner_rows: usize,
     builder: PageBuilder,
+    /// Reused candidate-pair page under construction.
+    candidates: PageBuilder,
     outbox: Outbox,
     state: PhaseState,
-    scratch: Vec<u8>,
+    scratch: ExprScratch,
+    sel: Vec<u32>,
 }
 
 impl NestedLoopJoinTask {
     /// Creates a nested-loop join. `pair_schema` is outer ++ inner (the
-    /// output schema; the predicate is evaluated over it).
+    /// output schema); the predicate is compiled against it here, once,
+    /// erring on type mismatches or out-of-range columns.
     pub fn new(
         rx_outer: Receiver<Arc<Page>>,
         rx_inner: Receiver<Arc<Page>>,
@@ -42,19 +60,67 @@ impl NestedLoopJoinTask {
         pair_schema: Arc<Schema>,
         cost: OpCost,
         fanout: Fanout,
-    ) -> Self {
-        Self {
+    ) -> Result<Self, ExecError> {
+        Ok(Self {
             rx_outer,
             rx_inner,
-            predicate,
+            predicate: CompiledPredicate::compile(&predicate, &pair_schema)?,
             cost,
-            inner_rows: Vec::new(),
+            inner_arena: Vec::new(),
+            inner_width: 0,
+            inner_rows: 0,
             builder: PageBuilder::new(pair_schema.clone()),
-            pair_schema,
+            candidates: PageBuilder::new(pair_schema),
             outbox: Outbox::new(fanout),
             state: PhaseState::LoadingInner,
-            scratch: Vec::new(),
+            scratch: ExprScratch::default(),
+            sel: Vec::new(),
+        })
+    }
+
+    /// Evaluates the buffered candidate page and moves the selected
+    /// pairs into the output builder (full output pages go to the
+    /// outbox).
+    fn flush_candidates(&mut self) {
+        if self.candidates.is_empty() {
+            return;
         }
+        let page = self.candidates.finish_and_reset();
+        self.predicate
+            .select(&page, &mut self.scratch, &mut self.sel);
+        let mut taken = 0;
+        while taken < self.sel.len() {
+            if self.builder.is_full() {
+                self.outbox.push(self.builder.finish_and_reset());
+            }
+            taken += page.copy_rows_into(&self.sel[taken..], &mut self.builder);
+        }
+        if self.builder.is_full() {
+            self.outbox.push(self.builder.finish_and_reset());
+        }
+    }
+
+    /// Pairs one outer page against the whole inner arena through the
+    /// candidate page.
+    fn stream_page(&mut self, page: &Page) {
+        if self.inner_rows == 0 {
+            return; // empty inner: inner join emits nothing
+        }
+        // Detach the arena so the pair loop can borrow it while the
+        // candidate builder (also `self`) fills and flushes.
+        let arena = std::mem::take(&mut self.inner_arena);
+        for t in page.tuples() {
+            let outer = t.raw();
+            for inner in arena.chunks_exact(self.inner_width) {
+                if !self.candidates.push_raw_parts(outer, inner) {
+                    self.flush_candidates();
+                    let pushed = self.candidates.push_raw_parts(outer, inner);
+                    debug_assert!(pushed, "candidate page just flushed");
+                }
+            }
+        }
+        self.inner_arena = arena;
+        self.flush_candidates();
     }
 }
 
@@ -69,9 +135,9 @@ impl Task for NestedLoopJoinTask {
                 Recv::Value(page) => {
                     let n = page.rows();
                     cost += self.cost.input_cost(n);
-                    for t in page.tuples() {
-                        self.inner_rows.push(t.raw().to_vec().into_boxed_slice());
-                    }
+                    self.inner_width = page.schema().row_width();
+                    self.inner_rows += n;
+                    self.inner_arena.extend_from_slice(page.payload());
                     Step::yielded(cost)
                 }
                 Recv::Empty => Step::blocked(cost),
@@ -84,27 +150,9 @@ impl Task for NestedLoopJoinTask {
                 Recv::Value(page) => {
                     let n = page.rows();
                     // Pair-examination cost: every (outer, inner) pair.
-                    cost += self.cost.input_cost(n * self.inner_rows.len().max(1));
+                    cost += self.cost.input_cost(n * self.inner_rows.max(1));
                     ctx.add_progress(n as f64);
-                    // Evaluate the predicate over a materialized pair row
-                    // (one-row page, reused builder).
-                    let mut probe = PageBuilder::new(self.pair_schema.clone());
-                    for t in page.tuples() {
-                        for inner in &self.inner_rows {
-                            self.scratch.clear();
-                            self.scratch.extend_from_slice(t.raw());
-                            self.scratch.extend_from_slice(inner);
-                            assert!(probe.push_raw(&self.scratch));
-                            let candidate = probe.finish_and_reset();
-                            if self.predicate.eval(&candidate.tuple(0))
-                                && !self.builder.push_raw(&self.scratch)
-                            {
-                                let full = self.builder.finish_and_reset();
-                                self.outbox.push(full);
-                                assert!(self.builder.push_raw(&self.scratch));
-                            }
-                        }
-                    }
+                    self.stream_page(&page);
                     let (c, drained) = self.outbox.flush(ctx);
                     cost += c;
                     if drained {
@@ -194,14 +242,17 @@ mod tests {
         );
         sim.spawn(
             "nlj",
-            Box::new(NestedLoopJoinTask::new(
-                rxo,
-                rxi,
-                pred,
-                pair,
-                OpCost::default(),
-                Fanout::new(vec![txout], 0.0),
-            )),
+            Box::new(
+                NestedLoopJoinTask::new(
+                    rxo,
+                    rxi,
+                    pred,
+                    pair,
+                    OpCost::default(),
+                    Fanout::new(vec![txout], 0.0),
+                )
+                .expect("predicate compiles"),
+            ),
         );
         let out = Rc::new(RefCell::new(Vec::new()));
         sim.spawn(
@@ -265,14 +316,17 @@ mod tests {
         );
         sim.spawn(
             "nlj",
-            Box::new(NestedLoopJoinTask::new(
-                rxo,
-                rxi,
-                pred,
-                pair,
-                OpCost::default(),
-                Fanout::new(vec![txout], 0.0),
-            )),
+            Box::new(
+                NestedLoopJoinTask::new(
+                    rxo,
+                    rxi,
+                    pred,
+                    pair,
+                    OpCost::default(),
+                    Fanout::new(vec![txout], 0.0),
+                )
+                .expect("predicate compiles"),
+            ),
         );
         let out = Rc::new(RefCell::new(Vec::new()));
         sim.spawn(
@@ -285,5 +339,32 @@ mod tests {
         assert!(sim.run_to_idle().completed_all());
         // pairs: (1,3),(1,6),(5,6)
         assert_eq!(out.borrow().len(), 3);
+    }
+
+    #[test]
+    fn mistyped_predicate_errors_at_construction() {
+        let ls = Schema::new(vec![Field::new("a", DataType::Int)]);
+        let rs = Schema::new(vec![Field::new("b", DataType::Str(4))]);
+        let pair = concat_schemas(&ls, &rs);
+        let (_txo, rxo) = channel::bounded::<Arc<Page>>(1);
+        let (_txi, rxi) = channel::bounded::<Arc<Page>>(1);
+        // Int vs Str comparison: incomparable, caught before any task
+        // is spawned.
+        let pred = Predicate::Cmp {
+            left: ScalarExpr::col(0),
+            op: CmpOp::Eq,
+            right: ScalarExpr::col(1),
+        };
+        let err = NestedLoopJoinTask::new(
+            rxo,
+            rxi,
+            pred,
+            pair,
+            OpCost::default(),
+            Fanout::new(vec![], 0.0),
+        )
+        .err()
+        .expect("constructor must reject");
+        assert!(err.to_string().contains("incomparable"), "{err}");
     }
 }

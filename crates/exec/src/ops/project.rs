@@ -5,6 +5,7 @@
 //! [`cordoba_storage::Value`] materialization on the hot path.
 
 use crate::cost::OpCost;
+use crate::error::ExecError;
 use crate::expr::ScalarExpr;
 use crate::ops::{Fanout, Outbox};
 use crate::vexpr::{CompiledExpr, ExprScratch};
@@ -29,7 +30,8 @@ pub struct ProjectTask {
 
 impl ProjectTask {
     /// Creates a projection producing `out_schema` rows via `exprs`,
-    /// compiled here against the input `in_schema`.
+    /// compiled here against the input `in_schema`; expressions that do
+    /// not type-check err before any task is spawned.
     pub fn new(
         rx: Receiver<Arc<Page>>,
         in_schema: Arc<Schema>,
@@ -37,18 +39,20 @@ impl ProjectTask {
         exprs: Vec<ScalarExpr>,
         cost: OpCost,
         fanout: Fanout,
-    ) -> Self {
-        assert_eq!(
-            exprs.len(),
-            out_schema.len(),
-            "one expression per output field"
-        );
-        Self {
+    ) -> Result<Self, ExecError> {
+        if exprs.len() != out_schema.len() {
+            return Err(ExecError::plan(format!(
+                "projection has {} expressions for {} output fields",
+                exprs.len(),
+                out_schema.len()
+            )));
+        }
+        Ok(Self {
             rx,
             compiled: exprs
                 .iter()
                 .map(|e| CompiledExpr::compile(e, &in_schema))
-                .collect(),
+                .collect::<Result<_, _>>()?,
             out_schema: out_schema.clone(),
             cost,
             builder: PageBuilder::new(out_schema),
@@ -57,7 +61,7 @@ impl ProjectTask {
             flushed_tail: false,
             scratch: ExprScratch::default(),
             row_bytes: Vec::new(),
-        }
+        })
     }
 
     /// Overrides the output page size (tests and ablations).
@@ -180,14 +184,17 @@ mod tests {
         );
         sim.spawn(
             "project",
-            Box::new(ProjectTask::new(
-                rx1,
-                schema,
-                out_schema,
-                exprs,
-                OpCost::default(),
-                Fanout::new(vec![tx2], 0.0),
-            )),
+            Box::new(
+                ProjectTask::new(
+                    rx1,
+                    schema,
+                    out_schema,
+                    exprs,
+                    OpCost::default(),
+                    Fanout::new(vec![tx2], 0.0),
+                )
+                .expect("expressions compile"),
+            ),
         );
         let rows = Rc::new(RefCell::new(Vec::new()));
         sim.spawn(
@@ -241,6 +248,7 @@ mod tests {
             OpCost::default(),
             Fanout::new(vec![tx2], 0.0),
         )
+        .expect("expressions compile")
         .with_output_page_size(64);
         sim.spawn("project", Box::new(task));
         let rows = Rc::new(RefCell::new(Vec::new()));

@@ -1,55 +1,134 @@
 //! Full sort (stop-&-go): materializes its input, sorts, then streams
 //! the result — the canonical blocking operator of the paper's
 //! Section 5.2 phase decomposition.
+//!
+//! Key extraction is vectorized: buffered pages are kept whole and key
+//! columns are gathered page-at-a-time. Keys totalling ≤ 8 bytes take
+//! the packed-`u64` fast path ([`PackedKeySpec`], order-preserving —
+//! the sort compares machine words); wider keys fall back to per-row
+//! [`KeyVal`] tuples. Either way the sort orders a `(page, row)`
+//! permutation and emission copies raw rows straight out of the
+//! buffered pages — no per-row boxed copies on intake.
 
 use crate::cost::OpCost;
+use crate::error::ExecError;
+use crate::ops::sort_key::{KeyScratch, PackedKeySpec};
 use crate::ops::{key_of, Fanout, KeyVal, Outbox};
 use cordoba_sim::channel::{Receiver, Recv};
 use cordoba_sim::{Step, Task, TaskCtx};
 use cordoba_storage::{Page, PageBuilder, Schema};
 use std::sync::Arc;
 
+/// Per-row sort keys, packed when they fit a machine word.
+enum Keys {
+    Packed {
+        spec: PackedKeySpec,
+        scratch: KeyScratch,
+        keys: Vec<u64>,
+    },
+    General(Vec<Vec<KeyVal>>),
+}
+
 enum PhaseState {
     Consuming,
-    Emitting {
-        rows: Vec<(Vec<KeyVal>, Box<[u8]>)>,
-        next: usize,
-    },
+    Emitting { order: Vec<u32>, next: usize },
     Done,
 }
 
 /// Sort task (ascending by the given key columns, major first).
 pub struct SortTask {
     rx: Receiver<Arc<Page>>,
-    keys: Vec<usize>,
+    key_cols: Vec<usize>,
     cost: OpCost,
     schema: Arc<Schema>,
-    buffered: Vec<(Vec<KeyVal>, Box<[u8]>)>,
+    /// Buffered input pages (rows are emitted from here by reference).
+    pages: Vec<Arc<Page>>,
+    /// `(page, row)` of each buffered row, aligned with the keys.
+    locs: Vec<(u32, u32)>,
+    keys: Keys,
     state: PhaseState,
     outbox: Outbox,
     emit_batch_rows: usize,
 }
 
 impl SortTask {
-    /// Creates a sort over pages of `schema`.
+    /// Creates a sort over pages of `schema`, erring when a key column
+    /// is out of range.
     pub fn new(
         rx: Receiver<Arc<Page>>,
         schema: Arc<Schema>,
         keys: Vec<usize>,
         cost: OpCost,
         fanout: Fanout,
-    ) -> Self {
-        let emit_batch_rows = (crate::ops::sort::DEFAULT_EMIT_BYTES / schema.row_width()).max(1);
-        Self {
+    ) -> Result<Self, ExecError> {
+        for &k in &keys {
+            if k >= schema.len() {
+                return Err(crate::plan::column_range_error("sort key", k, &schema));
+            }
+        }
+        let emit_batch_rows = (DEFAULT_EMIT_BYTES / schema.row_width()).max(1);
+        let keys_state = match PackedKeySpec::try_new(&schema, &keys) {
+            Some(spec) => Keys::Packed {
+                spec,
+                scratch: KeyScratch::default(),
+                keys: Vec::new(),
+            },
+            None => Keys::General(Vec::new()),
+        };
+        Ok(Self {
             rx,
-            keys,
+            key_cols: keys,
             cost,
             schema,
-            buffered: Vec::new(),
+            pages: Vec::new(),
+            locs: Vec::new(),
+            keys: keys_state,
             state: PhaseState::Consuming,
             outbox: Outbox::new(fanout),
             emit_batch_rows,
+        })
+    }
+
+    /// Buffers one page: record row locations and extract its keys.
+    fn consume_page(&mut self, page: Arc<Page>) {
+        let page_idx = self.pages.len() as u32;
+        self.locs
+            .extend((0..page.rows()).map(|r| (page_idx, r as u32)));
+        match &mut self.keys {
+            Keys::Packed {
+                spec,
+                scratch,
+                keys,
+            } => spec.extend_keys(&page, scratch, keys),
+            Keys::General(keys) => {
+                keys.extend(page.tuples().map(|t| key_of(&t, &self.key_cols)));
+            }
         }
+        self.pages.push(page);
+    }
+
+    /// Computes the sorted row permutation (stable: equal keys keep
+    /// arrival order, matching the reference executor).
+    fn sorted_order(&mut self) -> Vec<u32> {
+        let mut order: Vec<u32> = (0..self.locs.len() as u32).collect();
+        match &self.keys {
+            Keys::Packed { keys, .. } => order.sort_by_key(|&r| keys[r as usize]),
+            Keys::General(keys) => {
+                order.sort_by(|&a, &b| keys[a as usize].cmp(&keys[b as usize]));
+            }
+        }
+        // The keys are no longer needed; free them before emission.
+        match &mut self.keys {
+            Keys::Packed { keys, .. } => {
+                keys.clear();
+                keys.shrink_to_fit();
+            }
+            Keys::General(keys) => {
+                keys.clear();
+                keys.shrink_to_fit();
+            }
+        }
+        order
     }
 }
 
@@ -68,28 +147,26 @@ impl Task for SortTask {
                     let n = page.rows();
                     cost += self.cost.input_cost(n);
                     ctx.add_progress(n as f64);
-                    for t in page.tuples() {
-                        self.buffered
-                            .push((key_of(&t, &self.keys), t.raw().to_vec().into_boxed_slice()));
-                    }
+                    self.consume_page(page);
                     Step::yielded(cost)
                 }
                 Recv::Empty => Step::blocked(cost),
                 Recv::Closed => {
-                    let mut rows = std::mem::take(&mut self.buffered);
                     // The actual sort. Charged linearly per tuple to keep
                     // the model's per-unit-progress cost structure; the
                     // log factor is ~constant across the paper's scales.
-                    rows.sort_by(|a, b| a.0.cmp(&b.0));
-                    cost += self.cost.input_cost(rows.len());
-                    self.state = PhaseState::Emitting { rows, next: 0 };
+                    let order = self.sorted_order();
+                    cost += self.cost.input_cost(order.len());
+                    self.state = PhaseState::Emitting { order, next: 0 };
                     Step::yielded(cost.max(1))
                 }
             },
-            PhaseState::Emitting { rows, next } => {
+            PhaseState::Emitting { order, next } => {
                 let mut builder = PageBuilder::new(self.schema.clone());
-                let end = (*next + self.emit_batch_rows).min(rows.len());
-                for (_, raw) in &rows[*next..end] {
+                let end = (*next + self.emit_batch_rows).min(order.len());
+                for &idx in &order[*next..end] {
+                    let (p, r) = self.locs[idx as usize];
+                    let raw = self.pages[p as usize].tuple(r as usize).raw();
                     if !builder.push_raw(raw) {
                         self.outbox.push(builder.finish_and_reset());
                         assert!(builder.push_raw(raw));
@@ -99,8 +176,10 @@ impl Task for SortTask {
                 if !builder.is_empty() {
                     self.outbox.push(builder.finish_and_reset());
                 }
-                let finished = *next >= rows.len();
+                let finished = *next >= order.len();
                 if finished {
+                    self.pages.clear();
+                    self.locs.clear();
                     self.state = PhaseState::Done;
                 }
                 cost += 1; // keep emission steps advancing virtual time
@@ -150,13 +229,16 @@ mod tests {
         );
         sim.spawn(
             "sort",
-            Box::new(SortTask::new(
-                rx1,
-                schema,
-                keys,
-                OpCost::default(),
-                Fanout::new(vec![tx2], 0.0),
-            )),
+            Box::new(
+                SortTask::new(
+                    rx1,
+                    schema,
+                    keys,
+                    OpCost::default(),
+                    Fanout::new(vec![tx2], 0.0),
+                )
+                .expect("valid sort keys"),
+            ),
         );
         let out = Rc::new(RefCell::new(Vec::new()));
         sim.spawn(
@@ -184,7 +266,21 @@ mod tests {
     }
 
     #[test]
+    fn negative_keys_sort_through_packed_path() {
+        let schema = Schema::new(vec![Field::new("x", DataType::Int)]);
+        let rows: Vec<Vec<Value>> = [5i64, -3, 0, i64::MIN, i64::MAX, -3]
+            .iter()
+            .map(|&v| vec![Value::Int(v)])
+            .collect();
+        let got = run_sort(rows, schema, vec![0]);
+        let keys: Vec<i64> = got.iter().map(|r| r[0].as_int().unwrap()).collect();
+        assert_eq!(keys, vec![i64::MIN, -3, -3, 0, 5, i64::MAX]);
+    }
+
+    #[test]
     fn multi_key_sort_major_first() {
+        // Str(2) + Int = 10 bytes: exercises the general (wide-key)
+        // fallback path.
         let schema = Schema::new(vec![
             Field::new("a", DataType::Str(2)),
             Field::new("b", DataType::Int),
@@ -208,6 +304,49 @@ mod tests {
     }
 
     #[test]
+    fn packed_composite_key_sorts_major_first() {
+        // Str(2) + Date = 6 bytes: packed composite key.
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Str(2)),
+            Field::new("d", DataType::Date),
+        ]);
+        let rows = vec![
+            vec![
+                Value::Str("y".into()),
+                Value::Date(cordoba_storage::Date(1)),
+            ],
+            vec![
+                Value::Str("x".into()),
+                Value::Date(cordoba_storage::Date(2)),
+            ],
+            vec![
+                Value::Str("x".into()),
+                Value::Date(cordoba_storage::Date(-1)),
+            ],
+            vec![Value::Str("".into()), Value::Date(cordoba_storage::Date(9))],
+        ];
+        let got = run_sort(rows, schema, vec![0, 1]);
+        assert_eq!(
+            got,
+            vec![
+                vec![Value::Str("".into()), Value::Date(cordoba_storage::Date(9))],
+                vec![
+                    Value::Str("x".into()),
+                    Value::Date(cordoba_storage::Date(-1))
+                ],
+                vec![
+                    Value::Str("x".into()),
+                    Value::Date(cordoba_storage::Date(2))
+                ],
+                vec![
+                    Value::Str("y".into()),
+                    Value::Date(cordoba_storage::Date(1))
+                ],
+            ]
+        );
+    }
+
+    #[test]
     fn large_sort_spans_many_pages() {
         let schema = Schema::new(vec![Field::new("x", DataType::Int)]);
         let rows: Vec<Vec<Value>> = (0..5000).rev().map(|v| vec![Value::Int(v)]).collect();
@@ -224,8 +363,8 @@ mod tests {
 
     #[test]
     fn sort_is_stable_for_equal_keys() {
-        // Rust's sort_by is stable; rows with equal keys keep arrival
-        // order (matters for reference-executor equivalence).
+        // The permutation sort is stable; rows with equal keys keep
+        // arrival order (matters for reference-executor equivalence).
         let schema = Schema::new(vec![
             Field::new("k", DataType::Int),
             Field::new("seq", DataType::Int),
@@ -239,5 +378,21 @@ mod tests {
                 assert!(w[0][1].as_int() < w[1][1].as_int());
             }
         }
+    }
+
+    #[test]
+    fn out_of_range_key_errors_at_construction() {
+        let schema = Schema::new(vec![Field::new("x", DataType::Int)]);
+        let (_tx, rx) = channel::bounded::<Arc<Page>>(1);
+        let err = SortTask::new(
+            rx,
+            schema,
+            vec![7],
+            OpCost::default(),
+            Fanout::new(vec![], 0.0),
+        )
+        .err()
+        .expect("constructor must reject");
+        assert!(err.to_string().contains("out of range"), "{err}");
     }
 }

@@ -1,6 +1,7 @@
 //! Executable physical plans and their output-schema derivation.
 
 use crate::cost::OpCost;
+use crate::error::ExecError;
 use crate::expr::{Agg, Predicate, ScalarExpr};
 use cordoba_storage::{Catalog, DataType, Field, Schema};
 use serde::{Deserialize, Serialize};
@@ -153,21 +154,32 @@ impl PhysicalPlan {
     ///
     /// # Panics
     ///
-    /// Panics on unknown tables or out-of-range column indices — plan
-    /// construction bugs, caught by tests.
+    /// Panics on unknown tables or out-of-range column indices — use
+    /// [`PhysicalPlan::try_output_schema`] for a fallible derivation.
     pub fn output_schema(&self, catalog: &Catalog) -> Arc<Schema> {
+        self.try_output_schema(catalog)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Derives the output schema against a catalog, returning a typed
+    /// error on unknown tables or out-of-range column indices.
+    pub fn try_output_schema(&self, catalog: &Catalog) -> Result<Arc<Schema>, ExecError> {
         match self {
-            PhysicalPlan::Scan { table, .. } => catalog.expect(table).schema().clone(),
-            PhysicalPlan::Source { schema } => schema.0.clone(),
-            PhysicalPlan::Filter { input, .. } => input.output_schema(catalog),
+            PhysicalPlan::Scan { table, .. } => catalog
+                .get(table)
+                .map(|t| t.schema().clone())
+                .ok_or_else(|| ExecError::plan(format!("no table '{table}' in catalog"))),
+            PhysicalPlan::Source { schema } => Ok(schema.0.clone()),
+            PhysicalPlan::Filter { input, .. } => input.try_output_schema(catalog),
             PhysicalPlan::Project { input, exprs, .. } => {
-                let in_schema = input.output_schema(catalog);
-                Schema::new(
-                    exprs
-                        .iter()
-                        .map(|(name, e)| Field::new(name.clone(), expr_type(e, &in_schema)))
-                        .collect(),
-                )
+                let in_schema = input.try_output_schema(catalog)?;
+                let fields = exprs
+                    .iter()
+                    .map(|(name, e)| {
+                        Ok(Field::new(name.clone(), expr_type_checked(e, &in_schema)?))
+                    })
+                    .collect::<Result<Vec<_>, ExecError>>()?;
+                Ok(Schema::new(fields))
             }
             PhysicalPlan::Aggregate {
                 input,
@@ -175,11 +187,17 @@ impl PhysicalPlan {
                 aggs,
                 ..
             } => {
-                let in_schema = input.output_schema(catalog);
-                let mut fields: Vec<Field> = group_by
-                    .iter()
-                    .map(|&i| in_schema.fields()[i].clone())
-                    .collect();
+                let in_schema = input.try_output_schema(catalog)?;
+                let mut fields = Vec::with_capacity(group_by.len() + aggs.len());
+                for &i in group_by {
+                    fields.push(
+                        in_schema
+                            .fields()
+                            .get(i)
+                            .cloned()
+                            .ok_or_else(|| column_range_error("group-by", i, &in_schema))?,
+                    );
+                }
                 for (name, agg) in aggs {
                     let dtype = match agg {
                         Agg::Count => DataType::Int,
@@ -187,23 +205,26 @@ impl PhysicalPlan {
                     };
                     fields.push(Field::new(name.clone(), dtype));
                 }
-                Schema::new(fields)
+                Ok(Schema::new(fields))
             }
-            PhysicalPlan::Sort { input, .. } => input.output_schema(catalog),
+            PhysicalPlan::Sort { input, .. } => input.try_output_schema(catalog),
             PhysicalPlan::HashJoin {
                 build, probe, kind, ..
             } => match kind {
-                JoinKind::Semi | JoinKind::Anti => probe.output_schema(catalog),
-                JoinKind::Inner | JoinKind::LeftOuter => {
-                    concat_schemas(&probe.output_schema(catalog), &build.output_schema(catalog))
-                }
+                JoinKind::Semi | JoinKind::Anti => probe.try_output_schema(catalog),
+                JoinKind::Inner | JoinKind::LeftOuter => Ok(concat_schemas(
+                    &probe.try_output_schema(catalog)?,
+                    &build.try_output_schema(catalog)?,
+                )),
             },
-            PhysicalPlan::NestedLoopJoin { outer, inner, .. } => {
-                concat_schemas(&outer.output_schema(catalog), &inner.output_schema(catalog))
-            }
-            PhysicalPlan::MergeJoin { left, right, .. } => {
-                concat_schemas(&left.output_schema(catalog), &right.output_schema(catalog))
-            }
+            PhysicalPlan::NestedLoopJoin { outer, inner, .. } => Ok(concat_schemas(
+                &outer.try_output_schema(catalog)?,
+                &inner.try_output_schema(catalog)?,
+            )),
+            PhysicalPlan::MergeJoin { left, right, .. } => Ok(concat_schemas(
+                &left.try_output_schema(catalog)?,
+                &right.try_output_schema(catalog)?,
+            )),
         }
     }
 
@@ -262,20 +283,43 @@ pub fn concat_schemas(left: &Arc<Schema>, right: &Arc<Schema>) -> Arc<Schema> {
 }
 
 /// Infers the storage type of an expression against a schema.
+///
+/// # Panics
+///
+/// Panics on out-of-range column indices — use [`expr_type_checked`]
+/// for a fallible derivation.
 pub fn expr_type(expr: &ScalarExpr, schema: &Arc<Schema>) -> DataType {
+    expr_type_checked(expr, schema).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Infers the storage type of an expression against a schema, returning
+/// a typed error on out-of-range column indices.
+pub fn expr_type_checked(expr: &ScalarExpr, schema: &Arc<Schema>) -> Result<DataType, ExecError> {
     match expr {
-        ScalarExpr::Col(i) => schema.fields()[*i].dtype,
-        ScalarExpr::IntLit(_) => DataType::Int,
-        ScalarExpr::FloatLit(_) => DataType::Float,
-        ScalarExpr::DateLit(_) => DataType::Date,
-        ScalarExpr::StrLit(s) => DataType::Str(s.len()),
+        ScalarExpr::Col(i) => schema
+            .fields()
+            .get(*i)
+            .map(|f| f.dtype)
+            .ok_or_else(|| column_range_error("expression", *i, schema)),
+        ScalarExpr::IntLit(_) => Ok(DataType::Int),
+        ScalarExpr::FloatLit(_) => Ok(DataType::Float),
+        ScalarExpr::DateLit(_) => Ok(DataType::Date),
+        ScalarExpr::StrLit(s) => Ok(DataType::Str(s.len())),
         ScalarExpr::Add(a, b) | ScalarExpr::Sub(a, b) | ScalarExpr::Mul(a, b) => {
-            match (expr_type(a, schema), expr_type(b, schema)) {
-                (DataType::Int, DataType::Int) => DataType::Int,
-                _ => DataType::Float,
+            match (expr_type_checked(a, schema)?, expr_type_checked(b, schema)?) {
+                (DataType::Int, DataType::Int) => Ok(DataType::Int),
+                _ => Ok(DataType::Float),
             }
         }
     }
+}
+
+/// Error for a column index outside a schema, labeled by use site.
+pub(crate) fn column_range_error(what: &str, idx: usize, schema: &Arc<Schema>) -> ExecError {
+    ExecError::plan(format!(
+        "{what} column {idx} out of range for schema of {} fields",
+        schema.len()
+    ))
 }
 
 #[cfg(test)]

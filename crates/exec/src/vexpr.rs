@@ -16,14 +16,24 @@
 //! enforces this), with two deliberate differences:
 //!
 //! * type errors (arithmetic on strings, comparing a date to a float)
-//!   panic at **compile** time instead of on the first evaluated row;
+//!   surface as typed [`ExecError`]s at **compile** time instead of
+//!   panicking on the first evaluated row — a malformed plan fails the
+//!   query, not the process;
 //! * comparisons involving NaN follow IEEE semantics (`Ne` is `true`,
 //!   every other operator `false`) instead of panicking — the
 //!   tree-walk treats NaN as a programming error and never returns on
 //!   such inputs.
+//!
+//! Scalar literals in float arithmetic fuse into the adjacent
+//! instruction ([`Instr::AddFLit`] / [`Instr::SubFLit`] /
+//! [`Instr::SubLitF`] / [`Instr::MulFLit`], mirroring the
+//! `CmpColLit*` predicate fast paths), so `extendedprice *
+//! (1 - discount)` runs two in-place passes over one gathered column
+//! instead of broadcasting page-length literal buffers.
 
+use crate::error::ExecError;
 use crate::expr::{like_match, CmpOp, Predicate, ScalarExpr};
-use crate::plan::expr_type;
+use crate::plan::expr_type_checked;
 use cordoba_storage::{DataType, Page, Schema};
 use std::sync::Arc;
 
@@ -69,6 +79,17 @@ enum Instr {
     SubF,
     /// See [`Instr::AddF`].
     MulF,
+    /// Fused `top + lit` (no literal broadcast, in-place on the top
+    /// buffer). Addition commutes bitwise under IEEE 754, so this also
+    /// covers `lit + top`.
+    AddFLit(f64),
+    /// Fused `top - lit`.
+    SubFLit(f64),
+    /// Fused `lit - top` (subtraction does not commute — `1 - discount`
+    /// compiles to `[ColF(discount), SubLitF(1.0)]`).
+    SubLitF(f64),
+    /// Fused `top * lit`; covers `lit * top` as [`Instr::AddFLit`] does.
+    MulFLit(f64),
 }
 
 /// A typed column buffer on the evaluation stack.
@@ -133,31 +154,33 @@ struct NumProgram {
 }
 
 impl NumProgram {
-    /// Compiles `expr` against `schema`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the expression is not numeric (string columns or
-    /// literals in arithmetic, dates as arithmetic operands).
-    fn compile(expr: &ScalarExpr, schema: &Arc<Schema>) -> Self {
+    /// Compiles `expr` against `schema`, erring if the expression is
+    /// not numeric (string columns or literals in arithmetic, dates as
+    /// arithmetic operands). `fuse` enables the scalar-literal fused
+    /// instructions (off only for the baseline benchmark kernels).
+    fn compile(expr: &ScalarExpr, schema: &Arc<Schema>, fuse: bool) -> Result<Self, ExecError> {
         let mut instrs = Vec::new();
-        let out = compile_num(expr, schema, &mut instrs);
-        Self { instrs, out }
+        let out = compile_num(expr, schema, &mut instrs, fuse)?;
+        Ok(Self { instrs, out })
     }
 
     /// As [`NumProgram::compile`], but promotes an `Int` result to
     /// `Float` (the coercion every aggregate input goes through).
-    fn compile_f64(expr: &ScalarExpr, schema: &Arc<Schema>) -> Self {
-        let mut p = Self::compile(expr, schema);
+    fn compile_f64(expr: &ScalarExpr, schema: &Arc<Schema>, fuse: bool) -> Result<Self, ExecError> {
+        let mut p = Self::compile(expr, schema, fuse)?;
         match p.out {
             NumType::Float => {}
             NumType::Int => {
                 p.instrs.push(Instr::CastIF);
                 p.out = NumType::Float;
             }
-            NumType::Date => panic!("expression over a date column is not numeric"),
+            NumType::Date => {
+                return Err(ExecError::plan(
+                    "expression over a date column is not numeric",
+                ))
+            }
         }
-        p
+        Ok(p)
     }
 
     /// Evaluates over all rows of `page`, returning the result buffer
@@ -216,6 +239,10 @@ impl NumProgram {
                 Instr::AddF => float_binop(scratch, |x, y| x + y),
                 Instr::SubF => float_binop(scratch, |x, y| x - y),
                 Instr::MulF => float_binop(scratch, |x, y| x * y),
+                Instr::AddFLit(lit) => float_mapop(scratch, |x| x + *lit),
+                Instr::SubFLit(lit) => float_mapop(scratch, |x| x - *lit),
+                Instr::SubLitF(lit) => float_mapop(scratch, |x| *lit - x),
+                Instr::MulFLit(lit) => float_mapop(scratch, |x| x * *lit),
             }
         }
         let result = scratch.pop();
@@ -250,40 +277,105 @@ fn float_binop(scratch: &mut ExprScratch, f: impl Fn(f64, f64) -> f64) {
     scratch.free_f.push(rhs);
 }
 
+/// In-place map over the top float buffer — the fused scalar-literal
+/// instructions' single pass (no literal buffer, no pop/push).
+fn float_mapop(scratch: &mut ExprScratch, f: impl Fn(f64) -> f64) {
+    let Some(Buf::F(top)) = scratch.stack.last_mut() else {
+        unreachable!("fused float op over non-float top");
+    };
+    for x in top.iter_mut() {
+        *x = f(*x);
+    }
+}
+
+/// The instruction set of one arithmetic operator: the int and float
+/// stack forms plus the fused literal forms (`fused` for `top ⊕ lit`,
+/// `fused_rev` for `lit ⊕ top` — identical for the commutative ops).
+struct ArithOps {
+    int_op: Instr,
+    float_op: Instr,
+    fused: fn(f64) -> Instr,
+    fused_rev: fn(f64) -> Instr,
+}
+
+const ADD_OPS: ArithOps = ArithOps {
+    int_op: Instr::AddI,
+    float_op: Instr::AddF,
+    fused: Instr::AddFLit,
+    fused_rev: Instr::AddFLit,
+};
+const SUB_OPS: ArithOps = ArithOps {
+    int_op: Instr::SubI,
+    float_op: Instr::SubF,
+    fused: Instr::SubFLit,
+    fused_rev: Instr::SubLitF,
+};
+const MUL_OPS: ArithOps = ArithOps {
+    int_op: Instr::MulI,
+    float_op: Instr::MulF,
+    fused: Instr::MulFLit,
+    fused_rev: Instr::MulFLit,
+};
+
 /// Emits postfix instructions for `expr`; returns its type.
-fn compile_num(expr: &ScalarExpr, schema: &Arc<Schema>, instrs: &mut Vec<Instr>) -> NumType {
+fn compile_num(
+    expr: &ScalarExpr,
+    schema: &Arc<Schema>,
+    instrs: &mut Vec<Instr>,
+    fuse: bool,
+) -> Result<NumType, ExecError> {
     match expr {
-        ScalarExpr::Col(i) => match schema.fields()[*i].dtype {
-            DataType::Int => {
-                instrs.push(Instr::ColI(*i));
-                NumType::Int
+        ScalarExpr::Col(i) => {
+            let field = schema
+                .fields()
+                .get(*i)
+                .ok_or_else(|| crate::plan::column_range_error("expression", *i, schema))?;
+            match field.dtype {
+                DataType::Int => {
+                    instrs.push(Instr::ColI(*i));
+                    Ok(NumType::Int)
+                }
+                DataType::Float => {
+                    instrs.push(Instr::ColF(*i));
+                    Ok(NumType::Float)
+                }
+                DataType::Date => {
+                    instrs.push(Instr::ColD(*i));
+                    Ok(NumType::Date)
+                }
+                DataType::Str(_) => Err(ExecError::plan(format!(
+                    "string column {i} in a numeric expression"
+                ))),
             }
-            DataType::Float => {
-                instrs.push(Instr::ColF(*i));
-                NumType::Float
-            }
-            DataType::Date => {
-                instrs.push(Instr::ColD(*i));
-                NumType::Date
-            }
-            DataType::Str(_) => panic!("string column {i} in a numeric expression"),
-        },
+        }
         ScalarExpr::IntLit(v) => {
             instrs.push(Instr::LitI(*v));
-            NumType::Int
+            Ok(NumType::Int)
         }
         ScalarExpr::FloatLit(v) => {
             instrs.push(Instr::LitF(*v));
-            NumType::Float
+            Ok(NumType::Float)
         }
         ScalarExpr::DateLit(v) => {
             instrs.push(Instr::LitD(v.0));
-            NumType::Date
+            Ok(NumType::Date)
         }
-        ScalarExpr::StrLit(s) => panic!("string literal {s:?} in a numeric expression"),
-        ScalarExpr::Add(a, b) => compile_arith(a, b, schema, instrs, Instr::AddI, Instr::AddF),
-        ScalarExpr::Sub(a, b) => compile_arith(a, b, schema, instrs, Instr::SubI, Instr::SubF),
-        ScalarExpr::Mul(a, b) => compile_arith(a, b, schema, instrs, Instr::MulI, Instr::MulF),
+        ScalarExpr::StrLit(s) => Err(ExecError::plan(format!(
+            "string literal {s:?} in a numeric expression"
+        ))),
+        ScalarExpr::Add(a, b) => compile_arith(a, b, schema, instrs, &ADD_OPS, fuse),
+        ScalarExpr::Sub(a, b) => compile_arith(a, b, schema, instrs, &SUB_OPS, fuse),
+        ScalarExpr::Mul(a, b) => compile_arith(a, b, schema, instrs, &MUL_OPS, fuse),
+    }
+}
+
+/// A numeric literal operand's value coerced to `f64` — exactly the
+/// coercion the tree-walk applies to mixed int/float operands.
+fn num_literal(expr: &ScalarExpr) -> Option<f64> {
+    match expr {
+        ScalarExpr::IntLit(v) => Some(*v as f64),
+        ScalarExpr::FloatLit(v) => Some(*v),
+        _ => None,
     }
 }
 
@@ -292,35 +384,62 @@ fn compile_arith(
     b: &ScalarExpr,
     schema: &Arc<Schema>,
     instrs: &mut Vec<Instr>,
-    int_op: Instr,
-    float_op: Instr,
-) -> NumType {
-    let ta = compile_num(a, schema, instrs);
-    if ta == NumType::Date {
-        panic!("non-numeric (date) operand in arithmetic");
-    }
-    if ta == NumType::Int {
-        // Whether to promote depends on the other side; peek its type
-        // cheaply via the plan-level type derivation.
-        let tb = expr_type(b, schema);
-        if tb != DataType::Int {
-            instrs.push(Instr::CastIF);
+    ops: &ArithOps,
+    fuse: bool,
+) -> Result<NumType, ExecError> {
+    let (ta, tb) = (expr_type_checked(a, schema)?, expr_type_checked(b, schema)?);
+    let float_result = !(ta == DataType::Int && tb == DataType::Int);
+    // Fused scalar-literal fast paths: a float-typed `expr ⊕ lit` (or
+    // `lit ⊕ expr`) compiles to the other side's program plus one
+    // in-place instruction — no broadcast literal buffer, no extra
+    // stream pass. Results are bit-identical to the stack form: the
+    // same f64 operation on the same operand values.
+    if fuse && float_result {
+        if let Some(lit) = num_literal(b) {
+            let t = compile_num(a, schema, instrs, fuse)?;
+            ensure_numeric(t)?;
+            if t == NumType::Int {
+                instrs.push(Instr::CastIF);
+            }
+            instrs.push((ops.fused)(lit));
+            return Ok(NumType::Float);
+        }
+        if let Some(lit) = num_literal(a) {
+            let t = compile_num(b, schema, instrs, fuse)?;
+            ensure_numeric(t)?;
+            if t == NumType::Int {
+                instrs.push(Instr::CastIF);
+            }
+            instrs.push((ops.fused_rev)(lit));
+            return Ok(NumType::Float);
         }
     }
-    let tb = compile_num(b, schema, instrs);
-    if tb == NumType::Date {
-        panic!("non-numeric (date) operand in arithmetic");
+    let ta = compile_num(a, schema, instrs, fuse)?;
+    ensure_numeric(ta)?;
+    if ta == NumType::Int && float_result {
+        // The other side is non-int; promote before it lands on the
+        // stack so the binop sees two floats.
+        instrs.push(Instr::CastIF);
     }
-    if ta == NumType::Int && tb == NumType::Int {
-        instrs.push(int_op);
-        NumType::Int
+    let tb = compile_num(b, schema, instrs, fuse)?;
+    ensure_numeric(tb)?;
+    if !float_result {
+        instrs.push(ops.int_op.clone());
+        Ok(NumType::Int)
     } else {
         if tb == NumType::Int {
             instrs.push(Instr::CastIF);
         }
-        instrs.push(float_op);
-        NumType::Float
+        instrs.push(ops.float_op.clone());
+        Ok(NumType::Float)
     }
+}
+
+fn ensure_numeric(t: NumType) -> Result<(), ExecError> {
+    if t == NumType::Date {
+        return Err(ExecError::plan("non-numeric (date) operand in arithmetic"));
+    }
+    Ok(())
 }
 
 /// A scalar expression compiled for page-at-a-time evaluation.
@@ -341,21 +460,56 @@ enum ExprKind {
 }
 
 impl CompiledExpr {
-    /// Compiles `expr` against the input `schema`.
-    ///
-    /// # Panics
-    ///
-    /// Panics on type errors (e.g. arithmetic over strings) — the same
-    /// plans the tree-walking `eval` would panic on at runtime.
-    pub fn compile(expr: &ScalarExpr, schema: &Arc<Schema>) -> Self {
+    /// Compiles `expr` against the input `schema`, erring on type
+    /// errors (e.g. arithmetic over strings) — the plans the
+    /// tree-walking `eval` would panic on at runtime.
+    pub fn compile(expr: &ScalarExpr, schema: &Arc<Schema>) -> Result<Self, ExecError> {
+        Self::compile_inner(expr, schema, true)
+    }
+
+    /// As [`CompiledExpr::compile`] but with the fused scalar-literal
+    /// instructions disabled: literals broadcast page-length buffers.
+    /// Exists solely so the benchmark suite can measure the fusion win;
+    /// operators always compile fused.
+    pub fn compile_unfused(expr: &ScalarExpr, schema: &Arc<Schema>) -> Result<Self, ExecError> {
+        Self::compile_inner(expr, schema, false)
+    }
+
+    /// Compiles a **numeric** `expr` with the result promoted to `f64`
+    /// — the coercion every aggregate input goes through. String or
+    /// date expressions err here, at plan time, so
+    /// [`CompiledExpr::eval_f64_into`] cannot fail later.
+    pub fn compile_f64(expr: &ScalarExpr, schema: &Arc<Schema>) -> Result<Self, ExecError> {
+        Ok(Self {
+            kind: ExprKind::Num(NumProgram::compile_f64(expr, schema, true)?),
+        })
+    }
+
+    fn compile_inner(
+        expr: &ScalarExpr,
+        schema: &Arc<Schema>,
+        fuse: bool,
+    ) -> Result<Self, ExecError> {
         let kind = match expr {
-            ScalarExpr::Col(i) if matches!(schema.fields()[*i].dtype, DataType::Str(_)) => {
+            ScalarExpr::Col(i)
+                if matches!(
+                    schema.fields().get(*i).map(|f| f.dtype),
+                    Some(DataType::Str(_))
+                ) =>
+            {
                 ExprKind::StrCol(*i)
             }
-            ScalarExpr::StrLit(s) => ExprKind::StrLit(s.clone()),
-            other => ExprKind::Num(NumProgram::compile(other, schema)),
+            ScalarExpr::StrLit(s) => {
+                if !s.is_ascii() {
+                    return Err(ExecError::plan(format!(
+                        "string literal {s:?} is not ASCII (pages store ASCII only)"
+                    )));
+                }
+                ExprKind::StrLit(s.clone())
+            }
+            other => ExprKind::Num(NumProgram::compile(other, schema, fuse)?),
         };
-        Self { kind }
+        Ok(Self { kind })
     }
 
     /// Evaluates the expression coerced to `f64` over all rows of
@@ -524,16 +678,13 @@ pub struct CompiledPredicate {
 }
 
 impl CompiledPredicate {
-    /// Compiles `pred` against the input `schema`.
-    ///
-    /// # Panics
-    ///
-    /// Panics on type errors (incomparable operand types, LIKE over a
-    /// non-string column).
-    pub fn compile(pred: &Predicate, schema: &Arc<Schema>) -> Self {
+    /// Compiles `pred` against the input `schema`, erring on type
+    /// errors (incomparable operand types, LIKE over a non-string
+    /// column, out-of-range columns).
+    pub fn compile(pred: &Predicate, schema: &Arc<Schema>) -> Result<Self, ExecError> {
         let mut instrs = Vec::new();
-        compile_pred(pred, schema, &mut instrs);
-        Self { instrs }
+        compile_pred(pred, schema, &mut instrs)?;
+        Ok(Self { instrs })
     }
 
     /// Evaluates over all rows of `page`, appending the indices of
@@ -715,37 +866,48 @@ fn cmp_fill<T: PartialOrd + Copy>(a: &[T], b: &[T], op: CmpOp, mask: &mut Vec<bo
     }
 }
 
-fn compile_pred(pred: &Predicate, schema: &Arc<Schema>, instrs: &mut Vec<PInstr>) {
+fn compile_pred(
+    pred: &Predicate,
+    schema: &Arc<Schema>,
+    instrs: &mut Vec<PInstr>,
+) -> Result<(), ExecError> {
     match pred {
         Predicate::True => instrs.push(PInstr::True),
-        Predicate::Cmp { left, op, right } => compile_cmp(left, *op, right, schema, instrs),
+        Predicate::Cmp { left, op, right } => compile_cmp(left, *op, right, schema, instrs)?,
         Predicate::And(ps) => {
             for p in ps {
-                compile_pred(p, schema, instrs);
+                compile_pred(p, schema, instrs)?;
             }
             instrs.push(PInstr::And(ps.len()));
         }
         Predicate::Or(ps) => {
             for p in ps {
-                compile_pred(p, schema, instrs);
+                compile_pred(p, schema, instrs)?;
             }
             instrs.push(PInstr::Or(ps.len()));
         }
         Predicate::Not(p) => {
-            compile_pred(p, schema, instrs);
+            compile_pred(p, schema, instrs)?;
             instrs.push(PInstr::Not);
         }
         Predicate::Like { col, pattern } => {
-            assert!(
-                matches!(schema.fields()[*col].dtype, DataType::Str(_)),
-                "LIKE over non-string column {col}"
-            );
+            let dtype = schema
+                .fields()
+                .get(*col)
+                .map(|f| f.dtype)
+                .ok_or_else(|| crate::plan::column_range_error("LIKE", *col, schema))?;
+            if !matches!(dtype, DataType::Str(_)) {
+                return Err(ExecError::plan(format!(
+                    "LIKE over non-string column {col} ({dtype:?})"
+                )));
+            }
             instrs.push(PInstr::Like {
                 col: *col,
                 pattern: pattern.clone(),
             });
         }
     }
+    Ok(())
 }
 
 fn compile_cmp(
@@ -754,8 +916,11 @@ fn compile_cmp(
     right: &ScalarExpr,
     schema: &Arc<Schema>,
     instrs: &mut Vec<PInstr>,
-) {
-    let (tl, tr) = (expr_type(left, schema), expr_type(right, schema));
+) -> Result<(), ExecError> {
+    let (tl, tr) = (
+        expr_type_checked(left, schema)?,
+        expr_type_checked(right, schema)?,
+    );
     let is_str = |t: DataType| matches!(t, DataType::Str(_));
     // Column-vs-literal fast paths for the dominant predicate shape.
     match (left, right, tl, tr) {
@@ -765,7 +930,7 @@ fn compile_cmp(
                 op,
                 lit: *v,
             });
-            return;
+            return Ok(());
         }
         (ScalarExpr::Col(c), ScalarExpr::FloatLit(v), DataType::Float, _) => {
             instrs.push(PInstr::CmpColLitF {
@@ -773,7 +938,7 @@ fn compile_cmp(
                 op,
                 lit: *v,
             });
-            return;
+            return Ok(());
         }
         (ScalarExpr::Col(c), ScalarExpr::DateLit(v), DataType::Date, _) => {
             instrs.push(PInstr::CmpColLitD {
@@ -781,42 +946,49 @@ fn compile_cmp(
                 op,
                 lit: v.0,
             });
-            return;
+            return Ok(());
         }
         _ => {}
     }
     match (tl, tr) {
         (DataType::Int, DataType::Int) => instrs.push(PInstr::CmpII {
-            l: NumProgram::compile(left, schema),
-            r: NumProgram::compile(right, schema),
+            l: NumProgram::compile(left, schema, true)?,
+            r: NumProgram::compile(right, schema, true)?,
             op,
         }),
         (DataType::Date, DataType::Date) => instrs.push(PInstr::CmpDD {
-            l: NumProgram::compile(left, schema),
-            r: NumProgram::compile(right, schema),
+            l: NumProgram::compile(left, schema, true)?,
+            r: NumProgram::compile(right, schema, true)?,
             op,
         }),
         (tl, tr) if is_str(tl) && is_str(tr) => instrs.push(PInstr::CmpSS {
-            l: str_operand(left),
-            r: str_operand(right),
+            l: str_operand(left)?,
+            r: str_operand(right)?,
             op,
         }),
         (DataType::Int | DataType::Float, DataType::Int | DataType::Float) => {
             instrs.push(PInstr::CmpFF {
-                l: NumProgram::compile_f64(left, schema),
-                r: NumProgram::compile_f64(right, schema),
+                l: NumProgram::compile_f64(left, schema, true)?,
+                r: NumProgram::compile_f64(right, schema, true)?,
                 op,
             })
         }
-        (tl, tr) => panic!("incomparable operand types: {tl:?} vs {tr:?}"),
+        (tl, tr) => {
+            return Err(ExecError::plan(format!(
+                "incomparable operand types: {tl:?} vs {tr:?}"
+            )))
+        }
     }
+    Ok(())
 }
 
-fn str_operand(expr: &ScalarExpr) -> StrOperand {
+fn str_operand(expr: &ScalarExpr) -> Result<StrOperand, ExecError> {
     match expr {
-        ScalarExpr::Col(c) => StrOperand::Col(*c),
-        ScalarExpr::StrLit(s) => StrOperand::Lit(s.clone()),
-        other => panic!("string-typed comparison operand must be a column or literal: {other:?}"),
+        ScalarExpr::Col(c) => Ok(StrOperand::Col(*c)),
+        ScalarExpr::StrLit(s) => Ok(StrOperand::Lit(s.clone())),
+        other => Err(ExecError::plan(format!(
+            "string-typed comparison operand must be a column or literal: {other:?}"
+        ))),
     }
 }
 
@@ -863,7 +1035,7 @@ mod tests {
             Predicate::col_cmp(2, CmpOp::Gt, Date(8030)),
             Predicate::col_cmp(3, CmpOp::Eq, "RAIL"),
         ] {
-            let compiled = CompiledPredicate::compile(&pred, p.schema());
+            let compiled = CompiledPredicate::compile(&pred, p.schema()).expect("compiles");
             compiled.select(&p, &mut scratch, &mut sel);
             assert_eq!(sel, tree_select(&pred, &p), "{pred:?}");
         }
@@ -886,7 +1058,7 @@ mod tests {
             },
             Predicate::And(vec![]),
         ]);
-        let compiled = CompiledPredicate::compile(&pred, p.schema());
+        let compiled = CompiledPredicate::compile(&pred, p.schema()).expect("compiles");
         compiled.select(&p, &mut scratch, &mut sel);
         assert_eq!(sel, tree_select(&pred, &p));
         // And(vec![]) is `true`, so the Or selects everything.
@@ -900,7 +1072,7 @@ mod tests {
         let mut sel = Vec::new();
         // Int column vs float literal: tree-walk coerces through f64.
         let pred = Predicate::col_cmp(0, CmpOp::Ge, 1.5);
-        let compiled = CompiledPredicate::compile(&pred, p.schema());
+        let compiled = CompiledPredicate::compile(&pred, p.schema()).expect("compiles");
         compiled.select(&p, &mut scratch, &mut sel);
         assert_eq!(sel, tree_select(&pred, &p));
         // Expression-vs-expression comparison.
@@ -915,7 +1087,7 @@ mod tests {
                 Box::new(ScalarExpr::IntLit(20)),
             ),
         );
-        let compiled = CompiledPredicate::compile(&pred, p.schema());
+        let compiled = CompiledPredicate::compile(&pred, p.schema()).expect("compiles");
         compiled.select(&p, &mut scratch, &mut sel);
         assert_eq!(sel, tree_select(&pred, &p));
     }
@@ -933,7 +1105,7 @@ mod tests {
                 Box::new(ScalarExpr::IntLit(3)),
             )),
         );
-        let compiled = CompiledExpr::compile(&expr, p.schema());
+        let compiled = CompiledExpr::compile(&expr, p.schema()).expect("compiles");
         compiled.eval_f64_into(&p, &mut scratch, &mut out);
         for (r, t) in p.tuples().enumerate() {
             assert_eq!(Some(out[r]), expr.eval(&t).as_f64());
@@ -943,7 +1115,7 @@ mod tests {
             Box::new(ScalarExpr::col(0)),
             Box::new(ScalarExpr::IntLit(7)),
         );
-        let compiled = CompiledExpr::compile(&expr, p.schema());
+        let compiled = CompiledExpr::compile(&expr, p.schema()).expect("compiles");
         compiled.eval_f64_into(&p, &mut scratch, &mut out);
         for (r, t) in p.tuples().enumerate() {
             match expr.eval(&t) {
@@ -977,14 +1149,16 @@ mod tests {
         let w = out_schema.row_width();
         let mut bytes = vec![0u8; p.rows() * w];
         for (i, e) in exprs.iter().enumerate() {
-            CompiledExpr::compile(e, p.schema()).encode_column(
-                &p,
-                &mut scratch,
-                out_schema.fields()[i].dtype,
-                &mut bytes,
-                out_schema.offset(i),
-                w,
-            );
+            CompiledExpr::compile(e, p.schema())
+                .expect("compiles")
+                .encode_column(
+                    &p,
+                    &mut scratch,
+                    out_schema.fields()[i].dtype,
+                    &mut bytes,
+                    out_schema.offset(i),
+                    w,
+                );
         }
         let mut b = PageBuilder::new(out_schema);
         for row in bytes.chunks_exact(w) {
@@ -1002,22 +1176,77 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "numeric")]
-    fn string_arithmetic_panics_at_compile() {
+    fn string_arithmetic_errors_at_compile() {
         let p = page();
         let expr = ScalarExpr::Add(
             Box::new(ScalarExpr::col(3)),
             Box::new(ScalarExpr::IntLit(1)),
         );
-        let _ = CompiledExpr::compile(&expr, p.schema());
+        let err = CompiledExpr::compile(&expr, p.schema()).unwrap_err();
+        assert!(err.to_string().contains("numeric"), "{err}");
     }
 
     #[test]
-    #[should_panic(expected = "incomparable")]
-    fn date_vs_float_comparison_panics_at_compile() {
+    fn date_vs_float_comparison_errors_at_compile() {
         let p = page();
         let pred = Predicate::col_cmp(2, CmpOp::Lt, 3.0);
-        let _ = CompiledPredicate::compile(&pred, p.schema());
+        let err = CompiledPredicate::compile(&pred, p.schema()).unwrap_err();
+        assert!(err.to_string().contains("incomparable"), "{err}");
+    }
+
+    #[test]
+    fn out_of_range_column_errors_at_compile() {
+        let p = page();
+        let err = CompiledExpr::compile(&ScalarExpr::col(99), p.schema()).unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
+        let err = CompiledPredicate::compile(&Predicate::col_cmp(99, CmpOp::Eq, 1i64), p.schema())
+            .unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn fused_literal_programs_match_unfused_bit_for_bit() {
+        // `price * (1 - discount)`-shaped expressions exercise SubLitF
+        // and MulFLit; `qty * 2 + 0.5` exercises MulFLit + AddFLit on a
+        // promoted int subtree. Fused and broadcast programs must agree
+        // bit-for-bit (same f64 ops on the same operands).
+        let p = page();
+        let mut scratch = ExprScratch::default();
+        let (mut fused, mut plain) = (Vec::new(), Vec::new());
+        let exprs = [
+            ScalarExpr::Mul(
+                Box::new(ScalarExpr::col(1)),
+                Box::new(ScalarExpr::Sub(
+                    Box::new(ScalarExpr::FloatLit(1.0)),
+                    Box::new(ScalarExpr::col(1)),
+                )),
+            ),
+            ScalarExpr::Add(
+                Box::new(ScalarExpr::Mul(
+                    Box::new(ScalarExpr::col(0)),
+                    Box::new(ScalarExpr::FloatLit(2.0)),
+                )),
+                Box::new(ScalarExpr::FloatLit(0.5)),
+            ),
+            ScalarExpr::Sub(
+                Box::new(ScalarExpr::col(1)),
+                Box::new(ScalarExpr::IntLit(3)),
+            ),
+        ];
+        for expr in &exprs {
+            let f = CompiledExpr::compile(expr, p.schema()).expect("compiles");
+            let u = CompiledExpr::compile_unfused(expr, p.schema()).expect("compiles");
+            f.eval_f64_into(&p, &mut scratch, &mut fused);
+            u.eval_f64_into(&p, &mut scratch, &mut plain);
+            for (r, (a, b)) in fused.iter().zip(&plain).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "{expr:?} row {r}: {a} vs {b}");
+            }
+            // And both match the tree walk.
+            for (r, t) in p.tuples().enumerate() {
+                let expected = expr.eval(&t).as_f64().expect("numeric");
+                assert_eq!(fused[r].to_bits(), expected.to_bits(), "{expr:?} row {r}");
+            }
+        }
     }
 
     #[test]
@@ -1029,7 +1258,7 @@ mod tests {
             Predicate::col_cmp(0, CmpOp::Ge, -100i64),
             Predicate::col_cmp(1, CmpOp::Ge, 0.0),
         ]);
-        let compiled = CompiledPredicate::compile(&pred, p.schema());
+        let compiled = CompiledPredicate::compile(&pred, p.schema()).expect("compiles");
         for _ in 0..3 {
             compiled.select(&p, &mut scratch, &mut sel);
             assert_eq!(sel.len(), p.rows());

@@ -1,8 +1,17 @@
 //! Spawns a physical plan into a simulator: one task per operator,
 //! bounded channels between them (unshared wiring — the engine crate
 //! layers packet merging and shared pivots on top of these pieces).
+//!
+//! Instantiation is **two-phase and fallible**: every operator task is
+//! constructed first (compiling expressions, validating key columns),
+//! and only when the whole plan type-checks is anything spawned. A
+//! malformed plan therefore returns a typed [`ExecError`] with zero
+//! tasks running — never a half-wired query or a worker panic. Runtime
+//! input-contract violations (an unsorted merge input) are reported
+//! through the per-query [`FaultCell`] threaded to the tasks here.
 
 use crate::cost::OpCost;
+use crate::error::{ExecError, FaultCell};
 use crate::ops::{
     AggregateTask, Fanout, FilterTask, HashJoinTask, MergeJoinTask, NestedLoopJoinTask,
     ProjectTask, ScanTask, SortTask,
@@ -35,7 +44,10 @@ pub type SpawnedOps = Vec<(Option<TaskId>, String)>;
 /// Instantiates `plan`, delivering root output to every sender in
 /// `outs` (the root's `cost.out_per_tuple` is charged per consumer).
 /// [`PhysicalPlan::Source`] leaves consume receivers from `sources` in
-/// plan preorder.
+/// plan preorder. Runtime faults land in `fault`.
+///
+/// Construction is all-or-nothing: on `Err`, no task has been spawned.
+#[allow(clippy::too_many_arguments)]
 pub fn instantiate_into(
     sim: &mut dyn Spawner,
     catalog: &Catalog,
@@ -44,36 +56,51 @@ pub fn instantiate_into(
     sources: &mut VecDeque<Receiver<Arc<Page>>>,
     label: &str,
     cfg: &WiringConfig,
-) -> SpawnedOps {
-    let mut spawned = Vec::new();
+    fault: &FaultCell,
+) -> Result<SpawnedOps, ExecError> {
+    let mut built: Vec<(String, Box<dyn Task>)> = Vec::new();
     let mut preorder = 0usize;
     wire(
-        sim,
         catalog,
         plan,
         outs,
         sources,
         label,
         cfg,
+        fault,
         &mut preorder,
-        &mut spawned,
-    );
-    spawned
+        &mut built,
+    )?;
+    Ok(built
+        .into_iter()
+        .map(|(name, task)| (sim.spawn_task(name.clone(), task), name))
+        .collect())
 }
 
-/// Instantiates `plan` and returns the root output receiver plus the
-/// spawned operator tasks.
+/// Instantiates `plan` and returns the root output receiver, the
+/// spawned operator tasks, and the query's fault cell (check it after
+/// the run — a set fault means the query failed mid-flight).
 pub fn instantiate(
     sim: &mut Simulator,
     catalog: &Catalog,
     plan: &PhysicalPlan,
     label: &str,
     cfg: &WiringConfig,
-) -> (Receiver<Arc<Page>>, SpawnedOps) {
+) -> Result<(Receiver<Arc<Page>>, SpawnedOps, FaultCell), ExecError> {
     let (tx, rx) = channel::bounded(cfg.queue_capacity);
+    let fault = FaultCell::default();
     let mut sources = VecDeque::new();
-    let spawned = instantiate_into(sim, catalog, plan, vec![tx], &mut sources, label, cfg);
-    (rx, spawned)
+    let spawned = instantiate_into(
+        sim,
+        catalog,
+        plan,
+        vec![tx],
+        &mut sources,
+        label,
+        cfg,
+        &fault,
+    )?;
+    Ok((rx, spawned, fault))
 }
 
 /// Forwards pages from a receiver to a fan-out at zero private cost —
@@ -112,110 +139,105 @@ impl Task for RelayTask {
 
 #[allow(clippy::too_many_arguments)]
 fn wire(
-    sim: &mut dyn Spawner,
     catalog: &Catalog,
     plan: &PhysicalPlan,
     outs: Vec<Sender<Arc<Page>>>,
     sources: &mut VecDeque<Receiver<Arc<Page>>>,
     label: &str,
     cfg: &WiringConfig,
+    fault: &FaultCell,
     preorder: &mut usize,
-    spawned: &mut SpawnedOps,
-) {
+    built: &mut Vec<(String, Box<dyn Task>)>,
+) -> Result<(), ExecError> {
     let my_idx = *preorder;
     *preorder += 1;
     let name = format!("{label}/{my_idx}:{}", plan.op_name());
-    // Child receivers are created before spawning this node so that
+    // Child receivers are created before this node's task so that
     // Source receivers are consumed in preorder.
-    let child_input = |sim: &mut dyn Spawner,
-                       child: &PhysicalPlan,
+    let child_input = |child: &PhysicalPlan,
                        sources: &mut VecDeque<Receiver<Arc<Page>>>,
                        preorder: &mut usize,
-                       spawned: &mut SpawnedOps|
-     -> Receiver<Arc<Page>> {
+                       built: &mut Vec<(String, Box<dyn Task>)>|
+     -> Result<Receiver<Arc<Page>>, ExecError> {
         if let PhysicalPlan::Source { .. } = child {
             *preorder += 1;
             return sources
                 .pop_front()
-                .expect("a receiver per Source leaf, in preorder");
+                .ok_or_else(|| ExecError::plan("a receiver per Source leaf, in preorder"));
         }
         let (tx, rx) = channel::bounded(cfg.queue_capacity);
         wire(
-            sim,
             catalog,
             child,
             vec![tx],
             sources,
             label,
             cfg,
+            fault,
             preorder,
-            spawned,
-        );
-        rx
+            built,
+        )?;
+        Ok(rx)
     };
 
     match plan {
         PhysicalPlan::Scan { table, cost } => {
-            let pages = catalog.expect(table).pages().to_vec();
-            let id = sim.spawn_task(
-                name.clone(),
+            let pages = catalog
+                .get(table)
+                .ok_or_else(|| ExecError::plan(format!("no table '{table}' in catalog")))?
+                .pages()
+                .to_vec();
+            built.push((
+                name,
                 Box::new(ScanTask::new(
                     pages,
                     *cost,
                     Fanout::new(outs, cost.out_per_tuple),
                 )),
-            );
-            spawned.push((id, name));
+            ));
         }
         PhysicalPlan::Source { .. } => {
             // Source as root: relay external pages to the consumers.
             let rx = sources
                 .pop_front()
-                .expect("a receiver per Source leaf, in preorder");
-            let id = sim.spawn_task(
-                name.clone(),
+                .ok_or_else(|| ExecError::plan("a receiver per Source leaf, in preorder"))?;
+            built.push((
+                name,
                 Box::new(RelayTask {
                     rx,
                     fanout: Fanout::new(outs, 0.0),
                 }),
-            );
-            spawned.push((id, name));
+            ));
         }
         PhysicalPlan::Filter {
             input,
             predicate,
             cost,
         } => {
-            let schema = input.output_schema(catalog);
-            let rx = child_input(sim, input, sources, preorder, spawned);
-            let id = sim.spawn_task(
-                name.clone(),
-                Box::new(FilterTask::new(
-                    rx,
-                    schema,
-                    predicate.clone(),
-                    *cost,
-                    Fanout::new(outs, cost.out_per_tuple),
-                )),
-            );
-            spawned.push((id, name));
+            let schema = input.try_output_schema(catalog)?;
+            let rx = child_input(input, sources, preorder, built)?;
+            let task = FilterTask::new(
+                rx,
+                schema,
+                predicate.clone(),
+                *cost,
+                Fanout::new(outs, cost.out_per_tuple),
+            )?;
+            built.push((name, Box::new(task)));
         }
         PhysicalPlan::Project { input, exprs, cost } => {
-            let in_schema = input.output_schema(catalog);
-            let out_schema = plan.output_schema(catalog);
-            let rx = child_input(sim, input, sources, preorder, spawned);
-            let id = sim.spawn_task(
-                name.clone(),
-                Box::new(ProjectTask::new(
-                    rx,
-                    in_schema,
-                    out_schema,
-                    exprs.iter().map(|(_, e)| e.clone()).collect(),
-                    *cost,
-                    Fanout::new(outs, cost.out_per_tuple),
-                )),
-            );
-            spawned.push((id, name));
+            let in_schema = input.try_output_schema(catalog)?;
+            let out_schema = plan.try_output_schema(catalog)?;
+            let rx = child_input(input, sources, preorder, built)?;
+            let task = ProjectTask::new(
+                rx,
+                in_schema,
+                out_schema,
+                exprs.iter().map(|(_, e)| e.clone()).collect(),
+                *cost,
+                Fanout::new(outs, cost.out_per_tuple),
+            )?;
+            built.push((name, Box::new(task)));
         }
         PhysicalPlan::Aggregate {
             input,
@@ -223,37 +245,31 @@ fn wire(
             aggs,
             cost,
         } => {
-            let in_schema = input.output_schema(catalog);
-            let out_schema = plan.output_schema(catalog);
-            let rx = child_input(sim, input, sources, preorder, spawned);
-            let id = sim.spawn_task(
-                name.clone(),
-                Box::new(AggregateTask::new(
-                    rx,
-                    in_schema,
-                    group_by.clone(),
-                    aggs.iter().map(|(_, a)| a.clone()).collect(),
-                    out_schema,
-                    *cost,
-                    Fanout::new(outs, cost.out_per_tuple),
-                )),
-            );
-            spawned.push((id, name));
+            let in_schema = input.try_output_schema(catalog)?;
+            let out_schema = plan.try_output_schema(catalog)?;
+            let rx = child_input(input, sources, preorder, built)?;
+            let task = AggregateTask::new(
+                rx,
+                in_schema,
+                group_by.clone(),
+                aggs.iter().map(|(_, a)| a.clone()).collect(),
+                out_schema,
+                *cost,
+                Fanout::new(outs, cost.out_per_tuple),
+            )?;
+            built.push((name, Box::new(task)));
         }
         PhysicalPlan::Sort { input, keys, cost } => {
-            let schema = input.output_schema(catalog);
-            let rx = child_input(sim, input, sources, preorder, spawned);
-            let id = sim.spawn_task(
-                name.clone(),
-                Box::new(SortTask::new(
-                    rx,
-                    schema,
-                    keys.clone(),
-                    *cost,
-                    Fanout::new(outs, cost.out_per_tuple),
-                )),
-            );
-            spawned.push((id, name));
+            let schema = input.try_output_schema(catalog)?;
+            let rx = child_input(input, sources, preorder, built)?;
+            let task = SortTask::new(
+                rx,
+                schema,
+                keys.clone(),
+                *cost,
+                Fanout::new(outs, cost.out_per_tuple),
+            )?;
+            built.push((name, Box::new(task)));
         }
         PhysicalPlan::HashJoin {
             build,
@@ -264,26 +280,25 @@ fn wire(
             build_cost,
             probe_cost,
         } => {
-            let build_schema = build.output_schema(catalog);
-            let out_schema = plan.output_schema(catalog);
-            let rx_build = child_input(sim, build, sources, preorder, spawned);
-            let rx_probe = child_input(sim, probe, sources, preorder, spawned);
-            let id = sim.spawn_task(
-                name.clone(),
-                Box::new(HashJoinTask::new(
-                    rx_build,
-                    rx_probe,
-                    *build_key,
-                    *probe_key,
-                    *kind,
-                    build_schema,
-                    out_schema,
-                    *build_cost,
-                    *probe_cost,
-                    Fanout::new(outs, probe_cost.out_per_tuple),
-                )),
-            );
-            spawned.push((id, name));
+            let build_schema = build.try_output_schema(catalog)?;
+            let probe_schema = probe.try_output_schema(catalog)?;
+            let out_schema = plan.try_output_schema(catalog)?;
+            let rx_build = child_input(build, sources, preorder, built)?;
+            let rx_probe = child_input(probe, sources, preorder, built)?;
+            let task = HashJoinTask::new(
+                rx_build,
+                rx_probe,
+                *build_key,
+                *probe_key,
+                *kind,
+                build_schema,
+                &probe_schema,
+                out_schema,
+                *build_cost,
+                *probe_cost,
+                Fanout::new(outs, probe_cost.out_per_tuple),
+            )?;
+            built.push((name, Box::new(task)));
         }
         PhysicalPlan::NestedLoopJoin {
             outer,
@@ -291,21 +306,18 @@ fn wire(
             predicate,
             cost,
         } => {
-            let pair_schema = plan.output_schema(catalog);
-            let rx_outer = child_input(sim, outer, sources, preorder, spawned);
-            let rx_inner = child_input(sim, inner, sources, preorder, spawned);
-            let id = sim.spawn_task(
-                name.clone(),
-                Box::new(NestedLoopJoinTask::new(
-                    rx_outer,
-                    rx_inner,
-                    predicate.clone(),
-                    pair_schema,
-                    *cost,
-                    Fanout::new(outs, cost.out_per_tuple),
-                )),
-            );
-            spawned.push((id, name));
+            let pair_schema = plan.try_output_schema(catalog)?;
+            let rx_outer = child_input(outer, sources, preorder, built)?;
+            let rx_inner = child_input(inner, sources, preorder, built)?;
+            let task = NestedLoopJoinTask::new(
+                rx_outer,
+                rx_inner,
+                predicate.clone(),
+                pair_schema,
+                *cost,
+                Fanout::new(outs, cost.out_per_tuple),
+            )?;
+            built.push((name, Box::new(task)));
         }
         PhysicalPlan::MergeJoin {
             left,
@@ -314,33 +326,38 @@ fn wire(
             right_key,
             cost,
         } => {
-            let out_schema = plan.output_schema(catalog);
-            let rx_left = child_input(sim, left, sources, preorder, spawned);
-            let rx_right = child_input(sim, right, sources, preorder, spawned);
-            let id = sim.spawn_task(
-                name.clone(),
-                Box::new(MergeJoinTask::new(
-                    rx_left,
-                    rx_right,
-                    *left_key,
-                    *right_key,
-                    out_schema,
-                    *cost,
-                    Fanout::new(outs, cost.out_per_tuple),
-                )),
-            );
-            spawned.push((id, name));
+            let left_schema = left.try_output_schema(catalog)?;
+            let right_schema = right.try_output_schema(catalog)?;
+            let out_schema = plan.try_output_schema(catalog)?;
+            let rx_left = child_input(left, sources, preorder, built)?;
+            let rx_right = child_input(right, sources, preorder, built)?;
+            let task = MergeJoinTask::new(
+                rx_left,
+                rx_right,
+                &left_schema,
+                &right_schema,
+                *left_key,
+                *right_key,
+                out_schema,
+                *cost,
+                Fanout::new(outs, cost.out_per_tuple),
+                fault.clone(),
+            )?;
+            built.push((name, Box::new(task)));
         }
     }
+    Ok(())
 }
 
 /// Collects all pages from a receiver synchronously after a run, via a
-/// collecting sink — convenience for tests and harnesses.
+/// collecting sink — convenience for tests and harnesses. Returns the
+/// query's fault (e.g. an unsorted merge input) as `Err`.
 pub fn run_and_collect(
     sim: &mut Simulator,
     rx: Receiver<Arc<Page>>,
     sink_cost: OpCost,
-) -> Vec<Vec<cordoba_storage::Value>> {
+    fault: &FaultCell,
+) -> Result<Vec<Vec<cordoba_storage::Value>>, ExecError> {
     use std::cell::RefCell;
     use std::rc::Rc;
     let buf = Rc::new(RefCell::new(Vec::new()));
@@ -349,15 +366,18 @@ pub fn run_and_collect(
         Box::new(crate::ops::SinkTask::new(rx, sink_cost).collecting(buf.clone())),
     );
     let outcome = sim.run_to_idle();
+    if let Some(err) = fault.take() {
+        return Err(err);
+    }
     assert!(
         outcome.completed_all(),
         "query did not complete: {outcome:?}"
     );
     let pages = buf.borrow();
-    pages
+    Ok(pages
         .iter()
         .flat_map(|p| p.tuples().map(|t| t.to_values()).collect::<Vec<_>>())
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
@@ -400,13 +420,88 @@ mod tests {
             cost: OpCost::default(),
         };
         let mut sim = Simulator::new(2);
-        let (rx, spawned) = instantiate(&mut sim, &cat, &plan, "q0", &WiringConfig::default());
+        let (rx, spawned, fault) =
+            instantiate(&mut sim, &cat, &plan, "q0", &WiringConfig::default()).expect("wires");
         assert_eq!(spawned.len(), 3);
         assert!(spawned.iter().any(|(_, n)| n == "q0/0:aggregate"));
         assert!(spawned.iter().any(|(_, n)| n == "q0/1:filter"));
         assert!(spawned.iter().any(|(_, n)| n == "q0/2:scan(t)"));
-        let rows = run_and_collect(&mut sim, rx, OpCost::default());
+        let rows = run_and_collect(&mut sim, rx, OpCost::default(), &fault).expect("no fault");
         assert_eq!(rows, vec![vec![Value::Int(10), Value::Float(45.0)]]);
+    }
+
+    #[test]
+    fn malformed_plans_error_before_spawning() {
+        let cat = catalog();
+        let mut sim = Simulator::new(1);
+        let cases = [
+            // Unknown table.
+            PhysicalPlan::Scan {
+                table: "nope".into(),
+                cost: OpCost::default(),
+            },
+            // Arithmetic over a float/str mismatch: col 1 is Float,
+            // compared against a string literal.
+            PhysicalPlan::Filter {
+                input: Box::new(PhysicalPlan::Scan {
+                    table: "t".into(),
+                    cost: OpCost::default(),
+                }),
+                predicate: Predicate::col_cmp(1, CmpOp::Eq, "x"),
+                cost: OpCost::default(),
+            },
+            // Projection referencing a column that does not exist.
+            PhysicalPlan::Project {
+                input: Box::new(PhysicalPlan::Scan {
+                    table: "t".into(),
+                    cost: OpCost::default(),
+                }),
+                exprs: vec![("e".into(), ScalarExpr::col(9))],
+                cost: OpCost::default(),
+            },
+            // Sort key out of range.
+            PhysicalPlan::Sort {
+                input: Box::new(PhysicalPlan::Scan {
+                    table: "t".into(),
+                    cost: OpCost::default(),
+                }),
+                keys: vec![5],
+                cost: OpCost::default(),
+            },
+            // Merge join keyed on a Float column.
+            PhysicalPlan::MergeJoin {
+                left: Box::new(PhysicalPlan::Scan {
+                    table: "t".into(),
+                    cost: OpCost::default(),
+                }),
+                right: Box::new(PhysicalPlan::Scan {
+                    table: "t".into(),
+                    cost: OpCost::default(),
+                }),
+                left_key: 1,
+                right_key: 0,
+                cost: OpCost::default(),
+            },
+            // Aggregate over a non-numeric (out-of-range) input.
+            PhysicalPlan::Aggregate {
+                input: Box::new(PhysicalPlan::Scan {
+                    table: "t".into(),
+                    cost: OpCost::default(),
+                }),
+                group_by: vec![7],
+                aggs: vec![("n".into(), Agg::Count)],
+                cost: OpCost::default(),
+            },
+        ];
+        for plan in cases {
+            let err = instantiate(&mut sim, &cat, &plan, "bad", &WiringConfig::default())
+                .err()
+                .unwrap_or_else(|| panic!("plan must be rejected: {plan:?}"));
+            assert!(matches!(err, ExecError::PlanType(_)), "{plan:?}: {err}");
+        }
+        // Nothing was spawned by any failed instantiation.
+        assert!(sim.run_to_idle().completed_all());
+        assert_eq!(sim.all_task_stats().count(), 0);
     }
 
     #[test]
@@ -434,6 +529,7 @@ mod tests {
         );
         let (out_tx, out_rx) = channel::bounded(8);
         let mut sources = VecDeque::from([scan_rx]);
+        let fault = FaultCell::default();
         instantiate_into(
             &mut sim,
             &cat,
@@ -442,8 +538,10 @@ mod tests {
             &mut sources,
             "frag",
             &WiringConfig::default(),
-        );
-        let rows = run_and_collect(&mut sim, out_rx, OpCost::default());
+            &fault,
+        )
+        .expect("wires");
+        let rows = run_and_collect(&mut sim, out_rx, OpCost::default(), &fault).expect("no fault");
         assert_eq!(rows, vec![vec![Value::Int(100)]]);
     }
 
@@ -466,6 +564,7 @@ mod tests {
         );
         let (out_tx, out_rx) = channel::bounded(4);
         let mut sources = VecDeque::from([scan_rx]);
+        let fault = FaultCell::default();
         instantiate_into(
             &mut sim,
             &cat,
@@ -474,8 +573,10 @@ mod tests {
             &mut sources,
             "relay",
             &WiringConfig::default(),
-        );
-        let rows = run_and_collect(&mut sim, out_rx, OpCost::default());
+            &fault,
+        )
+        .expect("wires");
+        let rows = run_and_collect(&mut sim, out_rx, OpCost::default(), &fault).expect("no fault");
         assert_eq!(rows.len(), 100);
     }
 }

@@ -1,12 +1,15 @@
 //! Property tests for the vectorized execution path: compiled
 //! expression/predicate programs must agree with the tree-walking
 //! evaluators row for row, and the vectorized operator tasks (filter,
-//! project, aggregate, hash join) must reproduce the tuple-at-a-time
-//! reference executor on randomized schemas, pages, and plans.
+//! project, aggregate, sort, hash join, merge join, nested-loop join)
+//! must reproduce the tuple-at-a-time reference executor on randomized
+//! schemas, pages, and plans. Typed-error behavior rides along:
+//! malformed plans are rejected at instantiation and unsorted merge
+//! inputs fail the query with an [`ExecError`], not the process.
 
 use cordoba_exec::expr::{Agg, CmpOp, Predicate, ScalarExpr};
 use cordoba_exec::vexpr::{CompiledExpr, CompiledPredicate, ExprScratch};
-use cordoba_exec::{reference, wiring, JoinKind, OpCost, PhysicalPlan};
+use cordoba_exec::{reference, wiring, ExecError, JoinKind, OpCost, PhysicalPlan};
 use cordoba_sim::Simulator;
 use cordoba_storage::{Catalog, DataType, Date, Field, Schema, TableBuilder, Value};
 use proptest::prelude::*;
@@ -131,12 +134,18 @@ fn scan() -> Box<PhysicalPlan> {
     })
 }
 
+/// Runs `plan` through the simulator wiring; `Err` carries either an
+/// instantiation rejection or a runtime fault.
+fn try_run_sim(cat: &Catalog, plan: &PhysicalPlan) -> Result<Vec<Vec<Value>>, ExecError> {
+    let mut sim = Simulator::new(3);
+    let (rx, _ops, fault) =
+        wiring::instantiate(&mut sim, cat, plan, "vq", &wiring::WiringConfig::default())?;
+    wiring::run_and_collect(&mut sim, rx, OpCost::default(), &fault)
+}
+
 /// Runs `plan` through the simulator wiring and collects result rows.
 fn run_sim(cat: &Catalog, plan: &PhysicalPlan) -> Vec<Vec<Value>> {
-    let mut sim = Simulator::new(3);
-    let (rx, _ops) =
-        wiring::instantiate(&mut sim, cat, plan, "vq", &wiring::WiringConfig::default());
-    wiring::run_and_collect(&mut sim, rx, OpCost::default())
+    try_run_sim(cat, plan).expect("plan wires and runs")
 }
 
 fn rows_strategy() -> impl Strategy<Value = Vec<RowSpec>> {
@@ -157,7 +166,7 @@ proptest! {
         let cat = catalog(&rows);
         let pred = gen_pred(&mut Recipe::new(&seed), 2);
         let table = cat.expect("t");
-        let compiled = CompiledPredicate::compile(&pred, table.schema());
+        let compiled = CompiledPredicate::compile(&pred, table.schema()).expect("compiles");
         let mut scratch = ExprScratch::default();
         let mut sel = Vec::new();
         for page in table.pages() {
@@ -179,7 +188,7 @@ proptest! {
         let cat = catalog(&rows);
         let expr = gen_num_expr(&mut Recipe::new(&seed), 3);
         let table = cat.expect("t");
-        let compiled = CompiledExpr::compile(&expr, table.schema());
+        let compiled = CompiledExpr::compile(&expr, table.schema()).expect("compiles");
         let mut scratch = ExprScratch::default();
         let mut out = Vec::new();
         for page in table.pages() {
@@ -298,5 +307,228 @@ proptest! {
         let expected = reference::canonicalize(reference::execute(&cat, &plan));
         let got = reference::canonicalize(run_sim(&cat, &plan));
         prop_assert_eq!(got, expected, "{:?}", kind);
+    }
+
+    /// The vectorized sort task (packed-u64 fast path and the wide-key
+    /// fallback alike) reproduces the reference executor, including
+    /// duplicate keys (stability) and empty inputs.
+    #[test]
+    fn vectorized_sort_matches_reference(rows in rows_strategy(), key_sel in 0u8..8) {
+        let cat = catalog(&rows);
+        let keys = match key_sel {
+            0 => vec![0],        // packed: Int
+            1 => vec![1],        // packed: Float (total order)
+            2 => vec![2],        // packed: Date
+            3 => vec![3],        // packed: Str(3)
+            4 => vec![2, 3],     // packed: 7-byte Date+Str composite
+            5 => vec![3, 2],     // packed: Str-major composite
+            6 => vec![0, 1],     // general: 16-byte key
+            _ => vec![3, 0],     // general: 11-byte key
+        };
+        let plan = PhysicalPlan::Sort {
+            input: scan(),
+            keys,
+            cost: OpCost::default(),
+        };
+        let expected = reference::execute(&cat, &plan);
+        let got = run_sim(&cat, &plan);
+        prop_assert_eq!(got, expected);
+    }
+
+    /// The vectorized merge join (gathered key columns) reproduces the
+    /// reference executor on sorted random inputs with duplicate keys
+    /// and empty sides. Inputs are sorted by the (vectorized) sort
+    /// operator, so this also pins the sort → merge composition.
+    #[test]
+    fn vectorized_merge_join_matches_reference(
+        left in proptest::collection::vec((0i64..6, 0i64..100), 0..40),
+        right in proptest::collection::vec((0i64..6, 0i64..100), 0..40),
+    ) {
+        let cat = kv_catalog(&left, &right);
+        let sorted = |table: &str| Box::new(PhysicalPlan::Sort {
+            input: Box::new(PhysicalPlan::Scan { table: table.into(), cost: OpCost::default() }),
+            keys: vec![0],
+            cost: OpCost::default(),
+        });
+        let plan = PhysicalPlan::MergeJoin {
+            left: sorted("l"),
+            right: sorted("r"),
+            left_key: 0,
+            right_key: 0,
+            cost: OpCost::default(),
+        };
+        let expected = reference::execute(&cat, &plan);
+        let got = run_sim(&cat, &plan);
+        prop_assert_eq!(got, expected);
+    }
+
+    /// The vectorized nested-loop join (compiled predicate over
+    /// candidate pages with selection vectors) reproduces the reference
+    /// executor on random inputs and random predicates — including
+    /// always-false predicates and empty sides.
+    #[test]
+    fn vectorized_nlj_matches_reference(
+        left in proptest::collection::vec((0i64..6, -20i64..20), 0..12),
+        right in proptest::collection::vec((0i64..6, -20i64..20), 0..12),
+        seed in recipe_strategy(),
+    ) {
+        let cat = kv_catalog(&left, &right);
+        let plan = PhysicalPlan::NestedLoopJoin {
+            outer: Box::new(PhysicalPlan::Scan { table: "l".into(), cost: OpCost::default() }),
+            inner: Box::new(PhysicalPlan::Scan { table: "r".into(), cost: OpCost::default() }),
+            // Predicate over the concatenated 4-Int-column pair schema.
+            predicate: gen_int_pred(&mut Recipe::new(&seed), 2, 4),
+            cost: OpCost::default(),
+        };
+        let expected = reference::execute(&cat, &plan);
+        let got = run_sim(&cat, &plan);
+        prop_assert_eq!(got, expected, "{:?}", plan);
+    }
+}
+
+/// Registers `l` and `r` as two-column (Int key, Int payload) tables on
+/// small pages so non-trivial inputs span several pages.
+fn kv_catalog(left: &[(i64, i64)], right: &[(i64, i64)]) -> Catalog {
+    let mut cat = Catalog::new();
+    for (name, rows) in [("l", left), ("r", right)] {
+        let schema = Schema::new(vec![
+            Field::new(format!("{name}k"), DataType::Int),
+            Field::new(format!("{name}v"), DataType::Int),
+        ]);
+        let mut tb = TableBuilder::with_page_size(name, schema, 128);
+        for (k, v) in rows {
+            tb.push_row(&[Value::Int(*k), Value::Int(*v)]);
+        }
+        cat.register(tb.finish());
+    }
+    cat
+}
+
+/// Builds a random well-typed predicate over `ncols` Int columns.
+fn gen_int_pred(r: &mut Recipe<'_>, depth: u32, ncols: usize) -> Predicate {
+    let (kind, op_sel, lit) = r.next();
+    let op = cmp_op(op_sel);
+    let col = |sel: i64| ScalarExpr::col(sel.unsigned_abs() as usize % ncols);
+    match kind % 8 {
+        0 if depth > 0 => {
+            let n = 1 + (lit.unsigned_abs() % 3) as usize;
+            Predicate::And((0..n).map(|_| gen_int_pred(r, depth - 1, ncols)).collect())
+        }
+        1 if depth > 0 => {
+            let n = 1 + (lit.unsigned_abs() % 3) as usize;
+            Predicate::Or((0..n).map(|_| gen_int_pred(r, depth - 1, ncols)).collect())
+        }
+        2 if depth > 0 => Predicate::Not(Box::new(gen_int_pred(r, depth - 1, ncols))),
+        3 => Predicate::True,
+        4 | 5 => Predicate::cmp(col(lit), op, ScalarExpr::IntLit(lit)),
+        _ => Predicate::cmp(col(lit), op, col(lit.wrapping_add(op_sel as i64))),
+    }
+}
+
+/// An unsorted merge input fails the query with a typed error — the
+/// worker thread (simulator) and sibling tasks keep running.
+#[test]
+fn unsorted_merge_input_returns_typed_error() {
+    let cat = kv_catalog(&[(5, 1), (2, 2), (9, 3)], &[(1, 1), (2, 2)]);
+    // No sorts below the merge join: the left scan violates the
+    // contract at runtime, after instantiation succeeded.
+    let plan = PhysicalPlan::MergeJoin {
+        left: Box::new(PhysicalPlan::Scan {
+            table: "l".into(),
+            cost: OpCost::default(),
+        }),
+        right: Box::new(PhysicalPlan::Scan {
+            table: "r".into(),
+            cost: OpCost::default(),
+        }),
+        left_key: 0,
+        right_key: 0,
+        cost: OpCost::default(),
+    };
+    let err = try_run_sim(&cat, &plan).expect_err("unsorted input must fail");
+    assert_eq!(
+        err,
+        ExecError::UnsortedMergeInput {
+            side: "left",
+            prev: 5,
+            key: 2
+        }
+    );
+}
+
+/// Malformed plans come back as typed instantiation errors — every
+/// operator constructor validates, nothing is spawned, nothing panics.
+#[test]
+fn malformed_plans_return_typed_errors() {
+    let cat = catalog(&[(1, 2, 3, "a".into())]);
+    let cases: Vec<PhysicalPlan> = vec![
+        // String column in arithmetic.
+        PhysicalPlan::Project {
+            input: scan(),
+            exprs: vec![(
+                "e".into(),
+                ScalarExpr::Add(
+                    Box::new(ScalarExpr::col(3)),
+                    Box::new(ScalarExpr::IntLit(1)),
+                ),
+            )],
+            cost: OpCost::default(),
+        },
+        // String literal in a numeric filter expression.
+        PhysicalPlan::Filter {
+            input: scan(),
+            predicate: Predicate::cmp(
+                ScalarExpr::Add(
+                    Box::new(ScalarExpr::col(0)),
+                    Box::new(ScalarExpr::StrLit("x".into())),
+                ),
+                CmpOp::Eq,
+                ScalarExpr::IntLit(1),
+            ),
+            cost: OpCost::default(),
+        },
+        // Date vs float comparison.
+        PhysicalPlan::Filter {
+            input: scan(),
+            predicate: Predicate::col_cmp(2, CmpOp::Lt, 3.0),
+            cost: OpCost::default(),
+        },
+        // LIKE over a numeric column.
+        PhysicalPlan::Filter {
+            input: scan(),
+            predicate: Predicate::Like {
+                col: 0,
+                pattern: "%a%".into(),
+            },
+            cost: OpCost::default(),
+        },
+        // Aggregate over a string input.
+        PhysicalPlan::Aggregate {
+            input: scan(),
+            group_by: vec![],
+            aggs: vec![("s".into(), Agg::Sum(ScalarExpr::col(3)))],
+            cost: OpCost::default(),
+        },
+        // Hash join keyed on a non-Int column.
+        PhysicalPlan::HashJoin {
+            build: scan(),
+            probe: scan(),
+            build_key: 1,
+            probe_key: 0,
+            kind: JoinKind::Inner,
+            build_cost: OpCost::default(),
+            probe_cost: OpCost::default(),
+        },
+        // NLJ predicate referencing an out-of-range pair column.
+        PhysicalPlan::NestedLoopJoin {
+            outer: scan(),
+            inner: scan(),
+            predicate: Predicate::col_cmp(99, CmpOp::Eq, 1i64),
+            cost: OpCost::default(),
+        },
+    ];
+    for plan in cases {
+        let err = try_run_sim(&cat, &plan).expect_err("malformed plan must be rejected");
+        assert!(matches!(err, ExecError::PlanType(_)), "{plan:?}: {err}");
     }
 }

@@ -178,6 +178,23 @@ impl<T> Receiver<T> {
         let inner = self.inner.borrow();
         inner.closed && inner.queue.is_empty()
     }
+
+    /// Closes the channel from the consumer side (query abort): buffered
+    /// values are dropped, subsequent sends succeed-and-drop (producers
+    /// run to completion into the void instead of blocking on a reader
+    /// that will never come), and every waiter — sender or receiver
+    /// clone — is woken so it can observe the closure.
+    pub fn close(&self, ctx: &mut TaskCtx<'_>) {
+        let mut inner = self.inner.borrow_mut();
+        inner.closed = true;
+        inner.queue.clear();
+        for id in inner.waiting_senders.drain(..) {
+            ctx.wake(id);
+        }
+        for id in inner.waiting_receivers.drain(..) {
+            ctx.wake(id);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -285,6 +302,24 @@ mod tests {
     #[should_panic(expected = "capacity")]
     fn zero_capacity_rejected() {
         let _ = bounded::<u32>(0);
+    }
+
+    #[test]
+    fn receiver_close_cancels_producers() {
+        let (tx, rx) = bounded(1);
+        // Fill the channel; a second send registers the producer waiter.
+        let (_, _) = with_ctx(0, |ctx| tx.try_send(1u32, ctx));
+        let (res, _) = with_ctx(0, |ctx| tx.try_send(2u32, ctx));
+        assert_eq!(res, Err(2));
+        // Consumer aborts: buffered value dropped, producer woken.
+        let ((), wakes) = with_ctx(1, |ctx| rx.close(ctx));
+        assert_eq!(wakes, vec![TaskId(0)]);
+        // The retried send now succeeds (and is dropped).
+        let (res, _) = with_ctx(0, |ctx| tx.try_send(2u32, ctx));
+        assert!(res.is_ok());
+        assert!(rx.is_finished());
+        let (got, _) = with_ctx(1, |ctx| rx.try_recv(ctx));
+        assert_eq!(got, Recv::<u32>::Closed);
     }
 
     #[test]

@@ -38,13 +38,16 @@ fn simulated_rate(stage_costs: &[f64], contexts: usize) -> f64 {
         let (tx, rx) = channel::bounded(16);
         sim.spawn(
             format!("stage{i}"),
-            Box::new(cordoba::exec::ops::FilterTask::new(
-                prev_rx,
-                schema.clone(),
-                cordoba::exec::expr::Predicate::True,
-                OpCost::per_tuple(c),
-                Fanout::new(vec![tx], 0.0),
-            )),
+            Box::new(
+                cordoba::exec::ops::FilterTask::new(
+                    prev_rx,
+                    schema.clone(),
+                    cordoba::exec::expr::Predicate::True,
+                    OpCost::per_tuple(c),
+                    Fanout::new(vec![tx], 0.0),
+                )
+                .expect("True predicate compiles"),
+            ),
         );
         prev_rx = rx;
     }
