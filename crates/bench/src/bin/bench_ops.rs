@@ -12,9 +12,12 @@
 //! within-run speedups against a committed `BENCH_ops.json` instead of
 //! writing one — exits non-zero on a gross regression).
 
+use cordoba_bench::spill_kernels;
 use cordoba_bench::vec_kernels::*;
 use cordoba_exec::ops::{KeyScratch, PackedKeySpec};
+use cordoba_exec::reference;
 use cordoba_exec::vexpr::{CompiledExpr, CompiledPredicate, ExprScratch};
+use cordoba_storage::PAGE_SIZE;
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -254,6 +257,106 @@ fn main() {
         note: "one-row page + eval per pair vs compiled predicate over candidate pages",
     });
 
+    // Out-of-core scenarios: the same TPC-H sort and hash join once
+    // in memory and once past memory — the broker budget is a quarter
+    // of the input, so the operators must spill to finish. One checked
+    // run per plan asserts the acceptance criteria (outputs equal, peak
+    // ≤ 1.25 × budget); the timed pairs record how much the spill path
+    // costs (ratios below 1 are expected and fine — the win is bounded
+    // memory, not speed).
+    let spill_samples = if quick { 3 } else { 5 };
+    let spill_cat = spill_kernels::catalog(sf);
+    let sort_plan = spill_kernels::sort_plan();
+    let join_plan = spill_kernels::join_plan();
+    let sort_input = spill_kernels::table_bytes(&spill_cat, "lineitem");
+    let join_input = spill_kernels::table_bytes(&spill_cat, "orders");
+    let sort_budget = (sort_input / 4).max(8 * PAGE_SIZE);
+    let join_budget = (join_input / 4).max(8 * PAGE_SIZE);
+
+    let sort_mem = spill_kernels::run_plan(&spill_cat, &sort_plan, None);
+    let sort_oc = spill_kernels::run_plan(&spill_cat, &sort_plan, Some(sort_budget));
+    assert_eq!(
+        sort_oc.rows, sort_mem.rows,
+        "external sort diverged from the in-memory sort"
+    );
+    assert!(
+        sort_oc.peak_bytes <= sort_budget + sort_budget / 4,
+        "external sort peak {} exceeds 1.25 x budget {sort_budget}",
+        sort_oc.peak_bytes
+    );
+    let join_mem = spill_kernels::run_plan(&spill_cat, &join_plan, None);
+    let join_oc = spill_kernels::run_plan(&spill_cat, &join_plan, Some(join_budget));
+    assert_eq!(
+        reference::canonicalize(join_oc.rows.clone()),
+        reference::canonicalize(join_mem.rows.clone()),
+        "spilling hash join diverged from the in-memory join"
+    );
+    assert!(
+        join_oc.peak_bytes <= join_budget + join_budget / 4,
+        "spilling join peak {} exceeds 1.25 x budget {join_budget}",
+        join_oc.peak_bytes
+    );
+
+    entries.push(Entry {
+        name: "sort_spill",
+        rows: li_rows,
+        baseline_ns: median_ns(spill_samples, || {
+            spill_kernels::run_plan(&spill_cat, &sort_plan, None)
+                .rows
+                .len()
+        }),
+        vectorized_ns: median_ns(spill_samples, || {
+            spill_kernels::run_plan(&spill_cat, &sort_plan, Some(sort_budget))
+                .rows
+                .len()
+        }),
+        note: "in-memory sort vs external sorted runs + k-way merge at a 1/4-input budget",
+    });
+    entries.push(Entry {
+        name: "join_spill",
+        rows: li_rows + ord_rows,
+        baseline_ns: median_ns(spill_samples, || {
+            spill_kernels::run_plan(&spill_cat, &join_plan, None)
+                .rows
+                .len()
+        }),
+        vectorized_ns: median_ns(spill_samples, || {
+            spill_kernels::run_plan(&spill_cat, &join_plan, Some(join_budget))
+                .rows
+                .len()
+        }),
+        note: "in-memory hash join vs dynamic hybrid hash join at a 1/4-build budget",
+    });
+
+    let spill_json = format!(
+        concat!(
+            "  \"spill\": {{\n",
+            "    \"scenario\": \"budget = max(input/4, 8 pages); output equality and peak <= 1.25 x budget asserted in-harness\",\n",
+            "    \"sort\": {{ \"input_bytes\": {}, \"budget_bytes\": {}, \"peak_bytes\": {}, \"peak_over_budget\": {:.3}, \"in_memory_peak_bytes\": {} }},\n",
+            "    \"join\": {{ \"build_bytes\": {}, \"budget_bytes\": {}, \"peak_bytes\": {}, \"peak_over_budget\": {:.3}, \"in_memory_peak_bytes\": {} }}\n",
+            "  }},\n"
+        ),
+        sort_input,
+        sort_budget,
+        sort_oc.peak_bytes,
+        sort_oc.peak_bytes as f64 / sort_budget as f64,
+        sort_mem.peak_bytes,
+        join_input,
+        join_budget,
+        join_oc.peak_bytes,
+        join_oc.peak_bytes as f64 / join_budget as f64,
+        join_mem.peak_bytes,
+    );
+    eprintln!(
+        "spill: sort peak {}/{} B ({:.2}x budget), join peak {}/{} B ({:.2}x budget)",
+        sort_oc.peak_bytes,
+        sort_budget,
+        sort_oc.peak_bytes as f64 / sort_budget as f64,
+        join_oc.peak_bytes,
+        join_budget,
+        join_oc.peak_bytes as f64 / join_budget as f64,
+    );
+
     for e in &entries {
         println!(
             "{:<22} {:>10} rows  baseline {:>8.2} ns/row  vectorized {:>8.2} ns/row  speedup {:>5.2}x",
@@ -289,12 +392,14 @@ fn main() {
             "  \"scale_factor\": {},\n",
             "  \"quick\": {},\n",
             "  \"join_build\": {{ \"arena_backed\": true, \"per_row_heap_allocations\": 0 }},\n",
+            "{}",
             "  \"benches\": [\n{}\n  ]\n",
             "}}\n"
         ),
         samples,
         sf,
         quick,
+        spill_json,
         body.join(",\n")
     );
     std::fs::write(&path, json).expect("write BENCH_ops.json");

@@ -15,4 +15,5 @@
 
 pub mod experiments;
 pub mod output;
+pub mod spill_kernels;
 pub mod vec_kernels;

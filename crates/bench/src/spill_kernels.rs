@@ -1,0 +1,149 @@
+//! Out-of-core operator benchmarks: the same TPC-H sort and hash join
+//! run twice through the simulator — once with an unbounded memory
+//! broker (the historic all-in-memory path) and once under a budget a
+//! quarter the size of the input, forcing the external sort and the
+//! spilling hybrid hash join out of core.
+//!
+//! Unlike the [`vec_kernels`](crate::vec_kernels) pairs, the point is
+//! not a speedup (spilling costs real I/O; ratios below 1 are expected)
+//! but the *memory trajectory*: the run records the broker's high-water
+//! mark so `BENCH_ops.json` can assert the past-memory scenario — input
+//! ≥ 4× budget, peak tracked memory ≤ 1.25× budget, output identical to
+//! the in-memory run.
+
+use cordoba_exec::wiring::{self, WiringConfig};
+use cordoba_exec::{JoinKind, MemoryConfig, OpCost, PhysicalPlan};
+use cordoba_sim::Simulator;
+use cordoba_storage::tpch::{generate, TpchConfig};
+use cordoba_storage::{Catalog, Value};
+
+/// One simulated query execution: its rows and the broker's peak.
+pub struct SpillRun {
+    /// Collected result rows.
+    pub rows: Vec<Vec<Value>>,
+    /// High-water mark of tracked operator memory, in bytes.
+    pub peak_bytes: usize,
+}
+
+/// Deterministic TPC-H catalog for the spill scenarios.
+pub fn catalog(scale_factor: f64) -> Catalog {
+    generate(&TpchConfig {
+        scale_factor,
+        seed: 1,
+        ..TpchConfig::default()
+    })
+}
+
+/// Total stored bytes of `table` — the "input size" the past-memory
+/// scenario budgets against.
+pub fn table_bytes(catalog: &Catalog, table: &str) -> usize {
+    catalog
+        .expect(table)
+        .pages()
+        .iter()
+        .map(|p| p.byte_len())
+        .sum()
+}
+
+fn scan(table: &str) -> Box<PhysicalPlan> {
+    Box::new(PhysicalPlan::Scan {
+        table: table.into(),
+        cost: OpCost::default(),
+    })
+}
+
+/// Full sort of `lineitem` by `l_shipdate` — the external-sort
+/// scenario's plan (packed 4-byte keys, every input page buffered or
+/// spilled).
+pub fn sort_plan() -> PhysicalPlan {
+    PhysicalPlan::Sort {
+        input: scan("lineitem"),
+        keys: vec![7],
+        cost: OpCost::default(),
+    }
+}
+
+/// `orders ⋈ lineitem` on orderkey with `orders` as the build side —
+/// the hybrid-hash-join scenario's plan (the whole build arena must fit
+/// or spill).
+pub fn join_plan() -> PhysicalPlan {
+    PhysicalPlan::HashJoin {
+        build: scan("orders"),
+        probe: scan("lineitem"),
+        build_key: 0,
+        probe_key: 0,
+        kind: JoinKind::Inner,
+        build_cost: OpCost::default(),
+        probe_cost: OpCost::default(),
+    }
+}
+
+/// Runs `plan` to completion under `budget` (`None` = unbounded) and
+/// returns the rows plus the broker's peak.
+///
+/// # Panics
+///
+/// Panics if the plan fails to wire or the query faults — the spill
+/// scenarios must complete by spilling, never by dying.
+pub fn run_plan(catalog: &Catalog, plan: &PhysicalPlan, budget: Option<usize>) -> SpillRun {
+    let cfg = WiringConfig {
+        memory: MemoryConfig {
+            query_budget: budget,
+            ..MemoryConfig::default()
+        },
+        ..WiringConfig::default()
+    };
+    let mut sim = Simulator::new(2);
+    let (rx, _ops, res) =
+        wiring::instantiate(&mut sim, catalog, plan, "spill-bench", &cfg).expect("plan wires");
+    let rows = wiring::run_and_collect(&mut sim, rx, OpCost::default(), &res.fault)
+        .expect("spill scenario must complete by spilling, not fail");
+    SpillRun {
+        rows,
+        peak_bytes: res.broker.peak(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cordoba_exec::reference;
+    use cordoba_storage::PAGE_SIZE;
+
+    /// The past-memory acceptance scenario at a small scale: input ≥ 4×
+    /// budget, peak ≤ 1.25× budget, rows equal to the in-memory run.
+    #[test]
+    fn past_memory_scenarios_hold_at_small_scale() {
+        let cat = catalog(0.002);
+        for (name, plan, input) in [
+            ("sort", sort_plan(), table_bytes(&cat, "lineitem")),
+            ("join", join_plan(), table_bytes(&cat, "orders")),
+        ] {
+            let budget = (input / 4).max(8 * PAGE_SIZE);
+            assert!(
+                input >= 4 * budget,
+                "{name}: input {input} vs budget {budget}"
+            );
+            let spilled = run_plan(&cat, &plan, Some(budget));
+            let in_memory = run_plan(&cat, &plan, None);
+            assert!(
+                spilled.peak_bytes <= budget + budget / 4,
+                "{name}: peak {} exceeds 1.25 x budget {budget}",
+                spilled.peak_bytes
+            );
+            assert!(
+                in_memory.peak_bytes >= 4 * budget,
+                "{name}: the in-memory path must actually need past-budget memory"
+            );
+            if name == "sort" {
+                assert_eq!(spilled.rows, in_memory.rows, "sort must be order-identical");
+            } else {
+                assert_eq!(
+                    reference::canonicalize(spilled.rows),
+                    reference::canonicalize(in_memory.rows),
+                    "join must be multiset-identical"
+                );
+            }
+        }
+    }
+}

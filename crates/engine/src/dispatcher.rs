@@ -12,7 +12,7 @@ use crate::query::QuerySpec;
 use crate::sharing::split_at_pivot;
 use cordoba_exec::ops::SinkTask;
 use cordoba_exec::wiring::{instantiate_into, WiringConfig};
-use cordoba_exec::{FaultCell, OpCost, PhysicalPlan};
+use cordoba_exec::{ExecError, FaultCell, OpCost, PhysicalPlan, QueryResources};
 use cordoba_sim::channel::{self};
 use cordoba_sim::{Spawner, Step, Task, TaskCtx, TaskId, VTime};
 use cordoba_storage::{Catalog, Page};
@@ -56,10 +56,10 @@ pub(crate) struct EngineCore {
     /// `(virtual completion time, query name)` per finished query.
     pub completions: Vec<(VTime, String)>,
     /// `(submission id, error)` per failed query: plans rejected at
-    /// instantiation and runtime faults (e.g. unsorted merge inputs).
-    /// Failed queries never appear in `completions` and are not
-    /// resubmitted.
-    pub failures: Vec<(usize, String)>,
+    /// instantiation and runtime faults (e.g. unsorted merge inputs,
+    /// spill I/O errors, exhausted memory budgets). Failed queries
+    /// never appear in `completions` and are not resubmitted.
+    pub failures: Vec<(usize, ExecError)>,
     /// Submission time by submission id (0 for pre-run submissions).
     pub arrival_times: Vec<VTime>,
     /// `(submission id, completion time)` pairs, for response times.
@@ -150,8 +150,8 @@ impl DispatcherTask {
 
     /// Records a query rejected at instantiation (malformed plan): it
     /// counts as finished (failed), never as a completion.
-    fn fail_query(core: &mut EngineCore, submission: usize, err: &cordoba_exec::ExecError) {
-        core.failures.push((submission, err.to_string()));
+    fn fail_query(core: &mut EngineCore, submission: usize, err: &ExecError) {
+        core.failures.push((submission, err.clone()));
         core.live_queries = core.live_queries.saturating_sub(1);
     }
 
@@ -175,7 +175,10 @@ impl DispatcherTask {
                     outs.push(tx);
                     rxs.push(rx);
                 }
-                let pivot_fault = FaultCell::default();
+                // The shared pivot gets its own broker/fault pair;
+                // each member's private fragment gets another below, so
+                // one member's overrun cannot starve its peers.
+                let pivot_res = QueryResources::for_config(&core.wiring.memory);
                 let mut no_sources = VecDeque::new();
                 if let Err(err) = instantiate_into(
                     ctx,
@@ -185,7 +188,7 @@ impl DispatcherTask {
                     &mut no_sources,
                     &format!("g{gid}/shared"),
                     &core.wiring,
-                    &pivot_fault,
+                    &pivot_res,
                 ) {
                     // Malformed pivot: the whole group fails; nothing
                     // was spawned (instantiation is all-or-nothing).
@@ -198,7 +201,7 @@ impl DispatcherTask {
                     let label = format!("q{}/{}", member.submission, member.spec.name);
                     match split_at_pivot(&member.spec.plan, pivot, &catalog) {
                         Some(fragment) => {
-                            let member_fault = FaultCell::default();
+                            let member_res = QueryResources::for_config(&core.wiring.memory);
                             let (sink_tx, sink_rx) = channel::bounded(core.wiring.queue_capacity);
                             // Keep a cancellation handle: if the private
                             // fragment is rejected, the pivot must not
@@ -213,7 +216,7 @@ impl DispatcherTask {
                                 &mut sources,
                                 &label,
                                 &core.wiring,
-                                &member_fault,
+                                &member_res,
                             ) {
                                 Ok(_) => Self::spawn_sink(
                                     core,
@@ -222,7 +225,7 @@ impl DispatcherTask {
                                     sink_rx,
                                     member,
                                     &label,
-                                    vec![pivot_fault.clone(), member_fault],
+                                    vec![pivot_res.fault.clone(), member_res.fault],
                                 ),
                                 Err(err) => {
                                     rx_cancel.close(ctx);
@@ -240,7 +243,7 @@ impl DispatcherTask {
                                 rx,
                                 member,
                                 &label,
-                                vec![pivot_fault.clone()],
+                                vec![pivot_res.fault.clone()],
                             );
                         }
                     }
@@ -249,7 +252,7 @@ impl DispatcherTask {
             None => {
                 for member in group.members {
                     let label = format!("q{}/{}", member.submission, member.spec.name);
-                    let fault = FaultCell::default();
+                    let res = QueryResources::for_config(&core.wiring.memory);
                     let (tx, rx) = channel::bounded(core.wiring.queue_capacity);
                     let mut no_sources = VecDeque::new();
                     match instantiate_into(
@@ -260,11 +263,17 @@ impl DispatcherTask {
                         &mut no_sources,
                         &label,
                         &core.wiring,
-                        &fault,
+                        &res,
                     ) {
-                        Ok(_) => {
-                            Self::spawn_sink(core, core_rc, ctx, rx, member, &label, vec![fault])
-                        }
+                        Ok(_) => Self::spawn_sink(
+                            core,
+                            core_rc,
+                            ctx,
+                            rx,
+                            member,
+                            &label,
+                            vec![res.fault],
+                        ),
                         Err(err) => Self::fail_query(core, member.submission, &err),
                     }
                 }
@@ -296,7 +305,7 @@ impl DispatcherTask {
             // private fragment or the shared pivot) turns the finish
             // into a failure: no completion, no resubmission.
             if let Some(err) = faults.iter().find_map(|f| f.get()) {
-                core.failures.push((submission, err.to_string()));
+                core.failures.push((submission, err));
                 core.live_queries = core.live_queries.saturating_sub(1);
                 return;
             }

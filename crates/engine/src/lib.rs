@@ -38,6 +38,7 @@ pub mod runner;
 pub mod sharing;
 pub mod thread_exec;
 
+pub use cordoba_exec::{ExecError, MemoryConfig};
 pub use policy::{Policy, QueryModelInfo};
 pub use query::QuerySpec;
 pub use runner::{

@@ -10,7 +10,7 @@ use crate::dispatcher::{DispatcherTask, EngineCore};
 use crate::policy::Policy;
 use crate::query::QuerySpec;
 use cordoba_exec::wiring::WiringConfig;
-use cordoba_exec::OpCost;
+use cordoba_exec::{ExecError, MemoryConfig, OpCost};
 use cordoba_sim::{SimStats, Simulator, VTime};
 use cordoba_storage::{Catalog, Value};
 use std::cell::RefCell;
@@ -39,6 +39,10 @@ pub struct EngineConfig {
     pub warmup_fraction: f64,
     /// Cost charged by the client-side sink per result tuple.
     pub sink_cost: OpCost,
+    /// Per-query memory policy: budget, spill directory, and the
+    /// hash-join repartitioning limits. The default is unbounded (no
+    /// operator ever spills), matching the engine's historic behavior.
+    pub memory: MemoryConfig,
 }
 
 impl Default for EngineConfig {
@@ -52,6 +56,7 @@ impl Default for EngineConfig {
             duration: 50_000_000,
             warmup_fraction: 0.2,
             sink_cost: OpCost::per_tuple(0.1),
+            memory: MemoryConfig::default(),
         }
     }
 }
@@ -69,6 +74,9 @@ pub struct RunReport {
     pub stats: SimStats,
     /// Sizes of the sharing groups that were dispatched.
     pub group_sizes: Vec<usize>,
+    /// `(submission id, error)` for queries that failed instead of
+    /// completing (rejected plans and runtime faults).
+    pub failures: Vec<(usize, ExecError)>,
 }
 
 impl RunReport {
@@ -116,6 +124,7 @@ fn build_core(
         catalog: Rc::new(catalog.clone()),
         wiring: WiringConfig {
             queue_capacity: cfg.queue_capacity,
+            memory: cfg.memory.clone(),
         },
         policy: cfg.policy.clone(),
         contexts: cfg.contexts,
@@ -161,6 +170,7 @@ pub fn run_closed_loop(catalog: &Catalog, clients: &[QuerySpec], cfg: &EngineCon
         completions: core.completions.clone(),
         stats: sim.stats(),
         group_sizes: core.group_sizes.clone(),
+        failures: core.failures.clone(),
     }
 }
 
@@ -367,6 +377,9 @@ pub struct OpenReport {
     pub response_times: Vec<VTime>,
     /// Sizes of the dispatched sharing groups.
     pub group_sizes: Vec<usize>,
+    /// `(submission id, error)` for queries that failed instead of
+    /// completing (rejected plans and runtime faults).
+    pub failures: Vec<(usize, ExecError)>,
 }
 
 impl OpenReport {
@@ -428,6 +441,7 @@ pub fn run_open_loop(
         makespan,
         response_times,
         group_sizes: core.group_sizes.clone(),
+        failures: core.failures.clone(),
     }
 }
 
@@ -445,8 +459,9 @@ pub struct OnceOutcome {
     /// Sizes of the dispatched sharing groups.
     pub group_sizes: Vec<usize>,
     /// `(submission id, error)` for queries that failed: plans rejected
-    /// at instantiation or runtime faults (unsorted merge inputs).
-    pub failures: Vec<(usize, String)>,
+    /// at instantiation or runtime faults (unsorted merge inputs,
+    /// mismatched page schemas, spill I/O errors, exhausted budgets).
+    pub failures: Vec<(usize, ExecError)>,
 }
 
 /// Runs a batch of queries once (closed system disabled) to completion,
@@ -631,7 +646,11 @@ mod tests {
         let out = run_once(&cat, &[query(), bad, query()], &cfg);
         assert_eq!(out.failures.len(), 1, "{:?}", out.failures);
         assert_eq!(out.failures[0].0, 1, "submission id of the bad query");
-        assert!(out.failures[0].1.contains("out of range"));
+        assert!(
+            matches!(out.failures[0].1, ExecError::PlanType(_)),
+            "{:?}",
+            out.failures[0].1
+        );
         assert_eq!(out.results[0], expected_rows(&cat));
         assert!(out.results[1].is_empty(), "failed query has no rows");
         assert_eq!(out.results[2], expected_rows(&cat));

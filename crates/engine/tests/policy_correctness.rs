@@ -2,10 +2,10 @@
 //! the threaded executor must agree with the simulated engine — results
 //! are policy-invariant even when the schedule is not.
 
-use cordoba_engine::{run_once, thread_exec, EngineConfig, Policy, QuerySpec};
+use cordoba_engine::{run_once, thread_exec, EngineConfig, MemoryConfig, Policy, QuerySpec};
 use cordoba_exec::expr::{Agg, CmpOp, Predicate, ScalarExpr};
-use cordoba_exec::{reference, OpCost, PhysicalPlan};
-use cordoba_storage::{Catalog, DataType, Field, Schema, TableBuilder, Value};
+use cordoba_exec::{reference, JoinKind, OpCost, PhysicalPlan};
+use cordoba_storage::{Catalog, DataType, Field, Schema, TableBuilder, Value, PAGE_SIZE};
 
 fn catalog() -> Catalog {
     let schema = Schema::new(vec![
@@ -67,6 +67,79 @@ fn all_policies_preserve_results_across_context_counts() {
             }
         }
     }
+}
+
+/// A tiny per-query budget forces the engine's sorts and hash joins
+/// out of core; every query must still complete (spill, not fail) with
+/// rows identical to an unbounded run.
+#[test]
+fn tiny_budget_engine_run_spills_and_preserves_results() {
+    let catalog = catalog();
+    let scan = || {
+        Box::new(PhysicalPlan::Scan {
+            table: "t".into(),
+            cost: OpCost::default(),
+        })
+    };
+    let sort = QuerySpec::unshared(
+        "sorted",
+        PhysicalPlan::Sort {
+            input: scan(),
+            keys: vec![0],
+            cost: OpCost::default(),
+        },
+    );
+    let join = QuerySpec::unshared(
+        "joined",
+        PhysicalPlan::HashJoin {
+            build: Box::new(PhysicalPlan::Filter {
+                input: scan(),
+                predicate: Predicate::col_cmp(0, CmpOp::Lt, 10i64),
+                cost: OpCost::default(),
+            }),
+            probe: scan(),
+            build_key: 0,
+            probe_key: 0,
+            kind: JoinKind::Inner,
+            build_cost: OpCost::default(),
+            probe_cost: OpCost::default(),
+        },
+    );
+    let specs = vec![sort, join];
+    let unbounded = run_once(
+        &catalog,
+        &specs,
+        &EngineConfig {
+            contexts: 2,
+            ..EngineConfig::default()
+        },
+    );
+    let tiny = run_once(
+        &catalog,
+        &specs,
+        &EngineConfig {
+            contexts: 2,
+            memory: MemoryConfig {
+                query_budget: Some(2 * PAGE_SIZE),
+                ..MemoryConfig::default()
+            },
+            ..EngineConfig::default()
+        },
+    );
+    assert!(unbounded.failures.is_empty(), "{:?}", unbounded.failures);
+    assert!(
+        tiny.failures.is_empty(),
+        "tiny budget must spill, not fail: {:?}",
+        tiny.failures
+    );
+    // The sort's order is deterministic; the join's output order may
+    // differ across spill partitions, so compare it as a multiset.
+    assert_eq!(tiny.results[0], unbounded.results[0], "sort diverged");
+    assert_eq!(
+        reference::canonicalize(tiny.results[1].clone()),
+        reference::canonicalize(unbounded.results[1].clone()),
+        "join diverged"
+    );
 }
 
 #[test]

@@ -33,12 +33,46 @@ pub enum ExecError {
         /// The out-of-order key.
         key: i64,
     },
+    /// An operator received a page whose schema does not match the
+    /// schema it was wired for — a malformed input that would otherwise
+    /// decode rows at the wrong width.
+    InputPageMismatch {
+        /// The operator that rejected the page.
+        op: &'static str,
+        /// What was expected vs. what arrived.
+        detail: String,
+    },
+    /// A spill-path disk operation failed (create, write, or read of a
+    /// spill file).
+    Spill {
+        /// The operator that was spilling.
+        op: &'static str,
+        /// The underlying I/O error text.
+        detail: String,
+    },
+    /// The memory budget could not be honoured even after exhausting
+    /// the spill strategy (e.g. hash-join repartitioning hit its
+    /// recursion cap and a partition still exceeds the budget).
+    BudgetExhausted {
+        /// The operator that gave up.
+        op: &'static str,
+        /// Why no further spilling can help.
+        detail: String,
+    },
 }
 
 impl ExecError {
     /// Shorthand for a [`ExecError::PlanType`] from anything printable.
     pub fn plan(msg: impl fmt::Display) -> Self {
         ExecError::PlanType(msg.to_string())
+    }
+
+    /// Shorthand for a [`ExecError::Spill`] from an I/O error.
+    pub fn spill(op: &'static str, err: impl fmt::Display) -> Self {
+        ExecError::Spill {
+            op,
+            detail: err.to_string(),
+        }
     }
 }
 
@@ -50,6 +84,15 @@ impl fmt::Display for ExecError {
                 f,
                 "merge join {side} input must be sorted ascending: key {key} after {prev}"
             ),
+            ExecError::InputPageMismatch { op, detail } => {
+                write!(f, "{op} received a page with a mismatched schema: {detail}")
+            }
+            ExecError::Spill { op, detail } => {
+                write!(f, "{op} spill I/O failed: {detail}")
+            }
+            ExecError::BudgetExhausted { op, detail } => {
+                write!(f, "{op} exhausted its memory budget: {detail}")
+            }
         }
     }
 }

@@ -28,6 +28,7 @@ pub mod cost;
 pub mod error;
 pub mod explain;
 pub mod expr;
+pub mod memory;
 pub mod ops;
 pub mod plan;
 pub mod reference;
@@ -38,5 +39,6 @@ pub use cost::OpCost;
 pub use error::{ExecError, FaultCell};
 pub use explain::explain;
 pub use expr::{Agg, CmpOp, Predicate, Scalar, ScalarExpr};
+pub use memory::{MemoryBroker, MemoryConfig, QueryResources, SpillContext};
 pub use plan::{JoinKind, PhysicalPlan};
 pub use vexpr::{CompiledExpr, CompiledPredicate, ExprScratch};

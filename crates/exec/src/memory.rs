@@ -1,0 +1,278 @@
+//! Per-query memory broker: grant/release accounting with an optional
+//! hard budget.
+//!
+//! Every memory-hungry operator in a query shares one [`MemoryBroker`].
+//! Before buffering input (a sort's page list, a join's build arena)
+//! the operator asks the broker for a grant; a refused grant is the
+//! signal to spill — convert buffered state to a [spill
+//! file](cordoba_storage::spill) and release the grant — instead of
+//! growing. The broker also records the high-water mark, which is what
+//! the acceptance criterion "peak tracked memory ≤ 1.25 × budget" is
+//! measured against.
+//!
+//! The simulator is single-threaded, so the broker is a plain
+//! `Rc<RefCell<..>>` handle; clones share the same account.
+
+use crate::error::FaultCell;
+use std::cell::RefCell;
+use std::path::PathBuf;
+use std::rc::Rc;
+
+#[derive(Debug, Default)]
+struct BrokerState {
+    budget: Option<usize>,
+    used: usize,
+    peak: usize,
+}
+
+/// Shared per-query memory account. See the [module docs](self).
+#[derive(Debug, Clone, Default)]
+pub struct MemoryBroker(Rc<RefCell<BrokerState>>);
+
+impl MemoryBroker {
+    /// A broker with no budget: every grant succeeds, usage is still
+    /// tracked. This is the default and preserves the pre-broker
+    /// behaviour (operators never spill).
+    pub fn unbounded() -> Self {
+        Self::default()
+    }
+
+    /// A broker that refuses grants past `bytes` of tracked memory.
+    pub fn with_budget(bytes: usize) -> Self {
+        MemoryBroker(Rc::new(RefCell::new(BrokerState {
+            budget: Some(bytes),
+            used: 0,
+            peak: 0,
+        })))
+    }
+
+    /// The configured budget, if any.
+    pub fn budget(&self) -> Option<usize> {
+        self.0.borrow().budget
+    }
+
+    /// Requests `bytes`. Returns `false` (and grants nothing) if the
+    /// request would push tracked usage past the budget — the caller
+    /// should spill and retry or fall back to [`MemoryBroker::grant`].
+    pub fn try_grant(&self, bytes: usize) -> bool {
+        let mut s = self.0.borrow_mut();
+        if let Some(budget) = s.budget {
+            if s.used.saturating_add(bytes) > budget {
+                return false;
+            }
+        }
+        s.used += bytes;
+        s.peak = s.peak.max(s.used);
+        true
+    }
+
+    /// Takes `bytes` unconditionally, still tracked against the peak.
+    /// For small fixed overheads that spilling cannot eliminate (one
+    /// in-flight page per spill buffer or merge cursor).
+    pub fn grant(&self, bytes: usize) {
+        let mut s = self.0.borrow_mut();
+        s.used += bytes;
+        s.peak = s.peak.max(s.used);
+    }
+
+    /// Returns `bytes` to the account.
+    pub fn release(&self, bytes: usize) {
+        let mut s = self.0.borrow_mut();
+        s.used = s.used.saturating_sub(bytes);
+    }
+
+    /// Currently granted bytes.
+    pub fn used(&self) -> usize {
+        self.0.borrow().used
+    }
+
+    /// High-water mark of granted bytes over the broker's lifetime.
+    pub fn peak(&self) -> usize {
+        self.0.borrow().peak
+    }
+}
+
+/// Memory policy applied to every query a wiring config instantiates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryConfig {
+    /// Per-query budget in bytes; `None` means unbounded (operators
+    /// buffer everything in memory, as before the broker existed).
+    pub query_budget: Option<usize>,
+    /// Directory for spill files; `None` uses the system temp dir.
+    pub spill_dir: Option<PathBuf>,
+    /// Maximum hash-join repartitioning depth before a still-oversized
+    /// partition fails the query with
+    /// [`ExecError::BudgetExhausted`](crate::ExecError::BudgetExhausted).
+    pub max_recursion: u32,
+    /// Upper bound on hash-join partition fan-out per level.
+    pub max_partitions: usize,
+}
+
+impl Default for MemoryConfig {
+    fn default() -> Self {
+        MemoryConfig {
+            query_budget: None,
+            spill_dir: None,
+            max_recursion: 4,
+            max_partitions: 64,
+        }
+    }
+}
+
+impl MemoryConfig {
+    /// Builds a fresh broker honouring this config's budget.
+    pub fn broker(&self) -> MemoryBroker {
+        match self.query_budget {
+            Some(b) => MemoryBroker::with_budget(b),
+            None => MemoryBroker::unbounded(),
+        }
+    }
+}
+
+/// Everything an out-of-core operator needs to spill: the query's
+/// memory account, its fault slot, and the spill policy knobs.
+#[derive(Debug, Clone)]
+pub struct SpillContext {
+    /// The query's shared memory account.
+    pub broker: MemoryBroker,
+    /// The query's shared fault slot.
+    pub fault: FaultCell,
+    /// Directory spill files are created in.
+    pub dir: PathBuf,
+    /// Hash-join repartitioning depth cap.
+    pub max_recursion: u32,
+    /// Hash-join partition fan-out cap.
+    pub max_partitions: usize,
+}
+
+impl SpillContext {
+    /// Binds `cfg`'s policy to one query's broker and fault cell.
+    pub fn new(cfg: &MemoryConfig, broker: MemoryBroker, fault: FaultCell) -> Self {
+        SpillContext {
+            broker,
+            fault,
+            dir: cfg.spill_dir.clone().unwrap_or_else(std::env::temp_dir),
+            max_recursion: cfg.max_recursion,
+            max_partitions: cfg.max_partitions,
+        }
+    }
+
+    /// An unbounded context (never spills) — the default for direct
+    /// operator construction in tests and benches.
+    pub fn unbounded() -> Self {
+        SpillContext::new(
+            &MemoryConfig::default(),
+            MemoryBroker::unbounded(),
+            FaultCell::default(),
+        )
+    }
+
+    /// A context with a `bytes` budget and default policy, spilling to
+    /// the system temp dir.
+    pub fn with_budget(bytes: usize) -> Self {
+        SpillContext::new(
+            &MemoryConfig::default(),
+            MemoryBroker::with_budget(bytes),
+            FaultCell::default(),
+        )
+    }
+}
+
+impl Default for SpillContext {
+    fn default() -> Self {
+        SpillContext::unbounded()
+    }
+}
+
+/// The per-query runtime resources the wiring layer threads through a
+/// plan: one fault slot and one memory account shared by every
+/// operator of the query.
+#[derive(Debug, Clone, Default)]
+pub struct QueryResources {
+    /// Shared fault slot — first runtime error wins.
+    pub fault: FaultCell,
+    /// Shared memory account.
+    pub broker: MemoryBroker,
+}
+
+impl QueryResources {
+    /// Fresh resources honouring `cfg`'s budget.
+    pub fn for_config(cfg: &MemoryConfig) -> Self {
+        QueryResources {
+            fault: FaultCell::default(),
+            broker: cfg.broker(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_broker_grants_everything() {
+        let b = MemoryBroker::unbounded();
+        assert!(b.try_grant(usize::MAX / 2));
+        assert_eq!(b.budget(), None);
+        assert_eq!(b.used(), usize::MAX / 2);
+    }
+
+    #[test]
+    fn budget_refuses_over_limit_grants() {
+        let b = MemoryBroker::with_budget(100);
+        assert!(b.try_grant(60));
+        assert!(!b.try_grant(50), "60 + 50 > 100");
+        assert_eq!(b.used(), 60, "refused grant must not be charged");
+        assert!(b.try_grant(40));
+        assert_eq!(b.used(), 100);
+    }
+
+    #[test]
+    fn release_frees_capacity_and_peak_sticks() {
+        let b = MemoryBroker::with_budget(100);
+        assert!(b.try_grant(80));
+        b.release(80);
+        assert_eq!(b.used(), 0);
+        assert!(b.try_grant(90));
+        assert_eq!(b.peak(), 90);
+        b.release(90);
+        assert_eq!(b.peak(), 90, "peak is a high-water mark");
+    }
+
+    #[test]
+    fn forced_grant_exceeds_budget_but_is_tracked() {
+        let b = MemoryBroker::with_budget(10);
+        b.grant(25);
+        assert_eq!(b.used(), 25);
+        assert_eq!(b.peak(), 25);
+        assert!(!b.try_grant(1));
+    }
+
+    #[test]
+    fn clones_share_the_account() {
+        let b = MemoryBroker::with_budget(100);
+        let c = b.clone();
+        assert!(b.try_grant(70));
+        assert!(!c.try_grant(40));
+        c.release(70);
+        assert_eq!(b.used(), 0);
+    }
+
+    #[test]
+    fn config_builds_matching_broker() {
+        let cfg = MemoryConfig {
+            query_budget: Some(4096),
+            ..MemoryConfig::default()
+        };
+        assert_eq!(cfg.broker().budget(), Some(4096));
+        assert_eq!(MemoryConfig::default().broker().budget(), None);
+    }
+
+    #[test]
+    fn spill_context_defaults_to_temp_dir() {
+        let ctx = SpillContext::unbounded();
+        assert_eq!(ctx.dir, std::env::temp_dir());
+        assert_eq!(ctx.max_recursion, 4);
+        assert_eq!(ctx.max_partitions, 64);
+    }
+}

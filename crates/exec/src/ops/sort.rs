@@ -9,14 +9,30 @@
 //! [`KeyVal`] tuples. Either way the sort orders a `(page, row)`
 //! permutation and emission copies raw rows straight out of the
 //! buffered pages — no per-row boxed copies on intake.
+//!
+//! # Out-of-core operation
+//!
+//! The buffered input is charged to the query's
+//! [`MemoryBroker`](crate::MemoryBroker). When a grant is refused the
+//! task **spills**: it sorts the buffered batch, writes it to a
+//! [`SpillFile`] as a sorted run, and releases the memory. After input
+//! ends the runs are k-way merged — cascaded first if there are more
+//! runs than the budget allows open cursors — reusing the same packed
+//! keys for the merge comparisons. Runs are chronological and the
+//! merge breaks key ties toward the earliest run, so spilled output is
+//! *identical*, row for row, to the in-memory stable sort. With an
+//! unbounded broker (the default) no spilling occurs and behaviour is
+//! unchanged.
 
 use crate::cost::OpCost;
 use crate::error::ExecError;
+use crate::memory::SpillContext;
 use crate::ops::sort_key::{KeyScratch, PackedKeySpec};
 use crate::ops::{key_of, Fanout, KeyVal, Outbox};
 use cordoba_sim::channel::{Receiver, Recv};
-use cordoba_sim::{Step, Task, TaskCtx};
-use cordoba_storage::{Page, PageBuilder, Schema};
+use cordoba_sim::{Step, Task, TaskCtx, VTime};
+use cordoba_storage::spill::{SpillFile, SpillReader, SpillWriter};
+use cordoba_storage::{Page, PageBuilder, Schema, PAGE_SIZE};
 use std::sync::Arc;
 
 /// Per-row sort keys, packed when they fit a machine word.
@@ -32,6 +48,7 @@ enum Keys {
 enum PhaseState {
     Consuming,
     Emitting { order: Vec<u32>, next: usize },
+    Merging(KWayMerge),
     Done,
 }
 
@@ -49,17 +66,25 @@ pub struct SortTask {
     state: PhaseState,
     outbox: Outbox,
     emit_batch_rows: usize,
+    spill: SpillContext,
+    /// Bytes currently granted for the buffered pages.
+    granted: usize,
+    /// Sorted runs spilled so far, in arrival (chronological) order.
+    runs: Vec<SpillFile>,
 }
 
 impl SortTask {
     /// Creates a sort over pages of `schema`, erring when a key column
-    /// is out of range.
+    /// is out of range. `spill` supplies the query's memory account and
+    /// spill policy; [`SpillContext::unbounded`] reproduces the fully
+    /// in-memory behaviour.
     pub fn new(
         rx: Receiver<Arc<Page>>,
         schema: Arc<Schema>,
         keys: Vec<usize>,
         cost: OpCost,
         fanout: Fanout,
+        spill: SpillContext,
     ) -> Result<Self, ExecError> {
         for &k in &keys {
             if k >= schema.len() {
@@ -86,6 +111,9 @@ impl SortTask {
             state: PhaseState::Consuming,
             outbox: Outbox::new(fanout),
             emit_batch_rows,
+            spill,
+            granted: 0,
+            runs: Vec::new(),
         })
     }
 
@@ -130,10 +158,310 @@ impl SortTask {
         }
         order
     }
+
+    /// Sorts the buffered batch, writes it out as one run, and frees
+    /// its memory. Returns the number of rows spilled.
+    fn spill_run(&mut self) -> Result<usize, ExecError> {
+        if self.locs.is_empty() {
+            return Ok(0);
+        }
+        let order = self.sorted_order();
+        let mut writer = SpillWriter::create(&self.spill.dir, self.schema.clone())
+            .map_err(|e| ExecError::spill("sort", e))?;
+        let mut builder = PageBuilder::new(self.schema.clone());
+        for &idx in &order {
+            let (p, r) = self.locs[idx as usize];
+            let raw = self.pages[p as usize].tuple(r as usize).raw();
+            if !builder.push_raw(raw) {
+                writer
+                    .write_page(&builder.finish_and_reset())
+                    .map_err(|e| ExecError::spill("sort", e))?;
+                assert!(builder.push_raw(raw));
+            }
+        }
+        if !builder.is_empty() {
+            writer
+                .write_page(&builder.finish_and_reset())
+                .map_err(|e| ExecError::spill("sort", e))?;
+        }
+        self.runs
+            .push(writer.finish().map_err(|e| ExecError::spill("sort", e))?);
+        self.pages.clear();
+        self.locs.clear();
+        self.spill.broker.release(self.granted);
+        self.granted = 0;
+        Ok(order.len())
+    }
+
+    /// How many run cursors the budget allows open at once during a
+    /// merge (each holds one page; two pages are reserved for the
+    /// output builder and slack).
+    fn merge_fanout(&self) -> usize {
+        match self.spill.broker.budget() {
+            Some(b) => ((b / PAGE_SIZE).saturating_sub(2)).clamp(2, MAX_MERGE_FANOUT),
+            None => MAX_MERGE_FANOUT,
+        }
+    }
+
+    /// Merges the first `k` runs into one, reinserted at the front so
+    /// the run list stays chronological (ties still resolve toward the
+    /// earliest-arrived row).
+    fn merge_front_runs(&mut self, k: usize) -> Result<usize, ExecError> {
+        let rest = self.runs.split_off(k);
+        let front = std::mem::replace(&mut self.runs, rest);
+        let mut merge = KWayMerge::open(front, &mut self.keys, &self.key_cols, &self.spill)?;
+        let mut writer = SpillWriter::create(&self.spill.dir, self.schema.clone())
+            .map_err(|e| ExecError::spill("sort", e))?;
+        let mut builder = PageBuilder::new(self.schema.clone());
+        let mut rows = 0usize;
+        while let Some(i) = merge.min_cursor(&self.keys) {
+            let cursor = &merge.cursors[i];
+            let raw = cursor
+                .page
+                .as_ref()
+                .expect("live cursor")
+                .tuple(cursor.row)
+                .raw();
+            if !builder.push_raw(raw) {
+                writer
+                    .write_page(&builder.finish_and_reset())
+                    .map_err(|e| ExecError::spill("sort", e))?;
+                assert!(builder.push_raw(raw));
+            }
+            rows += 1;
+            merge.advance(i, &mut self.keys, &self.key_cols, &self.spill)?;
+        }
+        if !builder.is_empty() {
+            writer
+                .write_page(&builder.finish_and_reset())
+                .map_err(|e| ExecError::spill("sort", e))?;
+        }
+        merge.release_all(&self.spill);
+        let merged = writer.finish().map_err(|e| ExecError::spill("sort", e))?;
+        self.runs.insert(0, merged);
+        Ok(rows)
+    }
+
+    /// Transition from consuming to the streaming merge: spill the
+    /// final batch, cascade-merge until the run count fits the budget's
+    /// cursor fan-in, then open the final merge.
+    fn begin_merge(&mut self) -> Result<(VTime, KWayMerge), ExecError> {
+        let spilled = self.spill_run()?;
+        let mut cost = self.cost.input_cost(spilled);
+        let fanout = self.merge_fanout();
+        while self.runs.len() > fanout {
+            let k = fanout.min(self.runs.len());
+            let merged = self.merge_front_runs(k)?;
+            cost += self.cost.input_cost(merged);
+        }
+        let runs = std::mem::take(&mut self.runs);
+        let merge = KWayMerge::open(runs, &mut self.keys, &self.key_cols, &self.spill)?;
+        Ok((cost, merge))
+    }
+
+    /// One output step of the final merge: emit up to a batch of rows.
+    /// Returns the virtual cost and whether the merge is finished.
+    fn merge_step(&mut self) -> Result<(VTime, bool), ExecError> {
+        let PhaseState::Merging(merge) = &mut self.state else {
+            unreachable!("merge_step outside Merging");
+        };
+        let mut builder = PageBuilder::new(self.schema.clone());
+        let mut emitted = 0usize;
+        while emitted < self.emit_batch_rows {
+            let Some(i) = merge.min_cursor(&self.keys) else {
+                break;
+            };
+            let cursor = &merge.cursors[i];
+            let raw = cursor
+                .page
+                .as_ref()
+                .expect("live cursor")
+                .tuple(cursor.row)
+                .raw();
+            if !builder.push_raw(raw) {
+                self.outbox.push(builder.finish_and_reset());
+                assert!(builder.push_raw(raw));
+            }
+            emitted += 1;
+            merge.advance(i, &mut self.keys, &self.key_cols, &self.spill)?;
+        }
+        if !builder.is_empty() {
+            self.outbox.push(builder.finish_and_reset());
+        }
+        let finished = merge.min_cursor(&self.keys).is_none();
+        if finished {
+            merge.release_all(&self.spill);
+        }
+        Ok((self.cost.input_cost(emitted).max(1), finished))
+    }
+
+    /// Aborts the query: records the fault, cancels the input, frees
+    /// buffered state and closes the output without the drain check.
+    fn fail(&mut self, ctx: &mut TaskCtx<'_>, err: ExecError) -> Step {
+        self.spill.fault.set(err);
+        self.rx.close(ctx);
+        self.pages.clear();
+        self.locs.clear();
+        self.runs.clear();
+        self.spill.broker.release(self.granted);
+        self.granted = 0;
+        if let PhaseState::Merging(merge) = &mut self.state {
+            merge.release_all(&self.spill);
+        }
+        self.outbox.abandon();
+        self.outbox.close(ctx);
+        self.state = PhaseState::Done;
+        Step::done(1)
+    }
 }
 
 /// Bytes emitted per step during the output phase (≈4 pages).
 const DEFAULT_EMIT_BYTES: usize = 16 * 1024;
+
+/// Cursor fan-in cap for one merge pass.
+const MAX_MERGE_FANOUT: usize = 64;
+
+/// A read cursor over one sorted run: the current page, the row within
+/// it, and that page's extracted sort keys.
+struct RunCursor {
+    reader: SpillReader,
+    page: Option<Arc<Page>>,
+    row: usize,
+    /// Packed keys for the current page (packed mode).
+    packed: Vec<u64>,
+    /// Key of the current row (general mode).
+    gkey: Vec<KeyVal>,
+    /// Bytes granted for the current page.
+    granted: usize,
+}
+
+impl RunCursor {
+    /// Loads the next page of the run (releasing the previous page's
+    /// grant) and extracts its keys.
+    fn load_next(
+        &mut self,
+        keys: &mut Keys,
+        key_cols: &[usize],
+        spill: &SpillContext,
+    ) -> Result<(), ExecError> {
+        spill.broker.release(self.granted);
+        self.granted = 0;
+        self.page = self
+            .reader
+            .next_page()
+            .map_err(|e| ExecError::spill("sort", e))?;
+        self.row = 0;
+        if let Some(page) = &self.page {
+            self.granted = page.byte_len();
+            spill.broker.grant(self.granted);
+            match keys {
+                Keys::Packed { spec, scratch, .. } => {
+                    self.packed.clear();
+                    spec.extend_keys(page, scratch, &mut self.packed);
+                }
+                Keys::General(_) => self.gkey = key_of(&page.tuple(0), key_cols),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A k-way merge over sorted runs. Cursor order is run (arrival)
+/// order; [`KWayMerge::min_cursor`] resolves equal keys toward the
+/// lowest cursor index, which makes the merged output exactly the
+/// stable in-memory sort.
+struct KWayMerge {
+    cursors: Vec<RunCursor>,
+}
+
+impl KWayMerge {
+    /// Opens every run and primes the first page of each.
+    fn open(
+        runs: Vec<SpillFile>,
+        keys: &mut Keys,
+        key_cols: &[usize],
+        spill: &SpillContext,
+    ) -> Result<Self, ExecError> {
+        let mut cursors = Vec::with_capacity(runs.len());
+        for run in runs {
+            let mut cursor = RunCursor {
+                reader: run.into_reader().map_err(|e| ExecError::spill("sort", e))?,
+                page: None,
+                row: 0,
+                packed: Vec::new(),
+                gkey: Vec::new(),
+                granted: 0,
+            };
+            cursor.load_next(keys, key_cols, spill)?;
+            cursors.push(cursor);
+        }
+        Ok(KWayMerge { cursors })
+    }
+
+    /// Index of the cursor holding the smallest current key; ties go to
+    /// the lowest index (earliest run). `None` when every run is
+    /// exhausted.
+    fn min_cursor(&self, keys: &Keys) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        match keys {
+            Keys::Packed { .. } => {
+                let mut best_key = 0u64;
+                for (i, c) in self.cursors.iter().enumerate() {
+                    if c.page.is_none() {
+                        continue;
+                    }
+                    let k = c.packed[c.row];
+                    if best.is_none() || k < best_key {
+                        best = Some(i);
+                        best_key = k;
+                    }
+                }
+            }
+            Keys::General(_) => {
+                for (i, c) in self.cursors.iter().enumerate() {
+                    if c.page.is_none() {
+                        continue;
+                    }
+                    if best.is_none_or(|b| c.gkey < self.cursors[b].gkey) {
+                        best = Some(i);
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// Steps cursor `i` past its current row.
+    fn advance(
+        &mut self,
+        i: usize,
+        keys: &mut Keys,
+        key_cols: &[usize],
+        spill: &SpillContext,
+    ) -> Result<(), ExecError> {
+        let cursor = &mut self.cursors[i];
+        let rows = cursor.page.as_ref().map_or(0, |p| p.rows());
+        if cursor.row + 1 < rows {
+            cursor.row += 1;
+            if let Keys::General(_) = keys {
+                let page = cursor.page.as_ref().expect("live cursor");
+                cursor.gkey = key_of(&page.tuple(cursor.row), key_cols);
+            }
+            Ok(())
+        } else {
+            cursor.load_next(keys, key_cols, spill)
+        }
+    }
+
+    /// Returns every cursor's page grant to the broker.
+    fn release_all(&mut self, spill: &SpillContext) {
+        for cursor in &mut self.cursors {
+            spill.broker.release(cursor.granted);
+            cursor.granted = 0;
+            cursor.page = None;
+        }
+    }
+}
 
 impl Task for SortTask {
     fn step(&mut self, ctx: &mut TaskCtx<'_>) -> Step {
@@ -144,21 +472,62 @@ impl Task for SortTask {
         match &mut self.state {
             PhaseState::Consuming => match self.rx.try_recv(ctx) {
                 Recv::Value(page) => {
+                    if **page.schema() != *self.schema {
+                        return self.fail(
+                            ctx,
+                            ExecError::InputPageMismatch {
+                                op: "sort",
+                                detail: format!(
+                                    "expected {} columns / {} B rows, got {} columns / {} B rows",
+                                    self.schema.len(),
+                                    self.schema.row_width(),
+                                    page.schema().len(),
+                                    page.schema().row_width()
+                                ),
+                            },
+                        );
+                    }
                     let n = page.rows();
                     cost += self.cost.input_cost(n);
                     ctx.add_progress(n as f64);
+                    let bytes = page.byte_len();
+                    if !self.spill.broker.try_grant(bytes) {
+                        // Over budget: spill the buffered batch as a
+                        // sorted run, then retry (forcing if a single
+                        // page alone exceeds the budget).
+                        match self.spill_run() {
+                            Ok(spilled) => cost += self.cost.input_cost(spilled),
+                            Err(err) => return self.fail(ctx, err),
+                        }
+                        if !self.spill.broker.try_grant(bytes) {
+                            self.spill.broker.grant(bytes);
+                        }
+                    }
+                    self.granted += bytes;
                     self.consume_page(page);
                     Step::yielded(cost)
                 }
                 Recv::Empty => Step::blocked(cost),
                 Recv::Closed => {
-                    // The actual sort. Charged linearly per tuple to keep
-                    // the model's per-unit-progress cost structure; the
-                    // log factor is ~constant across the paper's scales.
-                    let order = self.sorted_order();
-                    cost += self.cost.input_cost(order.len());
-                    self.state = PhaseState::Emitting { order, next: 0 };
-                    Step::yielded(cost.max(1))
+                    if self.runs.is_empty() {
+                        // Fully in-memory: the actual sort. Charged
+                        // linearly per tuple to keep the model's
+                        // per-unit-progress cost structure; the log
+                        // factor is ~constant across the paper's scales.
+                        let order = self.sorted_order();
+                        cost += self.cost.input_cost(order.len());
+                        self.state = PhaseState::Emitting { order, next: 0 };
+                        Step::yielded(cost.max(1))
+                    } else {
+                        match self.begin_merge() {
+                            Ok((c, merge)) => {
+                                cost += c;
+                                self.state = PhaseState::Merging(merge);
+                                Step::yielded(cost.max(1))
+                            }
+                            Err(err) => self.fail(ctx, err),
+                        }
+                    }
                 }
             },
             PhaseState::Emitting { order, next } => {
@@ -180,6 +549,8 @@ impl Task for SortTask {
                 if finished {
                     self.pages.clear();
                     self.locs.clear();
+                    self.spill.broker.release(self.granted);
+                    self.granted = 0;
                     self.state = PhaseState::Done;
                 }
                 cost += 1; // keep emission steps advancing virtual time
@@ -191,6 +562,22 @@ impl Task for SortTask {
                     Step::blocked(cost)
                 }
             }
+            PhaseState::Merging(_) => match self.merge_step() {
+                Ok((c, finished)) => {
+                    cost += c;
+                    if finished {
+                        self.state = PhaseState::Done;
+                    }
+                    let (c, drained) = self.outbox.flush(ctx);
+                    cost += c;
+                    if drained {
+                        Step::yielded(cost)
+                    } else {
+                        Step::blocked(cost)
+                    }
+                }
+                Err(err) => self.fail(ctx, err),
+            },
             PhaseState::Done => {
                 self.outbox.close(ctx);
                 Step::done(cost)
@@ -202,6 +589,7 @@ impl Task for SortTask {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::memory::MemoryBroker;
     use crate::ops::testutil::CollectingSink;
     use crate::ops::ScanTask;
     use cordoba_sim::channel;
@@ -210,7 +598,12 @@ mod tests {
     use std::cell::RefCell;
     use std::rc::Rc;
 
-    fn run_sort(rows: Vec<Vec<Value>>, schema: Arc<Schema>, keys: Vec<usize>) -> Vec<Vec<Value>> {
+    fn run_sort_with(
+        rows: Vec<Vec<Value>>,
+        schema: Arc<Schema>,
+        keys: Vec<usize>,
+        spill: SpillContext,
+    ) -> Vec<Vec<Value>> {
         let mut tb = TableBuilder::new("t", schema.clone());
         for r in &rows {
             tb.push_row(r);
@@ -227,6 +620,7 @@ mod tests {
                 Fanout::new(vec![tx1], 0.0),
             )),
         );
+        let fault = spill.fault.clone();
         sim.spawn(
             "sort",
             Box::new(
@@ -236,6 +630,7 @@ mod tests {
                     keys,
                     OpCost::default(),
                     Fanout::new(vec![tx2], 0.0),
+                    spill,
                 )
                 .expect("valid sort keys"),
             ),
@@ -249,8 +644,13 @@ mod tests {
             }),
         );
         assert!(sim.run_to_idle().completed_all());
+        assert_eq!(fault.get(), None, "sort must not fault");
         let out = out.borrow().clone();
         out
+    }
+
+    fn run_sort(rows: Vec<Vec<Value>>, schema: Arc<Schema>, keys: Vec<usize>) -> Vec<Vec<Value>> {
+        run_sort_with(rows, schema, keys, SpillContext::unbounded())
     }
 
     #[test]
@@ -390,9 +790,211 @@ mod tests {
             vec![7],
             OpCost::default(),
             Fanout::new(vec![], 0.0),
+            SpillContext::unbounded(),
         )
         .err()
         .expect("constructor must reject");
         assert!(err.to_string().contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn tiny_budget_spills_and_matches_in_memory_sort() {
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Int),
+            Field::new("seq", DataType::Int),
+        ]);
+        let rows: Vec<Vec<Value>> = (0..4000)
+            .map(|i| vec![Value::Int((i * 7919) % 50), Value::Int(i)])
+            .collect();
+        let want = run_sort(rows.clone(), schema.clone(), vec![0]);
+
+        // Budget of 4 pages vs ~16 pages of input: several spilled runs.
+        let spill = SpillContext::with_budget(4 * PAGE_SIZE);
+        let broker = spill.broker.clone();
+        let got = run_sort_with(rows, schema, vec![0], spill);
+        assert!(broker.peak() > 0, "broker must have tracked memory");
+        assert_eq!(broker.used(), 0, "all grants released at completion");
+        assert_eq!(got, want, "spilled sort must equal in-memory stable sort");
+    }
+
+    #[test]
+    fn one_page_budget_forces_cascaded_merges() {
+        // merge_fanout clamps to 2, and ~16 runs of one page each force
+        // several cascade passes before the final merge.
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Int),
+            Field::new("seq", DataType::Int),
+        ]);
+        let rows: Vec<Vec<Value>> = (0..4000)
+            .map(|i| vec![Value::Int(((i * 31) % 11) - 5), Value::Int(i)])
+            .collect();
+        let want = run_sort(rows.clone(), schema.clone(), vec![0]);
+        let got = run_sort_with(rows, schema, vec![0], SpillContext::with_budget(PAGE_SIZE));
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn tiny_budget_spills_wide_keys_through_general_path() {
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Str(4)),
+            Field::new("b", DataType::Int),
+            Field::new("seq", DataType::Int),
+        ]);
+        let rows: Vec<Vec<Value>> = (0..2000)
+            .map(|i| {
+                vec![
+                    Value::Str(format!("s{:02}", i % 13)),
+                    Value::Int((i * 17) % 7),
+                    Value::Int(i),
+                ]
+            })
+            .collect();
+        let want = run_sort(rows.clone(), schema.clone(), vec![0, 1]);
+        let got = run_sort_with(
+            rows,
+            schema,
+            vec![0, 1],
+            SpillContext::with_budget(2 * PAGE_SIZE),
+        );
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn mismatched_page_schema_faults_instead_of_panicking() {
+        let sort_schema = Schema::new(vec![Field::new("x", DataType::Int)]);
+        let wrong = Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::new("b", DataType::Int),
+        ]);
+        let mut tb = TableBuilder::new("w", wrong.clone());
+        tb.push_row(&[Value::Int(1), Value::Int(2)]);
+        let table = tb.finish();
+
+        let mut sim = Simulator::new(2);
+        let (tx1, rx1) = channel::bounded(4);
+        let (tx2, rx2) = channel::bounded(4);
+        sim.spawn(
+            "scan",
+            Box::new(ScanTask::new(
+                table.pages().to_vec(),
+                OpCost::default(),
+                Fanout::new(vec![tx1], 0.0),
+            )),
+        );
+        let spill = SpillContext::unbounded();
+        let fault = spill.fault.clone();
+        sim.spawn(
+            "sort",
+            Box::new(
+                SortTask::new(
+                    rx1,
+                    sort_schema,
+                    vec![0],
+                    OpCost::default(),
+                    Fanout::new(vec![tx2], 0.0),
+                    spill,
+                )
+                .expect("valid keys"),
+            ),
+        );
+        let out = Rc::new(RefCell::new(Vec::new()));
+        sim.spawn(
+            "sink",
+            Box::new(CollectingSink {
+                rx: rx2,
+                rows: out.clone(),
+            }),
+        );
+        assert!(sim.run_to_idle().completed_all());
+        assert!(
+            matches!(
+                fault.get(),
+                Some(ExecError::InputPageMismatch { op: "sort", .. })
+            ),
+            "got {:?}",
+            fault.get()
+        );
+        assert!(out.borrow().is_empty());
+    }
+
+    #[test]
+    fn spill_io_error_faults_the_query() {
+        // Point the spill dir at a path that cannot be created (a file
+        // stands where the directory should go).
+        let blocker =
+            std::env::temp_dir().join(format!("cordoba-sort-blocker-{}", std::process::id()));
+        std::fs::write(&blocker, b"not a directory").expect("create blocker");
+
+        let schema = Schema::new(vec![Field::new("x", DataType::Int)]);
+        let mut tb = TableBuilder::new("t", schema.clone());
+        for i in 0..2000 {
+            tb.push_row(&[Value::Int(i)]);
+        }
+        let table = tb.finish();
+
+        let mut sim = Simulator::new(2);
+        let (tx1, rx1) = channel::bounded(4);
+        let (tx2, rx2) = channel::bounded(4);
+        sim.spawn(
+            "scan",
+            Box::new(ScanTask::new(
+                table.pages().to_vec(),
+                OpCost::default(),
+                Fanout::new(vec![tx1], 0.0),
+            )),
+        );
+        let mut spill = SpillContext::with_budget(PAGE_SIZE);
+        spill.dir = blocker.clone();
+        let fault = spill.fault.clone();
+        sim.spawn(
+            "sort",
+            Box::new(
+                SortTask::new(
+                    rx1,
+                    schema,
+                    vec![0],
+                    OpCost::default(),
+                    Fanout::new(vec![tx2], 0.0),
+                    spill,
+                )
+                .expect("valid keys"),
+            ),
+        );
+        let out = Rc::new(RefCell::new(Vec::new()));
+        sim.spawn(
+            "sink",
+            Box::new(CollectingSink {
+                rx: rx2,
+                rows: out.clone(),
+            }),
+        );
+        assert!(sim.run_to_idle().completed_all());
+        assert!(
+            matches!(fault.get(), Some(ExecError::Spill { op: "sort", .. })),
+            "got {:?}",
+            fault.get()
+        );
+        let _ = std::fs::remove_file(&blocker);
+    }
+
+    #[test]
+    fn spilled_sort_peak_stays_near_budget() {
+        let schema = Schema::new(vec![Field::new("x", DataType::Int)]);
+        let rows: Vec<Vec<Value>> = (0..20_000).rev().map(|v| vec![Value::Int(v)]).collect();
+        // ~156 KiB of input against a 32 KiB budget (≥ 4× over).
+        let budget = 8 * PAGE_SIZE;
+        let spill = SpillContext {
+            broker: MemoryBroker::with_budget(budget),
+            ..SpillContext::unbounded()
+        };
+        let broker = spill.broker.clone();
+        let got = run_sort_with(rows, schema, vec![0], spill);
+        assert_eq!(got.len(), 20_000);
+        assert!(
+            broker.peak() <= budget + budget / 4,
+            "peak {} exceeds 1.25 × budget {}",
+            broker.peak(),
+            budget
+        );
     }
 }

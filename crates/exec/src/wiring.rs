@@ -12,6 +12,7 @@
 
 use crate::cost::OpCost;
 use crate::error::{ExecError, FaultCell};
+use crate::memory::{MemoryConfig, QueryResources, SpillContext};
 use crate::ops::{
     AggregateTask, Fanout, FilterTask, HashJoinTask, MergeJoinTask, NestedLoopJoinTask,
     ProjectTask, ScanTask, SortTask,
@@ -24,16 +25,22 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// Wiring parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WiringConfig {
     /// Channel capacity in pages between adjacent operators. Finite so
     /// slow consumers throttle producers, as the model assumes.
     pub queue_capacity: usize,
+    /// Per-query memory policy (budget, spill directory, recursion
+    /// cap). The default is unbounded — no spilling.
+    pub memory: MemoryConfig,
 }
 
 impl Default for WiringConfig {
     fn default() -> Self {
-        Self { queue_capacity: 16 }
+        Self {
+            queue_capacity: 16,
+            memory: MemoryConfig::default(),
+        }
     }
 }
 
@@ -44,7 +51,8 @@ pub type SpawnedOps = Vec<(Option<TaskId>, String)>;
 /// Instantiates `plan`, delivering root output to every sender in
 /// `outs` (the root's `cost.out_per_tuple` is charged per consumer).
 /// [`PhysicalPlan::Source`] leaves consume receivers from `sources` in
-/// plan preorder. Runtime faults land in `fault`.
+/// plan preorder. Runtime faults land in `resources.fault`; buffering
+/// operators charge `resources.broker` and spill per `cfg.memory`.
 ///
 /// Construction is all-or-nothing: on `Err`, no task has been spawned.
 #[allow(clippy::too_many_arguments)]
@@ -56,10 +64,15 @@ pub fn instantiate_into(
     sources: &mut VecDeque<Receiver<Arc<Page>>>,
     label: &str,
     cfg: &WiringConfig,
-    fault: &FaultCell,
+    resources: &QueryResources,
 ) -> Result<SpawnedOps, ExecError> {
     let mut built: Vec<(String, Box<dyn Task>)> = Vec::new();
     let mut preorder = 0usize;
+    let sctx = SpillContext::new(
+        &cfg.memory,
+        resources.broker.clone(),
+        resources.fault.clone(),
+    );
     wire(
         catalog,
         plan,
@@ -67,7 +80,7 @@ pub fn instantiate_into(
         sources,
         label,
         cfg,
-        fault,
+        &sctx,
         &mut preorder,
         &mut built,
     )?;
@@ -78,17 +91,18 @@ pub fn instantiate_into(
 }
 
 /// Instantiates `plan` and returns the root output receiver, the
-/// spawned operator tasks, and the query's fault cell (check it after
-/// the run — a set fault means the query failed mid-flight).
+/// spawned operator tasks, and the query's resources — check
+/// `resources.fault` after the run (a set fault means the query failed
+/// mid-flight) and `resources.broker` for its memory footprint.
 pub fn instantiate(
     sim: &mut Simulator,
     catalog: &Catalog,
     plan: &PhysicalPlan,
     label: &str,
     cfg: &WiringConfig,
-) -> Result<(Receiver<Arc<Page>>, SpawnedOps, FaultCell), ExecError> {
+) -> Result<(Receiver<Arc<Page>>, SpawnedOps, QueryResources), ExecError> {
     let (tx, rx) = channel::bounded(cfg.queue_capacity);
-    let fault = FaultCell::default();
+    let resources = QueryResources::for_config(&cfg.memory);
     let mut sources = VecDeque::new();
     let spawned = instantiate_into(
         sim,
@@ -98,9 +112,9 @@ pub fn instantiate(
         &mut sources,
         label,
         cfg,
-        &fault,
+        &resources,
     )?;
-    Ok((rx, spawned, fault))
+    Ok((rx, spawned, resources))
 }
 
 /// Forwards pages from a receiver to a fan-out at zero private cost —
@@ -145,7 +159,7 @@ fn wire(
     sources: &mut VecDeque<Receiver<Arc<Page>>>,
     label: &str,
     cfg: &WiringConfig,
-    fault: &FaultCell,
+    sctx: &SpillContext,
     preorder: &mut usize,
     built: &mut Vec<(String, Box<dyn Task>)>,
 ) -> Result<(), ExecError> {
@@ -173,7 +187,7 @@ fn wire(
             sources,
             label,
             cfg,
-            fault,
+            sctx,
             preorder,
             built,
         )?;
@@ -268,6 +282,7 @@ fn wire(
                 keys.clone(),
                 *cost,
                 Fanout::new(outs, cost.out_per_tuple),
+                sctx.clone(),
             )?;
             built.push((name, Box::new(task)));
         }
@@ -297,6 +312,7 @@ fn wire(
                 *build_cost,
                 *probe_cost,
                 Fanout::new(outs, probe_cost.out_per_tuple),
+                sctx.clone(),
             )?;
             built.push((name, Box::new(task)));
         }
@@ -341,7 +357,7 @@ fn wire(
                 out_schema,
                 *cost,
                 Fanout::new(outs, cost.out_per_tuple),
-                fault.clone(),
+                sctx.fault.clone(),
             )?;
             built.push((name, Box::new(task)));
         }
@@ -420,13 +436,13 @@ mod tests {
             cost: OpCost::default(),
         };
         let mut sim = Simulator::new(2);
-        let (rx, spawned, fault) =
+        let (rx, spawned, res) =
             instantiate(&mut sim, &cat, &plan, "q0", &WiringConfig::default()).expect("wires");
         assert_eq!(spawned.len(), 3);
         assert!(spawned.iter().any(|(_, n)| n == "q0/0:aggregate"));
         assert!(spawned.iter().any(|(_, n)| n == "q0/1:filter"));
         assert!(spawned.iter().any(|(_, n)| n == "q0/2:scan(t)"));
-        let rows = run_and_collect(&mut sim, rx, OpCost::default(), &fault).expect("no fault");
+        let rows = run_and_collect(&mut sim, rx, OpCost::default(), &res.fault).expect("no fault");
         assert_eq!(rows, vec![vec![Value::Int(10), Value::Float(45.0)]]);
     }
 
@@ -529,7 +545,7 @@ mod tests {
         );
         let (out_tx, out_rx) = channel::bounded(8);
         let mut sources = VecDeque::from([scan_rx]);
-        let fault = FaultCell::default();
+        let res = QueryResources::default();
         instantiate_into(
             &mut sim,
             &cat,
@@ -538,10 +554,11 @@ mod tests {
             &mut sources,
             "frag",
             &WiringConfig::default(),
-            &fault,
+            &res,
         )
         .expect("wires");
-        let rows = run_and_collect(&mut sim, out_rx, OpCost::default(), &fault).expect("no fault");
+        let rows =
+            run_and_collect(&mut sim, out_rx, OpCost::default(), &res.fault).expect("no fault");
         assert_eq!(rows, vec![vec![Value::Int(100)]]);
     }
 
@@ -564,7 +581,7 @@ mod tests {
         );
         let (out_tx, out_rx) = channel::bounded(4);
         let mut sources = VecDeque::from([scan_rx]);
-        let fault = FaultCell::default();
+        let res = QueryResources::default();
         instantiate_into(
             &mut sim,
             &cat,
@@ -573,10 +590,11 @@ mod tests {
             &mut sources,
             "relay",
             &WiringConfig::default(),
-            &fault,
+            &res,
         )
         .expect("wires");
-        let rows = run_and_collect(&mut sim, out_rx, OpCost::default(), &fault).expect("no fault");
+        let rows =
+            run_and_collect(&mut sim, out_rx, OpCost::default(), &res.fault).expect("no fault");
         assert_eq!(rows.len(), 100);
     }
 }

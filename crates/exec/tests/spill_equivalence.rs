@@ -1,0 +1,186 @@
+//! Property tests for the out-of-core operator paths: on random
+//! inputs, a query run under a tiny memory budget (forcing the external
+//! sort and the spilling hybrid hash join out of core) must produce
+//! exactly the rows the unbounded in-memory path produces.
+//!
+//! The sort comparison is row-for-row — the external merge reproduces
+//! the in-memory stable sort order bit-for-bit, including `f64`
+//! payloads compared by their bit patterns (so `-0.0` vs `0.0` and
+//! every NaN-free value must round-trip through spill files exactly).
+//! The join comparison is a sorted multiset: spilled partitions
+//! legitimately reorder output across partitions.
+
+use cordoba_exec::wiring::{self, WiringConfig};
+use cordoba_exec::{reference, JoinKind, MemoryConfig, OpCost, PhysicalPlan};
+use cordoba_sim::Simulator;
+use cordoba_storage::{Catalog, DataType, Field, Schema, TableBuilder, Value, PAGE_SIZE};
+use proptest::prelude::*;
+
+/// Runs `plan` through the simulator under the given budget and
+/// returns the collected rows; panics on any fault (these plans must
+/// never fail, only spill).
+fn run_with_budget(
+    catalog: &Catalog,
+    plan: &PhysicalPlan,
+    budget: Option<usize>,
+) -> Vec<Vec<Value>> {
+    let cfg = WiringConfig {
+        memory: MemoryConfig {
+            query_budget: budget,
+            ..MemoryConfig::default()
+        },
+        ..WiringConfig::default()
+    };
+    let mut sim = Simulator::new(2);
+    let (rx, _ops, res) =
+        wiring::instantiate(&mut sim, catalog, plan, "spill-eq", &cfg).expect("plan wires");
+    wiring::run_and_collect(&mut sim, rx, OpCost::default(), &res.fault)
+        .expect("query must spill, not fail")
+}
+
+/// Maps rows to a bit-exact representation: floats by `to_bits`, so
+/// equality is byte equality rather than IEEE `==`.
+fn bit_exact(rows: &[Vec<Value>]) -> Vec<Vec<(u8, u64)>> {
+    rows.iter()
+        .map(|row| {
+            row.iter()
+                .map(|v| match v {
+                    Value::Int(i) => (0u8, *i as u64),
+                    Value::Float(f) => (1u8, f.to_bits()),
+                    other => (2u8, format!("{other:?}").len() as u64),
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// One-table catalog of `(k: Int, v: Float)` rows.
+fn kf_catalog(rows: &[(i64, f64)]) -> Catalog {
+    let schema = Schema::new(vec![
+        Field::new("k", DataType::Int),
+        Field::new("v", DataType::Float),
+    ]);
+    let mut tb = TableBuilder::new("t", schema);
+    for (k, v) in rows {
+        tb.push_row(&[Value::Int(*k), Value::Float(*v)]);
+    }
+    let mut c = Catalog::new();
+    c.register(tb.finish());
+    c
+}
+
+/// Two-table catalog of `(k: Int, v: Int)` rows for joins.
+fn kv_catalog(left: &[(i64, i64)], right: &[(i64, i64)]) -> Catalog {
+    let mut catalog = Catalog::new();
+    for (name, rows) in [("l", left), ("r", right)] {
+        let schema = Schema::new(vec![
+            Field::new(format!("{name}k"), DataType::Int),
+            Field::new(format!("{name}v"), DataType::Int),
+        ]);
+        let mut tb = TableBuilder::new(name, schema);
+        for (k, v) in rows {
+            tb.push_row(&[Value::Int(*k), Value::Int(*v)]);
+        }
+        catalog.register(tb.finish());
+    }
+    catalog
+}
+
+fn scan(table: &str) -> Box<PhysicalPlan> {
+    Box::new(PhysicalPlan::Scan {
+        table: table.into(),
+        cost: OpCost::default(),
+    })
+}
+
+/// Float payloads with awkward bit patterns (`-0.0`, subnormal-ish
+/// fractions, large magnitudes) that IEEE `==` would conflate or that
+/// naive text round-trips would corrupt.
+fn payload() -> impl Strategy<Value = f64> {
+    (0u8..4, -1_000_000_000i64..1_000_000_000).prop_map(|(shape, m)| match shape {
+        0 => -0.0,
+        1 => 0.0,
+        2 => m as f64 * 1.0e3,
+        _ => m as f64 / 1.0e9,
+    })
+}
+
+/// Duplicate-heavy keyed float rows — enough of them that a few-page
+/// budget forces multiple spilled runs.
+fn sort_rows() -> impl Strategy<Value = Vec<(i64, f64)>> {
+    proptest::collection::vec((0i64..32, payload()), 0..2000)
+}
+
+/// Duplicate-heavy int pairs; small key domains force collisions.
+fn join_rows(max: usize) -> impl Strategy<Value = Vec<(i64, i64)>> {
+    proptest::collection::vec((0i64..64, 0i64..1000), 0..max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// External sort under a two-page budget ≡ in-memory sort,
+    /// row-for-row, floats compared by bit pattern.
+    #[test]
+    fn spilled_sort_is_bit_identical_to_in_memory(rows in sort_rows()) {
+        let catalog = kf_catalog(&rows);
+        let plan = PhysicalPlan::Sort {
+            input: scan("t"),
+            keys: vec![0],
+            cost: OpCost::default(),
+        };
+        let in_memory = run_with_budget(&catalog, &plan, None);
+        let spilled = run_with_budget(&catalog, &plan, Some(2 * PAGE_SIZE));
+        prop_assert_eq!(bit_exact(&spilled), bit_exact(&in_memory));
+    }
+
+    /// Spilling hybrid hash join under a two-page budget ≡ in-memory
+    /// join as a multiset, and both equal the synchronous reference.
+    #[test]
+    fn spilled_join_matches_in_memory_join(
+        left in join_rows(1200),
+        right in join_rows(1200),
+    ) {
+        let catalog = kv_catalog(&left, &right);
+        let plan = PhysicalPlan::HashJoin {
+            build: scan("r"),
+            probe: scan("l"),
+            build_key: 0,
+            probe_key: 0,
+            kind: JoinKind::Inner,
+            build_cost: OpCost::default(),
+            probe_cost: OpCost::default(),
+        };
+        let in_memory = reference::canonicalize(run_with_budget(&catalog, &plan, None));
+        let spilled =
+            reference::canonicalize(run_with_budget(&catalog, &plan, Some(2 * PAGE_SIZE)));
+        let oracle = reference::canonicalize(reference::execute(&catalog, &plan));
+        prop_assert_eq!(&spilled, &in_memory, "spilled vs in-memory");
+        prop_assert_eq!(&spilled, &oracle, "spilled vs reference");
+    }
+
+    /// Semi/anti/left-outer joins survive spilling too: each kind's
+    /// spilled output equals its unbounded output as a multiset.
+    #[test]
+    fn spilled_join_kinds_match_in_memory(
+        left in join_rows(600),
+        right in join_rows(600),
+        kind_ix in 0usize..3,
+    ) {
+        let kind = [JoinKind::Semi, JoinKind::Anti, JoinKind::LeftOuter][kind_ix];
+        let catalog = kv_catalog(&left, &right);
+        let plan = PhysicalPlan::HashJoin {
+            build: scan("r"),
+            probe: scan("l"),
+            build_key: 0,
+            probe_key: 0,
+            kind,
+            build_cost: OpCost::default(),
+            probe_cost: OpCost::default(),
+        };
+        let in_memory = reference::canonicalize(run_with_budget(&catalog, &plan, None));
+        let spilled =
+            reference::canonicalize(run_with_budget(&catalog, &plan, Some(2 * PAGE_SIZE)));
+        prop_assert_eq!(&spilled, &in_memory);
+    }
+}

@@ -138,9 +138,9 @@ fn scan() -> Box<PhysicalPlan> {
 /// instantiation rejection or a runtime fault.
 fn try_run_sim(cat: &Catalog, plan: &PhysicalPlan) -> Result<Vec<Vec<Value>>, ExecError> {
     let mut sim = Simulator::new(3);
-    let (rx, _ops, fault) =
+    let (rx, _ops, res) =
         wiring::instantiate(&mut sim, cat, plan, "vq", &wiring::WiringConfig::default())?;
-    wiring::run_and_collect(&mut sim, rx, OpCost::default(), &fault)
+    wiring::run_and_collect(&mut sim, rx, OpCost::default(), &res.fault)
 }
 
 /// Runs `plan` through the simulator wiring and collects result rows.

@@ -25,6 +25,7 @@ pub mod catalog;
 pub mod date;
 pub mod page;
 pub mod schema;
+pub mod spill;
 pub mod table;
 pub mod tpch;
 pub mod value;
@@ -33,5 +34,6 @@ pub use catalog::Catalog;
 pub use date::Date;
 pub use page::{Page, PageBuilder, TupleRef, PAGE_SIZE};
 pub use schema::{DataType, Field, Schema};
+pub use spill::{SpillFile, SpillReader, SpillWriter};
 pub use table::{Table, TableBuilder};
 pub use value::Value;

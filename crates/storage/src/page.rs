@@ -20,6 +20,21 @@ pub struct Page {
 }
 
 impl Page {
+    /// Reconstructs a page from a raw payload of exactly
+    /// `rows * row_width` bytes — the path back from a spill file.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is not exactly `rows * row_width` bytes.
+    pub fn from_payload(schema: Arc<Schema>, data: Box<[u8]>, rows: usize) -> Arc<Page> {
+        assert_eq!(
+            data.len(),
+            rows * schema.row_width(),
+            "payload length must equal rows * row_width"
+        );
+        Arc::new(Page { schema, data, rows })
+    }
+
     /// The page's schema.
     pub fn schema(&self) -> &Arc<Schema> {
         &self.schema
