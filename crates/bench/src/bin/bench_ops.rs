@@ -7,11 +7,22 @@
 //! wins are visible across PRs.
 //!
 //! Usage: `cargo run --release -p cordoba-bench --bin bench_ops`
-//! (append `-- --quick` for CI smoke runs: fewer samples, smaller
-//! scale factor; append `-- --check <path>` to compare the fresh
-//! within-run speedups against a committed `BENCH_ops.json` instead of
-//! writing one — exits non-zero on a gross regression).
+//! * `-- --quick` — CI smoke runs: fewer samples, smaller scale factor.
+//! * `-- --filter <substr>` — run only kernels whose name contains the
+//!   substring (print-only: a filtered run never rewrites the JSON).
+//! * `-- --check <path>` — compare the fresh within-run speedups
+//!   against a committed `BENCH_ops.json` instead of writing one;
+//!   exits non-zero on a gross regression, naming each offending
+//!   kernel with its committed and fresh speedups.
+//!
+//! Besides the baseline-vs-vectorized pairs, the harness records a
+//! `"parallel"` section from [`cordoba_bench::par_kernels`]: serial
+//! wiring vs morsel-parallel wiring at 4 workers. The pipeline and
+//! aggregate pairs are simulator virtual time (deterministic,
+//! host-independent); the hash-join pair is real threads and wall
+//! clock.
 
+use cordoba_bench::par_kernels::{self, ParPair};
 use cordoba_bench::spill_kernels;
 use cordoba_bench::vec_kernels::*;
 use cordoba_exec::ops::{KeyScratch, PackedKeySpec};
@@ -30,6 +41,9 @@ use std::time::Instant;
 /// purpose: quick runs use a smaller scale factor and shared runners
 /// are noisy.
 const CHECK_TOLERANCE: f64 = 3.0;
+
+/// Morsel workers for the parallel section.
+const PAR_WORKERS: usize = 4;
 
 /// Median wall-clock nanoseconds over `samples` runs of `f`.
 fn median_ns<T>(samples: usize, mut f: impl FnMut() -> T) -> f64 {
@@ -81,8 +95,39 @@ impl Entry {
     }
 }
 
+fn par_json(p: &ParPair) -> String {
+    format!(
+        concat!(
+            "      {{\n",
+            "        \"name\": \"{}\",\n",
+            "        \"rows\": {},\n",
+            "        \"workers\": {},\n",
+            "        \"substrate\": \"{}\",\n",
+            "        \"serial\": {:.0},\n",
+            "        \"parallel\": {:.0},\n",
+            "        \"speedup\": {:.2},\n",
+            "        \"note\": \"{}\"\n",
+            "      }}"
+        ),
+        p.name,
+        p.rows,
+        p.workers,
+        p.substrate,
+        p.serial,
+        p.parallel,
+        p.speedup(),
+        p.note,
+    )
+}
+
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let filter: Option<String> = args
+        .iter()
+        .position(|a| a == "--filter")
+        .and_then(|at| args.get(at + 1).cloned());
+    let want = |name: &str| filter.as_deref().is_none_or(|f| name.contains(f));
     let (sf, samples) = if quick { (0.002, 5) } else { (0.02, 15) };
     let data = BenchData::generate(sf);
     let li_rows = data.lineitem_rows();
@@ -90,6 +135,9 @@ fn main() {
     eprintln!(
         "bench_ops: sf={sf} lineitem={li_rows} rows, orders={ord_rows} rows, {samples} samples"
     );
+    if let Some(f) = &filter {
+        eprintln!("bench_ops: --filter '{f}' (print-only; BENCH_ops.json not rewritten)");
+    }
 
     let mut scratch = ExprScratch::default();
     let mut entries = Vec::new();
@@ -98,164 +146,185 @@ fn main() {
     let pred = q6_predicate();
     let cpred = CompiledPredicate::compile(&pred, &data.lineitem_schema).expect("compiles");
     let mut sel = Vec::new();
-    entries.push(Entry {
-        name: "filter_q6",
-        rows: li_rows,
-        baseline_ns: median_ns(samples, || filter_baseline(&data.lineitem, &pred)),
-        vectorized_ns: median_ns(samples, || {
-            filter_vectorized(&data.lineitem, &cpred, &mut scratch, &mut sel)
-        }),
-        note: "Q6 predicate -> selection vector",
-    });
+    if want("filter_q6") {
+        entries.push(Entry {
+            name: "filter_q6",
+            rows: li_rows,
+            baseline_ns: median_ns(samples, || filter_baseline(&data.lineitem, &pred)),
+            vectorized_ns: median_ns(samples, || {
+                filter_vectorized(&data.lineitem, &cpred, &mut scratch, &mut sel)
+            }),
+            note: "Q6 predicate -> selection vector",
+        });
+    }
 
     // Expression: revenue over lineitem.
     let expr = revenue_expr();
     let cexpr = CompiledExpr::compile(&expr, &data.lineitem_schema).expect("compiles");
     let mut col = Vec::new();
-    entries.push(Entry {
-        name: "expr_revenue",
-        rows: li_rows,
-        baseline_ns: median_ns(samples, || expr_baseline(&data.lineitem, &expr)),
-        vectorized_ns: median_ns(samples, || {
-            expr_vectorized(&data.lineitem, &cexpr, &mut scratch, &mut col)
-        }),
-        note: "extendedprice * (1 - discount), compiled postfix program",
-    });
+    if want("expr_revenue") {
+        entries.push(Entry {
+            name: "expr_revenue",
+            rows: li_rows,
+            baseline_ns: median_ns(samples, || expr_baseline(&data.lineitem, &expr)),
+            vectorized_ns: median_ns(samples, || {
+                expr_vectorized(&data.lineitem, &cexpr, &mut scratch, &mut col)
+            }),
+            note: "extendedprice * (1 - discount), compiled postfix program",
+        });
+    }
 
     // Join build: orders keyed by o_orderkey.
-    entries.push(Entry {
-        name: "join_build_orders",
-        rows: ord_rows,
-        baseline_ns: median_ns(samples, || join_build_baseline(&data.orders, 0)),
-        vectorized_ns: median_ns(samples, || {
-            join_build_vectorized(&data.orders, 0, data.orders_schema.row_width())
-        }),
-        note: "arena + chained offsets + FxHash; zero per-row allocations",
-    });
+    if want("join_build_orders") {
+        entries.push(Entry {
+            name: "join_build_orders",
+            rows: ord_rows,
+            baseline_ns: median_ns(samples, || join_build_baseline(&data.orders, 0)),
+            vectorized_ns: median_ns(samples, || {
+                join_build_vectorized(&data.orders, 0, data.orders_schema.row_width())
+            }),
+            note: "arena + chained offsets + FxHash; zero per-row allocations",
+        });
+    }
 
     // Join probe: lineitem probing the orders table.
-    let base_table = join_build_baseline(&data.orders, 0);
-    let vec_table = join_build_vectorized(&data.orders, 0, data.orders_schema.row_width());
-    let mut keys = Vec::new();
-    entries.push(Entry {
-        name: "join_probe_lineitem",
-        rows: li_rows,
-        baseline_ns: median_ns(samples, || {
-            join_probe_baseline(&base_table, &data.lineitem, 0)
-        }),
-        vectorized_ns: median_ns(samples, || {
-            join_probe_vectorized(&vec_table, &data.lineitem, 0, &mut keys)
-        }),
-        note: "gathered keys + FxHash lookup over arena chains",
-    });
+    if want("join_probe_lineitem") {
+        let base_table = join_build_baseline(&data.orders, 0);
+        let vec_table = join_build_vectorized(&data.orders, 0, data.orders_schema.row_width());
+        let mut keys = Vec::new();
+        entries.push(Entry {
+            name: "join_probe_lineitem",
+            rows: li_rows,
+            baseline_ns: median_ns(samples, || {
+                join_probe_baseline(&base_table, &data.lineitem, 0)
+            }),
+            vectorized_ns: median_ns(samples, || {
+                join_probe_vectorized(&vec_table, &data.lineitem, 0, &mut keys)
+            }),
+            note: "gathered keys + FxHash lookup over arena chains",
+        });
+    }
 
     // Aggregate: Q1 grouping with the revenue expression.
-    let group_by = q1_group_by();
-    entries.push(Entry {
-        name: "aggregate_q1",
-        rows: li_rows,
-        baseline_ns: median_ns(samples, || {
-            aggregate_baseline(&data.lineitem, &group_by, &expr)
-        }),
-        vectorized_ns: median_ns(samples, || {
-            aggregate_vectorized(
-                &data.lineitem,
-                &data.lineitem_schema,
-                &group_by,
-                &cexpr,
-                &mut scratch,
-                &mut col,
-            )
-        }),
-        note: "packed u64 group keys + pre-evaluated input column",
-    });
+    if want("aggregate_q1") {
+        let group_by = q1_group_by();
+        entries.push(Entry {
+            name: "aggregate_q1",
+            rows: li_rows,
+            baseline_ns: median_ns(samples, || {
+                aggregate_baseline(&data.lineitem, &group_by, &expr)
+            }),
+            vectorized_ns: median_ns(samples, || {
+                aggregate_vectorized(
+                    &data.lineitem,
+                    &data.lineitem_schema,
+                    &group_by,
+                    &cexpr,
+                    &mut scratch,
+                    &mut col,
+                )
+            }),
+            note: "packed u64 group keys + pre-evaluated input column",
+        });
+    }
 
     // End-to-end Q6: filter -> repack -> revenue sum, both shapes.
-    entries.push(Entry {
-        name: "q6_end_to_end",
-        rows: li_rows,
-        baseline_ns: median_ns(samples, || q6_baseline(&data.lineitem, &pred, &expr)),
-        vectorized_ns: median_ns(samples, || {
-            q6_vectorized(
-                &data.lineitem,
-                &cpred,
-                &cexpr,
-                &mut scratch,
-                &mut sel,
-                &mut col,
-            )
-        }),
-        note: "selection vector -> dense repack -> compiled revenue over filtered pages",
-    });
+    if want("q6_end_to_end") {
+        entries.push(Entry {
+            name: "q6_end_to_end",
+            rows: li_rows,
+            baseline_ns: median_ns(samples, || q6_baseline(&data.lineitem, &pred, &expr)),
+            vectorized_ns: median_ns(samples, || {
+                q6_vectorized(
+                    &data.lineitem,
+                    &cpred,
+                    &cexpr,
+                    &mut scratch,
+                    &mut sel,
+                    &mut col,
+                )
+            }),
+            note: "selection vector -> dense repack -> compiled revenue over filtered pages",
+        });
+    }
 
     // Fused scalar-literal instructions: the same compiled revenue
     // program with literal broadcasting (the pre-fusion codegen) vs the
     // fused MulFLit/SubLitF form.
-    let unfused = CompiledExpr::compile_unfused(&expr, &data.lineitem_schema).expect("compiles");
-    entries.push(Entry {
-        name: "expr_fused_literal",
-        rows: li_rows,
-        baseline_ns: median_ns(samples, || {
-            expr_vectorized(&data.lineitem, &unfused, &mut scratch, &mut col)
-        }),
-        vectorized_ns: median_ns(samples, || {
-            expr_vectorized(&data.lineitem, &cexpr, &mut scratch, &mut col)
-        }),
-        note: "broadcast literal buffers vs fused MulFLit/SubLitF in-place passes",
-    });
+    if want("expr_fused_literal") {
+        let unfused =
+            CompiledExpr::compile_unfused(&expr, &data.lineitem_schema).expect("compiles");
+        entries.push(Entry {
+            name: "expr_fused_literal",
+            rows: li_rows,
+            baseline_ns: median_ns(samples, || {
+                expr_vectorized(&data.lineitem, &unfused, &mut scratch, &mut col)
+            }),
+            vectorized_ns: median_ns(samples, || {
+                expr_vectorized(&data.lineitem, &cexpr, &mut scratch, &mut col)
+            }),
+            note: "broadcast literal buffers vs fused MulFLit/SubLitF in-place passes",
+        });
+    }
 
     // Sort: key extraction + sort by l_shipdate over lineitem.
-    let sort_keys = [7usize];
-    let spec = PackedKeySpec::try_new(&data.lineitem_schema, &sort_keys).expect("4-byte key");
-    let mut kscratch = KeyScratch::default();
-    let mut packed_keys = Vec::new();
-    entries.push(Entry {
-        name: "sort_shipdate",
-        rows: li_rows,
-        baseline_ns: median_ns(samples, || sort_baseline(&data.lineitem, &sort_keys)),
-        vectorized_ns: median_ns(samples, || {
-            sort_vectorized(&data.lineitem, &spec, &mut kscratch, &mut packed_keys)
-        }),
-        note: "per-row KeyVal allocation vs packed order-preserving u64 keys",
-    });
+    if want("sort_shipdate") {
+        let sort_keys = [7usize];
+        let spec = PackedKeySpec::try_new(&data.lineitem_schema, &sort_keys).expect("4-byte key");
+        let mut kscratch = KeyScratch::default();
+        let mut packed_keys = Vec::new();
+        entries.push(Entry {
+            name: "sort_shipdate",
+            rows: li_rows,
+            baseline_ns: median_ns(samples, || sort_baseline(&data.lineitem, &sort_keys)),
+            vectorized_ns: median_ns(samples, || {
+                sort_vectorized(&data.lineitem, &spec, &mut kscratch, &mut packed_keys)
+            }),
+            note: "per-row KeyVal allocation vs packed order-preserving u64 keys",
+        });
+    }
 
     // Merge join: orders ⋈ lineitem on orderkey (both generated sorted).
-    let mut merge_buf = Vec::new();
-    entries.push(Entry {
-        name: "merge_join_orderkey",
-        rows: li_rows + ord_rows,
-        baseline_ns: median_ns(samples, || {
-            merge_join_baseline(&data.orders, &data.lineitem, 0, 0)
-        }),
-        vectorized_ns: median_ns(samples, || {
-            merge_join_vectorized(&data.orders, &data.lineitem, 0, 0, &mut merge_buf)
-        }),
-        note: "per-tuple get_int + assert vs page gathers + windowed sortedness sweep",
-    });
+    if want("merge_join_orderkey") {
+        let mut merge_buf = Vec::new();
+        entries.push(Entry {
+            name: "merge_join_orderkey",
+            rows: li_rows + ord_rows,
+            baseline_ns: median_ns(samples, || {
+                merge_join_baseline(&data.orders, &data.lineitem, 0, 0)
+            }),
+            vectorized_ns: median_ns(samples, || {
+                merge_join_vectorized(&data.orders, &data.lineitem, 0, 0, &mut merge_buf)
+            }),
+            note: "per-tuple get_int + assert vs page gathers + windowed sortedness sweep",
+        });
+    }
 
     // NLJ: band join over small page subsets; rows = pairs examined.
-    let (outer, inner, nlj_pred, pair_schema) = nlj_config(&data);
-    let nlj_cpred = CompiledPredicate::compile(&nlj_pred, &pair_schema).expect("compiles");
-    let outer_rows: usize = outer.iter().map(|p| p.rows()).sum();
-    let inner_rows: usize = inner.iter().map(|p| p.rows()).sum();
-    entries.push(Entry {
-        name: "nlj_band_join",
-        rows: outer_rows * inner_rows,
-        baseline_ns: median_ns(samples, || {
-            nlj_baseline(&outer, &inner, &nlj_pred, &pair_schema)
-        }),
-        vectorized_ns: median_ns(samples, || {
-            nlj_vectorized(
-                &outer,
-                &inner,
-                &nlj_cpred,
-                &pair_schema,
-                &mut scratch,
-                &mut sel,
-            )
-        }),
-        note: "one-row page + eval per pair vs compiled predicate over candidate pages",
-    });
+    if want("nlj_band_join") {
+        let (outer, inner, nlj_pred, pair_schema) = nlj_config(&data);
+        let nlj_cpred = CompiledPredicate::compile(&nlj_pred, &pair_schema).expect("compiles");
+        let outer_rows: usize = outer.iter().map(|p| p.rows()).sum();
+        let inner_rows: usize = inner.iter().map(|p| p.rows()).sum();
+        entries.push(Entry {
+            name: "nlj_band_join",
+            rows: outer_rows * inner_rows,
+            baseline_ns: median_ns(samples, || {
+                nlj_baseline(&outer, &inner, &nlj_pred, &pair_schema)
+            }),
+            vectorized_ns: median_ns(samples, || {
+                nlj_vectorized(
+                    &outer,
+                    &inner,
+                    &nlj_cpred,
+                    &pair_schema,
+                    &mut scratch,
+                    &mut sel,
+                )
+            }),
+            note: "one-row page + eval per pair vs compiled predicate over candidate pages",
+        });
+    }
 
     // Out-of-core scenarios: the same TPC-H sort and hash join once
     // in memory and once past memory — the broker budget is a quarter
@@ -264,98 +333,146 @@ fn main() {
     // ≤ 1.25 × budget); the timed pairs record how much the spill path
     // costs (ratios below 1 are expected and fine — the win is bounded
     // memory, not speed).
-    let spill_samples = if quick { 3 } else { 5 };
-    let spill_cat = spill_kernels::catalog(sf);
-    let sort_plan = spill_kernels::sort_plan();
-    let join_plan = spill_kernels::join_plan();
-    let sort_input = spill_kernels::table_bytes(&spill_cat, "lineitem");
-    let join_input = spill_kernels::table_bytes(&spill_cat, "orders");
-    let sort_budget = (sort_input / 4).max(8 * PAGE_SIZE);
-    let join_budget = (join_input / 4).max(8 * PAGE_SIZE);
+    let run_spill = want("sort_spill") || want("join_spill");
+    let run_par = want("par_scan_filter") || want("par_aggregate") || want("par_hash_join");
+    let spill_cat = if run_spill || run_par {
+        Some(spill_kernels::catalog(sf))
+    } else {
+        None
+    };
+    let mut spill_json = String::new();
+    if run_spill {
+        let spill_cat = spill_cat.as_ref().expect("catalog built above");
+        let spill_samples = if quick { 3 } else { 5 };
+        let sort_plan = spill_kernels::sort_plan();
+        let join_plan = spill_kernels::join_plan();
+        let sort_input = spill_kernels::table_bytes(spill_cat, "lineitem");
+        let join_input = spill_kernels::table_bytes(spill_cat, "orders");
+        let sort_budget = (sort_input / 4).max(8 * PAGE_SIZE);
+        let join_budget = (join_input / 4).max(8 * PAGE_SIZE);
 
-    let sort_mem = spill_kernels::run_plan(&spill_cat, &sort_plan, None);
-    let sort_oc = spill_kernels::run_plan(&spill_cat, &sort_plan, Some(sort_budget));
-    assert_eq!(
-        sort_oc.rows, sort_mem.rows,
-        "external sort diverged from the in-memory sort"
-    );
-    assert!(
-        sort_oc.peak_bytes <= sort_budget + sort_budget / 4,
-        "external sort peak {} exceeds 1.25 x budget {sort_budget}",
-        sort_oc.peak_bytes
-    );
-    let join_mem = spill_kernels::run_plan(&spill_cat, &join_plan, None);
-    let join_oc = spill_kernels::run_plan(&spill_cat, &join_plan, Some(join_budget));
-    assert_eq!(
-        reference::canonicalize(join_oc.rows.clone()),
-        reference::canonicalize(join_mem.rows.clone()),
-        "spilling hash join diverged from the in-memory join"
-    );
-    assert!(
-        join_oc.peak_bytes <= join_budget + join_budget / 4,
-        "spilling join peak {} exceeds 1.25 x budget {join_budget}",
-        join_oc.peak_bytes
-    );
+        let sort_mem = spill_kernels::run_plan(spill_cat, &sort_plan, None);
+        let sort_oc = spill_kernels::run_plan(spill_cat, &sort_plan, Some(sort_budget));
+        assert_eq!(
+            sort_oc.rows, sort_mem.rows,
+            "external sort diverged from the in-memory sort"
+        );
+        assert!(
+            sort_oc.peak_bytes <= sort_budget + sort_budget / 4,
+            "external sort peak {} exceeds 1.25 x budget {sort_budget}",
+            sort_oc.peak_bytes
+        );
+        let join_mem = spill_kernels::run_plan(spill_cat, &join_plan, None);
+        let join_oc = spill_kernels::run_plan(spill_cat, &join_plan, Some(join_budget));
+        assert_eq!(
+            reference::canonicalize(join_oc.rows.clone()),
+            reference::canonicalize(join_mem.rows.clone()),
+            "spilling hash join diverged from the in-memory join"
+        );
+        assert!(
+            join_oc.peak_bytes <= join_budget + join_budget / 4,
+            "spilling join peak {} exceeds 1.25 x budget {join_budget}",
+            join_oc.peak_bytes
+        );
 
-    entries.push(Entry {
-        name: "sort_spill",
-        rows: li_rows,
-        baseline_ns: median_ns(spill_samples, || {
-            spill_kernels::run_plan(&spill_cat, &sort_plan, None)
-                .rows
-                .len()
-        }),
-        vectorized_ns: median_ns(spill_samples, || {
-            spill_kernels::run_plan(&spill_cat, &sort_plan, Some(sort_budget))
-                .rows
-                .len()
-        }),
-        note: "in-memory sort vs external sorted runs + k-way merge at a 1/4-input budget",
-    });
-    entries.push(Entry {
-        name: "join_spill",
-        rows: li_rows + ord_rows,
-        baseline_ns: median_ns(spill_samples, || {
-            spill_kernels::run_plan(&spill_cat, &join_plan, None)
-                .rows
-                .len()
-        }),
-        vectorized_ns: median_ns(spill_samples, || {
-            spill_kernels::run_plan(&spill_cat, &join_plan, Some(join_budget))
-                .rows
-                .len()
-        }),
-        note: "in-memory hash join vs dynamic hybrid hash join at a 1/4-build budget",
-    });
+        if want("sort_spill") {
+            entries.push(Entry {
+                name: "sort_spill",
+                rows: li_rows,
+                baseline_ns: median_ns(spill_samples, || {
+                    spill_kernels::run_plan(spill_cat, &sort_plan, None)
+                        .rows
+                        .len()
+                }),
+                vectorized_ns: median_ns(spill_samples, || {
+                    spill_kernels::run_plan(spill_cat, &sort_plan, Some(sort_budget))
+                        .rows
+                        .len()
+                }),
+                note: "in-memory sort vs external sorted runs + k-way merge at a 1/4-input budget",
+            });
+        }
+        if want("join_spill") {
+            entries.push(Entry {
+                name: "join_spill",
+                rows: li_rows + ord_rows,
+                baseline_ns: median_ns(spill_samples, || {
+                    spill_kernels::run_plan(spill_cat, &join_plan, None)
+                        .rows
+                        .len()
+                }),
+                vectorized_ns: median_ns(spill_samples, || {
+                    spill_kernels::run_plan(spill_cat, &join_plan, Some(join_budget))
+                        .rows
+                        .len()
+                }),
+                note: "in-memory hash join vs dynamic hybrid hash join at a 1/4-build budget",
+            });
+        }
 
-    let spill_json = format!(
-        concat!(
-            "  \"spill\": {{\n",
-            "    \"scenario\": \"budget = max(input/4, 8 pages); output equality and peak <= 1.25 x budget asserted in-harness\",\n",
-            "    \"sort\": {{ \"input_bytes\": {}, \"budget_bytes\": {}, \"peak_bytes\": {}, \"peak_over_budget\": {:.3}, \"in_memory_peak_bytes\": {} }},\n",
-            "    \"join\": {{ \"build_bytes\": {}, \"budget_bytes\": {}, \"peak_bytes\": {}, \"peak_over_budget\": {:.3}, \"in_memory_peak_bytes\": {} }}\n",
-            "  }},\n"
-        ),
-        sort_input,
-        sort_budget,
-        sort_oc.peak_bytes,
-        sort_oc.peak_bytes as f64 / sort_budget as f64,
-        sort_mem.peak_bytes,
-        join_input,
-        join_budget,
-        join_oc.peak_bytes,
-        join_oc.peak_bytes as f64 / join_budget as f64,
-        join_mem.peak_bytes,
-    );
-    eprintln!(
-        "spill: sort peak {}/{} B ({:.2}x budget), join peak {}/{} B ({:.2}x budget)",
-        sort_oc.peak_bytes,
-        sort_budget,
-        sort_oc.peak_bytes as f64 / sort_budget as f64,
-        join_oc.peak_bytes,
-        join_budget,
-        join_oc.peak_bytes as f64 / join_budget as f64,
-    );
+        spill_json = format!(
+            concat!(
+                "  \"spill\": {{\n",
+                "    \"scenario\": \"budget = max(input/4, 8 pages); output equality and peak <= 1.25 x budget asserted in-harness\",\n",
+                "    \"sort\": {{ \"input_bytes\": {}, \"budget_bytes\": {}, \"peak_bytes\": {}, \"peak_over_budget\": {:.3}, \"in_memory_peak_bytes\": {} }},\n",
+                "    \"join\": {{ \"build_bytes\": {}, \"budget_bytes\": {}, \"peak_bytes\": {}, \"peak_over_budget\": {:.3}, \"in_memory_peak_bytes\": {} }}\n",
+                "  }},\n"
+            ),
+            sort_input,
+            sort_budget,
+            sort_oc.peak_bytes,
+            sort_oc.peak_bytes as f64 / sort_budget as f64,
+            sort_mem.peak_bytes,
+            join_input,
+            join_budget,
+            join_oc.peak_bytes,
+            join_oc.peak_bytes as f64 / join_budget as f64,
+            join_mem.peak_bytes,
+        );
+        eprintln!(
+            "spill: sort peak {}/{} B ({:.2}x budget), join peak {}/{} B ({:.2}x budget)",
+            sort_oc.peak_bytes,
+            sort_budget,
+            sort_oc.peak_bytes as f64 / sort_budget as f64,
+            join_oc.peak_bytes,
+            join_budget,
+            join_oc.peak_bytes as f64 / join_budget as f64,
+        );
+    }
+
+    // Morsel-parallel section: serial vs 4-worker wiring. The pipeline
+    // and aggregate pairs are simulator virtual time (deterministic);
+    // the join pair is wall clock over real threads.
+    let mut par_pairs: Vec<ParPair> = Vec::new();
+    if run_par {
+        let cat = spill_cat.as_ref().expect("catalog built above");
+        let join_samples = if quick { 1 } else { 3 };
+        if want("par_scan_filter") {
+            par_pairs.push(par_kernels::virtual_pair(
+                cat,
+                "par_scan_filter",
+                &par_kernels::pipeline_plan(),
+                PAR_WORKERS,
+                "morsel-parallel scan+filter+project vs serial wiring, virtual makespan",
+            ));
+        }
+        if want("par_aggregate") {
+            par_pairs.push(par_kernels::virtual_pair(
+                cat,
+                "par_aggregate",
+                &par_kernels::aggregate_plan(),
+                PAR_WORKERS,
+                "per-worker partial aggregates merged in worker order, virtual makespan",
+            ));
+        }
+        if want("par_hash_join") {
+            par_pairs.push(par_kernels::join_wall_clock_pair(
+                cat,
+                PAR_WORKERS,
+                join_samples,
+            ));
+        }
+    }
 
     for e in &entries {
         println!(
@@ -367,22 +484,62 @@ fn main() {
             e.speedup()
         );
     }
+    for p in &par_pairs {
+        println!(
+            "{:<22} {:>10} rows  serial {:>12.0} {}  {}-worker {:>12.0}  speedup {:>5.2}x",
+            p.name,
+            p.rows,
+            p.serial,
+            if p.substrate == "sim-vtime" {
+                "vt"
+            } else {
+                "ns"
+            },
+            p.workers,
+            p.parallel,
+            p.speedup()
+        );
+    }
+
+    // Fresh (name, speedup) pairs for the regression gate: vectorized
+    // kernels and parallel pairs alike.
+    let fresh: Vec<(String, f64)> = entries
+        .iter()
+        .map(|e| (e.name.to_string(), e.speedup()))
+        .chain(par_pairs.iter().map(|p| (p.name.to_string(), p.speedup())))
+        .collect();
 
     // Regression-check mode: compare against a committed BENCH_ops.json
     // instead of writing one.
-    let args: Vec<String> = std::env::args().collect();
     if let Some(at) = args.iter().position(|a| a == "--check") {
         let path = args
             .get(at + 1)
             .cloned()
             .unwrap_or_else(|| "BENCH_ops.json".to_string());
-        if !check_against(&path, &entries) {
+        if !check_against(&path, &fresh) {
             std::process::exit(1);
         }
         return;
     }
 
+    if filter.is_some() {
+        eprintln!("bench_ops: filtered run, skipping BENCH_ops.json");
+        return;
+    }
+
     let path = std::env::var("CORDOBA_BENCH_OPS").unwrap_or_else(|_| "BENCH_ops.json".to_string());
+    let par_body: Vec<String> = par_pairs.iter().map(par_json).collect();
+    let par_section = format!(
+        concat!(
+            "  \"parallel\": {{\n",
+            "    \"workers\": {},\n",
+            "    \"substrates\": \"pipeline/aggregate pairs are deterministic simulator virtual time; the join pair is wall clock over real threads\",\n",
+            "    \"pairs\": [\n{}\n    ]\n",
+            "  }},\n"
+        ),
+        PAR_WORKERS,
+        par_body.join(",\n")
+    );
     let body: Vec<String> = entries.iter().map(Entry::json).collect();
     let json = format!(
         concat!(
@@ -393,6 +550,7 @@ fn main() {
             "  \"quick\": {},\n",
             "  \"join_build\": {{ \"arena_backed\": true, \"per_row_heap_allocations\": 0 }},\n",
             "{}",
+            "{}",
             "  \"benches\": [\n{}\n  ]\n",
             "}}\n"
         ),
@@ -400,6 +558,7 @@ fn main() {
         sf,
         quick,
         spill_json,
+        par_section,
         body.join(",\n")
     );
     std::fs::write(&path, json).expect("write BENCH_ops.json");
@@ -408,7 +567,8 @@ fn main() {
 
 /// Parses the committed `BENCH_ops.json` into `(name, speedup)` pairs.
 /// Hand-rolled line scan — the file is written by this binary, so the
-/// shape is known exactly.
+/// shape is known exactly; entries from both `benches` and
+/// `parallel.pairs` are picked up.
 fn committed_numbers(body: &str) -> Vec<(String, f64)> {
     let mut out = Vec::new();
     let mut name: Option<String> = None;
@@ -427,10 +587,11 @@ fn committed_numbers(body: &str) -> Vec<(String, f64)> {
 
 /// Compares each kernel's fresh within-run speedup against the
 /// committed one with [`CHECK_TOLERANCE`]; prints one verdict line per
-/// shared entry. Returns `false` when any kernel grossly regressed.
+/// shared entry. Returns `false` when any kernel grossly regressed,
+/// naming every offender with its committed and fresh numbers.
 /// Entries present on only one side (newly added kernels) are reported
 /// but don't fail.
-fn check_against(path: &str, entries: &[Entry]) -> bool {
+fn check_against(path: &str, fresh: &[(String, f64)]) -> bool {
     let body = match std::fs::read_to_string(path) {
         Ok(b) => b,
         Err(e) => {
@@ -439,29 +600,38 @@ fn check_against(path: &str, entries: &[Entry]) -> bool {
         }
     };
     let committed = committed_numbers(&body);
-    let mut ok = true;
-    for e in entries {
-        let fresh = e.speedup();
-        match committed.iter().find(|(n, _)| n == e.name) {
+    let mut offenders: Vec<String> = Vec::new();
+    for (name, fresh_speedup) in fresh {
+        match committed.iter().find(|(n, _)| n == name) {
             Some(&(_, base)) => {
-                let regressed = fresh < base / CHECK_TOLERANCE;
+                let regressed = *fresh_speedup < base / CHECK_TOLERANCE;
                 println!(
                     "{:<22} committed speedup {:>6.2}x  fresh {:>6.2}x  {}",
-                    e.name,
+                    name,
                     base,
-                    fresh,
+                    fresh_speedup,
                     if regressed { "REGRESSED" } else { "ok" }
                 );
-                ok &= !regressed;
+                if regressed {
+                    offenders.push(format!(
+                        "{name} (committed {base:.2}x, fresh {fresh_speedup:.2}x)"
+                    ));
+                }
             }
-            None => println!("{:<22} (no committed speedup; fresh {fresh:.2}x)", e.name),
+            None => println!(
+                "{:<22} (no committed speedup; fresh {fresh_speedup:.2}x)",
+                name
+            ),
         }
     }
-    if !ok {
+    if !offenders.is_empty() {
         eprintln!(
-            "bench check: kernel speedups collapsed more than {CHECK_TOLERANCE}x vs {path} \
-             (a vectorized path likely fell back to tuple-at-a-time)"
+            "bench check: {} kernel(s) collapsed more than {CHECK_TOLERANCE}x vs {path}: {} \
+             (a vectorized path likely fell back to tuple-at-a-time)",
+            offenders.len(),
+            offenders.join(", ")
         );
+        return false;
     }
-    ok
+    true
 }

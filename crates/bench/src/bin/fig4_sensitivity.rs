@@ -5,10 +5,13 @@
 //! * center — at 32 CPUs, sweep the pivot's per-consumer cost
 //!   s ∈ {0, .25, .5, 1, 2, 4};
 //! * right — at 8 CPUs, sweep the fraction of work below the pivot by
-//!   moving the five split stages down one at a time (28%…98%).
+//!   moving the five split stages down one at a time (28%…98%);
+//! * workers — at 32 CPUs, sweep intra-query morsel workers
+//!   k ∈ {1,2,4,8,16} with ideal scaling (κ = 1): the aggressive-
+//!   scheduling counterargument, priced by the same model.
 
 use cordoba_bench::output::{announce, ascii_chart, f, write_csv};
-use cordoba_core::sharing::SharingEvaluator;
+use cordoba_core::sharing::{SharingEvaluator, WorkerScaling};
 use cordoba_workload::synthetic::{eliminated_fraction, five_way_split, three_stage_with_s};
 
 const CLIENTS: [usize; 9] = [1, 2, 4, 8, 12, 16, 20, 30, 40];
@@ -112,6 +115,45 @@ fn right() {
     ));
 }
 
+fn workers() {
+    // The unshared side's pivot scales with k (it serves one consumer);
+    // the shared pivot keeps its serial Σ s_mφ. With processors to
+    // spare, every added worker therefore erodes Z — sharing's residual
+    // value is whatever the multiplexing floor leaves.
+    let (plan, pivot) = three_stage_with_s(1.0);
+    let mut rows = Vec::new();
+    let mut series = Vec::new();
+    for k in [1u32, 2, 4, 8, 16] {
+        let scaling = WorkerScaling::ideal(k).expect("k >= 1");
+        let pts: Vec<(f64, f64)> = CLIENTS
+            .iter()
+            .map(|&m| {
+                let z = SharingEvaluator::homogeneous(&plan, pivot, m)
+                    .expect("synthetic plan valid")
+                    .speedup_with_workers(32.0, scaling);
+                (m as f64, z)
+            })
+            .collect();
+        for &(m, zv) in &pts {
+            rows.push(vec![k.to_string(), (m as usize).to_string(), f(zv)]);
+        }
+        series.push((format!("k={k}"), pts));
+    }
+    println!(
+        "{}",
+        ascii_chart(
+            "Figure 4 workers: Z vs clients as morsel workers vary (32 CPU, ideal scaling)",
+            "Z",
+            &series
+        )
+    );
+    announce(&write_csv(
+        "fig4_workers.csv",
+        &["workers", "clients", "z"],
+        &rows,
+    ));
+}
+
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
     println!("Figure 4: predicted speedup of work sharing (analytical model, Section 6)");
@@ -119,10 +161,12 @@ fn main() {
         "cpus" => left(),
         "serial" => center(),
         "fraction" => right(),
+        "workers" => workers(),
         _ => {
             left();
             center();
             right();
+            workers();
         }
     }
 }

@@ -4,9 +4,21 @@
 //! (the paper: avg 5.7%/5.9%, max 22%/30%), and the binary-decision
 //! agreement rate ("the model's recommendations are nearly always
 //! correct").
+//!
+//! The `workers` panel extends validation to the (m clients × k morsel
+//! workers) grid: the intra-query scaling exponent κ is re-fitted from
+//! solo-query throughput at each worker count (the Section 4.1.4
+//! aggregate-bandwidth form, applied within a query), then
+//! `Z(m, n, k)` from `speedup_with_workers` is compared against the
+//! engine measured at the same worker counts. The host's real-thread κ
+//! is reported alongside for contrast.
 
-use cordoba_bench::experiments::{model_speedup, profile_all, speedup_sweep, ExpConfig};
+use cordoba_bench::experiments::{
+    fit_sim_kappa, fit_thread_kappa, model_speedup, model_speedup_with_workers, profile_all,
+    sharing_speedup_with_workers, speedup_sweep, ExpConfig,
+};
 use cordoba_bench::output::{announce, f, write_csv};
+use cordoba_core::sharing::WorkerScaling;
 use cordoba_engine::QuerySpec;
 use cordoba_workload::{q1, q13, q4, q6};
 
@@ -80,6 +92,91 @@ fn panel(cfg: &ExpConfig, specs: &[QuerySpec], csv: &str) -> PanelSummary {
     }
 }
 
+/// The (m × k) grid: measured vs modeled Z at `contexts` CPUs as both
+/// the client count and the per-query morsel worker count vary.
+fn worker_panel(cfg: &ExpConfig, spec: &QuerySpec) -> PanelSummary {
+    let catalog = cfg.catalog();
+    let clients = [2usize, 4, 8, 16];
+    let workers = [1usize, 2, 4];
+    let contexts = 8usize;
+    // κ of the simulated engine (used for the model series — it must
+    // describe the same substrate the measurements come from) ...
+    let kappa = fit_sim_kappa(&catalog, spec, &workers);
+    // ... and κ of the real-thread executor on this host, for contrast.
+    let thread_kappa = fit_thread_kappa(&catalog, spec, &[1, 2, 4]);
+    println!(
+        "worker grid ({}, n={contexts}): sim κ = {kappa:.3}, host thread κ = {thread_kappa:.3}",
+        spec.name
+    );
+    let models = profile_all(&catalog, std::slice::from_ref(spec));
+    let info = &models[&spec.name];
+    let work = cordoba_bench::experiments::query_work(&catalog, spec);
+    let mut rows = Vec::new();
+    let mut errs: Vec<f64> = Vec::new();
+    let mut decisions = 0usize;
+    let mut agreed = 0usize;
+    for &k in &workers {
+        let scaling = WorkerScaling::new(k as u32, kappa).expect("fitted κ in (0,1]");
+        for &m in &clients {
+            let p = sharing_speedup_with_workers(
+                &catalog,
+                spec,
+                m,
+                contexts,
+                k,
+                work,
+                cfg.measure_floor,
+            );
+            let predicted = model_speedup_with_workers(info, m, contexts, scaling);
+            let err = (predicted - p.z).abs() / p.z.max(1e-9);
+            errs.push(err);
+            decisions += 1;
+            let deadband = 0.05;
+            let material = (p.z - 1.0).abs() > deadband || (predicted - 1.0).abs() > deadband;
+            if !material || ((predicted > 1.0) == (p.z > 1.0)) {
+                agreed += 1;
+            }
+            println!(
+                "{:>4} k={:<2} {:>8} {:>10.3} {:>10.3} {:>8.1}%",
+                spec.name,
+                k,
+                m,
+                p.z,
+                predicted,
+                err * 100.0
+            );
+            rows.push(vec![
+                spec.name.clone(),
+                k.to_string(),
+                m.to_string(),
+                f(kappa),
+                f(p.z),
+                f(predicted),
+                f(err),
+            ]);
+        }
+    }
+    announce(&write_csv(
+        "fig5_worker_grid.csv",
+        &[
+            "query",
+            "workers",
+            "clients",
+            "kappa_sim",
+            "z_measured",
+            "z_model",
+            "rel_error",
+        ],
+        &rows,
+    ));
+    PanelSummary {
+        mean_err: errs.iter().sum::<f64>() / errs.len() as f64,
+        max_err: errs.iter().copied().fold(0.0, f64::max),
+        decisions,
+        agreed,
+    }
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let cfg = if quick {
@@ -115,6 +212,16 @@ fn main() {
         );
         println!(
             "join-heavy: mean err {:.1}% (paper 5.9%), max {:.1}% (paper 30%), decisions {}/{} correct",
+            s.mean_err * 100.0,
+            s.max_err * 100.0,
+            s.agreed,
+            s.decisions
+        );
+    }
+    if which == "workers" || which == "all" || which == "--quick" {
+        let s = worker_panel(&cfg, &q6(&cfg.costs));
+        println!(
+            "worker grid: mean err {:.1}%, max {:.1}%, decisions {}/{} correct",
             s.mean_err * 100.0,
             s.max_err * 100.0,
             s.agreed,

@@ -1,9 +1,11 @@
 //! Measurement routines for every experiment in the paper.
 
-use cordoba_core::sharing::SharingEvaluator;
+use cordoba_core::contention::estimate_k;
+use cordoba_core::sharing::{SharingEvaluator, WorkerScaling};
 use cordoba_engine::profiling::profile_query;
 use cordoba_engine::{
-    measure_throughput, run_once, EngineConfig, Policy, QueryModelInfo, QuerySpec,
+    measure_throughput, run_once, thread_exec, EngineConfig, ParallelConfig, Policy,
+    QueryModelInfo, QuerySpec,
 };
 use cordoba_sim::VTime;
 use cordoba_storage::tpch::{generate, TpchConfig};
@@ -71,6 +73,15 @@ fn engine_cfg(contexts: usize, policy: Policy) -> EngineConfig {
     EngineConfig {
         contexts,
         policy,
+        ..EngineConfig::default()
+    }
+}
+
+fn engine_cfg_workers(contexts: usize, policy: Policy, workers: usize) -> EngineConfig {
+    EngineConfig {
+        contexts,
+        policy,
+        parallel: ParallelConfig::with_workers(workers),
         ..EngineConfig::default()
     }
 }
@@ -162,6 +173,90 @@ pub fn model_speedup(info: &QueryModelInfo, clients: usize, contexts: usize) -> 
     SharingEvaluator::homogeneous(&info.plan, info.pivot, clients)
         .expect("profiled plan is valid")
         .speedup(contexts as f64)
+}
+
+/// Model-predicted speedup with every query running `scaling.workers`
+/// morsel workers (the (m × k) grid's model series).
+pub fn model_speedup_with_workers(
+    info: &QueryModelInfo,
+    clients: usize,
+    contexts: usize,
+    scaling: WorkerScaling,
+) -> f64 {
+    SharingEvaluator::homogeneous(&info.plan, info.pivot, clients)
+        .expect("profiled plan is valid")
+        .speedup_with_workers(contexts as f64, scaling)
+}
+
+/// Measures the always-share vs never-share speedup with every query
+/// running `workers` morsel workers — one point of the (m × k) grid.
+pub fn sharing_speedup_with_workers(
+    catalog: &Catalog,
+    spec: &QuerySpec,
+    clients: usize,
+    contexts: usize,
+    workers: usize,
+    work_hint: VTime,
+    measure_floor: usize,
+) -> SpeedupPoint {
+    let specs = vec![spec.clone(); clients];
+    let target = measure_floor.max(6 * clients);
+    let cap = work_hint
+        .saturating_mul(clients as u64)
+        .saturating_mul(16)
+        .max(10_000_000);
+    let shared = measure_throughput(
+        catalog,
+        &specs,
+        &engine_cfg_workers(contexts, Policy::AlwaysShare, workers),
+        target,
+        cap,
+    );
+    let unshared = measure_throughput(
+        catalog,
+        &specs,
+        &engine_cfg_workers(contexts, Policy::NeverShare, workers),
+        target,
+        cap,
+    );
+    SpeedupPoint {
+        clients,
+        contexts,
+        shared: shared.per_time,
+        unshared: unshared.per_time,
+        z: if unshared.per_time > 0.0 {
+            shared.per_time / unshared.per_time
+        } else {
+            f64::NAN
+        },
+    }
+}
+
+/// Fits the intra-query scaling exponent `κ` of the *simulated* engine:
+/// solo-query virtual throughput (1 / makespan) at each worker count,
+/// log-log least-squares — the same aggregate-bandwidth form as the
+/// paper's Section 4.1.4 contention fit, applied to worker counts.
+pub fn fit_sim_kappa(catalog: &Catalog, spec: &QuerySpec, worker_counts: &[usize]) -> f64 {
+    let samples: Vec<(u32, f64)> = worker_counts
+        .iter()
+        .map(|&k| {
+            let cfg = engine_cfg_workers(k.max(1), Policy::NeverShare, k);
+            let out = run_once(catalog, std::slice::from_ref(spec), &cfg);
+            (k.max(1) as u32, 1.0 / out.makespan.max(1) as f64)
+        })
+        .collect();
+    estimate_k(&samples).unwrap_or(f64::MIN_POSITIVE)
+}
+
+/// Fits `κ` of the *real-thread* morsel executor on this host:
+/// wall-clock throughput from
+/// [`cordoba_engine::thread_exec::worker_scaling_samples`]. On a
+/// single-core runner the samples are flat and `κ` fits ≈ 0 — the
+/// honest answer that intra-query parallelism buys this host nothing.
+pub fn fit_thread_kappa(catalog: &Catalog, spec: &QuerySpec, worker_counts: &[u32]) -> f64 {
+    let samples = thread_exec::worker_scaling_samples(catalog, spec, 3, worker_counts)
+        .expect("threaded scaling run");
+    estimate_k(&samples).unwrap_or(f64::MIN_POSITIVE)
 }
 
 /// Profiles every query in `specs` (paper Section 3.1), returning the

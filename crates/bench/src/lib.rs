@@ -15,5 +15,6 @@
 
 pub mod experiments;
 pub mod output;
+pub mod par_kernels;
 pub mod spill_kernels;
 pub mod vec_kernels;

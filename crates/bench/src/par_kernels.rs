@@ -1,0 +1,269 @@
+//! Morsel-parallelism benchmarks: the same TPC-H plan executed with
+//! the classic one-task-per-operator wiring and with `k` morsel
+//! workers.
+//!
+//! Pipeline-shaped plans (scan → filter → project, scan → filter →
+//! aggregate) are measured in **simulator virtual time**: the morsel
+//! wiring spreads per-tuple work across `k` fused worker tasks on `k`
+//! contexts, so the virtual makespan contracts by roughly the work
+//! split — a deterministic, host-independent record of what the
+//! threading model buys on a `k`-context machine. (Wall clock would be
+//! meaningless here: CI containers often pin this harness to one core.)
+//!
+//! The hash-join pair is the honest counterpoint: it runs the
+//! real-thread morsel executor ([`cordoba_exec::parallel`]) and reports
+//! wall clock, whatever the host actually delivers.
+
+use cordoba_exec::expr::Agg;
+use cordoba_exec::wiring::{self, WiringConfig};
+use cordoba_exec::{parallel, OpCost, ParallelConfig, PhysicalPlan};
+use cordoba_sim::Simulator;
+use cordoba_storage::{Catalog, Value};
+use std::hint::black_box;
+use std::time::Instant;
+
+use crate::vec_kernels::{q1_group_by, q6_predicate, revenue_expr};
+
+/// One serial-vs-parallel measurement pair.
+pub struct ParPair {
+    /// Kernel name (stable across PRs; keyed by `--check`).
+    pub name: &'static str,
+    /// Input rows processed.
+    pub rows: usize,
+    /// Morsel workers on the parallel side.
+    pub workers: usize,
+    /// Serial measurement (virtual time units or nanoseconds).
+    pub serial: f64,
+    /// Parallel measurement in the same units.
+    pub parallel: f64,
+    /// `"sim-vtime"` or `"wall-clock"`.
+    pub substrate: &'static str,
+    /// One-line description.
+    pub note: &'static str,
+}
+
+impl ParPair {
+    /// Serial / parallel — how much the morsel wiring contracts the
+    /// measurement.
+    pub fn speedup(&self) -> f64 {
+        self.serial / self.parallel
+    }
+}
+
+/// Row equality up to float-summation reassociation: merging
+/// per-worker partial sums adds `f64` values in a different order than
+/// one serial stream, so aggregate outputs may differ in the last few
+/// ulps over real TPC-H data. (The proptest equivalence suites pin
+/// bit-exact equality separately, using integer-valued floats.)
+fn rows_approx_eq(a: &[Vec<Value>], b: &[Vec<Value>]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(ra, rb)| {
+            ra.len() == rb.len()
+                && ra.iter().zip(rb).all(|(va, vb)| match (va, vb) {
+                    (Value::Float(x), Value::Float(y)) => {
+                        let scale = x.abs().max(y.abs()).max(1.0);
+                        (x - y).abs() <= 1e-9 * scale
+                    }
+                    _ => va == vb,
+                })
+        })
+}
+
+fn scan(table: &str) -> Box<PhysicalPlan> {
+    // Scan-dominant costs: reading and filtering the pages is the bulk
+    // of the work, which is exactly the shape morsel parallelism
+    // targets (the paper's below-pivot `w`).
+    Box::new(PhysicalPlan::Scan {
+        table: table.into(),
+        cost: OpCost::new(4.0, 1.0),
+    })
+}
+
+/// `σ_q6(lineitem)` projected to revenue — the parallel pipeline shape.
+pub fn pipeline_plan() -> PhysicalPlan {
+    PhysicalPlan::Project {
+        input: Box::new(PhysicalPlan::Filter {
+            input: scan("lineitem"),
+            predicate: q6_predicate(),
+            cost: OpCost::new(1.0, 0.5),
+        }),
+        exprs: vec![("revenue".into(), revenue_expr())],
+        cost: OpCost::new(1.0, 0.5),
+    }
+}
+
+/// Q1-style grouped sum over the Q6 selection — the partial-aggregate
+/// merge shape.
+pub fn aggregate_plan() -> PhysicalPlan {
+    PhysicalPlan::Aggregate {
+        input: Box::new(PhysicalPlan::Filter {
+            input: scan("lineitem"),
+            predicate: q6_predicate(),
+            cost: OpCost::new(1.0, 0.5),
+        }),
+        group_by: q1_group_by(),
+        aggs: vec![("revenue".into(), Agg::Sum(revenue_expr()))],
+        cost: OpCost::new(1.0, 0.5),
+    }
+}
+
+/// Runs `plan` to completion under `workers` morsel workers on
+/// `contexts` simulated contexts; returns `(rows, virtual makespan)`.
+///
+/// # Panics
+///
+/// Panics if the plan fails to wire or faults mid-run.
+pub fn run_virtual(
+    catalog: &Catalog,
+    plan: &PhysicalPlan,
+    workers: usize,
+    contexts: usize,
+) -> (Vec<Vec<Value>>, u64) {
+    let cfg = WiringConfig {
+        parallel: ParallelConfig {
+            workers,
+            morsel_pages: 1,
+        },
+        ..WiringConfig::default()
+    };
+    let mut sim = Simulator::new(contexts);
+    let (rx, _ops, res) =
+        wiring::instantiate(&mut sim, catalog, plan, "par-bench", &cfg).expect("plan wires");
+    let rows = wiring::run_and_collect(&mut sim, rx, OpCost::default(), &res.fault)
+        .expect("parallel bench plan must complete");
+    (rows, sim.now())
+}
+
+/// Measures one virtual-time pair: serial wiring vs `workers` morsel
+/// workers, both on `workers` contexts (same machine, different
+/// wiring). Asserts the two runs return identical rows.
+pub fn virtual_pair(
+    catalog: &Catalog,
+    name: &'static str,
+    plan: &PhysicalPlan,
+    workers: usize,
+    note: &'static str,
+) -> ParPair {
+    let contexts = workers.max(2);
+    let (serial_rows, serial_t) = run_virtual(catalog, plan, 1, contexts);
+    let (par_rows, par_t) = run_virtual(catalog, plan, workers, contexts);
+    assert!(
+        rows_approx_eq(&serial_rows, &par_rows),
+        "{name}: parallel wiring changed the result rows"
+    );
+    ParPair {
+        name,
+        rows: catalog
+            .expect("lineitem")
+            .pages()
+            .iter()
+            .map(|p| p.rows())
+            .sum(),
+        workers,
+        serial: serial_t as f64,
+        parallel: par_t as f64,
+        substrate: "sim-vtime",
+        note,
+    }
+}
+
+/// Measures the real-thread hash-join pair: `orders ⋈ lineitem` through
+/// the morsel executor at 1 vs `workers` worker threads, wall clock.
+/// On a single-core host this is expected to hover near 1× — that is
+/// the point of reporting it alongside the virtual-time pairs.
+pub fn join_wall_clock_pair(catalog: &Catalog, workers: usize, samples: usize) -> ParPair {
+    let plan = crate::spill_kernels::join_plan();
+    let serial_cfg = ParallelConfig::with_workers(1);
+    let par_cfg = ParallelConfig::with_workers(workers);
+    let serial_rows = parallel::execute_plan(catalog, &plan, &serial_cfg).expect("join runs");
+    let par_rows = parallel::execute_plan(catalog, &plan, &par_cfg).expect("join runs");
+    assert_eq!(
+        cordoba_exec::reference::canonicalize(serial_rows),
+        cordoba_exec::reference::canonicalize(par_rows),
+        "parallel join changed the result multiset"
+    );
+    let time_ns = |cfg: &ParallelConfig| {
+        let mut best = f64::INFINITY;
+        for _ in 0..samples.max(1) {
+            let t = Instant::now();
+            black_box(parallel::execute_plan(catalog, &plan, cfg).expect("join runs"));
+            best = best.min(t.elapsed().as_secs_f64() * 1e9);
+        }
+        best
+    };
+    let rows = ["lineitem", "orders"]
+        .iter()
+        .map(|t| {
+            catalog
+                .expect(t)
+                .pages()
+                .iter()
+                .map(|p| p.rows())
+                .sum::<usize>()
+        })
+        .sum();
+    ParPair {
+        name: "par_hash_join",
+        rows,
+        workers,
+        serial: time_ns(&serial_cfg),
+        parallel: time_ns(&par_cfg),
+        substrate: "wall-clock",
+        note: "partitioned build + parallel probe on real threads; ~1x expected on 1-core hosts",
+    }
+}
+
+/// The full parallel section: virtual-time pipeline and aggregate
+/// pairs plus the wall-clock join pair, all at `workers` workers.
+pub fn all_pairs(catalog: &Catalog, workers: usize, join_samples: usize) -> Vec<ParPair> {
+    vec![
+        virtual_pair(
+            catalog,
+            "par_scan_filter",
+            &pipeline_plan(),
+            workers,
+            "morsel-parallel scan+filter+project vs serial wiring, virtual makespan",
+        ),
+        virtual_pair(
+            catalog,
+            "par_aggregate",
+            &aggregate_plan(),
+            workers,
+            "per-worker partial aggregates merged in worker order, virtual makespan",
+        ),
+        join_wall_clock_pair(catalog, workers, join_samples),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spill_kernels::catalog;
+
+    #[test]
+    fn virtual_pairs_show_parallel_contraction() {
+        let cat = catalog(0.002);
+        for (name, plan) in [
+            ("par_scan_filter", pipeline_plan()),
+            ("par_aggregate", aggregate_plan()),
+        ] {
+            let pair = virtual_pair(&cat, name, &plan, 4, "");
+            assert!(
+                pair.speedup() >= 2.0,
+                "{name}: expected >= 2x virtual contraction at 4 workers, got {:.2}x \
+                 (serial {} parallel {})",
+                pair.speedup(),
+                pair.serial,
+                pair.parallel
+            );
+        }
+    }
+
+    #[test]
+    fn join_pair_preserves_results() {
+        let cat = catalog(0.002);
+        let pair = join_wall_clock_pair(&cat, 4, 1);
+        assert!(pair.serial > 0.0 && pair.parallel > 0.0);
+        assert_eq!(pair.substrate, "wall-clock");
+    }
+}

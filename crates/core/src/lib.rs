@@ -73,4 +73,4 @@ pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use operator::OperatorSpec;
 pub use plan::{NodeId, PlanSpec};
 pub use query::QueryModel;
-pub use sharing::{SharingEvaluator, Speedup};
+pub use sharing::{SharingEvaluator, Speedup, WorkerScaling};

@@ -38,7 +38,7 @@ pub mod runner;
 pub mod sharing;
 pub mod thread_exec;
 
-pub use cordoba_exec::{ExecError, MemoryConfig};
+pub use cordoba_exec::{ExecError, MemoryConfig, ParallelConfig};
 pub use policy::{Policy, QueryModelInfo};
 pub use query::QuerySpec;
 pub use runner::{

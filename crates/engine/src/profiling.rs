@@ -51,10 +51,14 @@ pub fn profile_query(
     let subtree_size = pivot.node_count();
 
     // Profiling runs are about active time / progress, which are
-    // schedule-independent; a few contexts keep them quick.
+    // schedule-independent; a few contexts keep them quick. The serial
+    // wiring is forced regardless of the engine's worker knob: the
+    // model's per-node costs are defined on the one-task-per-operator
+    // decomposition, which morsel workers fuse away.
     let profile_cfg = EngineConfig {
         policy: Policy::AlwaysShare,
         contexts: 4,
+        parallel: cordoba_exec::ParallelConfig::with_workers(1),
         ..cfg.clone()
     };
 

@@ -10,7 +10,7 @@
 
 use crate::query::QuerySpec;
 use crate::sharing::split_at_pivot;
-use cordoba_exec::{reference, PhysicalPlan};
+use cordoba_exec::{parallel, reference, ExecError, ParallelConfig, PhysicalPlan};
 use cordoba_storage::{Catalog, Page, Table, TableBuilder, Value};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
@@ -59,6 +59,90 @@ pub fn run_unshared(catalog: &Catalog, spec: &QuerySpec, m: usize, threads: usiz
             .collect(),
         elapsed: start.elapsed(),
     }
+}
+
+/// Executes `m` copies of `spec` without sharing, each query running
+/// the morsel-parallel executor with `parallel.workers` threads of its
+/// own. `threads` bounds how many *queries* run concurrently, so total
+/// thread pressure is `threads × workers`.
+///
+/// This is the unshared baseline the contention re-fit measures: the
+/// same queries as [`run_unshared`], but each one spreading its scan →
+/// filter → project → aggregate work across morsel workers instead of a
+/// single thread of control.
+pub fn run_unshared_parallel(
+    catalog: &Catalog,
+    spec: &QuerySpec,
+    m: usize,
+    threads: usize,
+    parallel: &ParallelConfig,
+) -> Result<ThreadReport, ExecError> {
+    let start = Instant::now();
+    let next = AtomicUsize::new(0);
+    let mut results: Vec<Option<Vec<Vec<Value>>>> = vec![None; m];
+    let mut slots: Vec<_> = results.iter_mut().collect();
+    let mut first_err: Option<ExecError> = None;
+    thread::scope(|scope| {
+        type Done = (usize, Result<Vec<Vec<Value>>, ExecError>);
+        let (done_tx, done_rx) = mpsc::sync_channel::<Done>(m.max(1));
+        for _ in 0..threads.max(1).min(m.max(1)) {
+            let done_tx = done_tx.clone();
+            let next = &next;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= m {
+                    break;
+                }
+                let rows = parallel::execute_plan(catalog, &spec.plan, parallel);
+                done_tx.send((i, rows)).expect("collector alive");
+            });
+        }
+        drop(done_tx);
+        for (i, rows) in done_rx {
+            match rows {
+                Ok(rows) => *slots[i] = Some(rows),
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+    });
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+    Ok(ThreadReport {
+        results: results
+            .into_iter()
+            .map(|r| r.expect("all queries ran"))
+            .collect(),
+        elapsed: start.elapsed(),
+    })
+}
+
+/// Measures unshared throughput (queries per wall-clock second) of the
+/// morsel-parallel executor at each worker count, running one query at
+/// a time so the samples isolate *intra*-query scaling.
+///
+/// Feed the samples to [`cordoba_core::contention::estimate_k`]-style
+/// fitting to recover the scaling exponent `κ` of `e(k) = k^κ` for this
+/// host — the paper's aggregate-bandwidth contention form, re-fitted
+/// against real threads instead of simulated contexts.
+pub fn worker_scaling_samples(
+    catalog: &Catalog,
+    spec: &QuerySpec,
+    repeats: usize,
+    worker_counts: &[u32],
+) -> Result<Vec<(u32, f64)>, ExecError> {
+    let mut samples = Vec::with_capacity(worker_counts.len());
+    for &k in worker_counts {
+        let cfg = ParallelConfig::with_workers(k.max(1) as usize);
+        let report = run_unshared_parallel(catalog, spec, repeats.max(1), 1, &cfg)?;
+        let secs = report.elapsed.as_secs_f64().max(f64::MIN_POSITIVE);
+        samples.push((k.max(1), repeats.max(1) as f64 / secs));
+    }
+    Ok(samples)
 }
 
 /// Executes `m` copies of `spec` with the pivot sub-plan shared: one
@@ -229,6 +313,32 @@ mod tests {
         assert_eq!(report.results.len(), 4);
         for r in &report.results {
             assert_eq!(r, &expected);
+        }
+    }
+
+    #[test]
+    fn parallel_unshared_matches_reference_at_each_worker_count() {
+        let cat = catalog();
+        let expected = reference::execute(&cat, &query().plan);
+        for workers in [1usize, 4] {
+            let cfg = ParallelConfig::with_workers(workers);
+            let report = run_unshared_parallel(&cat, &query(), 3, 2, &cfg).unwrap();
+            assert_eq!(report.results.len(), 3);
+            for r in &report.results {
+                assert_eq!(r, &expected, "workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn worker_scaling_samples_cover_requested_counts() {
+        let cat = catalog();
+        let samples = worker_scaling_samples(&cat, &query(), 2, &[1, 2]).unwrap();
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[0].0, 1);
+        assert_eq!(samples[1].0, 2);
+        for (k, x) in samples {
+            assert!(x > 0.0, "throughput at k={k} must be positive, got {x}");
         }
     }
 

@@ -30,6 +30,7 @@ pub mod explain;
 pub mod expr;
 pub mod memory;
 pub mod ops;
+pub mod parallel;
 pub mod plan;
 pub mod reference;
 pub mod vexpr;
@@ -40,5 +41,6 @@ pub use error::{ExecError, FaultCell};
 pub use explain::explain;
 pub use expr::{Agg, CmpOp, Predicate, Scalar, ScalarExpr};
 pub use memory::{MemoryBroker, MemoryConfig, QueryResources, SpillContext};
+pub use parallel::{MorselDispenser, ParallelConfig};
 pub use plan::{JoinKind, PhysicalPlan};
 pub use vexpr::{CompiledExpr, CompiledPredicate, ExprScratch};

@@ -10,24 +10,44 @@
 //! the acceptance criterion "peak tracked memory ≤ 1.25 × budget" is
 //! measured against.
 //!
-//! The simulator is single-threaded, so the broker is a plain
-//! `Rc<RefCell<..>>` handle; clones share the same account.
+//! The account is lock-free atomic state behind an `Arc`, so one
+//! per-query broker can serve a pool of morsel workers (the parallel
+//! kernels in [`crate::parallel`]) as well as the single-threaded
+//! simulator; clones share the same account. Single-threaded `peak()`
+//! semantics are unchanged: with one caller, `peak` is exactly the
+//! maximum of `used` over the grant history.
 
 use crate::error::FaultCell;
-use std::cell::RefCell;
 use std::path::PathBuf;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 #[derive(Debug, Default)]
 struct BrokerState {
     budget: Option<usize>,
-    used: usize,
-    peak: usize,
+    used: AtomicUsize,
+    peak: AtomicUsize,
+}
+
+impl BrokerState {
+    /// Raises `peak` to at least `used` (monotone CAS loop).
+    fn bump_peak(&self, used: usize) {
+        let mut peak = self.peak.load(Ordering::Relaxed);
+        while used > peak {
+            match self
+                .peak
+                .compare_exchange_weak(peak, used, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(observed) => peak = observed,
+            }
+        }
+    }
 }
 
 /// Shared per-query memory account. See the [module docs](self).
 #[derive(Debug, Clone, Default)]
-pub struct MemoryBroker(Rc<RefCell<BrokerState>>);
+pub struct MemoryBroker(Arc<BrokerState>);
 
 impl MemoryBroker {
     /// A broker with no budget: every grant succeeds, usage is still
@@ -39,56 +59,72 @@ impl MemoryBroker {
 
     /// A broker that refuses grants past `bytes` of tracked memory.
     pub fn with_budget(bytes: usize) -> Self {
-        MemoryBroker(Rc::new(RefCell::new(BrokerState {
+        MemoryBroker(Arc::new(BrokerState {
             budget: Some(bytes),
-            used: 0,
-            peak: 0,
-        })))
+            used: AtomicUsize::new(0),
+            peak: AtomicUsize::new(0),
+        }))
     }
 
     /// The configured budget, if any.
     pub fn budget(&self) -> Option<usize> {
-        self.0.borrow().budget
+        self.0.budget
     }
 
     /// Requests `bytes`. Returns `false` (and grants nothing) if the
     /// request would push tracked usage past the budget — the caller
     /// should spill and retry or fall back to [`MemoryBroker::grant`].
+    /// Safe under concurrent workers: the budget check and the charge
+    /// are one atomic compare-exchange, so racing grants can never
+    /// jointly overshoot the budget.
     pub fn try_grant(&self, bytes: usize) -> bool {
-        let mut s = self.0.borrow_mut();
-        if let Some(budget) = s.budget {
-            if s.used.saturating_add(bytes) > budget {
-                return false;
+        let granted = self
+            .0
+            .used
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |used| {
+                let next = used.saturating_add(bytes);
+                match self.0.budget {
+                    Some(budget) if next > budget => None,
+                    _ => Some(next),
+                }
+            });
+        match granted {
+            Ok(prev) => {
+                self.0.bump_peak(prev.saturating_add(bytes));
+                true
             }
+            Err(_) => false,
         }
-        s.used += bytes;
-        s.peak = s.peak.max(s.used);
-        true
     }
 
     /// Takes `bytes` unconditionally, still tracked against the peak.
     /// For small fixed overheads that spilling cannot eliminate (one
     /// in-flight page per spill buffer or merge cursor).
     pub fn grant(&self, bytes: usize) {
-        let mut s = self.0.borrow_mut();
-        s.used += bytes;
-        s.peak = s.peak.max(s.used);
+        let prev = self.0.used.fetch_add(bytes, Ordering::AcqRel);
+        self.0.bump_peak(prev.saturating_add(bytes));
     }
 
     /// Returns `bytes` to the account.
     pub fn release(&self, bytes: usize) {
-        let mut s = self.0.borrow_mut();
-        s.used = s.used.saturating_sub(bytes);
+        // Saturating decrement: a release can never underflow the
+        // account even if callers double-release under a race.
+        let _ = self
+            .0
+            .used
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |used| {
+                Some(used.saturating_sub(bytes))
+            });
     }
 
     /// Currently granted bytes.
     pub fn used(&self) -> usize {
-        self.0.borrow().used
+        self.0.used.load(Ordering::Acquire)
     }
 
     /// High-water mark of granted bytes over the broker's lifetime.
     pub fn peak(&self) -> usize {
-        self.0.borrow().peak
+        self.0.peak.load(Ordering::Acquire)
     }
 }
 
@@ -266,6 +302,55 @@ mod tests {
         };
         assert_eq!(cfg.broker().budget(), Some(4096));
         assert_eq!(MemoryConfig::default().broker().budget(), None);
+    }
+
+    #[test]
+    fn concurrent_grants_never_overshoot_the_budget() {
+        // 8 workers hammer try_grant/release; the atomic
+        // check-and-charge must keep tracked usage (and therefore the
+        // peak) within the budget at every instant.
+        let budget = 1000usize;
+        let b = MemoryBroker::with_budget(budget);
+        std::thread::scope(|scope| {
+            for w in 0..8usize {
+                let b = b.clone();
+                scope.spawn(move || {
+                    let chunk = 50 + 25 * (w % 4);
+                    let mut held = Vec::new();
+                    for _ in 0..200 {
+                        if b.try_grant(chunk) {
+                            assert!(b.used() <= budget, "used overshot budget");
+                            held.push(chunk);
+                        } else if let Some(bytes) = held.pop() {
+                            b.release(bytes);
+                        }
+                    }
+                    for bytes in held {
+                        b.release(bytes);
+                    }
+                });
+            }
+        });
+        assert_eq!(b.used(), 0, "all grants returned");
+        assert!(b.peak() <= budget, "peak {} within budget", b.peak());
+        assert!(b.peak() > 0, "some grant succeeded");
+    }
+
+    #[test]
+    fn concurrent_forced_grants_account_exactly() {
+        let b = MemoryBroker::unbounded();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let b = b.clone();
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        b.grant(3);
+                    }
+                });
+            }
+        });
+        assert_eq!(b.used(), 12_000);
+        assert_eq!(b.peak(), 12_000);
     }
 
     #[test]

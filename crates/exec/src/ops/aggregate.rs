@@ -22,7 +22,7 @@ use std::sync::Arc;
 
 /// Accumulator state per aggregate function.
 #[derive(Debug, Clone)]
-enum Acc {
+pub(crate) enum Acc {
     Count(i64),
     Sum(f64),
     Avg { sum: f64, count: i64 },
@@ -53,6 +53,38 @@ impl Acc {
             }
             Acc::Min(m) => *m = Some(m.map_or(v, |cur| cur.min(v))),
             Acc::Max(m) => *m = Some(m.map_or(v, |cur| cur.max(v))),
+        }
+    }
+
+    /// Folds another accumulator of the same function into this one —
+    /// the partial-aggregate merge used by the parallel workers. For
+    /// `Sum`/`Avg` the merged float total depends on merge order, so
+    /// callers must merge workers in a fixed order for determinism.
+    pub(crate) fn merge(&mut self, other: &Acc) {
+        match (self, other) {
+            (Acc::Count(n), Acc::Count(m)) => *n += m,
+            (Acc::Sum(s), Acc::Sum(t)) => *s += t,
+            (
+                Acc::Avg { sum, count },
+                Acc::Avg {
+                    sum: osum,
+                    count: ocount,
+                },
+            ) => {
+                *sum += osum;
+                *count += ocount;
+            }
+            (Acc::Min(m), Acc::Min(o)) => {
+                if let Some(v) = o {
+                    *m = Some(m.map_or(*v, |cur| cur.min(*v)));
+                }
+            }
+            (Acc::Max(m), Acc::Max(o)) => {
+                if let Some(v) = o {
+                    *m = Some(m.map_or(*v, |cur| cur.max(*v)));
+                }
+            }
+            _ => unreachable!("merged accumulators come from identical aggregate lists"),
         }
     }
 
@@ -95,21 +127,19 @@ enum PhaseState {
     Done,
 }
 
-/// Hash-aggregate task.
-pub struct AggregateTask {
-    rx: Receiver<Arc<Page>>,
+/// The reusable aggregation core: compiled input programs plus group
+/// state, independent of any task or channel plumbing. One core serves
+/// the single-threaded [`AggregateTask`]; the parallel executor gives
+/// each morsel worker its own core and [merges](AggCore::merge) them
+/// at the sink in worker order, so partial aggregation reuses exactly
+/// the packed-u64 fast path and sorted emission of the serial path.
+pub(crate) struct AggCore {
     group_by: Vec<usize>,
     aggs: Vec<Agg>,
     /// One compiled input program per aggregate (`None` for `Count`).
     progs: Vec<Option<CompiledExpr>>,
-    cost: OpCost,
     out_schema: Arc<Schema>,
     groups: GroupState,
-    state: PhaseState,
-    outbox: Outbox,
-    /// Pages per emit step (bounds step size during emission).
-    emit_batch: usize,
-    emit_iter: Option<std::vec::IntoIter<(Vec<KeyVal>, Vec<Acc>)>>,
     scratch: ExprScratch,
     /// Per-aggregate evaluated input columns (empty for `Count`).
     agg_cols: Vec<Vec<f64>>,
@@ -117,20 +147,17 @@ pub struct AggregateTask {
     keys: Vec<u64>,
 }
 
-impl AggregateTask {
-    /// Creates an aggregation task reading pages of `in_schema`.
+impl AggCore {
+    /// Compiles and validates an aggregation over `in_schema` rows.
     /// `out_schema` must be the plan-derived schema (group columns then
-    /// aggregate columns); aggregate inputs are compiled here, once.
-    /// Errs on non-numeric aggregate inputs, out-of-range group
-    /// columns, or an output schema of the wrong arity.
-    pub fn new(
-        rx: Receiver<Arc<Page>>,
-        in_schema: Arc<Schema>,
+    /// aggregate columns). Errs on non-numeric aggregate inputs,
+    /// out-of-range group columns, or an output schema of the wrong
+    /// arity.
+    pub(crate) fn new(
+        in_schema: &Arc<Schema>,
         group_by: Vec<usize>,
         aggs: Vec<Agg>,
         out_schema: Arc<Schema>,
-        cost: OpCost,
-        fanout: Fanout,
     ) -> Result<Self, ExecError> {
         if out_schema.len() != group_by.len() + aggs.len() {
             return Err(ExecError::plan(format!(
@@ -142,7 +169,7 @@ impl AggregateTask {
         }
         for &c in &group_by {
             if c >= in_schema.len() {
-                return Err(crate::plan::column_range_error("group-by", c, &in_schema));
+                return Err(crate::plan::column_range_error("group-by", c, in_schema));
             }
         }
         let progs = aggs
@@ -153,7 +180,7 @@ impl AggregateTask {
                 // or date aggregate errs here instead of panicking on
                 // the first evaluated page.
                 Agg::Sum(e) | Agg::Avg(e) | Agg::Min(e) | Agg::Max(e) => {
-                    CompiledExpr::compile_f64(e, &in_schema).map(Some)
+                    CompiledExpr::compile_f64(e, in_schema).map(Some)
                 }
             })
             .collect::<Result<Vec<_>, _>>()?;
@@ -175,25 +202,24 @@ impl AggregateTask {
         };
         let agg_cols = vec![Vec::new(); aggs.len()];
         Ok(Self {
-            rx,
             group_by,
             aggs,
             progs,
-            cost,
             out_schema,
             groups,
-            state: PhaseState::Consuming,
-            outbox: Outbox::new(fanout),
-            emit_batch: 4,
-            emit_iter: None,
             scratch: ExprScratch::default(),
             agg_cols,
             keys: Vec::new(),
         })
     }
 
+    /// The plan-derived output schema (group columns then aggregates).
+    pub(crate) fn out_schema(&self) -> &Arc<Schema> {
+        &self.out_schema
+    }
+
     /// Folds one page into the group state.
-    fn consume_page(&mut self, page: &Page) {
+    pub(crate) fn consume_page(&mut self, page: &Page) {
         for (col, prog) in self.agg_cols.iter_mut().zip(&self.progs) {
             if let Some(p) = prog {
                 p.eval_f64_into(page, &mut self.scratch, col);
@@ -252,8 +278,57 @@ impl AggregateTask {
         }
     }
 
+    /// Folds another core's partial groups into this one. Both cores
+    /// must come from the same `AggCore::new` arguments (same group
+    /// columns and aggregate list), which the parallel executor
+    /// guarantees by construction. `Sum`/`Avg` float totals depend on
+    /// the merge order, so workers are always merged in index order.
+    pub(crate) fn merge(&mut self, other: AggCore) {
+        match (&mut self.groups, other.groups) {
+            (
+                GroupState::Packed { map, slots, .. },
+                GroupState::Packed {
+                    map: omap,
+                    slots: oslots,
+                    ..
+                },
+            ) => {
+                for (packed, oidx) in omap {
+                    let (okey, oaccs) = &oslots[oidx as usize];
+                    match map.entry(packed) {
+                        std::collections::hash_map::Entry::Occupied(e) => {
+                            let accs = &mut slots[*e.get() as usize].1;
+                            for (acc, oacc) in accs.iter_mut().zip(oaccs) {
+                                acc.merge(oacc);
+                            }
+                        }
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            slots.push((okey.clone(), oaccs.clone()));
+                            e.insert((slots.len() - 1) as u32);
+                        }
+                    }
+                }
+            }
+            (GroupState::General(groups), GroupState::General(ogroups)) => {
+                for (key, oaccs) in ogroups {
+                    match groups.entry(key) {
+                        std::collections::btree_map::Entry::Occupied(mut e) => {
+                            for (acc, oacc) in e.get_mut().iter_mut().zip(&oaccs) {
+                                acc.merge(oacc);
+                            }
+                        }
+                        std::collections::btree_map::Entry::Vacant(e) => {
+                            e.insert(oaccs);
+                        }
+                    }
+                }
+            }
+            _ => unreachable!("identical aggregate configs share one GroupState variant"),
+        }
+    }
+
     /// Drains the group state into sorted emission order.
-    fn drain_emit_order(&mut self) -> Vec<(Vec<KeyVal>, Vec<Acc>)> {
+    pub(crate) fn drain_emit_order(&mut self) -> Vec<(Vec<KeyVal>, Vec<Acc>)> {
         match &mut self.groups {
             GroupState::Packed { map, slots, .. } => {
                 map.clear();
@@ -263,6 +338,58 @@ impl AggregateTask {
             }
             GroupState::General(groups) => std::mem::take(groups).into_iter().collect(),
         }
+    }
+
+    /// Encodes one emitted group row (key columns then accumulator
+    /// outputs) into `out` as raw row bytes of the output schema.
+    pub(crate) fn encode_row(&self, key: &[KeyVal], accs: &[Acc], out: &mut Vec<u8>) {
+        out.clear();
+        for (i, k) in key.iter().enumerate() {
+            encode_keyval(out, k, self.out_schema.fields()[i].dtype);
+        }
+        for acc in accs {
+            acc.encode(out);
+        }
+    }
+}
+
+/// Hash-aggregate task: an [`AggCore`] fed from a channel, emitting
+/// sorted output pages through an [`Outbox`].
+pub struct AggregateTask {
+    rx: Receiver<Arc<Page>>,
+    core: AggCore,
+    cost: OpCost,
+    state: PhaseState,
+    outbox: Outbox,
+    /// Pages per emit step (bounds step size during emission).
+    emit_batch: usize,
+    emit_iter: Option<std::vec::IntoIter<(Vec<KeyVal>, Vec<Acc>)>>,
+}
+
+impl AggregateTask {
+    /// Creates an aggregation task reading pages of `in_schema`.
+    /// `out_schema` must be the plan-derived schema (group columns then
+    /// aggregate columns); aggregate inputs are compiled here, once.
+    /// Errs on non-numeric aggregate inputs, out-of-range group
+    /// columns, or an output schema of the wrong arity.
+    pub fn new(
+        rx: Receiver<Arc<Page>>,
+        in_schema: Arc<Schema>,
+        group_by: Vec<usize>,
+        aggs: Vec<Agg>,
+        out_schema: Arc<Schema>,
+        cost: OpCost,
+        fanout: Fanout,
+    ) -> Result<Self, ExecError> {
+        Ok(Self {
+            rx,
+            core: AggCore::new(&in_schema, group_by, aggs, out_schema)?,
+            cost,
+            state: PhaseState::Consuming,
+            outbox: Outbox::new(fanout),
+            emit_batch: 4,
+            emit_iter: None,
+        })
     }
 }
 
@@ -278,23 +405,24 @@ impl Task for AggregateTask {
                     let n = page.rows();
                     cost += self.cost.input_cost(n);
                     ctx.add_progress(n as f64);
-                    self.consume_page(&page);
+                    self.core.consume_page(&page);
                     Step::yielded(cost)
                 }
                 Recv::Empty => Step::blocked(cost),
                 Recv::Closed => {
                     self.state = PhaseState::Emitting;
-                    let ordered = self.drain_emit_order();
+                    let ordered = self.core.drain_emit_order();
                     self.emit_iter = Some(ordered.into_iter());
                     Step::yielded(cost)
                 }
             },
             PhaseState::Emitting => {
-                let mut builder = PageBuilder::new(self.out_schema.clone());
+                let mut builder = PageBuilder::new(self.core.out_schema().clone());
                 let mut emitted_rows = 0usize;
                 let mut pages = 0usize;
                 let mut exhausted = false;
                 {
+                    let mut scratch = Vec::new();
                     let iter = self
                         .emit_iter
                         .as_mut()
@@ -304,13 +432,7 @@ impl Task for AggregateTask {
                             exhausted = true;
                             break;
                         };
-                        let mut scratch = Vec::new();
-                        for (i, k) in key.iter().enumerate() {
-                            encode_keyval(&mut scratch, k, self.out_schema.fields()[i].dtype);
-                        }
-                        for acc in &accs {
-                            acc.encode(&mut scratch);
-                        }
+                        self.core.encode_row(&key, &accs, &mut scratch);
                         if !builder.push_raw(&scratch) {
                             self.outbox.push(builder.finish_and_reset());
                             pages += 1;

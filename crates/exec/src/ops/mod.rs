@@ -5,6 +5,7 @@ pub mod filter;
 pub mod hash_join;
 pub mod merge_join;
 pub mod nlj;
+pub(crate) mod par_pipe;
 pub mod project;
 pub mod scan;
 pub mod sink;

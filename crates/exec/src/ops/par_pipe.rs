@@ -1,0 +1,493 @@
+//! Sim-side morsel-driven parallel operator groups.
+//!
+//! When [`crate::wiring::WiringConfig::parallel`] asks for more than
+//! one worker, the wiring replaces a {filter | project}* chain over a
+//! scan with `k` fused worker tasks plus one merge task, and an
+//! aggregate above such a chain with `k` folding workers plus one
+//! merge/emit task:
+//!
+//! * workers claim page-range morsels from a shared
+//!   [`MorselDispenser`] and run a privately compiled
+//!   [`WorkerPipeline`] one page per step, charging the *sum* of the
+//!   fused stages' input costs on the rows each stage actually sees —
+//!   the same total work as the serial task-per-operator wiring,
+//!   split `k` ways across simulated contexts;
+//! * the pipe merge task reassembles per-morsel outputs in morsel
+//!   order, so the delivered row stream is identical to the serial
+//!   wiring for any worker count (page boundaries may differ, row
+//!   order never does);
+//! * aggregate workers fold their morsels into private [`AggCore`]s
+//!   which the merge task combines in worker-index order and emits
+//!   sorted — row-identical to the serial aggregate.
+//!
+//! The chain root's per-consumer output cost (`s`) is charged by the
+//! merge task's fan-out exactly once per delivered page, as in the
+//! serial wiring; the internal worker→merge channels are an artifact
+//! of parallelization and carry no modeled cost.
+
+use crate::cost::OpCost;
+use crate::error::ExecError;
+use crate::expr::Agg;
+use crate::ops::aggregate::{Acc, AggCore};
+use crate::ops::{Fanout, KeyVal, Outbox};
+use crate::parallel::{MorselDispenser, ParallelConfig, StageSpec, WorkerPipeline};
+use cordoba_sim::channel::{self, Receiver, Recv, Sender};
+use cordoba_sim::{Step, Task, TaskCtx, VTime};
+use cordoba_storage::{Morsel, Page, PageBuilder, Schema};
+use std::collections::{BTreeMap, VecDeque};
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// A fused scan + stage chain detected in a plan — what a parallel
+/// group's workers execute.
+pub(crate) struct ParChain {
+    /// The scanned table's name, used to label the group's merge task
+    /// so task stats still show which table one parallel group scans.
+    pub table: String,
+    /// The scanned table's pages, shared by all workers.
+    pub pages: Rc<[Arc<Page>]>,
+    /// Schema of the scanned pages.
+    pub in_schema: Arc<Schema>,
+    /// Scan cost, charged per input page.
+    pub scan_cost: OpCost,
+    /// Stages above the scan, bottom-up, with their plan costs.
+    pub stages: Vec<(StageSpec, OpCost)>,
+}
+
+impl ParChain {
+    /// Number of plan nodes the chain covers (scan + stages).
+    pub fn node_count(&self) -> usize {
+        1 + self.stages.len()
+    }
+
+    /// The chain root's per-consumer output cost (`s`).
+    pub fn root_out_per_tuple(&self) -> f64 {
+        self.stages
+            .last()
+            .map(|(_, c)| c.out_per_tuple)
+            .unwrap_or(self.scan_cost.out_per_tuple)
+    }
+
+    /// The schema the chain produces.
+    pub fn out_schema(&self) -> Arc<Schema> {
+        self.stages
+            .iter()
+            .rev()
+            .find_map(|(s, _)| match s {
+                StageSpec::Project { out_schema, .. } => Some(out_schema.clone()),
+                StageSpec::Filter(_) => None,
+            })
+            .unwrap_or_else(|| self.in_schema.clone())
+    }
+
+    fn specs(&self) -> Vec<StageSpec> {
+        self.stages.iter().map(|(s, _)| s.clone()).collect()
+    }
+
+    fn costs(&self) -> Vec<OpCost> {
+        self.stages.iter().map(|(_, c)| *c).collect()
+    }
+}
+
+/// One worker's half-consumed view of the shared scan: claims morsels,
+/// runs the fused pipeline one page per step, and reports the virtual
+/// cost of each page as the sum of the fused stages' input costs.
+struct FusedScan {
+    pages: Rc<[Arc<Page>]>,
+    dispenser: Rc<MorselDispenser>,
+    pipe: WorkerPipeline,
+    scan_cost: OpCost,
+    stage_costs: Vec<OpCost>,
+    stage_rows: Vec<usize>,
+    current: Option<(usize, Morsel, usize)>,
+}
+
+impl FusedScan {
+    fn new(chain: &ParChain, dispenser: Rc<MorselDispenser>) -> Result<Self, ExecError> {
+        Ok(FusedScan {
+            pages: chain.pages.clone(),
+            dispenser,
+            pipe: WorkerPipeline::new(&chain.in_schema, &chain.specs())?,
+            scan_cost: chain.scan_cost,
+            stage_costs: chain.costs(),
+            stage_rows: Vec::new(),
+            current: None,
+        })
+    }
+
+    /// The next unprocessed page: `(morsel index, last page of its
+    /// morsel, page)`, claiming a fresh morsel when needed. `None`
+    /// when the dispenser is exhausted.
+    fn next_page(&mut self) -> Option<(usize, bool, Arc<Page>)> {
+        if self.current.is_none() {
+            let (idx, m) = self.dispenser.claim()?;
+            self.current = Some((idx, m, 0));
+        }
+        let (idx, m, off) = self.current.as_mut().expect("claimed above");
+        let page = self.pages[m.start + *off].clone();
+        let morsel_idx = *idx;
+        *off += 1;
+        let last = m.start + *off >= m.end;
+        if last {
+            self.current = None;
+        }
+        Some((morsel_idx, last, page))
+    }
+
+    /// Runs one page through the fused stages, returning the produced
+    /// pages and the virtual cost of the fused work.
+    fn run_page(&mut self, page: &Arc<Page>) -> (Vec<Arc<Page>>, VTime) {
+        let out = self
+            .pipe
+            .run_pages_counted(vec![page.clone()], &mut self.stage_rows);
+        let mut cost = self.scan_cost.input_cost(page.rows());
+        for (c, &rows) in self.stage_costs.iter().zip(&self.stage_rows) {
+            cost += c.input_cost(rows);
+        }
+        (out, cost)
+    }
+}
+
+/// A worker's message to its merge task: a produced page tagged with
+/// its morsel index, or the morsel's end-marker (`None`).
+type PipeMsg = (usize, Option<Arc<Page>>);
+
+/// One fused pipeline worker: claims morsels, processes a page per
+/// step, and streams tagged outputs to the group's merge task.
+struct ParPipeWorker {
+    scan: FusedScan,
+    tx: Sender<PipeMsg>,
+    pending: VecDeque<PipeMsg>,
+}
+
+impl ParPipeWorker {
+    /// Sends queued messages; `false` means the channel throttled us.
+    fn drain_pending(&mut self, ctx: &mut TaskCtx<'_>) -> bool {
+        while let Some(msg) = self.pending.pop_front() {
+            if let Err(msg) = self.tx.try_send(msg, ctx) {
+                self.pending.push_front(msg);
+                return false;
+            }
+        }
+        true
+    }
+}
+
+impl Task for ParPipeWorker {
+    fn step(&mut self, ctx: &mut TaskCtx<'_>) -> Step {
+        if !self.drain_pending(ctx) {
+            return Step::blocked(0);
+        }
+        let Some((idx, last, page)) = self.scan.next_page() else {
+            self.tx.close(ctx);
+            return Step::done(0);
+        };
+        ctx.add_progress(page.rows() as f64);
+        let (out, cost) = self.scan.run_page(&page);
+        self.pending.extend(out.into_iter().map(|p| (idx, Some(p))));
+        if last {
+            self.pending.push_back((idx, None));
+        }
+        if self.drain_pending(ctx) {
+            Step::yielded(cost.max(1))
+        } else {
+            Step::blocked(cost)
+        }
+    }
+}
+
+/// Reassembles per-morsel worker outputs in morsel-index order and
+/// delivers them downstream, charging the chain root's `s` once per
+/// page — the serial wiring's exact output contract.
+struct ParPipeMerge {
+    rx: Receiver<PipeMsg>,
+    /// Out-of-order morsel outputs: pages so far + completion flag.
+    /// Bounded in practice by the round-robin fairness of the
+    /// simulator (workers advance at similar rates) plus the input
+    /// channel's capacity.
+    buffer: BTreeMap<usize, (Vec<Arc<Page>>, bool)>,
+    next_morsel: usize,
+    outbox: Outbox,
+}
+
+impl Task for ParPipeMerge {
+    fn step(&mut self, ctx: &mut TaskCtx<'_>) -> Step {
+        let (mut cost, drained) = self.outbox.flush(ctx);
+        if !drained {
+            return Step::blocked(cost);
+        }
+        // Release at most one completed morsel per step (bounded work).
+        if self
+            .buffer
+            .get(&self.next_morsel)
+            .is_some_and(|(_, done)| *done)
+        {
+            let (pages, _) = self
+                .buffer
+                .remove(&self.next_morsel)
+                .expect("checked above");
+            self.next_morsel += 1;
+            for page in pages {
+                self.outbox.push(page);
+            }
+            cost += 1;
+            let (c, drained) = self.outbox.flush(ctx);
+            cost += c;
+            return if drained {
+                Step::yielded(cost)
+            } else {
+                Step::blocked(cost)
+            };
+        }
+        match self.rx.try_recv(ctx) {
+            Recv::Value((idx, msg)) => {
+                let entry = self
+                    .buffer
+                    .entry(idx)
+                    .or_insert_with(|| (Vec::new(), false));
+                match msg {
+                    Some(page) => entry.0.push(page),
+                    None => entry.1 = true,
+                }
+                Step::yielded(cost.max(1))
+            }
+            Recv::Empty => Step::blocked(cost),
+            Recv::Closed => {
+                if self.buffer.is_empty() {
+                    self.outbox.close(ctx);
+                    Step::done(cost)
+                } else {
+                    // Every worker sent its end-markers before closing,
+                    // so the remaining morsels are all complete and
+                    // dense from `next_morsel`; release them one per
+                    // step through the branch above.
+                    Step::yielded(cost.max(1))
+                }
+            }
+        }
+    }
+}
+
+/// One parallel aggregate worker: folds its morsels (after the fused
+/// chain) into a private [`AggCore`], then deposits the core with the
+/// merge task.
+struct ParAggWorker {
+    widx: usize,
+    scan: FusedScan,
+    agg_cost: OpCost,
+    core: Option<AggCore>,
+    tx: Sender<(usize, AggCore)>,
+}
+
+impl Task for ParAggWorker {
+    fn step(&mut self, ctx: &mut TaskCtx<'_>) -> Step {
+        let Some((_, _, page)) = self.scan.next_page() else {
+            return match self.core.take() {
+                Some(core) => match self.tx.try_send((self.widx, core), ctx) {
+                    Ok(()) => {
+                        self.tx.close(ctx);
+                        Step::done(0)
+                    }
+                    Err((_, core)) => {
+                        self.core = Some(core);
+                        Step::blocked(0)
+                    }
+                },
+                None => {
+                    self.tx.close(ctx);
+                    Step::done(0)
+                }
+            };
+        };
+        ctx.add_progress(page.rows() as f64);
+        let (out, mut cost) = self.scan.run_page(&page);
+        let core = self.core.as_mut().expect("core present while consuming");
+        for p in &out {
+            cost += self.agg_cost.input_cost(p.rows());
+            core.consume_page(p);
+        }
+        Step::yielded(cost.max(1))
+    }
+}
+
+/// Merges deposited cores in worker-index order and emits sorted
+/// groups — the same emission order and page batching as the serial
+/// [`crate::ops::AggregateTask`].
+struct ParAggMerge {
+    rx: Receiver<(usize, AggCore)>,
+    deposited: Vec<(usize, AggCore)>,
+    emit: Option<EmitState>,
+    emit_batch: usize,
+    outbox: Outbox,
+}
+
+struct EmitState {
+    core: AggCore,
+    iter: std::vec::IntoIter<(Vec<KeyVal>, Vec<Acc>)>,
+}
+
+impl Task for ParAggMerge {
+    fn step(&mut self, ctx: &mut TaskCtx<'_>) -> Step {
+        let (mut cost, drained) = self.outbox.flush(ctx);
+        if !drained {
+            return Step::blocked(cost);
+        }
+        if let Some(emit) = &mut self.emit {
+            let mut builder = PageBuilder::new(emit.core.out_schema().clone());
+            let mut scratch = Vec::new();
+            let mut pages = 0usize;
+            let mut exhausted = false;
+            loop {
+                let Some((key, accs)) = emit.iter.next() else {
+                    exhausted = true;
+                    break;
+                };
+                emit.core.encode_row(&key, &accs, &mut scratch);
+                if !builder.push_raw(&scratch) {
+                    self.outbox.push(builder.finish_and_reset());
+                    pages += 1;
+                    assert!(builder.push_raw(&scratch));
+                }
+                if pages >= self.emit_batch {
+                    break;
+                }
+            }
+            if !builder.is_empty() {
+                self.outbox.push(builder.finish_and_reset());
+            }
+            cost += 1;
+            let (c, drained) = self.outbox.flush(ctx);
+            cost += c;
+            if exhausted && drained {
+                self.outbox.close(ctx);
+                return Step::done(cost);
+            }
+            return if drained {
+                Step::yielded(cost)
+            } else {
+                Step::blocked(cost)
+            };
+        }
+        match self.rx.try_recv(ctx) {
+            Recv::Value(pair) => {
+                self.deposited.push(pair);
+                Step::yielded(cost.max(1))
+            }
+            Recv::Empty => Step::blocked(cost),
+            Recv::Closed => {
+                let mut cores = std::mem::take(&mut self.deposited);
+                cores.sort_by_key(|&(w, _)| w);
+                let mut iter = cores.into_iter();
+                let Some((_, mut core)) = iter.next() else {
+                    self.outbox.close(ctx);
+                    return Step::done(cost);
+                };
+                for (_, other) in iter {
+                    core.merge(other);
+                }
+                let ordered = core.drain_emit_order();
+                self.emit = Some(EmitState {
+                    core,
+                    iter: ordered.into_iter(),
+                });
+                Step::yielded(cost.max(1))
+            }
+        }
+    }
+}
+
+/// Hands out exactly `n` senders: the original plus `n - 1` clones,
+/// so the channel closes when every worker has closed its own.
+fn senders_for<T>(tx: Sender<T>, n: usize) -> Vec<Sender<T>> {
+    let mut senders = Vec::with_capacity(n);
+    for _ in 1..n {
+        senders.push(tx.clone());
+    }
+    senders.push(tx);
+    senders
+}
+
+/// Builds the `k` fused pipeline workers plus merge task for `chain`,
+/// delivering to `outs`. Task names are `{base}:par_pipe[w]` and
+/// `{base}:par_merge(scan(<table>))` — the merge task carries the
+/// scanned table's name so each parallel group counts as exactly one
+/// scan instance in task stats, like a serial scan task does.
+pub(crate) fn build_pipe_group(
+    base: &str,
+    chain: &ParChain,
+    outs: Vec<Sender<Arc<Page>>>,
+    cfg: &ParallelConfig,
+    queue_capacity: usize,
+    built: &mut Vec<(String, Box<dyn Task>)>,
+) -> Result<(), ExecError> {
+    let workers = cfg.effective_workers();
+    let dispenser = Rc::new(MorselDispenser::new(chain.pages.len(), cfg.morsel_pages));
+    let (tx, rx) = channel::bounded(queue_capacity.max(1));
+    let mut senders = senders_for(tx, workers);
+    for w in 0..workers {
+        built.push((
+            format!("{base}:par_pipe[{w}]"),
+            Box::new(ParPipeWorker {
+                scan: FusedScan::new(chain, dispenser.clone())?,
+                tx: senders.pop().expect("one sender per worker"),
+                pending: VecDeque::new(),
+            }),
+        ));
+    }
+    built.push((
+        format!("{base}:par_merge(scan({}))", chain.table),
+        Box::new(ParPipeMerge {
+            rx,
+            buffer: BTreeMap::new(),
+            next_morsel: 0,
+            outbox: Outbox::new(Fanout::new(outs, chain.root_out_per_tuple())),
+        }),
+    ));
+    Ok(())
+}
+
+/// Builds the `k` aggregate workers plus merge/emit task for an
+/// aggregate over `chain`, delivering to `outs`. Task names are
+/// `{base}:par_agg[w]` and `{base}:par_agg_merge(scan(<table>))`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn build_agg_group(
+    base: &str,
+    chain: &ParChain,
+    group_by: Vec<usize>,
+    aggs: Vec<Agg>,
+    out_schema: Arc<Schema>,
+    agg_cost: OpCost,
+    outs: Vec<Sender<Arc<Page>>>,
+    cfg: &ParallelConfig,
+    built: &mut Vec<(String, Box<dyn Task>)>,
+) -> Result<(), ExecError> {
+    let workers = cfg.effective_workers();
+    let agg_in = chain.out_schema();
+    let dispenser = Rc::new(MorselDispenser::new(chain.pages.len(), cfg.morsel_pages));
+    let (tx, rx) = channel::bounded(workers);
+    let mut senders = senders_for(tx, workers);
+    for w in 0..workers {
+        let core = AggCore::new(&agg_in, group_by.clone(), aggs.clone(), out_schema.clone())?;
+        built.push((
+            format!("{base}:par_agg[{w}]"),
+            Box::new(ParAggWorker {
+                widx: w,
+                scan: FusedScan::new(chain, dispenser.clone())?,
+                agg_cost,
+                core: Some(core),
+                tx: senders.pop().expect("one sender per worker"),
+            }),
+        ));
+    }
+    built.push((
+        format!("{base}:par_agg_merge(scan({}))", chain.table),
+        Box::new(ParAggMerge {
+            rx,
+            deposited: Vec::new(),
+            emit: None,
+            emit_batch: 4,
+            outbox: Outbox::new(Fanout::new(outs, agg_cost.out_per_tuple)),
+        }),
+    ));
+    Ok(())
+}

@@ -13,10 +13,12 @@
 use crate::cost::OpCost;
 use crate::error::{ExecError, FaultCell};
 use crate::memory::{MemoryConfig, QueryResources, SpillContext};
+use crate::ops::par_pipe::{self, ParChain};
 use crate::ops::{
     AggregateTask, Fanout, FilterTask, HashJoinTask, MergeJoinTask, NestedLoopJoinTask,
     ProjectTask, ScanTask, SortTask,
 };
+use crate::parallel::{ParallelConfig, StageSpec};
 use crate::plan::PhysicalPlan;
 use cordoba_sim::channel::{self, Receiver, Recv, Sender};
 use cordoba_sim::{Simulator, Spawner, Step, Task, TaskCtx, TaskId};
@@ -33,6 +35,13 @@ pub struct WiringConfig {
     /// Per-query memory policy (budget, spill directory, recursion
     /// cap). The default is unbounded — no spilling.
     pub memory: MemoryConfig,
+    /// Intra-query parallelism. With the default single worker the
+    /// wiring is exactly the classic one-task-per-operator layout;
+    /// with more, {filter | project}* chains over scans (and
+    /// aggregates directly above them) become morsel-parallel worker
+    /// groups (see [`crate::ops`]' `par_pipe`), which preserve the
+    /// serial row order.
+    pub parallel: ParallelConfig,
 }
 
 impl Default for WiringConfig {
@@ -40,6 +49,10 @@ impl Default for WiringConfig {
         Self {
             queue_capacity: 16,
             memory: MemoryConfig::default(),
+            // Consults CORDOBA_WORKERS so a CI leg (or a user) can force
+            // intra-query parallelism across every default-configured
+            // run; unset, this is the single-worker serial wiring.
+            parallel: ParallelConfig::from_env(),
         }
     }
 }
@@ -151,6 +164,104 @@ impl Task for RelayTask {
     }
 }
 
+/// The fused scan + stage chain rooted at `plan`, when it is a
+/// {filter | project}* chain over a scan — the shape the parallel
+/// worker groups execute. `None` for any other plan shape (including
+/// `Source` leaves, which stay on the serial wiring).
+fn par_chain(catalog: &Catalog, plan: &PhysicalPlan) -> Result<Option<ParChain>, ExecError> {
+    match plan {
+        PhysicalPlan::Scan { table, cost } => {
+            let t = catalog
+                .get(table)
+                .ok_or_else(|| ExecError::plan(format!("no table '{table}' in catalog")))?;
+            Ok(Some(ParChain {
+                table: table.clone(),
+                pages: t.pages().to_vec().into(),
+                in_schema: t.schema().clone(),
+                scan_cost: *cost,
+                stages: Vec::new(),
+            }))
+        }
+        PhysicalPlan::Filter {
+            input,
+            predicate,
+            cost,
+        } => Ok(par_chain(catalog, input)?.map(|mut c| {
+            c.stages.push((StageSpec::Filter(predicate.clone()), *cost));
+            c
+        })),
+        PhysicalPlan::Project { input, exprs, cost } => match par_chain(catalog, input)? {
+            Some(mut c) => {
+                let out_schema = plan.try_output_schema(catalog)?;
+                c.stages.push((
+                    StageSpec::Project {
+                        exprs: exprs.iter().map(|(_, e)| e.clone()).collect(),
+                        out_schema,
+                    },
+                    *cost,
+                ));
+                Ok(Some(c))
+            }
+            None => Ok(None),
+        },
+        _ => Ok(None),
+    }
+}
+
+/// Replaces parallelizable fragments rooted at `plan` with morsel
+/// worker groups. Returns `None` when the fragment was handled, or
+/// gives `outs` back for the serial wiring.
+#[allow(clippy::type_complexity)]
+fn try_wire_parallel(
+    catalog: &Catalog,
+    plan: &PhysicalPlan,
+    outs: Vec<Sender<Arc<Page>>>,
+    label: &str,
+    cfg: &WiringConfig,
+    preorder: &mut usize,
+    built: &mut Vec<(String, Box<dyn Task>)>,
+) -> Result<Option<Vec<Sender<Arc<Page>>>>, ExecError> {
+    if let Some(chain) = par_chain(catalog, plan)? {
+        let base = format!("{label}/{}", *preorder);
+        *preorder += chain.node_count();
+        par_pipe::build_pipe_group(
+            &base,
+            &chain,
+            outs,
+            &cfg.parallel,
+            cfg.queue_capacity,
+            built,
+        )?;
+        return Ok(None);
+    }
+    if let PhysicalPlan::Aggregate {
+        input,
+        group_by,
+        aggs,
+        cost,
+    } = plan
+    {
+        if let Some(chain) = par_chain(catalog, input)? {
+            let out_schema = plan.try_output_schema(catalog)?;
+            let base = format!("{label}/{}", *preorder);
+            *preorder += 1 + chain.node_count();
+            par_pipe::build_agg_group(
+                &base,
+                &chain,
+                group_by.clone(),
+                aggs.iter().map(|(_, a)| a.clone()).collect(),
+                out_schema,
+                *cost,
+                outs,
+                &cfg.parallel,
+                built,
+            )?;
+            return Ok(None);
+        }
+    }
+    Ok(Some(outs))
+}
+
 #[allow(clippy::too_many_arguments)]
 fn wire(
     catalog: &Catalog,
@@ -163,6 +274,14 @@ fn wire(
     preorder: &mut usize,
     built: &mut Vec<(String, Box<dyn Task>)>,
 ) -> Result<(), ExecError> {
+    let outs = if cfg.parallel.effective_workers() > 1 {
+        match try_wire_parallel(catalog, plan, outs, label, cfg, preorder, built)? {
+            None => return Ok(()),
+            Some(outs) => outs,
+        }
+    } else {
+        outs
+    };
     let my_idx = *preorder;
     *preorder += 1;
     let name = format!("{label}/{my_idx}:{}", plan.op_name());
@@ -435,15 +554,184 @@ mod tests {
             ],
             cost: OpCost::default(),
         };
+        let cfg = WiringConfig {
+            // Pinned serial (Default consults CORDOBA_WORKERS): the
+            // assertions below name the task-per-operator wiring.
+            parallel: crate::parallel::ParallelConfig::with_workers(1),
+            ..WiringConfig::default()
+        };
         let mut sim = Simulator::new(2);
-        let (rx, spawned, res) =
-            instantiate(&mut sim, &cat, &plan, "q0", &WiringConfig::default()).expect("wires");
+        let (rx, spawned, res) = instantiate(&mut sim, &cat, &plan, "q0", &cfg).expect("wires");
         assert_eq!(spawned.len(), 3);
         assert!(spawned.iter().any(|(_, n)| n == "q0/0:aggregate"));
         assert!(spawned.iter().any(|(_, n)| n == "q0/1:filter"));
         assert!(spawned.iter().any(|(_, n)| n == "q0/2:scan(t)"));
         let rows = run_and_collect(&mut sim, rx, OpCost::default(), &res.fault).expect("no fault");
         assert_eq!(rows, vec![vec![Value::Int(10), Value::Float(45.0)]]);
+    }
+
+    /// A catalog whose table spans many pages, so parallel wiring
+    /// actually splits work across morsels.
+    fn paged_catalog() -> Catalog {
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Int),
+            Field::new("v", DataType::Float),
+        ]);
+        let mut b = TableBuilder::with_page_size("t", schema, 256);
+        for i in 0..3000i64 {
+            b.push_row(&[Value::Int(i % 97), Value::Float((i % 13) as f64)]);
+        }
+        let mut c = Catalog::new();
+        c.register(b.finish());
+        c
+    }
+
+    fn run_plan(cat: &Catalog, plan: &PhysicalPlan, workers: usize) -> Vec<Vec<Value>> {
+        let cfg = WiringConfig {
+            parallel: crate::parallel::ParallelConfig::with_workers(workers),
+            ..WiringConfig::default()
+        };
+        let mut sim = Simulator::new(workers.max(2));
+        let (rx, _spawned, res) = instantiate(&mut sim, cat, plan, "q", &cfg).expect("plan wires");
+        run_and_collect(&mut sim, rx, OpCost::default(), &res.fault).expect("no fault")
+    }
+
+    #[test]
+    fn parallel_chain_wiring_matches_serial_rows() {
+        let cat = paged_catalog();
+        let plan = PhysicalPlan::Project {
+            input: Box::new(PhysicalPlan::Filter {
+                input: Box::new(PhysicalPlan::Scan {
+                    table: "t".into(),
+                    cost: OpCost::default(),
+                }),
+                predicate: Predicate::col_cmp(0, CmpOp::Lt, 60i64),
+                cost: OpCost::default(),
+            }),
+            exprs: vec![
+                ("k".into(), ScalarExpr::col(0)),
+                (
+                    "scaled".into(),
+                    ScalarExpr::Mul(
+                        Box::new(ScalarExpr::col(1)),
+                        Box::new(ScalarExpr::FloatLit(2.0)),
+                    ),
+                ),
+            ],
+            cost: OpCost::default(),
+        };
+        let want = run_plan(&cat, &plan, 1);
+        assert_eq!(want, crate::reference::execute(&cat, &plan));
+        for workers in [2, 4, 8] {
+            assert_eq!(run_plan(&cat, &plan, workers), want, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn parallel_aggregate_wiring_matches_serial_rows() {
+        let cat = paged_catalog();
+        let plan = PhysicalPlan::Aggregate {
+            input: Box::new(PhysicalPlan::Filter {
+                input: Box::new(PhysicalPlan::Scan {
+                    table: "t".into(),
+                    cost: OpCost::default(),
+                }),
+                predicate: Predicate::col_cmp(0, CmpOp::Lt, 60i64),
+                cost: OpCost::default(),
+            }),
+            group_by: vec![0],
+            aggs: vec![
+                ("n".into(), Agg::Count),
+                ("s".into(), Agg::Sum(ScalarExpr::col(1))),
+            ],
+            cost: OpCost::default(),
+        };
+        let want = run_plan(&cat, &plan, 1);
+        assert_eq!(want, crate::reference::execute(&cat, &plan));
+        for workers in [2, 4, 8] {
+            assert_eq!(run_plan(&cat, &plan, workers), want, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn parallel_join_inputs_match_serial_rows() {
+        // The hash join itself stays a single task; both of its chain
+        // inputs become worker groups, and since the merge preserves
+        // row order the join output is row-identical to serial.
+        let cat = paged_catalog();
+        let plan = PhysicalPlan::HashJoin {
+            build: Box::new(PhysicalPlan::Filter {
+                input: Box::new(PhysicalPlan::Scan {
+                    table: "t".into(),
+                    cost: OpCost::default(),
+                }),
+                predicate: Predicate::col_cmp(0, CmpOp::Lt, 10i64),
+                cost: OpCost::default(),
+            }),
+            probe: Box::new(PhysicalPlan::Scan {
+                table: "t".into(),
+                cost: OpCost::default(),
+            }),
+            build_key: 0,
+            probe_key: 0,
+            kind: crate::plan::JoinKind::Semi,
+            build_cost: OpCost::default(),
+            probe_cost: OpCost::default(),
+        };
+        let want = run_plan(&cat, &plan, 1);
+        for workers in [2, 4] {
+            assert_eq!(run_plan(&cat, &plan, workers), want, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn parallel_wiring_spawns_worker_groups() {
+        let cat = paged_catalog();
+        let plan = PhysicalPlan::Filter {
+            input: Box::new(PhysicalPlan::Scan {
+                table: "t".into(),
+                cost: OpCost::default(),
+            }),
+            predicate: Predicate::col_cmp(0, CmpOp::Lt, 60i64),
+            cost: OpCost::default(),
+        };
+        let cfg = WiringConfig {
+            parallel: crate::parallel::ParallelConfig::with_workers(4),
+            ..WiringConfig::default()
+        };
+        let mut sim = Simulator::new(4);
+        let (_rx, spawned, _res) =
+            instantiate(&mut sim, &cat, &plan, "q0", &cfg).expect("plan wires");
+        let names: Vec<&str> = spawned.iter().map(|(_, n)| n.as_str()).collect();
+        assert_eq!(spawned.len(), 5, "{names:?}");
+        for w in 0..4 {
+            assert!(names.contains(&format!("q0/0:par_pipe[{w}]").as_str()));
+        }
+        assert!(names.contains(&"q0/0:par_merge(scan(t))"));
+    }
+
+    #[test]
+    fn single_worker_config_keeps_classic_wiring() {
+        let cat = paged_catalog();
+        let plan = PhysicalPlan::Filter {
+            input: Box::new(PhysicalPlan::Scan {
+                table: "t".into(),
+                cost: OpCost::default(),
+            }),
+            predicate: Predicate::col_cmp(0, CmpOp::Lt, 60i64),
+            cost: OpCost::default(),
+        };
+        let cfg = WiringConfig {
+            // Pinned to one worker (not Default, which consults
+            // CORDOBA_WORKERS): this test is *about* the serial wiring.
+            parallel: crate::parallel::ParallelConfig::with_workers(1),
+            ..WiringConfig::default()
+        };
+        let mut sim = Simulator::new(1);
+        let (_rx, spawned, _res) = instantiate(&mut sim, &cat, &plan, "q0", &cfg).expect("wires");
+        let mut names: Vec<&str> = spawned.iter().map(|(_, n)| n.as_str()).collect();
+        names.sort_unstable();
+        assert_eq!(names, vec!["q0/0:filter", "q0/1:scan(t)"]);
     }
 
     #[test]

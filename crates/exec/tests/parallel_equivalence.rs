@@ -1,0 +1,283 @@
+//! Property tests for morsel-driven parallelism: on random inputs, the
+//! parallel paths must be indistinguishable from the serial executor.
+//!
+//! Two substrates are pinned:
+//!
+//! * the **simulated** morsel wiring (`WiringConfig.parallel`): fused
+//!   scan→filter→project worker tasks with morsel-ordered reassembly
+//!   are *row-for-row* identical to the single-worker wiring and the
+//!   synchronous reference — order-preserving by construction; the
+//!   per-worker partial aggregates merge in worker-index order, which
+//!   is bit-exact here because the float payloads are integer-valued
+//!   (exact under f64 addition in any order);
+//! * the **real-thread** executor (`cordoba_exec::parallel`): joins are
+//!   compared as sorted multisets (partitioned builds legitimately
+//!   reorder output), including under a two-page memory budget so the
+//!   partition-spill machinery runs underneath the parallel probe.
+
+use cordoba_exec::expr::{Agg, CmpOp, Predicate, ScalarExpr};
+use cordoba_exec::wiring::{self, WiringConfig};
+use cordoba_exec::{
+    parallel, reference, JoinKind, MemoryBroker, MemoryConfig, OpCost, ParallelConfig, PhysicalPlan,
+};
+use cordoba_sim::Simulator;
+use cordoba_storage::{Catalog, DataType, Field, Schema, TableBuilder, Value, PAGE_SIZE};
+use proptest::prelude::*;
+
+/// Small pages so even modest row counts span many morsels.
+const TEST_PAGE_ROWS: usize = 64;
+
+/// Runs `plan` through the simulator with `workers` morsel workers and
+/// an optional memory budget; panics on any fault.
+fn run_wired(
+    catalog: &Catalog,
+    plan: &PhysicalPlan,
+    workers: usize,
+    budget: Option<usize>,
+) -> Vec<Vec<Value>> {
+    let cfg = WiringConfig {
+        memory: MemoryConfig {
+            query_budget: budget,
+            ..MemoryConfig::default()
+        },
+        parallel: ParallelConfig {
+            workers,
+            morsel_pages: 1,
+        },
+        ..WiringConfig::default()
+    };
+    let mut sim = Simulator::new(workers.max(2));
+    let (rx, _ops, res) =
+        wiring::instantiate(&mut sim, catalog, plan, "par-eq", &cfg).expect("plan wires");
+    wiring::run_and_collect(&mut sim, rx, OpCost::default(), &res.fault)
+        .expect("parallel query must complete")
+}
+
+/// Maps rows to a bit-exact representation: floats by `to_bits`.
+fn bit_exact(rows: &[Vec<Value>]) -> Vec<Vec<(u8, u64)>> {
+    rows.iter()
+        .map(|row| {
+            row.iter()
+                .map(|v| match v {
+                    Value::Int(i) => (0u8, *i as u64),
+                    Value::Float(f) => (1u8, f.to_bits()),
+                    other => (2u8, format!("{other:?}").len() as u64),
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// One-table catalog of `(k: Int, v: Float)` rows on small pages. The
+/// float payloads are integer-valued, so every aggregate sum is exact
+/// regardless of addition order.
+fn kf_catalog(rows: &[(i64, i64)]) -> Catalog {
+    let schema = Schema::new(vec![
+        Field::new("k", DataType::Int),
+        Field::new("v", DataType::Float),
+    ]);
+    let mut tb = TableBuilder::with_page_size("t", schema, TEST_PAGE_ROWS);
+    for (k, v) in rows {
+        tb.push_row(&[Value::Int(*k), Value::Float(*v as f64)]);
+    }
+    let mut c = Catalog::new();
+    c.register(tb.finish());
+    c
+}
+
+/// Two-table catalog of `(k: Int, v: Int)` rows for joins.
+fn kv_catalog(left: &[(i64, i64)], right: &[(i64, i64)]) -> Catalog {
+    let mut catalog = Catalog::new();
+    for (name, rows) in [("l", left), ("r", right)] {
+        let schema = Schema::new(vec![
+            Field::new(format!("{name}k"), DataType::Int),
+            Field::new(format!("{name}v"), DataType::Int),
+        ]);
+        let mut tb = TableBuilder::with_page_size(name, schema, TEST_PAGE_ROWS);
+        for (k, v) in rows {
+            tb.push_row(&[Value::Int(*k), Value::Int(*v)]);
+        }
+        catalog.register(tb.finish());
+    }
+    catalog
+}
+
+fn scan(table: &str) -> Box<PhysicalPlan> {
+    Box::new(PhysicalPlan::Scan {
+        table: table.into(),
+        cost: OpCost::default(),
+    })
+}
+
+/// Scan → filter → project pipeline over the `(k, v)` table.
+fn pipeline_plan(cutoff: i64) -> PhysicalPlan {
+    PhysicalPlan::Project {
+        input: Box::new(PhysicalPlan::Filter {
+            input: scan("t"),
+            predicate: Predicate::col_cmp(0, CmpOp::Lt, cutoff),
+            cost: OpCost::default(),
+        }),
+        exprs: vec![
+            ("k".into(), ScalarExpr::col(0)),
+            (
+                "v2".into(),
+                ScalarExpr::Mul(
+                    Box::new(ScalarExpr::col(1)),
+                    Box::new(ScalarExpr::FloatLit(2.0)),
+                ),
+            ),
+        ],
+        cost: OpCost::default(),
+    }
+}
+
+/// Grouped sum + count over the filtered `(k, v)` table.
+fn aggregate_plan(cutoff: i64) -> PhysicalPlan {
+    PhysicalPlan::Aggregate {
+        input: Box::new(PhysicalPlan::Filter {
+            input: scan("t"),
+            predicate: Predicate::col_cmp(0, CmpOp::Lt, cutoff),
+            cost: OpCost::default(),
+        }),
+        group_by: vec![0],
+        aggs: vec![
+            ("s".into(), Agg::Sum(ScalarExpr::col(1))),
+            ("c".into(), Agg::Count),
+        ],
+        cost: OpCost::default(),
+    }
+}
+
+/// Keyed rows; small key domains force duplicates and grouping.
+fn kv_rows(max: usize) -> impl Strategy<Value = Vec<(i64, i64)>> {
+    proptest::collection::vec((0i64..48, -1000i64..1000), 0..max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The morsel-parallel pipeline wiring is row-for-row identical to
+    /// the serial wiring and the synchronous reference at every worker
+    /// count — the ordered reassembly must hide the parallelism
+    /// completely.
+    #[test]
+    fn parallel_pipeline_is_row_identical_to_serial(
+        rows in kv_rows(1500),
+        cutoff in 0i64..48,
+    ) {
+        let catalog = kf_catalog(&rows);
+        let plan = pipeline_plan(cutoff);
+        let serial = run_wired(&catalog, &plan, 1, None);
+        let oracle = reference::execute(&catalog, &plan);
+        prop_assert_eq!(bit_exact(&serial), bit_exact(&oracle));
+        for workers in [2usize, 4, 8] {
+            let par = run_wired(&catalog, &plan, workers, None);
+            prop_assert_eq!(bit_exact(&par), bit_exact(&serial), "workers={}", workers);
+        }
+    }
+
+    /// Per-worker partial aggregates merged in worker order are
+    /// bit-exact against the serial path — the integer-valued float
+    /// payloads make the f64 sums order-independent, so any divergence
+    /// is a real merge bug, not reassociation noise.
+    #[test]
+    fn parallel_aggregate_is_bit_exact(
+        rows in kv_rows(1500),
+        cutoff in 0i64..48,
+    ) {
+        let catalog = kf_catalog(&rows);
+        let plan = aggregate_plan(cutoff);
+        let serial = run_wired(&catalog, &plan, 1, None);
+        let oracle = reference::execute(&catalog, &plan);
+        prop_assert_eq!(bit_exact(&serial), bit_exact(&oracle));
+        for workers in [2usize, 4, 8] {
+            let par = run_wired(&catalog, &plan, workers, None);
+            prop_assert_eq!(bit_exact(&par), bit_exact(&serial), "workers={}", workers);
+        }
+    }
+
+    /// A hash join fed by parallel chains, run under a two-page budget:
+    /// the spill machinery and the morsel wiring compose without
+    /// changing the result multiset.
+    #[test]
+    fn parallel_join_with_tiny_budget_matches_reference(
+        left in kv_rows(600),
+        right in kv_rows(600),
+        kind_ix in 0usize..4,
+    ) {
+        let kind = [JoinKind::Inner, JoinKind::Semi, JoinKind::Anti, JoinKind::LeftOuter][kind_ix];
+        let catalog = kv_catalog(&left, &right);
+        let plan = PhysicalPlan::HashJoin {
+            build: scan("r"),
+            probe: scan("l"),
+            build_key: 0,
+            probe_key: 0,
+            kind,
+            build_cost: OpCost::default(),
+            probe_cost: OpCost::default(),
+        };
+        let oracle = reference::canonicalize(reference::execute(&catalog, &plan));
+        for workers in [1usize, 4] {
+            for budget in [None, Some(2 * PAGE_SIZE)] {
+                let got = reference::canonicalize(run_wired(&catalog, &plan, workers, budget));
+                prop_assert_eq!(
+                    &got, &oracle,
+                    "workers={} budget={:?} kind={:?}", workers, budget, kind
+                );
+            }
+        }
+    }
+
+    /// The real-thread morsel executor (partitioned build, parallel
+    /// probe) matches the reference as a multiset at every worker
+    /// count, with and without a broker budget underneath.
+    #[test]
+    fn threaded_executor_matches_reference(
+        left in kv_rows(400),
+        right in kv_rows(400),
+    ) {
+        let catalog = kv_catalog(&left, &right);
+        let plan = PhysicalPlan::HashJoin {
+            build: scan("r"),
+            probe: scan("l"),
+            build_key: 0,
+            probe_key: 0,
+            kind: JoinKind::Inner,
+            build_cost: OpCost::default(),
+            probe_cost: OpCost::default(),
+        };
+        let oracle = reference::canonicalize(reference::execute(&catalog, &plan));
+        for workers in [1usize, 2, 4, 8] {
+            let cfg = ParallelConfig::with_workers(workers);
+            let unbounded = parallel::execute_plan(&catalog, &plan, &cfg).expect("join runs");
+            prop_assert_eq!(
+                &reference::canonicalize(unbounded), &oracle,
+                "workers={}", workers
+            );
+            let broker = MemoryBroker::with_budget(2 * PAGE_SIZE);
+            let budgeted = parallel::execute_plan_with_broker(&catalog, &plan, &cfg, &broker)
+                .expect("join runs under budget");
+            prop_assert_eq!(
+                &reference::canonicalize(budgeted), &oracle,
+                "workers={} (budgeted)", workers
+            );
+        }
+    }
+
+    /// The threaded pipeline executor preserves row order exactly —
+    /// morsel-index reassembly, not completion order.
+    #[test]
+    fn threaded_pipeline_preserves_order(
+        rows in kv_rows(1000),
+        cutoff in 0i64..48,
+    ) {
+        let catalog = kf_catalog(&rows);
+        let plan = pipeline_plan(cutoff);
+        let oracle = reference::execute(&catalog, &plan);
+        for workers in [1usize, 2, 4, 8] {
+            let cfg = ParallelConfig { workers, morsel_pages: 1 };
+            let got = parallel::execute_plan(&catalog, &plan, &cfg).expect("pipeline runs");
+            prop_assert_eq!(bit_exact(&got), bit_exact(&oracle), "workers={}", workers);
+        }
+    }
+}

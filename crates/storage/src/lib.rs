@@ -23,6 +23,7 @@
 
 pub mod catalog;
 pub mod date;
+pub mod morsel;
 pub mod page;
 pub mod schema;
 pub mod spill;
@@ -32,6 +33,7 @@ pub mod value;
 
 pub use catalog::Catalog;
 pub use date::Date;
+pub use morsel::{morsel_at, morsel_count, morsels, Morsel};
 pub use page::{Page, PageBuilder, TupleRef, PAGE_SIZE};
 pub use schema::{DataType, Field, Schema};
 pub use spill::{SpillFile, SpillReader, SpillWriter};

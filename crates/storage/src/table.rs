@@ -18,6 +18,25 @@ pub struct Table {
 }
 
 impl Table {
+    /// Builds a table directly from pre-built pages — the
+    /// materialization path of executors that already produce pages
+    /// (e.g. the parallel morsel kernels). Every page must carry
+    /// `schema`.
+    pub fn from_pages(
+        name: impl Into<String>,
+        schema: Arc<Schema>,
+        pages: Vec<Arc<Page>>,
+    ) -> Arc<Table> {
+        debug_assert!(pages.iter().all(|p| **p.schema() == *schema));
+        let row_count = pages.iter().map(|p| p.rows()).sum();
+        Arc::new(Table {
+            name: name.into(),
+            schema,
+            pages,
+            row_count,
+        })
+    }
+
     /// Table name.
     pub fn name(&self) -> &str {
         &self.name

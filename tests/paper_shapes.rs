@@ -14,6 +14,17 @@ fn catalog() -> cordoba::storage::Catalog {
     })
 }
 
+/// The paper's engine runs one thread per operator: every shape
+/// reproduced here pins `workers = 1` so a `CORDOBA_WORKERS` override
+/// (the CI parallel leg) cannot change the figures under test — the
+/// (m × k) interaction is covered by the fig5 worker grid instead.
+fn serial_engine() -> EngineConfig {
+    EngineConfig {
+        parallel: cordoba::engine::ParallelConfig::with_workers(1),
+        ..EngineConfig::default()
+    }
+}
+
 fn z_of(
     catalog: &cordoba::storage::Catalog,
     spec: &cordoba::engine::QuerySpec,
@@ -26,7 +37,7 @@ fn z_of(
         let cfg = EngineConfig {
             contexts: n,
             policy,
-            ..EngineConfig::default()
+            ..serial_engine()
         };
         measure_throughput(catalog, &clients, &cfg, 16.max(2 * m), cap).per_time
     };
@@ -93,12 +104,9 @@ fn figure6_policy_ordering_on_large_machine() {
     let models = {
         let mut map = std::collections::HashMap::new();
         for spec in [q1(&costs), q4(&costs)] {
-            let (info, _) = cordoba::engine::profiling::profile_query(
-                &catalog,
-                &spec,
-                &EngineConfig::default(),
-            )
-            .expect("profiling succeeds");
+            let (info, _) =
+                cordoba::engine::profiling::profile_query(&catalog, &spec, &serial_engine())
+                    .expect("profiling succeeds");
             map.insert(spec.name.clone(), info);
         }
         map
@@ -109,7 +117,7 @@ fn figure6_policy_ordering_on_large_machine() {
         let cfg = EngineConfig {
             contexts: 32,
             policy,
-            ..EngineConfig::default()
+            ..serial_engine()
         };
         measure_throughput(&catalog, &clients, &cfg, 48, cap).per_time
     };
@@ -132,12 +140,9 @@ fn figure6_policy_ordering_on_small_machine() {
     let models = {
         let mut map = std::collections::HashMap::new();
         for spec in [q1(&costs), q4(&costs)] {
-            let (info, _) = cordoba::engine::profiling::profile_query(
-                &catalog,
-                &spec,
-                &EngineConfig::default(),
-            )
-            .expect("profiling succeeds");
+            let (info, _) =
+                cordoba::engine::profiling::profile_query(&catalog, &spec, &serial_engine())
+                    .expect("profiling succeeds");
             map.insert(spec.name.clone(), info);
         }
         map
@@ -148,7 +153,7 @@ fn figure6_policy_ordering_on_small_machine() {
         let cfg = EngineConfig {
             contexts: 2,
             policy,
-            ..EngineConfig::default()
+            ..serial_engine()
         };
         measure_throughput(&catalog, &clients, &cfg, 32, cap).per_time
     };
@@ -180,7 +185,7 @@ fn shared_utilization_is_capped_while_unshared_scales() {
         &EngineConfig {
             contexts: 32,
             policy: Policy::AlwaysShare,
-            ..EngineConfig::default()
+            ..serial_engine()
         },
     );
     shared.run_until_completions(64, 8_000_000_000);
@@ -190,7 +195,7 @@ fn shared_utilization_is_capped_while_unshared_scales() {
         &EngineConfig {
             contexts: 32,
             policy: Policy::NeverShare,
-            ..EngineConfig::default()
+            ..serial_engine()
         },
     );
     unshared.run_until_completions(64, 8_000_000_000);
