@@ -24,11 +24,13 @@
 
 use cordoba_bench::par_kernels::{self, ParPair};
 use cordoba_bench::spill_kernels;
+use cordoba_bench::subsume_kernels::{self, SubsumePoint};
 use cordoba_bench::vec_kernels::*;
 use cordoba_exec::ops::{KeyScratch, PackedKeySpec};
 use cordoba_exec::reference;
 use cordoba_exec::vexpr::{CompiledExpr, CompiledPredicate, ExprScratch};
 use cordoba_storage::PAGE_SIZE;
+use cordoba_workload::FamilyConfig;
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -117,6 +119,74 @@ fn par_json(p: &ParPair) -> String {
         p.parallel,
         p.speedup(),
         p.note,
+    )
+}
+
+fn subsume_json(p: &SubsumePoint) -> String {
+    let predicted = if p.predicted_z.is_nan() {
+        "null".to_string()
+    } else {
+        format!("{:.3}", p.predicted_z)
+    };
+    let agrees = match p.advisor_agrees() {
+        Some(b) => b.to_string(),
+        None => "null".to_string(),
+    };
+    format!(
+        concat!(
+            "      {{\n",
+            "        \"name\": \"{}\",\n",
+            "        \"queries\": {},\n",
+            "        \"contexts\": {},\n",
+            "        \"unshared_vt\": {:.0},\n",
+            "        \"shared_vt\": {:.0},\n",
+            "        \"speedup\": {:.3},\n",
+            "        \"predicted_z\": {},\n",
+            "        \"advisor_agrees\": {},\n",
+            "        \"cache\": {{ \"hits\": {}, \"misses\": {}, \"evictions\": {} }},\n",
+            "        \"subsume_joins\": {},\n",
+            "        \"note\": \"{}\"\n",
+            "      }}"
+        ),
+        p.name,
+        p.queries,
+        p.contexts,
+        p.unshared_vt,
+        p.shared_vt,
+        p.measured_z(),
+        predicted,
+        agrees,
+        p.hits,
+        p.misses,
+        p.evictions,
+        p.subsume_joins,
+        p.note,
+    )
+}
+
+fn policy_json(name: &str, p: &cordoba_bench::subsume_kernels::PolicyPoint) -> String {
+    format!(
+        concat!(
+            "      {{\n",
+            "        \"name\": \"{}\",\n",
+            "        \"contexts\": {},\n",
+            "        \"never_vt\": {:.0},\n",
+            "        \"always_vt\": {:.0},\n",
+            "        \"model_vt\": {:.0},\n",
+            "        \"always_z\": {:.3},\n",
+            "        \"speedup\": {:.3},\n",
+            "        \"model_groups\": {:?},\n",
+            "        \"note\": \"batch makespans under never/always/model-guided sharing; speedup = never/model\"\n",
+            "      }}"
+        ),
+        name,
+        p.contexts,
+        p.never,
+        p.always,
+        p.model,
+        p.always_z(),
+        p.model_z(),
+        p.model_groups,
     )
 }
 
@@ -474,6 +544,109 @@ fn main() {
         }
     }
 
+    // Subsumption-sharing section: distinct-but-nested query families
+    // shared through a wide fragment + residual filters, the fragment
+    // cache, and the fig6-style policy comparison. Fixed scale factor
+    // and seeds even under --quick — everything here is deterministic
+    // simulator virtual time, so the numbers are stable and the gate
+    // can be tight.
+    let run_subsume = want("subsume_group_m4_n1")
+        || want("subsume_group_m8_n4")
+        || want("subsume_cache_replay_n1")
+        || want("subsume_policy");
+    let mut subsume_points: Vec<SubsumePoint> = Vec::new();
+    let mut subsume_policy: Vec<(String, subsume_kernels::PolicyPoint)> = Vec::new();
+    if run_subsume {
+        let sub_cat = subsume_kernels::catalog();
+        if want("subsume_group_m4_n1") {
+            let p = subsume_kernels::group_scenario(
+                &sub_cat,
+                "subsume_group_m4_n1",
+                &FamilyConfig {
+                    seed: 11,
+                    families: 1,
+                    per_family: 4,
+                },
+                1,
+                "4 nested Q6/Q1-family windows on 1 context: wide fragment + residuals vs private scans",
+            );
+            assert!(
+                p.measured_z() > 1.0,
+                "sharing nested fragments on one context must win: z = {:.3}",
+                p.measured_z()
+            );
+            assert_eq!(
+                p.advisor_agrees(),
+                Some(true),
+                "advisor must call the uniprocessor win: predicted {:.3}, measured {:.3}",
+                p.predicted_z,
+                p.measured_z()
+            );
+            subsume_points.push(p);
+        }
+        if want("subsume_group_m8_n4") {
+            subsume_points.push(subsume_kernels::group_scenario(
+                &sub_cat,
+                "subsume_group_m8_n4",
+                &FamilyConfig {
+                    seed: 13,
+                    families: 2,
+                    per_family: 4,
+                },
+                4,
+                "two 4-member families on 4 contexts: sharing trades redundant work for lost parallelism",
+            ));
+        }
+        if want("subsume_cache_replay_n1") {
+            let p = subsume_kernels::cache_replay_scenario(&sub_cat);
+            assert!(
+                p.measured_z() > 1.0,
+                "cache replay must beat the cold run: z = {:.3}",
+                p.measured_z()
+            );
+            subsume_points.push(p);
+        }
+        if want("subsume_policy") {
+            // Two cost profiles span the paper's win/loss regimes: under
+            // paper costs the fragment's per-consumer delivery is cheap
+            // and sharing (almost) always wins; under delivery-heavy
+            // costs always-share loses at high parallelism and the
+            // advisor must decline or downsize the groups.
+            let fam = FamilyConfig {
+                seed: 17,
+                families: 2,
+                per_family: 4,
+            };
+            let profiles = [
+                ("subsume_policy", cordoba_workload::CostProfile::paper()),
+                (
+                    "subsume_policy_heavy",
+                    subsume_kernels::delivery_heavy_costs(),
+                ),
+            ];
+            for (prefix, costs) in &profiles {
+                for contexts in [2usize, 8] {
+                    let point = subsume_kernels::policy_scenario(&sub_cat, costs, &fam, contexts);
+                    subsume_policy.push((format!("{prefix}_n{contexts}"), point));
+                }
+            }
+            let wins = &subsume_policy[0].1;
+            assert!(
+                wins.always_z() > 1.0 && wins.model_z() > 1.0,
+                "paper costs at n=2 must be a sharing win: {wins:?}"
+            );
+            let loses = &subsume_policy[3].1;
+            assert!(
+                loses.always_z() < 1.0,
+                "delivery-heavy costs at n=8 must be a sharing loss: {loses:?}"
+            );
+            assert!(
+                loses.model_z() >= 1.0,
+                "the advisor must decline losing groups: {loses:?}"
+            );
+        }
+    }
+
     for e in &entries {
         println!(
             "{:<22} {:>10} rows  baseline {:>8.2} ns/row  vectorized {:>8.2} ns/row  speedup {:>5.2}x",
@@ -500,13 +673,49 @@ fn main() {
             p.speedup()
         );
     }
+    for p in &subsume_points {
+        println!(
+            "{:<22} {:>2} queries n={} unshared {:>11.0} vt  shared {:>11.0} vt  z {:>5.2}x  \
+             predicted {:>5.2}  cache {}h/{}m/{}e  subsume-joins {}",
+            p.name,
+            p.queries,
+            p.contexts,
+            p.unshared_vt,
+            p.shared_vt,
+            p.measured_z(),
+            p.predicted_z,
+            p.hits,
+            p.misses,
+            p.evictions,
+            p.subsume_joins,
+        );
+    }
+    for (name, p) in &subsume_policy {
+        println!(
+            "{:<22} n={}  makespan never {:>9.0}  always {:>9.0}  model {:>9.0}  z(always) {:>5.2}  z(model) {:>5.2}  groups {:?}",
+            name,
+            p.contexts,
+            p.never,
+            p.always,
+            p.model,
+            p.always_z(),
+            p.model_z(),
+            p.model_groups,
+        );
+    }
 
     // Fresh (name, speedup) pairs for the regression gate: vectorized
-    // kernels and parallel pairs alike.
+    // kernels, parallel pairs, and subsume scenarios alike.
     let fresh: Vec<(String, f64)> = entries
         .iter()
         .map(|e| (e.name.to_string(), e.speedup()))
         .chain(par_pairs.iter().map(|p| (p.name.to_string(), p.speedup())))
+        .chain(
+            subsume_points
+                .iter()
+                .map(|p| (p.name.to_string(), p.measured_z())),
+        )
+        .chain(subsume_policy.iter().map(|(n, p)| (n.clone(), p.model_z())))
         .collect();
 
     // Regression-check mode: compare against a committed BENCH_ops.json
@@ -528,6 +737,22 @@ fn main() {
     }
 
     let path = std::env::var("CORDOBA_BENCH_OPS").unwrap_or_else(|_| "BENCH_ops.json".to_string());
+    let subsume_scen: Vec<String> = subsume_points.iter().map(subsume_json).collect();
+    let subsume_pol: Vec<String> = subsume_policy
+        .iter()
+        .map(|(n, p)| policy_json(n, p))
+        .collect();
+    let subsume_section = format!(
+        concat!(
+            "  \"subsume\": {{\n",
+            "    \"substrate\": \"deterministic simulator virtual time at a fixed scale factor and seeds (quick runs use the same data)\",\n",
+            "    \"scenarios\": [\n{}\n    ],\n",
+            "    \"policy\": [\n{}\n    ]\n",
+            "  }},\n"
+        ),
+        subsume_scen.join(",\n"),
+        subsume_pol.join(",\n"),
+    );
     let par_body: Vec<String> = par_pairs.iter().map(par_json).collect();
     let par_section = format!(
         concat!(
@@ -551,6 +776,7 @@ fn main() {
             "  \"join_build\": {{ \"arena_backed\": true, \"per_row_heap_allocations\": 0 }},\n",
             "{}",
             "{}",
+            "{}",
             "  \"benches\": [\n{}\n  ]\n",
             "}}\n"
         ),
@@ -559,6 +785,7 @@ fn main() {
         quick,
         spill_json,
         par_section,
+        subsume_section,
         body.join(",\n")
     );
     std::fs::write(&path, json).expect("write BENCH_ops.json");

@@ -17,4 +17,5 @@ pub mod experiments;
 pub mod output;
 pub mod par_kernels;
 pub mod spill_kernels;
+pub mod subsume_kernels;
 pub mod vec_kernels;

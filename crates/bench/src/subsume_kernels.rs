@@ -1,0 +1,334 @@
+//! Subsumption-sharing scenarios for the `bench_ops` harness: measured
+//! `Z(m, n)` of sharing a *wide* selection fragment among distinct but
+//! nested query windows (no two queries byte-identical — the historic
+//! equality matcher would share nothing here), plus the fragment-cache
+//! replay path and a fig6-style policy win/loss comparison.
+//!
+//! Everything in this module is simulator virtual time: deterministic
+//! for a fixed seed and host-independent, so committed numbers can be
+//! gated tightly.
+
+use cordoba_core::sharing::{GroupMember, SharingEvaluator};
+use cordoba_engine::profiling::profile_query;
+use cordoba_engine::{
+    run_once, run_open_loop_collecting, EngineConfig, Policy, QueryModelInfo, QuerySpec,
+};
+use cordoba_exec::subsume::{coverage_estimate, MIN_COVERAGE};
+use cordoba_storage::tpch::{generate, TpchConfig};
+use cordoba_storage::Catalog;
+use cordoba_workload::{family_specs, CostProfile, FamilyConfig};
+use std::collections::HashMap;
+
+/// Mirrors the policy's residual-pricing constant (see
+/// `cordoba_engine::policy`): the advisor validation must price
+/// fragments exactly the way the dispatcher's admission does.
+const RESIDUAL_COST_RATIO: f64 = 0.1;
+
+/// The fixed catalog for every subsume scenario. The scale factor does
+/// NOT shrink under `--quick`: virtual-time results are deterministic,
+/// so there is nothing to save by subsampling, and the committed
+/// numbers stay comparable across runs.
+pub fn catalog() -> Catalog {
+    generate(&TpchConfig {
+        scale_factor: 0.002,
+        seed: 11,
+        ..TpchConfig::default()
+    })
+}
+
+fn engine_cfg(contexts: usize, policy: Policy, cache: usize) -> EngineConfig {
+    EngineConfig {
+        contexts,
+        policy,
+        fragment_cache: cache,
+        ..EngineConfig::default()
+    }
+}
+
+/// One measured subsumption scenario.
+#[derive(Debug, Clone)]
+pub struct SubsumePoint {
+    /// Scenario name (gate key in `BENCH_ops.json`).
+    pub name: &'static str,
+    /// Queries in the workload.
+    pub queries: usize,
+    /// Simulated hardware contexts.
+    pub contexts: usize,
+    /// Virtual time (or response) of the unshared baseline.
+    pub unshared_vt: f64,
+    /// Virtual time (or response) of the shared/subsumed run.
+    pub shared_vt: f64,
+    /// The partial-overlap model's predicted `Z` for the scenario's
+    /// group (NaN when the scenario has no single-group prediction).
+    pub predicted_z: f64,
+    /// Fragment-cache hits observed in the shared run.
+    pub hits: u64,
+    /// Fragment-cache misses observed in the shared run.
+    pub misses: u64,
+    /// Fragment-cache evictions observed in the shared run.
+    pub evictions: u64,
+    /// Members admitted via subsumption (pivot differed from group's).
+    pub subsume_joins: u64,
+    /// What the scenario exercises.
+    pub note: &'static str,
+}
+
+impl SubsumePoint {
+    /// Measured speedup `Z = unshared / shared` (virtual time ratio).
+    pub fn measured_z(&self) -> f64 {
+        self.unshared_vt / self.shared_vt
+    }
+
+    /// Whether the advisor's win/loss call matches the measurement
+    /// (`None` when the scenario carries no prediction).
+    pub fn advisor_agrees(&self) -> Option<bool> {
+        if self.predicted_z.is_nan() {
+            None
+        } else {
+            Some((self.predicted_z >= 1.0) == (self.measured_z() >= 1.0))
+        }
+    }
+}
+
+/// Predicts `Z` for one family chain sharing its widest member's
+/// fragment, using per-member profiled models and the same coverage /
+/// residual pricing the dispatcher's `admit_overlap` applies.
+/// `effective_contexts` is the group's fair share of the machine.
+fn predicted_chain_z(catalog: &Catalog, chain: &[&QuerySpec], effective_contexts: f64) -> f64 {
+    let cfg = EngineConfig::default();
+    let models: Vec<QueryModelInfo> = chain
+        .iter()
+        .map(|spec| {
+            profile_query(catalog, spec, &cfg)
+                .unwrap_or_else(|e| panic!("profiling {} failed: {e}", spec.name))
+                .0
+        })
+        .collect();
+    let wide_pivot = chain[0].pivot.as_ref().expect("family specs have pivots");
+    let wide_model = &models[0];
+    let below: Vec<f64> = wide_model
+        .plan
+        .below(wide_model.pivot)
+        .expect("pivot in plan")
+        .into_iter()
+        .map(|id| wide_model.plan.op(id).p())
+        .collect();
+    let pivot_work = wide_model.plan.op(wide_model.pivot).w();
+    let members: Vec<GroupMember> = chain
+        .iter()
+        .zip(&models)
+        .map(|(spec, model)| {
+            let narrow = spec.pivot.as_ref().expect("family specs have pivots");
+            let c = coverage_estimate(wide_pivot, narrow).clamp(MIN_COVERAGE, 1.0);
+            let s_wide = model.plan.op(model.pivot).s_per_consumer() / c;
+            let residual = if c < 1.0 - 1e-12 {
+                RESIDUAL_COST_RATIO * s_wide
+            } else {
+                0.0
+            };
+            let above = model
+                .plan
+                .above(model.pivot)
+                .expect("pivot in plan")
+                .into_iter()
+                .map(|id| model.plan.op(id).p())
+                .collect();
+            GroupMember::new(s_wide, above).with_partial_overlap(c, residual)
+        })
+        .collect();
+    SharingEvaluator::from_parts(below, pivot_work, members)
+        .expect("profiled parameters are valid")
+        .speedup(effective_contexts.max(1.0))
+}
+
+/// Runs a family workload shared (always-share, cache on) and unshared
+/// (never-share), asserting result equality, and returns the measured
+/// point with the advisor's prediction for one family's group.
+pub fn group_scenario(
+    catalog: &Catalog,
+    name: &'static str,
+    family_cfg: &FamilyConfig,
+    contexts: usize,
+    note: &'static str,
+) -> SubsumePoint {
+    let specs = family_specs(&CostProfile::paper(), family_cfg);
+    for (i, a) in specs.iter().enumerate() {
+        for b in &specs[i + 1..] {
+            assert_ne!(a, b, "family workload contains byte-identical queries");
+        }
+    }
+    let shared = run_once(
+        catalog,
+        &specs,
+        &engine_cfg(contexts, Policy::AlwaysShare, 8),
+    );
+    let unshared = run_once(
+        catalog,
+        &specs,
+        &engine_cfg(contexts, Policy::NeverShare, 0),
+    );
+    assert!(shared.failures.is_empty(), "{:?}", shared.failures);
+    assert!(unshared.failures.is_empty(), "{:?}", unshared.failures);
+    assert_eq!(
+        shared.results, unshared.results,
+        "{name}: shared results diverged from unshared"
+    );
+    assert!(
+        shared.group_sizes.iter().any(|&g| g > 1),
+        "{name}: no group formed over the nested family: {:?}",
+        shared.group_sizes
+    );
+    // The advisor prediction prices one family chain (members j share
+    // the widest window j=0) with the group's fair share of contexts.
+    let chain: Vec<&QuerySpec> = (0..family_cfg.per_family)
+        .map(|j| &specs[j * family_cfg.families])
+        .collect();
+    let n_eff = contexts as f64 * family_cfg.per_family as f64 / specs.len() as f64;
+    let predicted_z = predicted_chain_z(catalog, &chain, n_eff);
+    SubsumePoint {
+        name,
+        queries: specs.len(),
+        contexts,
+        unshared_vt: unshared.makespan as f64,
+        shared_vt: shared.makespan as f64,
+        predicted_z,
+        hits: shared.sharing.fingerprint_hits,
+        misses: shared.sharing.fingerprint_misses,
+        evictions: shared.sharing.fingerprint_evictions,
+        subsume_joins: shared.sharing.subsume_joins,
+        note,
+    }
+}
+
+/// Open-loop two-wave scenario: the widest family member completes,
+/// then the narrower members arrive and are served from the fragment
+/// cache. Baseline = the cold wide query's response; shared = the mean
+/// replayed response. Asserts the cache actually hit.
+pub fn cache_replay_scenario(catalog: &Catalog) -> SubsumePoint {
+    let specs = family_specs(
+        &CostProfile::paper(),
+        &FamilyConfig {
+            seed: 42,
+            families: 1,
+            per_family: 3,
+        },
+    );
+    let schedule = vec![
+        (0, specs[0].clone()),
+        (40_000_000, specs[1].clone()),
+        (40_000_000, specs[2].clone()),
+    ];
+    let cfg = engine_cfg(1, Policy::AlwaysShare, 8);
+    let (report, _results) = run_open_loop_collecting(catalog, schedule, &cfg, u64::MAX / 4);
+    assert!(report.failures.is_empty(), "{:?}", report.failures);
+    assert_eq!(report.completed, 3, "{report:?}");
+    assert!(
+        report.sharing.fingerprint_hits >= 1,
+        "late nested arrivals must hit the cache: {:?}",
+        report.sharing
+    );
+    let cold = report.response_times[0] as f64;
+    let warm = report.response_times[1..]
+        .iter()
+        .map(|&t| t as f64)
+        .sum::<f64>()
+        / (report.response_times.len() - 1) as f64;
+    SubsumePoint {
+        name: "subsume_cache_replay_n1",
+        queries: specs.len(),
+        contexts: 1,
+        unshared_vt: cold,
+        shared_vt: warm,
+        predicted_z: f64::NAN,
+        hits: report.sharing.fingerprint_hits,
+        misses: report.sharing.fingerprint_misses,
+        evictions: report.sharing.fingerprint_evictions,
+        subsume_joins: report.sharing.subsume_joins,
+        note: "cold wide fragment vs cached replay for late nested arrivals (response time ratio)",
+    }
+}
+
+/// One fig6-style policy point on the family workload: batch makespan
+/// (all queries arrive at once) under never / always / model-guided
+/// sharing. Coincident arrivals are the regime where the admission
+/// decision actually bites — in a staggered closed loop nothing ever
+/// batches and every policy degenerates to never-share.
+#[derive(Debug, Clone)]
+pub struct PolicyPoint {
+    /// Contexts the machine has.
+    pub contexts: usize,
+    /// Never-share makespan (virtual time).
+    pub never: f64,
+    /// Always-share makespan (virtual time).
+    pub always: f64,
+    /// Model-guided makespan (virtual time).
+    pub model: f64,
+    /// Group sizes the model-guided policy formed.
+    pub model_groups: Vec<usize>,
+}
+
+impl PolicyPoint {
+    /// Always-share speedup over never-share (`< 1` is the loss regime).
+    pub fn always_z(&self) -> f64 {
+        self.never / self.always
+    }
+
+    /// Model-guided speedup over never-share.
+    pub fn model_z(&self) -> f64 {
+        self.never / self.model
+    }
+}
+
+/// A cost profile whose selection fragment pays a *large per-consumer
+/// delivery* (`s`) relative to the shareable work — e.g. a fragment
+/// materializing wide derived tuples to every consumer. This is the
+/// paper's loss regime: at high parallelism the serialized delivery at
+/// the shared pivot outweighs the saved common work, always-share falls
+/// behind never-share, and the advisor must decline (or downsize) the
+/// group.
+pub fn delivery_heavy_costs() -> CostProfile {
+    CostProfile {
+        filter: cordoba_exec::OpCost::new(0.8, 100.0),
+        ..CostProfile::paper()
+    }
+}
+
+/// Measures the three policies on the family workload (the win/loss
+/// regimes of Figure 6, on subsumption-shared fragments instead of
+/// identical plans). Model-guided uses per-shape profiled models keyed
+/// by query name, exactly as the dispatcher consumes them. The fragment
+/// cache is disabled so the measurement isolates the admission
+/// decision; all three runs are asserted result-identical.
+pub fn policy_scenario(
+    catalog: &Catalog,
+    costs: &CostProfile,
+    family_cfg: &FamilyConfig,
+    contexts: usize,
+) -> PolicyPoint {
+    let specs = family_specs(costs, family_cfg);
+    let mut models: HashMap<String, QueryModelInfo> = HashMap::new();
+    let profile_cfg = EngineConfig::default();
+    for spec in &specs {
+        if !models.contains_key(&spec.name) {
+            let (info, _) = profile_query(catalog, spec, &profile_cfg)
+                .unwrap_or_else(|e| panic!("profiling {} failed: {e}", spec.name));
+            models.insert(spec.name.clone(), info);
+        }
+    }
+    let run = |policy: Policy| run_once(catalog, &specs, &engine_cfg(contexts, policy, 0));
+    let never = run(Policy::NeverShare);
+    let always = run(Policy::AlwaysShare);
+    let model = run(Policy::model_guided(models));
+    for r in [&never, &always, &model] {
+        assert!(r.failures.is_empty(), "{:?}", r.failures);
+    }
+    assert_eq!(never.results, always.results, "always-share diverged");
+    assert_eq!(never.results, model.results, "model-guided diverged");
+    PolicyPoint {
+        contexts,
+        never: never.makespan as f64,
+        always: always.makespan as f64,
+        model: model.makespan as f64,
+        model_groups: model.group_sizes.clone(),
+    }
+}

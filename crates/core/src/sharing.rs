@@ -88,6 +88,40 @@ pub struct GroupMember {
     pub pivot_output_cost: f64,
     /// `p_k` for every operator of this query above the pivot.
     pub above: Vec<f64>,
+    /// `c_m ∈ (0, 1]`: fraction of the shared pivot's output this member
+    /// actually needs. Subsumption sharing runs a *wide* pivot; a member
+    /// whose own pivot is narrower would, unshared, only pay
+    /// `w + c_m · s_mφ` at its private pivot. `1` (exact overlap)
+    /// reproduces the paper's equations unchanged.
+    pub coverage: f64,
+    /// `r_m`: per-unit-progress cost of the residual filter this member
+    /// runs over the shared pivot's output to restore its own pivot's
+    /// semantics. `0` under exact overlap. Charged to the member's
+    /// private fragment on the *shared* side only.
+    pub residual_cost: f64,
+}
+
+impl GroupMember {
+    /// An exact-overlap member (`c = 1`, no residual) — the paper's
+    /// original setting.
+    pub fn new(pivot_output_cost: f64, above: Vec<f64>) -> Self {
+        Self {
+            pivot_output_cost,
+            above,
+            coverage: 1.0,
+            residual_cost: 0.0,
+        }
+    }
+
+    /// Marks this member as a partial-overlap consumer: it needs only a
+    /// `coverage` fraction of the shared pivot's output and pays
+    /// `residual_cost` per unit progress to filter it.
+    #[must_use]
+    pub fn with_partial_overlap(mut self, coverage: f64, residual_cost: f64) -> Self {
+        self.coverage = coverage;
+        self.residual_cost = residual_cost;
+        self
+    }
 }
 
 /// Evaluates the work-sharing trade-off for a group of queries that share
@@ -159,14 +193,13 @@ impl SharingEvaluator {
         let members = queries
             .iter()
             .map(|&(plan, pivot)| {
-                Ok(GroupMember {
-                    pivot_output_cost: plan.op(pivot).s_per_consumer(),
-                    above: plan
-                        .above(pivot)?
+                Ok(GroupMember::new(
+                    plan.op(pivot).s_per_consumer(),
+                    plan.above(pivot)?
                         .into_iter()
                         .map(|id| plan.op(id).p())
                         .collect(),
-                })
+                ))
             })
             .collect::<Result<Vec<_>>>()?;
         Ok(Self {
@@ -192,6 +225,13 @@ impl SharingEvaluator {
             crate::error::check_cost(&format!("member[{i}].s"), mbr.pivot_output_cost)?;
             for (k, p) in mbr.above.iter().enumerate() {
                 crate::error::check_cost(&format!("member[{i}].above[{k}]"), *p)?;
+            }
+            crate::error::check_cost(&format!("member[{i}].residual"), mbr.residual_cost)?;
+            if !(mbr.coverage > 0.0 && mbr.coverage <= 1.0) {
+                return Err(ModelError::InvalidCost {
+                    what: format!("member[{i}].coverage (must be in (0, 1])"),
+                    value: mbr.coverage,
+                });
             }
         }
         Ok(Self {
@@ -226,21 +266,28 @@ impl SharingEvaluator {
     }
 
     /// `p_max` of the shared plan: the slowest of {operators below φ,
-    /// the multiplexing pivot, all members' operators above φ}.
+    /// the multiplexing pivot, all members' operators above φ and their
+    /// residual filters}.
     pub fn shared_p_max(&self) -> f64 {
         let below = self.below.iter().copied().fold(0.0_f64, f64::max);
         let above = self
             .members
             .iter()
-            .flat_map(|m| m.above.iter().copied())
+            .flat_map(|m| m.above.iter().copied().chain([m.residual_cost]))
             .fold(0.0_f64, f64::max);
         below.max(self.pivot_p()).max(above)
     }
 
-    /// `u'_shared = Σ_{k below φ} p_k + p_φ(M) + Σ_m Σ_{k above φ} p_k`.
+    /// `u'_shared = Σ_{k below φ} p_k + p_φ(M) + Σ_m (r_m + Σ_{k above φ} p_k)`
+    /// — under partial overlap each member's residual filter is real
+    /// per-unit work the shared plan pays and the unshared one doesn't.
     pub fn shared_total_work(&self) -> f64 {
         let below: f64 = self.below.iter().sum();
-        let above: f64 = self.members.iter().flat_map(|m| m.above.iter()).sum();
+        let above: f64 = self
+            .members
+            .iter()
+            .map(|m| m.residual_cost + m.above.iter().sum::<f64>())
+            .sum();
         below + self.pivot_p() + above
     }
 
@@ -253,18 +300,23 @@ impl SharingEvaluator {
     }
 
     /// Per-member unshared `p_max` (each member runs its private copy of
-    /// the sub-plan; its pivot serves exactly one consumer).
+    /// the sub-plan; its pivot serves exactly one consumer and emits only
+    /// the member's own `c_m` fraction of the wide pivot's output).
     fn member_p_max(&self, member: &GroupMember) -> f64 {
         let below = self.below.iter().copied().fold(0.0_f64, f64::max);
-        let pivot = self.pivot_work + member.pivot_output_cost;
+        let pivot = self.pivot_work + member.coverage * member.pivot_output_cost;
         let above = member.above.iter().copied().fold(0.0_f64, f64::max);
         below.max(pivot).max(above)
     }
 
-    /// Per-member unshared `u'` (total work of one private query).
+    /// Per-member unshared `u'` (total work of one private query; its
+    /// private pivot emits `c_m` of the wide output, and no residual).
     fn member_total_work(&self, member: &GroupMember) -> f64 {
         let below: f64 = self.below.iter().sum();
-        below + self.pivot_work + member.pivot_output_cost + member.above.iter().sum::<f64>()
+        below
+            + self.pivot_work
+            + member.coverage * member.pivot_output_cost
+            + member.above.iter().sum::<f64>()
     }
 
     /// Group rate without sharing, `x_unshared(M, n)`.
@@ -385,7 +437,7 @@ impl SharingEvaluator {
         let above = self
             .members
             .iter()
-            .flat_map(|m| m.above.iter().copied())
+            .flat_map(|m| m.above.iter().copied().chain([m.residual_cost]))
             .fold(0.0_f64, f64::max)
             / e;
         below.max(self.pivot_p_e(e)).max(above)
@@ -393,7 +445,7 @@ impl SharingEvaluator {
 
     fn member_p_max_e(&self, member: &GroupMember, e: f64) -> f64 {
         let below = self.below.iter().copied().fold(0.0_f64, f64::max) / e;
-        let pivot = self.pivot_work / e + member.pivot_output_cost;
+        let pivot = self.pivot_work / e + member.coverage * member.pivot_output_cost;
         let above = member.above.iter().copied().fold(0.0_f64, f64::max) / e;
         below.max(pivot).max(above)
     }
@@ -786,13 +838,7 @@ mod tests {
         let from_parts = SharingEvaluator::from_parts(
             vec![10.0],
             6.0,
-            vec![
-                GroupMember {
-                    pivot_output_cost: 1.0,
-                    above: vec![10.0]
-                };
-                5
-            ],
+            vec![GroupMember::new(1.0, vec![10.0]); 5],
         )
         .unwrap();
         for n in [1.0, 8.0, 32.0] {
@@ -916,5 +962,108 @@ mod tests {
             z_ideal <= z_half + 1e-12 && z_half <= z1 + 1e-12,
             "κ should interpolate: z1={z1} z_half={z_half} z_ideal={z_ideal}"
         );
+    }
+
+    // --- partial overlap (subsumption sharing) ---------------------------
+
+    /// A Q6-style group built from parts: below empty, pivot w = 9.66,
+    /// member s = 10.34, one above operator p = 0.97.
+    fn q6_parts(members: Vec<GroupMember>) -> SharingEvaluator {
+        SharingEvaluator::from_parts(vec![], 9.66, members).unwrap()
+    }
+
+    #[test]
+    fn full_coverage_members_reproduce_exact_overlap() {
+        let exact = q6_parts(vec![GroupMember::new(10.34, vec![0.97]); 4]);
+        let partial = q6_parts(vec![
+            GroupMember::new(10.34, vec![0.97])
+                .with_partial_overlap(1.0, 0.0);
+            4
+        ]);
+        for n in [1.0, 4.0, 32.0] {
+            assert_eq!(exact.speedup(n), partial.speedup(n));
+            assert_eq!(exact.shared_p_max(), partial.shared_p_max());
+            assert_eq!(exact.shared_total_work(), partial.shared_total_work());
+        }
+    }
+
+    #[test]
+    fn lower_coverage_weakens_the_case_for_sharing() {
+        // The shared side is fixed (it runs the wide pivot either way);
+        // the unshared baseline gets cheaper as members need less of the
+        // wide output, so Z is non-increasing in coverage drop.
+        let mut prev = f64::INFINITY;
+        for c in [1.0, 0.75, 0.5, 0.25, 0.05] {
+            let ev = q6_parts(vec![
+                GroupMember::new(10.34, vec![0.97])
+                    .with_partial_overlap(c, 0.0);
+                4
+            ]);
+            let z = ev.speedup(1.0);
+            assert!(
+                z <= prev + 1e-12,
+                "Z should not rise as coverage drops: c={c} z={z} prev={prev}"
+            );
+            prev = z;
+        }
+    }
+
+    #[test]
+    fn residual_cost_charges_only_the_shared_side() {
+        let free = q6_parts(vec![
+            GroupMember::new(10.34, vec![0.97])
+                .with_partial_overlap(0.5, 0.0);
+            4
+        ]);
+        let taxed = q6_parts(vec![
+            GroupMember::new(10.34, vec![0.97])
+                .with_partial_overlap(0.5, 2.0);
+            4
+        ]);
+        // Residual work raises shared u' by Σ r_m and leaves the
+        // unshared baseline untouched.
+        assert!(
+            (taxed.shared_total_work() - free.shared_total_work() - 8.0).abs() < 1e-12,
+            "residuals must add Σ r_m to shared total work"
+        );
+        assert_eq!(
+            free.unshared_rate(4.0).unwrap(),
+            taxed.unshared_rate(4.0).unwrap()
+        );
+        // On a saturated machine the shared side is work-bound, so the
+        // residual tax strictly lowers Z.
+        assert!(taxed.speedup(1.0) < free.speedup(1.0));
+    }
+
+    #[test]
+    fn huge_residual_dominates_shared_p_max() {
+        let ev = q6_parts(vec![
+            GroupMember::new(10.34, vec![0.97])
+                .with_partial_overlap(0.9, 500.0);
+            2
+        ]);
+        assert_eq!(ev.shared_p_max(), 500.0);
+        // Worker scaling divides residual work like any other above term.
+        let p = ev.shared_p_max_with_workers(WorkerScaling::ideal(4).unwrap());
+        assert!((p - 125.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_parts_validates_coverage_and_residual() {
+        for bad in [0.0, -0.5, 1.5, f64::NAN] {
+            let err = SharingEvaluator::from_parts(
+                vec![],
+                1.0,
+                vec![GroupMember::new(1.0, vec![]).with_partial_overlap(bad, 0.0)],
+            )
+            .unwrap_err();
+            assert!(err.to_string().contains("coverage"), "bad={bad}: {err}");
+        }
+        assert!(SharingEvaluator::from_parts(
+            vec![],
+            1.0,
+            vec![GroupMember::new(1.0, vec![]).with_partial_overlap(0.5, -1.0)],
+        )
+        .is_err());
     }
 }

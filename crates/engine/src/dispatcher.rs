@@ -6,11 +6,24 @@
 //! merge into a sharing group. At dispatch, the group's pivot sub-plan
 //! is instantiated **once** with one output channel per member, and each
 //! member's private above-fragment is grafted onto its channel.
+//!
+//! Compatibility is *semantic*, not structural: pivots are bucketed by
+//! [`cordoba_exec::subsume::fingerprint`] and an arrival joins a group
+//! when one pivot subsumes the other. A narrower arrival attaches with
+//! a residual filter; a wider one *widens* the group's pivot (existing
+//! members re-split against the widened pivot at dispatch, which is
+//! sound because subsumption is transitive). When a
+//! [`crate::fragment_cache::FragmentCache`] is configured, the output
+//! pages of each fresh shared pivot are captured, and a later arrival
+//! whose pivot a cached fragment subsumes replays the pages through its
+//! residual instead of re-running the pivot.
 
-use crate::policy::Policy;
+use crate::fragment_cache::CachedFragment;
+use crate::policy::{OverlapInfo, Policy};
 use crate::query::QuerySpec;
-use crate::sharing::split_at_pivot;
-use cordoba_exec::ops::SinkTask;
+use crate::sharing::split_with_residual;
+use cordoba_exec::ops::{Fanout, ScanTask, SinkTask};
+use cordoba_exec::subsume::{coverage_estimate, fingerprint, subsume_residual};
 use cordoba_exec::wiring::{instantiate_into, WiringConfig};
 use cordoba_exec::{ExecError, FaultCell, OpCost, PhysicalPlan, QueryResources};
 use cordoba_sim::channel::{self};
@@ -30,9 +43,31 @@ pub(crate) struct Arrival {
 
 /// A forming (not yet dispatched) sharing group.
 pub(crate) struct PendingGroup {
+    /// The group's (possibly widened) pivot.
     pivot: Option<PhysicalPlan>,
+    /// Fingerprint of `pivot`'s filter-peeled base (bucket key).
+    fingerprint: Option<u64>,
+    /// When set, the pivot's output replays from these cached pages
+    /// instead of executing the pivot.
+    cached: Option<CachedFragment>,
     members: Vec<Arrival>,
     due: VTime,
+}
+
+/// `s` (per-consumer output cost) of a plan's root operator — what a
+/// cached replay still has to pay per member.
+fn root_out_per_tuple(plan: &PhysicalPlan) -> f64 {
+    match plan {
+        PhysicalPlan::Scan { cost, .. }
+        | PhysicalPlan::Filter { cost, .. }
+        | PhysicalPlan::Project { cost, .. }
+        | PhysicalPlan::Aggregate { cost, .. }
+        | PhysicalPlan::Sort { cost, .. }
+        | PhysicalPlan::NestedLoopJoin { cost, .. }
+        | PhysicalPlan::MergeJoin { cost, .. } => cost.out_per_tuple,
+        PhysicalPlan::HashJoin { probe_cost, .. } => probe_cost.out_per_tuple,
+        PhysicalPlan::Source { .. } => 0.0,
+    }
 }
 
 /// Per-submission result buffers (run-once collection mode).
@@ -77,6 +112,13 @@ pub(crate) struct EngineCore {
     pub group_seq: u64,
     /// Result collection buffers by submission id (run-once mode).
     pub collect: Option<CollectBuffers>,
+    /// Cache of completed shared-fragment outputs (`None` = disabled).
+    pub fragment_cache: Option<crate::fragment_cache::FragmentCache>,
+    /// Arrivals that joined a group under a structurally *different*
+    /// (subsuming) pivot — sharing the old equality test would miss.
+    pub subsume_joins: u64,
+    /// Times a pending group's pivot was replaced by a wider arrival's.
+    pub pivot_widenings: u64,
 }
 
 impl EngineCore {
@@ -110,26 +152,83 @@ impl DispatcherTask {
             let mut joined = false;
             if core.policy.may_share() {
                 if let Some(pivot) = &arrival.spec.pivot {
+                    let fp = fingerprint(pivot);
                     for group in core.pending.iter_mut() {
-                        if group.pivot.as_ref() != Some(pivot)
-                            || group.members.len() >= core.max_group
-                        {
+                        if group.fingerprint != Some(fp) || group.members.len() >= core.max_group {
                             continue;
                         }
-                        let names: Vec<String> =
-                            group.members.iter().map(|m| m.spec.name.clone()).collect();
+                        let group_pivot = group
+                            .pivot
+                            .as_ref()
+                            .expect("fingerprinted group has a pivot");
+                        let exact = group_pivot == pivot;
+                        // The group runs whichever pivot subsumes the
+                        // other: join a wider group through a residual,
+                        // or widen the group to this arrival's pivot
+                        // (disallowed for cached groups — their pages
+                        // are fixed).
+                        let (wide, widen) = if subsume_residual(group_pivot, pivot).is_some() {
+                            (group_pivot.clone(), false)
+                        } else if group.cached.is_none()
+                            && subsume_residual(pivot, group_pivot).is_some()
+                        {
+                            (pivot.clone(), true)
+                        } else {
+                            continue;
+                        };
+                        let member_infos: Vec<OverlapInfo<'_>> = group
+                            .members
+                            .iter()
+                            .map(|m| OverlapInfo {
+                                name: &m.spec.name,
+                                coverage: coverage_estimate(
+                                    &wide,
+                                    m.spec.pivot.as_ref().expect("grouped member has a pivot"),
+                                ),
+                            })
+                            .collect();
+                        let candidate = OverlapInfo {
+                            name: &arrival.spec.name,
+                            coverage: coverage_estimate(&wide, pivot),
+                        };
                         // Fair share of the machine for the expanded
                         // group under the current multiprogramming level.
                         let n_eff = core.contexts as f64 * (group.members.len() + 1) as f64
                             / core.live_queries.max(1) as f64;
                         let n_eff = n_eff.min(core.contexts as f64);
-                        if core.policy.admit(&names, &arrival.spec.name, n_eff) {
+                        if core.policy.admit_overlap(&member_infos, candidate, n_eff) {
+                            if widen {
+                                group.pivot = Some(wide);
+                                core.pivot_widenings += 1;
+                            }
+                            if !exact {
+                                core.subsume_joins += 1;
+                            }
                             group.members.push(arrival.clone());
                             joined = true;
                             break;
                         }
                         // Paper Section 8.1: if this group refuses, try
                         // the remaining groups in turn.
+                    }
+                    // No open group: a completed fragment from the cache
+                    // can still serve this query. Replay is a strict
+                    // saving (the pivot's work is already paid), so a
+                    // ready subsuming fragment is always used.
+                    if !joined {
+                        if let Some(cache) = core.fragment_cache.as_mut() {
+                            if let Some(hit) = cache.lookup(fp, pivot) {
+                                core.pending.push(PendingGroup {
+                                    pivot: Some(hit.pivot.clone()),
+                                    fingerprint: Some(fp),
+                                    cached: Some(hit),
+                                    members: vec![arrival.clone()],
+                                    // Nothing to wait for: replay at once.
+                                    due: now,
+                                });
+                                joined = true;
+                            }
+                        }
                     }
                 }
             }
@@ -140,7 +239,9 @@ impl DispatcherTask {
                     0
                 };
                 core.pending.push(PendingGroup {
+                    fingerprint: arrival.spec.pivot.as_ref().map(fingerprint),
                     pivot: arrival.spec.pivot.clone(),
+                    cached: None,
                     members: vec![arrival],
                     due: now + window,
                 });
@@ -165,42 +266,101 @@ impl DispatcherTask {
         let gid = core.group_seq;
         core.group_seq += 1;
         let catalog = core.catalog.clone();
-        match &group.pivot {
+        match group.pivot.clone() {
             Some(pivot) => {
                 // One pivot instance, one output channel per member.
-                let mut outs = Vec::with_capacity(group.members.len());
+                let mut outs = Vec::with_capacity(group.members.len() + 1);
                 let mut rxs = Vec::with_capacity(group.members.len());
                 for _ in &group.members {
                     let (tx, rx) = channel::bounded(core.wiring.queue_capacity);
                     outs.push(tx);
                     rxs.push(rx);
                 }
-                // The shared pivot gets its own broker/fault pair;
-                // each member's private fragment gets another below, so
-                // one member's overrun cannot starve its peers.
-                let pivot_res = QueryResources::for_config(&core.wiring.memory);
-                let mut no_sources = VecDeque::new();
-                if let Err(err) = instantiate_into(
-                    ctx,
-                    &catalog,
-                    pivot,
-                    outs,
-                    &mut no_sources,
-                    &format!("g{gid}/shared"),
-                    &core.wiring,
-                    &pivot_res,
-                ) {
-                    // Malformed pivot: the whole group fails; nothing
-                    // was spawned (instantiation is all-or-nothing).
-                    for member in group.members {
-                        Self::fail_query(core, member.submission, &err);
+                // Faults of the shared producer each member must watch
+                // (none for a cached replay: those pages are from an
+                // already-completed, fault-free run).
+                let pivot_fault: Option<FaultCell>;
+                if let Some(hit) = &group.cached {
+                    // Replay the cached pages: the pivot's input work is
+                    // already paid; only per-consumer delivery remains.
+                    let pages = hit.pages.borrow().clone();
+                    let s = root_out_per_tuple(&pivot);
+                    ctx.spawn_task(
+                        format!("g{gid}/cached"),
+                        Box::new(ScanTask::new(
+                            pages,
+                            OpCost::per_tuple(0.0),
+                            Fanout::new(outs, s),
+                        )),
+                    );
+                    pivot_fault = None;
+                } else {
+                    // The shared pivot gets its own broker/fault pair;
+                    // each member's private fragment gets another below,
+                    // so one member's overrun cannot starve its peers.
+                    let pivot_res = QueryResources::for_config(&core.wiring.memory);
+                    // With a cache configured, one extra consumer
+                    // captures the pivot's pages for later replay — the
+                    // pivot pays the same `s` for it as for any member.
+                    // Under never-share the cache is never consulted, so
+                    // capturing would be pure overhead: skip it.
+                    let capture_rx = (core.policy.may_share() && core.fragment_cache.is_some())
+                        .then(|| {
+                            let (tx, rx) = channel::bounded(core.wiring.queue_capacity);
+                            outs.push(tx);
+                            rx
+                        });
+                    let mut no_sources = VecDeque::new();
+                    if let Err(err) = instantiate_into(
+                        ctx,
+                        &catalog,
+                        &pivot,
+                        outs,
+                        &mut no_sources,
+                        &format!("g{gid}/shared"),
+                        &core.wiring,
+                        &pivot_res,
+                    ) {
+                        // Malformed pivot: the whole group fails; nothing
+                        // was spawned (instantiation is all-or-nothing).
+                        for member in group.members {
+                            Self::fail_query(core, member.submission, &err);
+                        }
+                        return;
                     }
-                    return;
+                    if let Some(rx) = capture_rx {
+                        let entry = CachedFragment::in_flight(
+                            group.fingerprint.unwrap_or_else(|| fingerprint(&pivot)),
+                            pivot.clone(),
+                        );
+                        let ready = entry.ready.clone();
+                        let fault = pivot_res.fault.clone();
+                        let sink = SinkTask::new(rx, OpCost::per_tuple(0.0))
+                            .collecting(entry.pages.clone())
+                            .on_done(Box::new(move |_ctx, _rows| {
+                                // Servable only if the pivot drained
+                                // without faulting.
+                                if fault.get().is_none() {
+                                    ready.set(true);
+                                }
+                            }));
+                        ctx.spawn_task(format!("g{gid}/capture"), Box::new(sink));
+                        core.fragment_cache
+                            .as_mut()
+                            .expect("checked when opening the capture channel")
+                            .insert(entry);
+                    }
+                    pivot_fault = Some(pivot_res.fault);
                 }
                 for (member, rx) in group.members.into_iter().zip(rxs) {
                     let label = format!("q{}/{}", member.submission, member.spec.name);
-                    match split_at_pivot(&member.spec.plan, pivot, &catalog) {
-                        Some(fragment) => {
+                    let own_pivot = member
+                        .spec
+                        .pivot
+                        .as_ref()
+                        .expect("grouped member has a pivot");
+                    match split_with_residual(&member.spec.plan, own_pivot, &pivot, &catalog) {
+                        Ok(Some(fragment)) => {
                             let member_res = QueryResources::for_config(&core.wiring.memory);
                             let (sink_tx, sink_rx) = channel::bounded(core.wiring.queue_capacity);
                             // Keep a cancellation handle: if the private
@@ -225,7 +385,11 @@ impl DispatcherTask {
                                     sink_rx,
                                     member,
                                     &label,
-                                    vec![pivot_res.fault.clone(), member_res.fault],
+                                    pivot_fault
+                                        .iter()
+                                        .cloned()
+                                        .chain([member_res.fault])
+                                        .collect(),
                                 ),
                                 Err(err) => {
                                     rx_cancel.close(ctx);
@@ -233,7 +397,7 @@ impl DispatcherTask {
                                 }
                             }
                         }
-                        None => {
+                        Ok(None) => {
                             // Entire query shared: sink reads the pivot
                             // output directly.
                             Self::spawn_sink(
@@ -243,8 +407,15 @@ impl DispatcherTask {
                                 rx,
                                 member,
                                 &label,
-                                vec![pivot_res.fault.clone()],
+                                pivot_fault.iter().cloned().collect(),
                             );
+                        }
+                        Err(err) => {
+                            // Bad sharing decision (pivot missing from
+                            // the plan, or subsumption violated): fail
+                            // only this query.
+                            rx.close(ctx);
+                            Self::fail_query(core, member.submission, &err);
                         }
                     }
                 }

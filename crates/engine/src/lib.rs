@@ -1,11 +1,16 @@
 //! # cordoba-engine — the staged, work-sharing query engine
 //!
 //! Reproduction of the paper's prototype ("Cordoba", Section 3.2): a
-//! staged engine where concurrent queries' identical sub-plans are
+//! staged engine where concurrent queries' overlapping sub-plans are
 //! detected at submission time and **merged** — the shared sub-plan (its
 //! root is the *pivot* operator φ) executes once and multiplexes its
 //! output pages to every consumer, paying the per-consumer cost `s` that
-//! creates the work-sharing/parallelism trade-off.
+//! creates the work-sharing/parallelism trade-off. Detection is
+//! semantic, not just structural: fingerprints and the predicate
+//! subsumption lattice of [`cordoba_exec::subsume`] let a wide
+//! `σ[a ≤ x < b]` fragment serve narrower consumers through residual
+//! filters, and [`fragment_cache`] replays recently completed fragments
+//! for late arrivals.
 //!
 //! Pieces:
 //!
@@ -31,6 +36,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod dispatcher;
+pub mod fragment_cache;
 pub mod policy;
 pub mod profiling;
 pub mod query;
@@ -39,9 +45,11 @@ pub mod sharing;
 pub mod thread_exec;
 
 pub use cordoba_exec::{ExecError, MemoryConfig, ParallelConfig};
-pub use policy::{Policy, QueryModelInfo};
+pub use fragment_cache::{CachedFragment, FragmentCache};
+pub use policy::{OverlapInfo, Policy, QueryModelInfo};
 pub use query::QuerySpec;
 pub use runner::{
     measure_throughput, poisson_arrivals, run_closed_loop, run_once, run_open_loop,
-    ArrivalSchedule, ClosedLoop, EngineConfig, OpenReport, RunReport, Throughput,
+    run_open_loop_collecting, ArrivalSchedule, ClosedLoop, EngineConfig, OpenReport, RunReport,
+    SharingCounters, Throughput,
 };

@@ -1,8 +1,27 @@
 //! Sharing policies: always, never, and model-guided (paper Section 8).
 
-use cordoba_core::sharing::SharingEvaluator;
+use cordoba_core::sharing::{GroupMember, SharingEvaluator};
 use cordoba_core::{NodeId, PlanSpec};
 use std::collections::HashMap;
+
+/// One (prospective) member of a subsumption-sharing group as the
+/// admission decision sees it: its profiled name plus the estimated
+/// fraction of the group's *wide* pivot output it needs.
+#[derive(Debug, Clone, Copy)]
+pub struct OverlapInfo<'a> {
+    /// Query name, the key into the profiled models.
+    pub name: &'a str,
+    /// Coverage `c_m ∈ (0, 1]` of the wide pivot's output
+    /// (see [`cordoba_exec::subsume::coverage_estimate`]).
+    pub coverage: f64,
+}
+
+/// Ratio of a member's wide-output `s` charged as its residual-filter
+/// cost when its coverage is below one. Residual filters are vectorized
+/// selection-vector passes — a small constant fraction of the delivery
+/// cost is a deliberately conservative (pessimistic-for-sharing)
+/// estimate.
+const RESIDUAL_COST_RATIO: f64 = 0.1;
 
 /// Model parameters for one query type, produced by
 /// [`crate::profiling::profile_query`].
@@ -80,6 +99,86 @@ impl Policy {
                     // neither gain nor loss still removes redundant work
                     // from the system, freeing capacity for *other*
                     // queries the single-group model cannot see.
+                    Ok(eval) => {
+                        eval.speedup(effective_contexts.max(1.0)) >= 1.0 + hysteresis - 1e-9
+                    }
+                    Err(_) => false,
+                }
+            }
+        }
+    }
+
+    /// Decides whether `candidate` should join a subsumption-sharing
+    /// group whose wide pivot it would only partially consume.
+    ///
+    /// Exact overlap (all coverages 1) delegates to [`Policy::admit`],
+    /// so byte-identical groups behave precisely as before. Partial
+    /// overlap prices the group with the extended `Z(m, n)` model: each
+    /// member's delivery cost is scaled up to the wide output
+    /// (`s / c_m`), its unshared baseline keeps only its own `c_m`
+    /// fraction, and a residual-filter cost of
+    /// [`RESIDUAL_COST_RATIO`]` · s/c_m` is charged to the shared side.
+    pub fn admit_overlap(
+        &self,
+        group: &[OverlapInfo<'_>],
+        candidate: OverlapInfo<'_>,
+        effective_contexts: f64,
+    ) -> bool {
+        match self {
+            Policy::AlwaysShare => true,
+            Policy::NeverShare => false,
+            Policy::ModelGuided { models, hysteresis } => {
+                let all: Vec<OverlapInfo<'_>> = group.iter().copied().chain([candidate]).collect();
+                if all.iter().all(|i| i.coverage >= 1.0 - 1e-12) {
+                    let names: Vec<String> = group.iter().map(|i| i.name.to_string()).collect();
+                    return self.admit(&names, candidate.name, effective_contexts);
+                }
+                let mut infos = Vec::with_capacity(all.len());
+                for member in &all {
+                    match models.get(member.name) {
+                        Some(info) => infos.push((member, info)),
+                        None => return false,
+                    }
+                }
+                // The shared sub-plan's parameters (below-pivot work and
+                // pivot input work `w`) come from the member closest to
+                // the wide pivot — the one with the highest coverage.
+                let (_, wide_model) = infos
+                    .iter()
+                    .max_by(|(a, _), (b, _)| a.coverage.total_cmp(&b.coverage))
+                    .expect("group is non-empty");
+                let Ok(below_ids) = wide_model.plan.below(wide_model.pivot) else {
+                    return false;
+                };
+                let below: Vec<f64> = below_ids
+                    .into_iter()
+                    .map(|id| wide_model.plan.op(id).p())
+                    .collect();
+                let pivot_work = wide_model.plan.op(wide_model.pivot).w();
+                let mut members = Vec::with_capacity(infos.len());
+                for (overlap, model) in &infos {
+                    let c = overlap
+                        .coverage
+                        .clamp(cordoba_exec::subsume::MIN_COVERAGE, 1.0);
+                    // The profiled `s` was measured on the member's own
+                    // (narrow) pivot output; per unit of the *wide*
+                    // pivot's progress the member receives 1/c as much.
+                    let s_wide = model.plan.op(model.pivot).s_per_consumer() / c;
+                    let residual = if c < 1.0 - 1e-12 {
+                        RESIDUAL_COST_RATIO * s_wide
+                    } else {
+                        0.0
+                    };
+                    let Ok(above_ids) = model.plan.above(model.pivot) else {
+                        return false;
+                    };
+                    let above = above_ids
+                        .into_iter()
+                        .map(|id| model.plan.op(id).p())
+                        .collect();
+                    members.push(GroupMember::new(s_wide, above).with_partial_overlap(c, residual));
+                }
+                match SharingEvaluator::from_parts(below, pivot_work, members) {
                     Ok(eval) => {
                         eval.speedup(effective_contexts.max(1.0)) >= 1.0 + hysteresis - 1e-9
                     }
@@ -181,5 +280,60 @@ mod tests {
             hysteresis: 10.0,
         };
         assert!(!strict.admit(&["q6".into()], "q6", 1.0));
+    }
+
+    fn overlap(name: &str, coverage: f64) -> OverlapInfo<'_> {
+        OverlapInfo { name, coverage }
+    }
+
+    #[test]
+    fn full_coverage_overlap_matches_plain_admit() {
+        let p = model_policy();
+        let group: Vec<String> = vec!["q6".into(); 8];
+        let ogroup: Vec<OverlapInfo<'_>> = group.iter().map(|n| overlap(n, 1.0)).collect();
+        for n_eff in [1.0, 4.0, 32.0] {
+            assert_eq!(
+                p.admit(&group, "q6", n_eff),
+                p.admit_overlap(&ogroup, overlap("q6", 1.0), n_eff),
+                "n_eff={n_eff}"
+            );
+        }
+    }
+
+    #[test]
+    fn static_policies_ignore_coverage() {
+        assert!(Policy::AlwaysShare.admit_overlap(&[overlap("q6", 0.3)], overlap("q6", 0.2), 1.0));
+        assert!(!Policy::NeverShare.admit_overlap(&[overlap("q6", 1.0)], overlap("q6", 1.0), 1.0));
+    }
+
+    #[test]
+    fn thin_coverage_blocks_scan_heavy_sharing() {
+        // Scan-heavy sharing wins at n=1 with full coverage, but a group
+        // of consumers who each need a sliver of the wide output gains
+        // little from eliminating redundant scans (their private scans
+        // would emit little) while still paying wide delivery+residual.
+        let p = model_policy();
+        let wide: Vec<OverlapInfo<'_>> = (0..8).map(|_| overlap("q6", 1.0)).collect();
+        assert!(p.admit_overlap(&wide, overlap("q6", 1.0), 1.0));
+        let thin: Vec<OverlapInfo<'_>> = (0..8).map(|_| overlap("q6", 0.02)).collect();
+        assert!(!p.admit_overlap(&thin, overlap("q6", 0.02), 1.0));
+    }
+
+    #[test]
+    fn moderate_coverage_still_shares_when_saturated() {
+        // 70% overlap on a saturated uniprocessor: redundant-work
+        // elimination still dominates the residual tax.
+        let p = model_policy();
+        let group: Vec<OverlapInfo<'_>> = (0..8).map(|_| overlap("q6", 0.7)).collect();
+        assert!(p.admit_overlap(&group, overlap("q6", 0.7), 1.0));
+        // The same group on a big machine should not share — the
+        // pipeline argument is unchanged by coverage.
+        assert!(!p.admit_overlap(&group, overlap("q6", 0.7), 32.0));
+    }
+
+    #[test]
+    fn unprofiled_partial_members_never_shared() {
+        let p = model_policy();
+        assert!(!p.admit_overlap(&[overlap("q6", 0.5)], overlap("mystery", 0.5), 1.0));
     }
 }

@@ -13,6 +13,13 @@ pub struct QuerySpec {
     /// its root). Must be structurally equal (`==`) to a subtree of
     /// `plan`. `None` disables sharing for this query.
     ///
+    /// Sharing across *queries* is semantic, not structural: the
+    /// dispatcher groups pivots whose [`cordoba_exec::subsume`]
+    /// fingerprints match and one of which subsumes the other, feeding
+    /// the narrower member through a residual filter. Equality with a
+    /// subtree of `plan` is still required here so the split point is
+    /// well defined within each query.
+    ///
     /// The paper's experiments allow sharing "only at one selected node
     /// of each query plan" (scan for Q1/Q6, join for Q4/Q13); this field
     /// is that selection.

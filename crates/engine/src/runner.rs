@@ -48,6 +48,10 @@ pub struct EngineConfig {
     /// one-task-per-operator wiring; more workers split scan chains
     /// and aggregates across simulated contexts.
     pub parallel: ParallelConfig,
+    /// Capacity of the fragment cache (completed shared-fragment
+    /// outputs replayed for late subsumed arrivals). `0` disables the
+    /// cache entirely — the historic behavior, and the default.
+    pub fragment_cache: usize,
 }
 
 impl Default for EngineConfig {
@@ -65,6 +69,39 @@ impl Default for EngineConfig {
             // Consults CORDOBA_WORKERS (default 1) — see
             // `ParallelConfig::from_env`.
             parallel: ParallelConfig::from_env(),
+            fragment_cache: 0,
+        }
+    }
+}
+
+/// Counters for semantic (fingerprint/subsumption) sharing activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SharingCounters {
+    /// Fragment-cache lookups that found a servable subsuming fragment.
+    pub fingerprint_hits: u64,
+    /// Fragment-cache lookups that found none.
+    pub fingerprint_misses: u64,
+    /// Fragment-cache entries displaced by inserts past capacity.
+    pub fingerprint_evictions: u64,
+    /// Group admissions where the member's pivot differed from the
+    /// group pivot (joined via subsumption + residual, not equality).
+    pub subsume_joins: u64,
+    /// Times an arrival's wider pivot replaced an open group's pivot.
+    pub pivot_widenings: u64,
+}
+
+impl SharingCounters {
+    fn from_core(core: &EngineCore) -> Self {
+        let (hits, misses, evictions) = core
+            .fragment_cache
+            .as_ref()
+            .map_or((0, 0, 0), |c| (c.hits, c.misses, c.evictions));
+        Self {
+            fingerprint_hits: hits,
+            fingerprint_misses: misses,
+            fingerprint_evictions: evictions,
+            subsume_joins: core.subsume_joins,
+            pivot_widenings: core.pivot_widenings,
         }
     }
 }
@@ -85,6 +122,8 @@ pub struct RunReport {
     /// `(submission id, error)` for queries that failed instead of
     /// completing (rejected plans and runtime faults).
     pub failures: Vec<(usize, ExecError)>,
+    /// Fingerprint-cache and subsumption activity.
+    pub sharing: SharingCounters,
 }
 
 impl RunReport {
@@ -154,6 +193,10 @@ fn build_core(
         live_queries: 0,
         group_seq: 0,
         collect: collect.then(Vec::new),
+        fragment_cache: (cfg.fragment_cache > 0)
+            .then(|| crate::fragment_cache::FragmentCache::new(cfg.fragment_cache)),
+        subsume_joins: 0,
+        pivot_widenings: 0,
     }))
 }
 
@@ -180,6 +223,7 @@ pub fn run_closed_loop(catalog: &Catalog, clients: &[QuerySpec], cfg: &EngineCon
         stats: sim.stats(),
         group_sizes: core.group_sizes.clone(),
         failures: core.failures.clone(),
+        sharing: SharingCounters::from_core(&core),
     }
 }
 
@@ -267,6 +311,11 @@ impl ClosedLoop {
     /// Machine statistics so far.
     pub fn stats(&self) -> SimStats {
         self.sim.stats()
+    }
+
+    /// Fingerprint-cache and subsumption counters so far.
+    pub fn sharing(&self) -> SharingCounters {
+        SharingCounters::from_core(&self.core.borrow())
     }
 }
 
@@ -389,6 +438,8 @@ pub struct OpenReport {
     /// `(submission id, error)` for queries that failed instead of
     /// completing (rejected plans and runtime faults).
     pub failures: Vec<(usize, ExecError)>,
+    /// Fingerprint-cache and subsumption activity.
+    pub sharing: SharingCounters,
 }
 
 impl OpenReport {
@@ -451,7 +502,69 @@ pub fn run_open_loop(
         response_times,
         group_sizes: core.group_sizes.clone(),
         failures: core.failures.clone(),
+        sharing: SharingCounters::from_core(&core),
     }
+}
+
+/// Like [`run_open_loop`] but also collects every query's result rows
+/// (indexed by submission order). This is the correctness harness for
+/// *time-staggered* sharing: fragment-cache replay serves arrivals that
+/// come in after a fragment completed, which [`run_once`]'s
+/// everything-at-t=0 batch can never exercise.
+#[allow(clippy::type_complexity)]
+pub fn run_open_loop_collecting(
+    catalog: &Catalog,
+    schedule: ArrivalSchedule,
+    cfg: &EngineConfig,
+    time_cap: VTime,
+) -> (OpenReport, Vec<Vec<Vec<Value>>>) {
+    let core = build_core(catalog, cfg, false, true);
+    core.borrow_mut().external_arrivals_pending = schedule.len();
+    let mut sim = Simulator::new(cfg.contexts);
+    let submitted = schedule.len();
+    let dispatcher = sim.spawn(
+        "dispatcher",
+        Box::new(DispatcherTask { core: core.clone() }),
+    );
+    core.borrow_mut().dispatcher = Some(dispatcher);
+    sim.spawn(
+        "arrivals",
+        Box::new(ArrivalTask {
+            core: core.clone(),
+            schedule: schedule.into_iter(),
+            pending: None,
+        }),
+    );
+    sim.run(Some(time_cap));
+    let makespan = sim.now();
+    let core = core.borrow();
+    let response_times = core
+        .completion_records
+        .iter()
+        .map(|&(submission, done)| done.saturating_sub(core.arrival_times[submission]))
+        .collect::<Vec<_>>();
+    let results = core
+        .collect
+        .as_ref()
+        .expect("collection enabled")
+        .iter()
+        .map(|buf| {
+            buf.borrow()
+                .iter()
+                .flat_map(|p| p.tuples().map(|t| t.to_values()).collect::<Vec<_>>())
+                .collect()
+        })
+        .collect();
+    let report = OpenReport {
+        submitted,
+        completed: core.completion_records.len(),
+        makespan,
+        response_times,
+        group_sizes: core.group_sizes.clone(),
+        failures: core.failures.clone(),
+        sharing: SharingCounters::from_core(&core),
+    };
+    (report, results)
 }
 
 /// Result of a one-shot (no resubmission) run.
@@ -471,6 +584,8 @@ pub struct OnceOutcome {
     /// at instantiation or runtime faults (unsorted merge inputs,
     /// mismatched page schemas, spill I/O errors, exhausted budgets).
     pub failures: Vec<(usize, ExecError)>,
+    /// Fingerprint-cache and subsumption activity.
+    pub sharing: SharingCounters,
 }
 
 /// Runs a batch of queries once (closed system disabled) to completion,
@@ -517,6 +632,7 @@ pub fn run_once(catalog: &Catalog, specs: &[QuerySpec], cfg: &EngineConfig) -> O
         makespan,
         group_sizes: core.group_sizes.clone(),
         failures: core.failures.clone(),
+        sharing: SharingCounters::from_core(&core),
     }
 }
 

@@ -1,8 +1,24 @@
 //! Sub-plan surgery: detecting shareable subtrees and splitting a
 //! member query into (shared pivot sub-plan, private above-fragment).
+//!
+//! Two splitting modes:
+//!
+//! * [`split_at_pivot`] — the historic exact mode: the member's own
+//!   pivot subtree occurs structurally in its plan and is replaced by a
+//!   [`PhysicalPlan::Source`] leaf.
+//! * [`split_with_residual`] — the subsumption mode: the group runs a
+//!   *wider* pivot that semantically contains the member's own pivot
+//!   ([`cordoba_exec::subsume`]); the member attaches through a residual
+//!   filter that re-applies the clauses its pivot has beyond the
+//!   group's. When the pivots are structurally equal the residual is
+//!   [`Predicate::True`] and this degenerates to [`split_at_pivot`] —
+//!   the wiring (operator count, labels, costs) is byte-identical to
+//!   the exact path.
 
+use cordoba_exec::expr::Predicate;
 use cordoba_exec::plan::SchemaRef;
-use cordoba_exec::PhysicalPlan;
+use cordoba_exec::subsume::{peel_filters, subsume_residual};
+use cordoba_exec::{ExecError, PhysicalPlan};
 use cordoba_storage::Catalog;
 
 /// Whether `needle` occurs as a (structurally equal) subtree of `plan`.
@@ -13,25 +29,117 @@ pub fn contains_subtree(plan: &PhysicalPlan, needle: &PhysicalPlan) -> bool {
 /// Splits `plan` at the first (preorder) occurrence of the `pivot`
 /// subtree, returning the private above-fragment with the pivot subtree
 /// replaced by a [`PhysicalPlan::Source`] leaf of the pivot's output
-/// schema. Returns `None` when `plan == pivot` (the whole query is
-/// shared and the consumer attaches directly to the pivot's output).
-///
-/// # Panics
-///
-/// Panics if `pivot` does not occur in `plan`.
+/// schema. Returns `Ok(None)` when `plan == pivot` (the whole query is
+/// shared and the consumer attaches directly to the pivot's output),
+/// and a typed plan error when `pivot` does not occur in `plan` — a bad
+/// sharing decision fails only the query it concerns.
 pub fn split_at_pivot(
     plan: &PhysicalPlan,
     pivot: &PhysicalPlan,
     catalog: &Catalog,
-) -> Option<PhysicalPlan> {
+) -> Result<Option<PhysicalPlan>, ExecError> {
     if plan == pivot {
-        return None;
+        return Ok(None);
     }
     let schema = pivot.output_schema(catalog);
     let mut replaced = false;
     let fragment = replace_first(plan, pivot, &SchemaRef(schema), &mut replaced);
-    assert!(replaced, "pivot sub-plan not found in query plan");
-    Some(fragment)
+    if !replaced {
+        return Err(ExecError::plan("pivot sub-plan not found in query plan"));
+    }
+    Ok(Some(fragment))
+}
+
+/// Splits `plan` for attachment to a group running `group_pivot`, where
+/// the member's own shareable subtree is `own_pivot`. Requires that
+/// `group_pivot` subsumes `own_pivot`; the un-implied clauses of
+/// `own_pivot` become a residual [`PhysicalPlan::Filter`] placed
+/// directly over the [`PhysicalPlan::Source`] leaf, so the member's
+/// private fragment sees exactly the rows its own pivot would have
+/// produced, in the same order. Returns `Ok(None)` when the member's
+/// whole plan *is* its pivot and no residual is needed.
+pub fn split_with_residual(
+    plan: &PhysicalPlan,
+    own_pivot: &PhysicalPlan,
+    group_pivot: &PhysicalPlan,
+    catalog: &Catalog,
+) -> Result<Option<PhysicalPlan>, ExecError> {
+    let Some(residual) = subsume_residual(group_pivot, own_pivot) else {
+        return Err(ExecError::plan("group pivot does not subsume member pivot"));
+    };
+    if residual == Predicate::True {
+        // Exact coverage: wire precisely as the historic path would.
+        return split_at_pivot(plan, own_pivot, catalog);
+    }
+    // The Source leaf carries the *group* pivot's output schema (same
+    // base, so identical to the member pivot's schema), and the
+    // residual filter restores member-pivot semantics above it. The
+    // filter is priced like the member's own outermost peeled filter:
+    // the residual work is real per-tuple selection-vector work.
+    let schema = SchemaRef(group_pivot.output_schema(catalog));
+    let residual_cost = peel_filters(own_pivot).filter_cost.unwrap_or_default();
+    let filtered_source = PhysicalPlan::Filter {
+        input: Box::new(PhysicalPlan::Source {
+            schema: schema.clone(),
+        }),
+        predicate: residual,
+        cost: residual_cost,
+    };
+    match split_at_pivot(plan, own_pivot, catalog)? {
+        // Whole plan == own pivot: the member becomes just the
+        // residual filter over the shared output.
+        None => Ok(Some(filtered_source)),
+        Some(fragment) => {
+            let mut grafted = false;
+            let out = graft_over_source(&fragment, &filtered_source, &mut grafted);
+            debug_assert!(grafted, "split fragment must contain a Source leaf");
+            Ok(Some(out))
+        }
+    }
+}
+
+/// Replaces the first (preorder) `Source` leaf of `fragment` with
+/// `replacement` (the residual filter over a fresh `Source`).
+fn graft_over_source(
+    fragment: &PhysicalPlan,
+    replacement: &PhysicalPlan,
+    grafted: &mut bool,
+) -> PhysicalPlan {
+    if !*grafted {
+        if let PhysicalPlan::Source { .. } = fragment {
+            *grafted = true;
+            return replacement.clone();
+        }
+    }
+    let mut clone = fragment.clone();
+    match &mut clone {
+        PhysicalPlan::Scan { .. } | PhysicalPlan::Source { .. } => {}
+        PhysicalPlan::Filter { input, .. }
+        | PhysicalPlan::Project { input, .. }
+        | PhysicalPlan::Aggregate { input, .. }
+        | PhysicalPlan::Sort { input, .. } => {
+            **input = graft_over_source(input, replacement, grafted);
+        }
+        PhysicalPlan::HashJoin { build, probe, .. } => {
+            **build = graft_over_source(build, replacement, grafted);
+            if !*grafted {
+                **probe = graft_over_source(probe, replacement, grafted);
+            }
+        }
+        PhysicalPlan::NestedLoopJoin { outer, inner, .. } => {
+            **outer = graft_over_source(outer, replacement, grafted);
+            if !*grafted {
+                **inner = graft_over_source(inner, replacement, grafted);
+            }
+        }
+        PhysicalPlan::MergeJoin { left, right, .. } => {
+            **left = graft_over_source(left, replacement, grafted);
+            if !*grafted {
+                **right = graft_over_source(right, replacement, grafted);
+            }
+        }
+    }
+    clone
 }
 
 fn replace_first(
@@ -101,7 +209,7 @@ pub fn pivot_preorder(plan: &PhysicalPlan, pivot: &PhysicalPlan) -> Option<usize
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cordoba_exec::expr::Predicate;
+    use cordoba_exec::expr::{CmpOp, Predicate};
     use cordoba_exec::OpCost;
     use cordoba_storage::{DataType, Field, Schema, TableBuilder, Value};
 
@@ -129,6 +237,21 @@ mod tests {
         }
     }
 
+    fn band(lo: i64, hi: i64) -> Predicate {
+        Predicate::And(vec![
+            Predicate::col_cmp(0, CmpOp::Ge, lo),
+            Predicate::col_cmp(0, CmpOp::Lt, hi),
+        ])
+    }
+
+    fn banded(lo: i64, hi: i64) -> PhysicalPlan {
+        PhysicalPlan::Filter {
+            input: Box::new(scan()),
+            predicate: band(lo, hi),
+            cost: OpCost::per_tuple(2.0),
+        }
+    }
+
     #[test]
     fn contains_matches_nested() {
         assert!(contains_subtree(&filter_over_scan(), &scan()));
@@ -143,7 +266,9 @@ mod tests {
     #[test]
     fn split_replaces_pivot_with_source() {
         let cat = catalog();
-        let fragment = split_at_pivot(&filter_over_scan(), &scan(), &cat).unwrap();
+        let fragment = split_at_pivot(&filter_over_scan(), &scan(), &cat)
+            .unwrap()
+            .unwrap();
         match &fragment {
             PhysicalPlan::Filter { input, .. } => {
                 assert!(matches!(**input, PhysicalPlan::Source { .. }));
@@ -160,7 +285,7 @@ mod tests {
     #[test]
     fn whole_plan_pivot_returns_none() {
         let cat = catalog();
-        assert!(split_at_pivot(&scan(), &scan(), &cat).is_none());
+        assert!(split_at_pivot(&scan(), &scan(), &cat).unwrap().is_none());
     }
 
     #[test]
@@ -178,7 +303,9 @@ mod tests {
         // Pivot = the probe-side filter fragment: only it is replaced;
         // the build-side scan stays (first occurrence rule applies to
         // the *filter*, which exists only on the probe side).
-        let fragment = split_at_pivot(&join, &filter_over_scan(), &cat).unwrap();
+        let fragment = split_at_pivot(&join, &filter_over_scan(), &cat)
+            .unwrap()
+            .unwrap();
         match &fragment {
             PhysicalPlan::HashJoin { build, probe, .. } => {
                 assert!(matches!(**build, PhysicalPlan::Scan { .. }));
@@ -197,7 +324,7 @@ mod tests {
             predicate: Predicate::True,
             cost: OpCost::default(),
         };
-        let fragment = split_at_pivot(&join, &scan(), &cat).unwrap();
+        let fragment = split_at_pivot(&join, &scan(), &cat).unwrap().unwrap();
         match &fragment {
             PhysicalPlan::NestedLoopJoin { outer, inner, .. } => {
                 assert!(matches!(**outer, PhysicalPlan::Source { .. }));
@@ -223,8 +350,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not found")]
-    fn split_with_foreign_pivot_panics() {
+    fn split_with_foreign_pivot_errors() {
         let cat = catalog();
         // A pivot over a *known* table that simply isn't part of the
         // plan (an unknown table would already fail schema derivation).
@@ -232,6 +358,81 @@ mod tests {
             table: "t".into(),
             cost: OpCost::per_tuple(123.0),
         };
-        split_at_pivot(&filter_over_scan(), &other, &cat);
+        let err = split_at_pivot(&filter_over_scan(), &other, &cat).unwrap_err();
+        assert!(err.to_string().contains("not found"));
+    }
+
+    #[test]
+    fn residual_split_with_equal_pivots_matches_exact_split() {
+        let cat = catalog();
+        let plan = PhysicalPlan::Aggregate {
+            input: Box::new(banded(10, 20)),
+            group_by: vec![],
+            aggs: vec![],
+            cost: OpCost::default(),
+        };
+        let exact = split_at_pivot(&plan, &banded(10, 20), &cat).unwrap();
+        let via_residual =
+            split_with_residual(&plan, &banded(10, 20), &banded(10, 20), &cat).unwrap();
+        assert_eq!(exact, via_residual);
+    }
+
+    #[test]
+    fn residual_split_grafts_filter_over_source() {
+        let cat = catalog();
+        let plan = PhysicalPlan::Aggregate {
+            input: Box::new(banded(12, 18)),
+            group_by: vec![],
+            aggs: vec![],
+            cost: OpCost::default(),
+        };
+        let fragment = split_with_residual(&plan, &banded(12, 18), &banded(10, 20), &cat)
+            .unwrap()
+            .unwrap();
+        // Aggregate(Filter(Source)) with the residual = full narrow band
+        // (both bounds are strictly tighter than the wide pivot's).
+        match &fragment {
+            PhysicalPlan::Aggregate { input, .. } => match &**input {
+                PhysicalPlan::Filter {
+                    input,
+                    predicate,
+                    cost,
+                } => {
+                    assert!(matches!(**input, PhysicalPlan::Source { .. }));
+                    assert_eq!(*predicate, band(12, 18));
+                    // Residual priced like the member's own filter.
+                    assert_eq!(*cost, OpCost::per_tuple(2.0));
+                }
+                other => panic!("expected residual filter, got {other:?}"),
+            },
+            other => panic!("expected aggregate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn residual_split_of_whole_plan_is_bare_filter() {
+        let cat = catalog();
+        // The member's entire plan is its pivot: with a wider group
+        // pivot it becomes just the residual filter over the Source.
+        let fragment = split_with_residual(&banded(12, 18), &banded(12, 18), &banded(10, 20), &cat)
+            .unwrap()
+            .unwrap();
+        match &fragment {
+            PhysicalPlan::Filter {
+                input, predicate, ..
+            } => {
+                assert!(matches!(**input, PhysicalPlan::Source { .. }));
+                assert_eq!(*predicate, band(12, 18));
+            }
+            other => panic!("expected filter, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn residual_split_rejects_non_subsuming_group_pivot() {
+        let cat = catalog();
+        let err = split_with_residual(&banded(10, 20), &banded(10, 20), &banded(12, 18), &cat)
+            .unwrap_err();
+        assert!(err.to_string().contains("subsume"));
     }
 }

@@ -155,7 +155,7 @@ pub fn worker_scaling_samples(
 pub fn run_shared(catalog: &Catalog, spec: &QuerySpec, m: usize) -> ThreadReport {
     let pivot = spec.pivot.as_ref().expect("shared run needs a pivot");
     let start = Instant::now();
-    let fragment = split_at_pivot(&spec.plan, pivot, catalog);
+    let fragment = split_at_pivot(&spec.plan, pivot, catalog).expect("pivot sub-plan not found");
 
     // The pivot executes once (producer side).
     let pivot_table = reference::execute_table(catalog, pivot);

@@ -1,0 +1,186 @@
+//! Equivalence suite for subsumption-based sharing: on random Q6/Q1
+//! family workloads (distinct but nested predicate windows — no two
+//! queries byte-identical), shared execution with the fingerprint cache
+//! enabled must produce exactly the rows unshared execution produces,
+//! row-for-row and bit-for-bit, and both must match the synchronous
+//! reference executor. Covers workers ∈ {1, 4} and tiny memory budgets.
+
+use cordoba_engine::{
+    run_once, run_open_loop_collecting, EngineConfig, ParallelConfig, Policy, QuerySpec,
+};
+use cordoba_exec::{reference, MemoryConfig};
+use cordoba_storage::{Catalog, Value, PAGE_SIZE};
+use cordoba_workload::{family_specs, CostProfile, FamilyConfig};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn catalog() -> &'static Catalog {
+    static CATALOG: OnceLock<Catalog> = OnceLock::new();
+    CATALOG.get_or_init(|| {
+        cordoba_storage::tpch::generate(&cordoba_storage::tpch::TpchConfig {
+            scale_factor: 0.002,
+            seed: 11,
+            ..cordoba_storage::tpch::TpchConfig::default()
+        })
+    })
+}
+
+/// Floats compared by bit pattern, so `-0.0` vs `0.0` or any rounding
+/// difference between the shared and unshared paths fails loudly.
+fn bit_exact(rows: &[Vec<Value>]) -> Vec<Vec<(u8, u64, String)>> {
+    rows.iter()
+        .map(|row| {
+            row.iter()
+                .map(|v| match v {
+                    Value::Int(i) => (0u8, *i as u64, String::new()),
+                    Value::Float(f) => (1u8, f.to_bits(), String::new()),
+                    other => (2u8, 0, format!("{other:?}")),
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn config(policy: Policy, workers: usize, budget: Option<usize>, cache: usize) -> EngineConfig {
+    EngineConfig {
+        contexts: 2,
+        policy,
+        parallel: ParallelConfig::with_workers(workers),
+        memory: MemoryConfig {
+            query_budget: budget,
+            ..MemoryConfig::default()
+        },
+        fragment_cache: cache,
+        ..EngineConfig::default()
+    }
+}
+
+fn check_equivalence(specs: &[QuerySpec], workers: usize, budget: Option<usize>) {
+    let cat = catalog();
+    for (i, a) in specs.iter().enumerate() {
+        for b in &specs[i + 1..] {
+            assert_ne!(a, b, "workload must not contain byte-identical queries");
+        }
+    }
+    let shared = run_once(cat, specs, &config(Policy::AlwaysShare, workers, budget, 8));
+    let unshared = run_once(cat, specs, &config(Policy::NeverShare, workers, budget, 0));
+    assert!(shared.failures.is_empty(), "{:?}", shared.failures);
+    assert!(unshared.failures.is_empty(), "{:?}", unshared.failures);
+    assert!(
+        shared.group_sizes.iter().any(|&g| g > 1),
+        "nested-family workload must actually share: {:?}",
+        shared.group_sizes
+    );
+    for (i, spec) in specs.iter().enumerate() {
+        let oracle = reference::execute(cat, &spec.plan);
+        assert_eq!(
+            bit_exact(&shared.results[i]),
+            bit_exact(&oracle),
+            "shared vs reference, query {i} ({})",
+            spec.name
+        );
+        assert_eq!(
+            bit_exact(&unshared.results[i]),
+            bit_exact(&oracle),
+            "unshared vs reference, query {i} ({})",
+            spec.name
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Shared (pivot + residual, cache enabled) ≡ unshared ≡ reference
+    /// on random family workloads, across worker counts and budgets.
+    #[test]
+    fn shared_subsumption_is_bit_exact(
+        seed in 0u64..10_000,
+        per_family in 2usize..=4,
+        workers_ix in 0usize..2,
+        budget_ix in 0usize..2,
+    ) {
+        let specs = family_specs(
+            &CostProfile::paper(),
+            &FamilyConfig { seed, families: 2, per_family },
+        );
+        let workers = [1, 4][workers_ix];
+        let budget = [None, Some(16 * PAGE_SIZE)][budget_ix];
+        check_equivalence(&specs, workers, budget);
+    }
+}
+
+/// A late arrival whose window is nested inside an already-completed
+/// fragment is served from the fragment cache: the replay must be
+/// row-for-row identical to a cold run, and measurably faster.
+#[test]
+fn cache_replay_serves_late_arrivals_exactly() {
+    let cat = catalog();
+    let specs = family_specs(
+        &CostProfile::paper(),
+        &FamilyConfig {
+            seed: 42,
+            families: 1,
+            per_family: 3,
+        },
+    );
+    // Wave 1: the widest member runs alone and populates the cache.
+    // Wave 2: the narrower members arrive long after wave 1 completed.
+    let schedule = vec![
+        (0, specs[0].clone()),
+        (40_000_000, specs[1].clone()),
+        (40_000_000, specs[2].clone()),
+    ];
+    let cfg = config(Policy::AlwaysShare, 1, None, 8);
+    let (report, results) = run_open_loop_collecting(cat, schedule, &cfg, u64::MAX / 4);
+    assert!(report.failures.is_empty(), "{:?}", report.failures);
+    assert_eq!(report.completed, 3, "{report:?}");
+    assert!(
+        report.sharing.fingerprint_hits >= 1,
+        "late nested arrivals must hit the cache: {:?}",
+        report.sharing
+    );
+    for (i, spec) in specs.iter().enumerate() {
+        assert_eq!(
+            bit_exact(&results[i]),
+            bit_exact(&reference::execute(cat, &spec.plan)),
+            "query {i} ({})",
+            spec.name
+        );
+    }
+    // Replayed queries skip the scan entirely; their response times
+    // must beat the cold wide query's.
+    let cold = report.response_times[0];
+    for &warm in &report.response_times[1..] {
+        assert!(warm < cold, "replay {warm} should beat cold {cold}");
+    }
+}
+
+/// With the cache disabled (the default), the same staggered schedule
+/// records no cache activity — the knob really gates the subsystem.
+#[test]
+fn cache_disabled_by_default_records_no_activity() {
+    let cat = catalog();
+    let specs = family_specs(
+        &CostProfile::paper(),
+        &FamilyConfig {
+            seed: 42,
+            families: 1,
+            per_family: 2,
+        },
+    );
+    let schedule = vec![(0, specs[0].clone()), (40_000_000, specs[1].clone())];
+    let cfg = config(Policy::AlwaysShare, 1, None, 0);
+    let (report, results) = run_open_loop_collecting(cat, schedule, &cfg, u64::MAX / 4);
+    assert!(report.failures.is_empty(), "{:?}", report.failures);
+    assert_eq!(report.sharing.fingerprint_hits, 0);
+    assert_eq!(report.sharing.fingerprint_misses, 0);
+    for (i, spec) in specs.iter().enumerate() {
+        assert_eq!(
+            bit_exact(&results[i]),
+            bit_exact(&reference::execute(cat, &spec.plan)),
+            "query {i} ({})",
+            spec.name
+        );
+    }
+}

@@ -33,6 +33,7 @@ pub mod ops;
 pub mod parallel;
 pub mod plan;
 pub mod reference;
+pub mod subsume;
 pub mod vexpr;
 pub mod wiring;
 
@@ -43,4 +44,5 @@ pub use expr::{Agg, CmpOp, Predicate, Scalar, ScalarExpr};
 pub use memory::{MemoryBroker, MemoryConfig, QueryResources, SpillContext};
 pub use parallel::{MorselDispenser, ParallelConfig};
 pub use plan::{JoinKind, PhysicalPlan};
+pub use subsume::{coverage_estimate, fingerprint, subsume_residual, NormPred};
 pub use vexpr::{CompiledExpr, CompiledPredicate, ExprScratch};

@@ -23,9 +23,12 @@ pub enum JoinKind {
     LeftOuter,
 }
 
-/// A physical query plan. Structural equality (`PartialEq`) is what the
-/// engine's sharing detection uses: two sub-plans can be merged iff they
-/// are `==`.
+/// A physical query plan. The engine's sharing detection goes beyond
+/// structural equality (`PartialEq`): plans whose filter-peeled bases
+/// hash to the same [`crate::subsume::fingerprint`] are candidates, and
+/// a narrower predicate window merges into a wider one via
+/// [`crate::subsume::subsume_residual`], re-applying the non-implied clauses
+/// as a residual filter on the shared fragment's output.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum PhysicalPlan {
     /// Full scan of a catalog table.

@@ -11,6 +11,9 @@
 //! * [`synthetic`] — the 3-stage model query of Section 6
 //!   (p=10 / w=6,s=1 / p=10) and the 5-way-split variant of Section 6.3,
 //!   used by the sensitivity-analysis figures.
+//! * [`family`] — seeded parameterized query families: distinct but
+//!   strictly nested Q6/Q1-style selection windows, the workload for the
+//!   subsumption-sharing experiments (no two queries byte-identical).
 //! * [`mix`] — client mixes for the policy comparison of Section 8.2.
 //! * [`naive`] — straight-line reimplementations of each query over raw
 //!   rows, independent of the operator layer: the ground truth the
@@ -20,10 +23,12 @@
 #![warn(rust_2018_idioms)]
 
 pub mod costs;
+pub mod family;
 pub mod mix;
 pub mod naive;
 pub mod queries;
 pub mod synthetic;
 
 pub use costs::CostProfile;
+pub use family::{family_specs, FamilyConfig};
 pub use queries::{q1, q13, q4, q6, q6_with_params, Q6Params};

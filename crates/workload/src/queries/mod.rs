@@ -14,6 +14,8 @@ pub use q13::q13;
 pub use q4::q4;
 pub use q6::{q6, q6_with_params, Q6Params};
 
+pub(crate) use q6::lineitem_scan;
+
 use crate::costs::CostProfile;
 use cordoba_engine::QuerySpec;
 
