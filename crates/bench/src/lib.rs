@@ -16,6 +16,7 @@
 pub mod experiments;
 pub mod output;
 pub mod par_kernels;
+pub mod service_kernels;
 pub mod spill_kernels;
 pub mod subsume_kernels;
 pub mod vec_kernels;

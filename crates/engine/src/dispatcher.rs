@@ -345,10 +345,12 @@ impl DispatcherTask {
                                 }
                             }));
                         ctx.spawn_task(format!("g{gid}/capture"), Box::new(sink));
-                        core.fragment_cache
-                            .as_mut()
-                            .expect("checked when opening the capture channel")
-                            .insert(entry);
+                        // The cache was present when the capture channel
+                        // opened, but a teardown path may have dropped it
+                        // since; the capture sink then just drains.
+                        if let Some(cache) = core.fragment_cache.as_mut() {
+                            cache.insert(entry);
+                        }
                     }
                     pivot_fault = Some(pivot_res.fault);
                 }
@@ -465,12 +467,26 @@ impl DispatcherTask {
         let engine = Rc::downgrade(core_rc);
         let spec = member.spec.clone();
         let submission = member.submission;
+        let mut faults = faults;
+        if let Some(err) = &member.spec.chaos {
+            // Chaos injection: a pre-set fault cell only this member's
+            // sink watches, so the query fails while its group peers
+            // (and a shared pivot) run unaffected.
+            let cell = FaultCell::default();
+            cell.set(err.clone());
+            faults.push(cell);
+        }
         let mut sink = SinkTask::new(rx, core.sink_cost);
         if let Some(collect) = &core.collect {
             sink = sink.collecting(collect[member.submission].clone());
         }
         let sink = sink.on_done(Box::new(move |ctx, _rows| {
-            let engine = engine.upgrade().expect("engine outlives queries");
+            // The engine core can be gone when a time-capped or
+            // cancelled run tears down while sinks still drain; there
+            // is nobody left to report to, so just exit.
+            let Some(engine) = engine.upgrade() else {
+                return;
+            };
             let mut core = engine.borrow_mut();
             // A fault anywhere in this query's operator graph (its
             // private fragment or the shared pivot) turns the finish

@@ -25,6 +25,11 @@
 //! * [`runner`] — a closed-system client harness (every completed query
 //!   is immediately resubmitted — the Little's Law regime of
 //!   Section 1.2) measuring throughput on the simulated CMP.
+//! * [`service`] — the open-system service loop: arrivals pass a
+//!   bounded admission queue (typed rejection when full), the sharing
+//!   policy acts as a per-arrival merge controller, and every offered
+//!   query gets an explicit disposition (completed / failed / rejected
+//!   / in flight) so tail-latency accounting always balances.
 //! * [`profiling`] — the paper's Section 3.1 parameter estimation:
 //!   profile a query with and without sharing, solve for each
 //!   operator's `p` and the pivot's `(w, s)`, and emit a
@@ -41,6 +46,7 @@ pub mod policy;
 pub mod profiling;
 pub mod query;
 pub mod runner;
+pub mod service;
 pub mod sharing;
 pub mod thread_exec;
 
@@ -49,7 +55,8 @@ pub use fragment_cache::{CachedFragment, FragmentCache};
 pub use policy::{OverlapInfo, Policy, QueryModelInfo};
 pub use query::QuerySpec;
 pub use runner::{
-    measure_throughput, poisson_arrivals, run_closed_loop, run_once, run_open_loop,
-    run_open_loop_collecting, ArrivalSchedule, ClosedLoop, EngineConfig, OpenReport, RunReport,
-    SharingCounters, Throughput,
+    measure_throughput, poisson_arrivals, run_closed_loop, run_once, run_once_capped,
+    run_open_loop, run_open_loop_collecting, ArrivalSchedule, ClosedLoop, Disposition,
+    EngineConfig, OnceOutcome, OpenReport, RunReport, SharingCounters, Throughput,
 };
+pub use service::{run_service, ServiceConfig, ServiceReport};

@@ -1,6 +1,6 @@
 //! Query specifications: a plan plus its shareable sub-plan.
 
-use cordoba_exec::PhysicalPlan;
+use cordoba_exec::{ExecError, PhysicalPlan};
 
 /// One query type a client submits.
 #[derive(Debug, Clone, PartialEq)]
@@ -24,6 +24,11 @@ pub struct QuerySpec {
     /// of each query plan" (scan for Q1/Q6, join for Q4/Q13); this field
     /// is that selection.
     pub pivot: Option<PhysicalPlan>,
+    /// Chaos testing: when set, the query's sink observes this fault and
+    /// the query fails (after its operators ran normally) instead of
+    /// completing — exercising the engine's failure accounting without
+    /// disturbing group formation or its group peers.
+    pub chaos: Option<ExecError>,
 }
 
 impl QuerySpec {
@@ -33,6 +38,7 @@ impl QuerySpec {
             name: name.into(),
             plan,
             pivot: None,
+            chaos: None,
         }
     }
 
@@ -50,7 +56,14 @@ impl QuerySpec {
             name: name.into(),
             plan,
             pivot: Some(pivot),
+            chaos: None,
         }
+    }
+
+    /// Marks the query to fail with an injected fault (chaos testing).
+    pub fn with_chaos(mut self, err: ExecError) -> Self {
+        self.chaos = Some(err);
+        self
     }
 }
 

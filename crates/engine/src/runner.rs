@@ -11,7 +11,7 @@ use crate::policy::Policy;
 use crate::query::QuerySpec;
 use cordoba_exec::wiring::WiringConfig;
 use cordoba_exec::{ExecError, MemoryConfig, OpCost, ParallelConfig};
-use cordoba_sim::{SimStats, Simulator, VTime};
+use cordoba_sim::{Histogram, RunOutcome, SimStats, Simulator, StopReason, VTime};
 use cordoba_storage::{Catalog, Value};
 use std::cell::RefCell;
 use std::collections::VecDeque;
@@ -91,7 +91,7 @@ pub struct SharingCounters {
 }
 
 impl SharingCounters {
-    fn from_core(core: &EngineCore) -> Self {
+    pub(crate) fn from_core(core: &EngineCore) -> Self {
         let (hits, misses, evictions) = core
             .fragment_cache
             .as_ref()
@@ -161,7 +161,7 @@ impl RunReport {
     }
 }
 
-fn build_core(
+pub(crate) fn build_core(
     catalog: &Catalog,
     cfg: &EngineConfig,
     resubmit: bool,
@@ -422,6 +422,27 @@ impl cordoba_sim::Task for ArrivalTask {
     }
 }
 
+/// What became of one scheduled query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Disposition {
+    /// Completed normally.
+    Completed {
+        /// Virtual completion time.
+        at: VTime,
+        /// Response time (completion − arrival).
+        response: VTime,
+    },
+    /// Failed (rejected plan or runtime fault) — never completed.
+    Failed(ExecError),
+    /// Refused at admission (bounded service queue full) — never
+    /// entered the engine. Only [`crate::service`] produces this.
+    Rejected,
+    /// Still unfinished when the run stopped at its time cap: either
+    /// in the engine (queued, forming, or executing) or a scheduled
+    /// arrival the cap cut off before it was submitted.
+    InFlight,
+}
+
 /// Outcome of an open-system run.
 #[derive(Debug, Clone)]
 pub struct OpenReport {
@@ -429,10 +450,16 @@ pub struct OpenReport {
     pub submitted: usize,
     /// Number completed before the run ended.
     pub completed: usize,
+    /// Queries still unfinished when the run hit its time cap (0 when
+    /// the schedule drained). Counts both engine-resident queries and
+    /// scheduled arrivals the cap cut off before submission.
+    pub in_flight: usize,
     /// Virtual end time.
     pub makespan: VTime,
     /// Per-query response times (completion − arrival), completion order.
     pub response_times: Vec<VTime>,
+    /// Per-query disposition, indexed by schedule position.
+    pub dispositions: Vec<Disposition>,
     /// Sizes of the dispatched sharing groups.
     pub group_sizes: Vec<usize>,
     /// `(submission id, error)` for queries that failed instead of
@@ -443,13 +470,66 @@ pub struct OpenReport {
 }
 
 impl OpenReport {
-    /// Mean response time, or 0 when nothing completed.
-    pub fn mean_response(&self) -> f64 {
+    /// Builds the report from the engine core, deriving per-query
+    /// dispositions and the in-flight count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the accounting does not balance — every scheduled
+    /// query must be completed, failed, or in flight:
+    /// `submitted == completed + failures.len() + in_flight`.
+    fn from_core(core: &EngineCore, submitted: usize, makespan: VTime) -> Self {
+        let response_times = core
+            .completion_records
+            .iter()
+            .map(|&(submission, done)| done.saturating_sub(core.arrival_times[submission]))
+            .collect::<Vec<_>>();
+        let dispositions = dispositions_from_core(core, submitted);
+        let in_flight = dispositions
+            .iter()
+            .filter(|d| **d == Disposition::InFlight)
+            .count();
+        let report = Self {
+            submitted,
+            completed: core.completion_records.len(),
+            in_flight,
+            makespan,
+            response_times,
+            dispositions,
+            group_sizes: core.group_sizes.clone(),
+            failures: core.failures.clone(),
+            sharing: SharingCounters::from_core(core),
+        };
+        assert_eq!(
+            report.submitted,
+            report.completed + report.failures.len() + report.in_flight,
+            "open-system accounting must balance: {} submitted vs {} completed + {} failed + {} in flight",
+            report.submitted,
+            report.completed,
+            report.failures.len(),
+            report.in_flight,
+        );
+        assert_eq!(report.dispositions.len(), report.submitted);
+        report
+    }
+
+    /// Mean response time over completed queries, or `None` when
+    /// nothing completed.
+    pub fn mean_response(&self) -> Option<f64> {
         if self.response_times.is_empty() {
-            return 0.0;
+            return None;
         }
-        self.response_times.iter().map(|&t| t as f64).sum::<f64>()
-            / self.response_times.len() as f64
+        Some(
+            self.response_times.iter().map(|&t| t as f64).sum::<f64>()
+                / self.response_times.len() as f64,
+        )
+    }
+
+    /// Response-time distribution of the completed queries (exact
+    /// nearest-rank quantiles: p50/p99/p999 via
+    /// [`Histogram::quantile`]/[`Histogram::summary`]).
+    pub fn latency(&self) -> Histogram {
+        Histogram::from_samples(self.response_times.clone())
     }
 
     /// Throughput over the whole run.
@@ -459,6 +539,23 @@ impl OpenReport {
         }
         self.completed as f64 / self.makespan as f64
     }
+}
+
+/// Per-query dispositions from the engine's completion/failure records.
+/// Submission ids beyond `core.next_submission` (scheduled arrivals a
+/// time cap cut off before submission) stay [`Disposition::InFlight`].
+pub(crate) fn dispositions_from_core(core: &EngineCore, submitted: usize) -> Vec<Disposition> {
+    let mut dispositions = vec![Disposition::InFlight; submitted];
+    for &(submission, done) in &core.completion_records {
+        dispositions[submission] = Disposition::Completed {
+            at: done,
+            response: done.saturating_sub(core.arrival_times[submission]),
+        };
+    }
+    for (submission, err) in &core.failures {
+        dispositions[*submission] = Disposition::Failed(err.clone());
+    }
+    dispositions
 }
 
 /// Runs an open system: queries arrive per `schedule` (independent of
@@ -490,20 +587,7 @@ pub fn run_open_loop(
     sim.run(Some(time_cap));
     let makespan = sim.now();
     let core = core.borrow();
-    let response_times = core
-        .completion_records
-        .iter()
-        .map(|&(submission, done)| done.saturating_sub(core.arrival_times[submission]))
-        .collect::<Vec<_>>();
-    OpenReport {
-        submitted,
-        completed: core.completion_records.len(),
-        makespan,
-        response_times,
-        group_sizes: core.group_sizes.clone(),
-        failures: core.failures.clone(),
-        sharing: SharingCounters::from_core(&core),
-    }
+    OpenReport::from_core(&core, submitted, makespan)
 }
 
 /// Like [`run_open_loop`] but also collects every query's result rows
@@ -538,11 +622,6 @@ pub fn run_open_loop_collecting(
     sim.run(Some(time_cap));
     let makespan = sim.now();
     let core = core.borrow();
-    let response_times = core
-        .completion_records
-        .iter()
-        .map(|&(submission, done)| done.saturating_sub(core.arrival_times[submission]))
-        .collect::<Vec<_>>();
     let results = core
         .collect
         .as_ref()
@@ -555,15 +634,7 @@ pub fn run_open_loop_collecting(
                 .collect()
         })
         .collect();
-    let report = OpenReport {
-        submitted,
-        completed: core.completion_records.len(),
-        makespan,
-        response_times,
-        group_sizes: core.group_sizes.clone(),
-        failures: core.failures.clone(),
-        sharing: SharingCounters::from_core(&core),
-    };
+    let report = OpenReport::from_core(&core, submitted, makespan);
     (report, results)
 }
 
@@ -588,11 +659,58 @@ pub struct OnceOutcome {
     pub sharing: SharingCounters,
 }
 
+/// Records an [`ExecError::Stalled`] failure for every submission that
+/// neither completed nor failed — a wedged (deadlocked) or time-capped
+/// batch fails its unfinished queries instead of killing the process.
+fn fail_stalled_submissions(core: &mut EngineCore, outcome: &RunOutcome) {
+    let reason = match outcome.reason {
+        StopReason::TimeLimit => "time cap",
+        StopReason::Deadlock => "deadlock",
+        // `Idle` means every task finished; nothing can be stalled.
+        StopReason::Idle => return,
+    };
+    let mut finished = vec![false; core.next_submission];
+    for &(submission, _) in &core.completion_records {
+        finished[submission] = true;
+    }
+    for &(submission, _) in &core.failures {
+        finished[submission] = true;
+    }
+    for (submission, done) in finished.into_iter().enumerate() {
+        if !done {
+            core.failures.push((
+                submission,
+                ExecError::Stalled {
+                    reason,
+                    live_tasks: outcome.live_tasks,
+                },
+            ));
+            core.live_queries = core.live_queries.saturating_sub(1);
+        }
+    }
+}
+
 /// Runs a batch of queries once (closed system disabled) to completion,
 /// collecting results and per-operator statistics. Used for correctness
 /// tests (shared results must equal unshared results) and for the
 /// Section 3.1 profiling procedure.
+///
+/// A batch that cannot finish (a wedged operator graph) fails its
+/// unfinished queries with [`ExecError::Stalled`] rather than
+/// panicking; check `failures` when the batch's health matters.
 pub fn run_once(catalog: &Catalog, specs: &[QuerySpec], cfg: &EngineConfig) -> OnceOutcome {
+    run_once_capped(catalog, specs, cfg, None)
+}
+
+/// Like [`run_once`] but with an optional virtual-time cap. Queries
+/// unfinished at the cap (or on deadlock) are failed with
+/// [`ExecError::Stalled`] — the query set fails, not the harness.
+pub fn run_once_capped(
+    catalog: &Catalog,
+    specs: &[QuerySpec],
+    cfg: &EngineConfig,
+    time_cap: Option<VTime>,
+) -> OnceOutcome {
     let core = build_core(catalog, cfg, false, true);
     let mut sim = Simulator::new(cfg.contexts);
     for spec in specs {
@@ -603,11 +721,10 @@ pub fn run_once(catalog: &Catalog, specs: &[QuerySpec], cfg: &EngineConfig) -> O
         Box::new(DispatcherTask { core: core.clone() }),
     );
     core.borrow_mut().dispatcher = Some(dispatcher);
-    let outcome = sim.run(None);
-    assert!(
-        outcome.completed_all(),
-        "one-shot batch did not complete: {outcome:?}"
-    );
+    let outcome = sim.run(time_cap);
+    if !outcome.completed_all() {
+        fail_stalled_submissions(&mut core.borrow_mut(), &outcome);
+    }
     let makespan = sim.now();
     let task_stats = sim
         .all_task_stats()
@@ -901,8 +1018,18 @@ mod tests {
         assert_eq!(report.completed, 12, "{report:?}");
         assert_eq!(report.response_times.len(), 12);
         assert!(report.response_times.iter().all(|&t| t > 0));
-        assert!(report.mean_response() > 0.0);
+        assert!(report.mean_response().unwrap() > 0.0);
         assert!(report.throughput() > 0.0);
+        assert_eq!(
+            report.in_flight, 0,
+            "drained schedule has nothing in flight"
+        );
+        assert!(report
+            .dispositions
+            .iter()
+            .all(|d| matches!(d, Disposition::Completed { .. })));
+        let p_max = report.latency().quantile(1.0).unwrap();
+        assert_eq!(p_max, *report.response_times.iter().max().unwrap());
     }
 
     #[test]
@@ -941,6 +1068,19 @@ mod tests {
         let report = run_open_loop(&cat, schedule, &cfg, 50_000);
         assert!(report.completed < 50, "cap must cut the run short");
         assert!(report.makespan <= 50_000);
+        // The cut-off queries are accounted, not dropped: the report
+        // constructor asserts submitted == completed + failed + in_flight.
+        assert_eq!(
+            report.in_flight,
+            50 - report.completed - report.failures.len()
+        );
+        assert!(report.in_flight > 0);
+        let in_flight = report
+            .dispositions
+            .iter()
+            .filter(|d| **d == Disposition::InFlight)
+            .count();
+        assert_eq!(in_flight, report.in_flight);
     }
 
     #[test]

@@ -59,6 +59,20 @@ pub enum ExecError {
         /// Why no further spilling can help.
         detail: String,
     },
+    /// The batch/run stopped (time cap or deadlock) while this query was
+    /// still in flight; the query never produced a result.
+    Stalled {
+        /// Why the run stopped (`"time cap"` or `"deadlock"`).
+        reason: &'static str,
+        /// Tasks still live when the run stopped.
+        live_tasks: usize,
+    },
+    /// A fault injected by the harness (chaos testing) — the query is
+    /// failed deliberately to exercise the failure path.
+    Injected {
+        /// Describes the injection site/campaign.
+        detail: String,
+    },
 }
 
 impl ExecError {
@@ -93,6 +107,13 @@ impl fmt::Display for ExecError {
             ExecError::BudgetExhausted { op, detail } => {
                 write!(f, "{op} exhausted its memory budget: {detail}")
             }
+            ExecError::Stalled { reason, live_tasks } => {
+                write!(
+                    f,
+                    "query still in flight when the run stopped ({reason}, {live_tasks} live tasks)"
+                )
+            }
+            ExecError::Injected { detail } => write!(f, "injected fault: {detail}"),
         }
     }
 }
@@ -146,6 +167,17 @@ mod tests {
         };
         assert!(e.to_string().contains("sorted ascending"));
         assert!(e.to_string().contains("3 after 9"));
+        let e = ExecError::Stalled {
+            reason: "time cap",
+            live_tasks: 3,
+        };
+        assert!(e.to_string().contains("time cap"));
+        assert!(e.to_string().contains("3 live tasks"));
+        let e = ExecError::Injected {
+            detail: "chaos campaign 7".into(),
+        };
+        assert!(e.to_string().contains("injected"));
+        assert!(e.to_string().contains("campaign 7"));
     }
 
     #[test]

@@ -75,7 +75,7 @@ pub mod task;
 pub mod trace;
 
 pub use sched::{RunOutcome, SimConfig, Simulator, StopReason};
-pub use stats::{SimStats, TaskStats};
+pub use stats::{Histogram, LatencySummary, SimStats, TaskStats};
 pub use task::{Spawner, Step, StepStatus, Task, TaskCtx, TaskId};
 
 /// Virtual time / work units. One unit is an abstract "cost unit"; the

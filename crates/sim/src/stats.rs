@@ -56,6 +56,145 @@ impl SimStats {
     }
 }
 
+/// A response-time (or any latency) distribution: exact nearest-rank
+/// quantiles over the recorded samples plus power-of-two buckets for
+/// compact machine-readable reports.
+///
+/// Samples are kept exactly (a service run records one value per
+/// completed query — thousands, not billions), so quantiles are true
+/// order statistics rather than bucket approximations; the log2 buckets
+/// exist only for rendering histograms in `summary.json`-style output.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    samples: Vec<VTime>,
+    sorted: bool,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a histogram from a batch of samples.
+    pub fn from_samples(samples: Vec<VTime>) -> Self {
+        Self {
+            samples,
+            sorted: false,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: VTime) {
+        self.samples.push(v);
+        self.sorted = false;
+    }
+
+    /// Merges another histogram's samples into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+    }
+
+    /// Nearest-rank quantile: the smallest recorded sample such that at
+    /// least `⌈q·N⌉` samples are ≤ it (`q = 0` yields the minimum,
+    /// `q = 1` the maximum). `None` on an empty histogram or a `q`
+    /// outside `[0, 1]`.
+    pub fn quantile(&mut self, q: f64) -> Option<VTime> {
+        if self.samples.is_empty() || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        self.ensure_sorted();
+        let rank = ((q * self.samples.len() as f64).ceil() as usize).max(1);
+        Some(self.samples[rank.min(self.samples.len()) - 1])
+    }
+
+    /// Arithmetic mean of the samples, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let sum: u128 = self.samples.iter().map(|&v| v as u128).sum();
+        Some(sum as f64 / self.samples.len() as f64)
+    }
+
+    /// The standard tail summary (`count`/`min`/`mean`/`p50`/`p90`/
+    /// `p99`/`p999`/`max`), or `None` when empty.
+    pub fn summary(&mut self) -> Option<LatencySummary> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mean = self.mean().expect("non-empty");
+        self.ensure_sorted();
+        Some(LatencySummary {
+            count: self.samples.len() as u64,
+            min: self.samples[0],
+            max: *self.samples.last().expect("non-empty"),
+            mean,
+            p50: self.quantile(0.50).expect("non-empty"),
+            p90: self.quantile(0.90).expect("non-empty"),
+            p99: self.quantile(0.99).expect("non-empty"),
+            p999: self.quantile(0.999).expect("non-empty"),
+        })
+    }
+
+    /// Power-of-two histogram buckets as `(upper bound, count)` pairs in
+    /// ascending bound order, empty buckets skipped: a sample `v` lands
+    /// in the smallest bucket with `v ≤ bound`. Zero samples land in the
+    /// `1` bucket.
+    pub fn log2_buckets(&mut self) -> Vec<(VTime, u64)> {
+        self.ensure_sorted();
+        let mut out: Vec<(VTime, u64)> = Vec::new();
+        for &v in &self.samples {
+            let bound = v.max(1).next_power_of_two();
+            match out.last_mut() {
+                Some((b, n)) if *b == bound => *n += 1,
+                _ => out.push((bound, 1)),
+            }
+        }
+        out
+    }
+}
+
+/// The tail-latency summary of one [`Histogram`] (quantiles are
+/// nearest-rank order statistics, not bucket midpoints).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Number of samples summarized.
+    pub count: u64,
+    /// Smallest sample.
+    pub min: VTime,
+    /// Largest sample.
+    pub max: VTime,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (50th percentile).
+    pub p50: VTime,
+    /// 90th percentile.
+    pub p90: VTime,
+    /// 99th percentile.
+    pub p99: VTime,
+    /// 99.9th percentile.
+    pub p999: VTime,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -92,5 +231,63 @@ mod tests {
             busy: vec![0; 4],
         };
         assert_eq!(s.utilization(), 0.0);
+    }
+
+    #[test]
+    fn quantiles_are_exact_nearest_rank() {
+        // 1..=100 makes nearest-rank quantiles directly readable:
+        // p50 = 50th sample = 50, p99 = 99, p999 = ⌈99.9⌉ = 100.
+        let mut h = Histogram::from_samples((1..=100).rev().collect());
+        assert_eq!(h.len(), 100);
+        assert_eq!(h.quantile(0.0), Some(1));
+        assert_eq!(h.quantile(0.50), Some(50));
+        assert_eq!(h.quantile(0.90), Some(90));
+        assert_eq!(h.quantile(0.99), Some(99));
+        assert_eq!(h.quantile(0.999), Some(100));
+        assert_eq!(h.quantile(1.0), Some(100));
+        assert_eq!(h.quantile(1.5), None, "out-of-range q");
+        assert_eq!(h.mean(), Some(50.5));
+    }
+
+    #[test]
+    fn single_sample_dominates_every_quantile() {
+        let mut h = Histogram::new();
+        h.record(42);
+        let s = h.summary().expect("one sample");
+        assert_eq!((s.count, s.min, s.max), (1, 42, 42));
+        assert_eq!((s.p50, s.p90, s.p99, s.p999), (42, 42, 42, 42));
+        assert_eq!(s.mean, 42.0);
+    }
+
+    #[test]
+    fn empty_histogram_yields_none_everywhere() {
+        let mut h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.mean(), None);
+        assert!(h.summary().is_none());
+        assert!(h.log2_buckets().is_empty());
+    }
+
+    #[test]
+    fn merge_and_record_are_order_insensitive() {
+        let mut a = Histogram::from_samples(vec![5, 1, 9]);
+        let b = Histogram::from_samples(vec![3, 7]);
+        a.merge(&b);
+        a.record(2);
+        let mut c = Histogram::from_samples(vec![1, 2, 3, 5, 7, 9]);
+        assert_eq!(a.summary(), c.summary(), "same multiset, same summary");
+    }
+
+    #[test]
+    fn log2_buckets_cover_all_samples() {
+        let mut h = Histogram::from_samples(vec![0, 1, 2, 3, 4, 5, 8, 9, 1000]);
+        let buckets = h.log2_buckets();
+        assert_eq!(
+            buckets,
+            vec![(1, 2), (2, 1), (4, 2), (8, 2), (16, 1), (1024, 1)]
+        );
+        let total: u64 = buckets.iter().map(|&(_, n)| n).sum();
+        assert_eq!(total, h.len() as u64);
     }
 }

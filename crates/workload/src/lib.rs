@@ -14,6 +14,9 @@
 //! * [`family`] — seeded parameterized query families: distinct but
 //!   strictly nested Q6/Q1-style selection windows, the workload for the
 //!   subsumption-sharing experiments (no two queries byte-identical).
+//! * [`arrivals`] — seeded arrival-schedule generators for the service
+//!   loop: Poisson mixes, bursty on/off sources, saturation ramps, and
+//!   chaos (fault-injection) campaigns.
 //! * [`mix`] — client mixes for the policy comparison of Section 8.2.
 //! * [`naive`] — straight-line reimplementations of each query over raw
 //!   rows, independent of the operator layer: the ground truth the
@@ -22,6 +25,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod arrivals;
 pub mod costs;
 pub mod family;
 pub mod mix;

@@ -40,12 +40,16 @@ fn main() {
         assert_eq!(always.completed, queries);
         let group: f64 =
             always.group_sizes.iter().sum::<usize>() as f64 / always.group_sizes.len() as f64;
+        // Both runs completed every query (asserted above), so the
+        // means exist.
+        let resp_never = never.mean_response().expect("completions");
+        let resp_always = always.mean_response().expect("completions");
         println!(
             "{:>14} {:>14.0} {:>14.0} {:>11.2} {:>11.2}",
             mean_gap,
-            never.mean_response(),
-            always.mean_response(),
-            never.mean_response() / always.mean_response().max(1.0),
+            resp_never,
+            resp_always,
+            resp_never / resp_always.max(1.0),
             group,
         );
     }
