@@ -157,10 +157,12 @@ impl DispatcherTask {
                         if group.fingerprint != Some(fp) || group.members.len() >= core.max_group {
                             continue;
                         }
-                        let group_pivot = group
-                            .pivot
-                            .as_ref()
-                            .expect("fingerprinted group has a pivot");
+                        // A fingerprint implies a pivot; a pivot-less
+                        // group can never share, so skip it rather than
+                        // take the engine down on a malformed group.
+                        let Some(group_pivot) = group.pivot.as_ref() else {
+                            continue;
+                        };
                         let exact = group_pivot == pivot;
                         // The group runs whichever pivot subsumes the
                         // other: join a wider group through a residual,
@@ -181,10 +183,15 @@ impl DispatcherTask {
                             .iter()
                             .map(|m| OverlapInfo {
                                 name: &m.spec.name,
-                                coverage: coverage_estimate(
-                                    &wide,
-                                    m.spec.pivot.as_ref().expect("grouped member has a pivot"),
-                                ),
+                                // Members always carry a pivot (they
+                                // joined through one); treat a missing
+                                // one as full coverage, the conservative
+                                // admission input.
+                                coverage: m
+                                    .spec
+                                    .pivot
+                                    .as_ref()
+                                    .map_or(1.0, |p| coverage_estimate(&wide, p)),
                             })
                             .collect();
                         let candidate = OverlapInfo {
@@ -356,11 +363,19 @@ impl DispatcherTask {
                 }
                 for (member, rx) in group.members.into_iter().zip(rxs) {
                     let label = format!("q{}/{}", member.submission, member.spec.name);
-                    let own_pivot = member
-                        .spec
-                        .pivot
-                        .as_ref()
-                        .expect("grouped member has a pivot");
+                    // A member without a pivot cannot be split against
+                    // the group's: fail just that query (closing its
+                    // feed so the pivot never blocks on it) and keep
+                    // dispatching the rest of the group.
+                    let Some(own_pivot) = member.spec.pivot.as_ref() else {
+                        rx.close(ctx);
+                        Self::fail_query(
+                            core,
+                            member.submission,
+                            &ExecError::plan("grouped member lost its pivot before dispatch"),
+                        );
+                        continue;
+                    };
                     match split_with_residual(&member.spec.plan, own_pivot, &pivot, &catalog) {
                         Ok(Some(fragment)) => {
                             let member_res = QueryResources::for_config(&core.wiring.memory);

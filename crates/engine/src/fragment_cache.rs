@@ -82,10 +82,9 @@ impl FragmentCache {
                 && e.ready.get()
                 && subsume_residual(&e.pivot, narrow).is_some()
         });
-        match found {
-            Some(i) => {
+        match found.and_then(|i| self.entries.remove(i)) {
+            Some(entry) => {
                 self.hits += 1;
-                let entry = self.entries.remove(i).expect("position in range");
                 self.entries.push_back(entry.clone());
                 Some(entry)
             }

@@ -143,10 +143,12 @@ impl Policy {
                 // The shared sub-plan's parameters (below-pivot work and
                 // pivot input work `w`) come from the member closest to
                 // the wide pivot — the one with the highest coverage.
-                let (_, wide_model) = infos
+                let Some((_, wide_model)) = infos
                     .iter()
                     .max_by(|(a, _), (b, _)| a.coverage.total_cmp(&b.coverage))
-                    .expect("group is non-empty");
+                else {
+                    return false; // empty group: nothing to admit against
+                };
                 let Ok(below_ids) = wide_model.plan.below(wide_model.pivot) else {
                     return false;
                 };

@@ -625,6 +625,7 @@ pub fn run_open_loop_collecting(
     let results = core
         .collect
         .as_ref()
+        // lint: allow(this runner installed collection buffers when it built the core)
         .expect("collection enabled")
         .iter()
         .map(|buf| {
@@ -734,6 +735,7 @@ pub fn run_once_capped(
     let results = core
         .collect
         .as_ref()
+        // lint: allow(this runner installed collection buffers when it built the core)
         .expect("collection enabled")
         .iter()
         .map(|buf| {

@@ -127,6 +127,7 @@ fn numeric<'a>(a: Scalar<'a>, b: Scalar<'a>, op: &str, f: impl Fn(f64, f64) -> f
         }
         (x, y) => {
             let (Some(x), Some(y)) = (x.as_f64(), y.as_f64()) else {
+                // lint: allow(plans type-check before execution; a non-numeric operand here is a checker bug)
                 panic!("non-numeric operands for '{op}': {x:?}, {y:?}")
             };
             Scalar::Float(f(x, y))
@@ -219,9 +220,10 @@ impl Predicate {
                     (Scalar::Str(x), Scalar::Str(y)) => x.cmp(y),
                     (x, y) => {
                         let (Some(x), Some(y)) = (x.as_f64(), y.as_f64()) else {
+                            // lint: allow(plans type-check before execution; comparisons only reach comparable types)
                             panic!("incomparable operands: {x:?} vs {y:?}")
                         };
-                        x.partial_cmp(&y).expect("non-NaN comparison")
+                        x.partial_cmp(&y).expect("non-NaN comparison") // lint: allow(documented: engine data has no NaNs)
                     }
                 };
                 op.holds(ord)

@@ -19,8 +19,10 @@
 
 use crate::error::FaultCell;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+// std re-exports in normal builds; model-checked shims under
+// `--features model` (see tests/model_check.rs).
+use shuttle_lite::sync::atomic::{AtomicUsize, Ordering};
+use shuttle_lite::sync::Arc;
 
 #[derive(Debug, Default)]
 struct BrokerState {

@@ -84,6 +84,7 @@ impl Acc {
                     *m = Some(m.map_or(*v, |cur| cur.max(*v)));
                 }
             }
+            // lint: allow(partials merged here were built from one shared aggregate spec)
             _ => unreachable!("merged accumulators come from identical aggregate lists"),
         }
     }
@@ -236,6 +237,7 @@ impl AggCore {
                 if let [(off, 8)] = fields[..] {
                     // Single 8-byte column: the field bytes are the key.
                     for raw in page.raw_rows() {
+                        // lint: allow(slice is exactly 8 bytes by construction)
                         let bytes: [u8; 8] = raw[off..off + 8].try_into().expect("8 bytes");
                         self.keys.push(u64::from_le_bytes(bytes));
                     }
@@ -323,6 +325,7 @@ impl AggCore {
                     }
                 }
             }
+            // lint: allow(both states were constructed from the same aggregate config)
             _ => unreachable!("identical aggregate configs share one GroupState variant"),
         }
     }
@@ -426,7 +429,7 @@ impl Task for AggregateTask {
                     let iter = self
                         .emit_iter
                         .as_mut()
-                        .expect("emitting phase has iterator");
+                        .expect("emitting phase has iterator"); // lint: allow(set when entering the emitting phase)
                     loop {
                         let Some((key, accs)) = iter.next() else {
                             exhausted = true;

@@ -312,6 +312,7 @@ impl SpilledPart {
 
     fn push_build_row(&mut self, raw: &[u8]) -> Result<(), ExecError> {
         if self.buf.is_full() {
+            // lint: allow(writer opens with the build phase and closes only in finish_build)
             let writer = self.writer.as_mut().expect("open build writer");
             writer
                 .write_page(&self.buf.finish_and_reset())
@@ -324,6 +325,7 @@ impl SpilledPart {
     /// Seals the build stream (end of build phase) and releases its
     /// buffer page.
     fn finish_build(&mut self, spill: &SpillContext) -> Result<(), ExecError> {
+        // lint: allow(finish_build runs once, while the build writer is still open)
         let mut writer = self.writer.take().expect("open build writer");
         if !self.buf.is_empty() {
             writer
@@ -354,7 +356,7 @@ impl SpilledPart {
                 buf: PageBuilder::new(probe_schema.clone()),
             });
         }
-        let probe = self.probe.as_mut().expect("just created");
+        let probe = self.probe.as_mut().expect("just created"); // lint: allow(populated directly above)
         if probe.buf.is_full() {
             probe
                 .writer
@@ -515,6 +517,7 @@ impl HashJoinTask {
             let bytes = page.byte_len();
             self.spill.broker.try_grant(bytes);
             let Partition::Resident { table, granted } = &mut self.partitions[0] else {
+                // lint: allow(partition 0 stays resident when partitioning is disabled)
                 unreachable!("single partition never spills");
             };
             *granted += bytes;
@@ -573,14 +576,15 @@ impl HashJoinTask {
         let Partition::Resident { table, granted } =
             std::mem::replace(&mut self.partitions[v], Partition::Spilled(replacement))
         else {
+            // lint: allow(pick_victim only returns resident partitions)
             unreachable!("victim chosen among residents");
         };
         let Partition::Spilled(sp) = &mut self.partitions[v] else {
-            unreachable!("just replaced");
+            unreachable!("just replaced"); // lint: allow(std::mem::replace above installed the Spilled variant)
         };
         sp.writer
             .as_mut()
-            .expect("fresh writer")
+            .expect("fresh writer") // lint: allow(SpilledPart::create returns with its writer open)
             .write_raw_rows(table.arena(), table.rows())
             .map_err(|e| ExecError::spill("hash join", e))?;
         self.spill.broker.release(granted);

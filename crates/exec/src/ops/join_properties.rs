@@ -160,7 +160,7 @@ proptest! {
         let mut sim = Simulator::new(3);
         let (rx, _ops, _fault) =
             wiring::instantiate(&mut sim, &catalog, &plan, "hj", &wiring::WiringConfig::default())
-                .expect("plan wires");
+                .expect("plan wires"); // lint: allow(property-test harness; generated plans always wire)
         let rows = Rc::new(RefCell::new(Vec::new()));
         sim.spawn(
             "sink",

@@ -123,7 +123,7 @@ impl FusedScan {
             let (idx, m) = self.dispenser.claim()?;
             self.current = Some((idx, m, 0));
         }
-        let (idx, m, off) = self.current.as_mut().expect("claimed above");
+        let (idx, m, off) = self.current.as_mut().expect("claimed above"); // lint: allow(filled two lines up)
         let page = self.pages[m.start + *off].clone();
         let morsel_idx = *idx;
         *off += 1;
@@ -225,7 +225,7 @@ impl Task for ParPipeMerge {
             let (pages, _) = self
                 .buffer
                 .remove(&self.next_morsel)
-                .expect("checked above");
+                .expect("checked above"); // lint: allow(contains_key checked in the loop condition)
             self.next_morsel += 1;
             for page in pages {
                 self.outbox.push(page);
@@ -301,6 +301,7 @@ impl Task for ParAggWorker {
         };
         ctx.add_progress(page.rows() as f64);
         let (out, mut cost) = self.scan.run_page(&page);
+        // lint: allow(core is only taken when the consume phase ends)
         let core = self.core.as_mut().expect("core present while consuming");
         for p in &out {
             cost += self.agg_cost.input_cost(p.rows());
@@ -429,6 +430,7 @@ pub(crate) fn build_pipe_group(
             format!("{base}:par_pipe[{w}]"),
             Box::new(ParPipeWorker {
                 scan: FusedScan::new(chain, dispenser.clone())?,
+                // lint: allow(senders vec was built with exactly `workers` entries)
                 tx: senders.pop().expect("one sender per worker"),
                 pending: VecDeque::new(),
             }),
@@ -475,6 +477,7 @@ pub(crate) fn build_agg_group(
                 scan: FusedScan::new(chain, dispenser.clone())?,
                 agg_cost,
                 core: Some(core),
+                // lint: allow(senders vec was built with exactly `workers` entries)
                 tx: senders.pop().expect("one sender per worker"),
             }),
         ));

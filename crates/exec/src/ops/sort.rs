@@ -219,6 +219,7 @@ impl SortTask {
             let raw = cursor
                 .page
                 .as_ref()
+                // lint: allow(min_cursor only returns cursors holding a page)
                 .expect("live cursor")
                 .tuple(cursor.row)
                 .raw();
@@ -263,6 +264,7 @@ impl SortTask {
     /// Returns the virtual cost and whether the merge is finished.
     fn merge_step(&mut self) -> Result<(VTime, bool), ExecError> {
         let PhaseState::Merging(merge) = &mut self.state else {
+            // lint: allow(callers dispatch on phase before calling merge_step)
             unreachable!("merge_step outside Merging");
         };
         let mut builder = PageBuilder::new(self.schema.clone());
@@ -275,6 +277,7 @@ impl SortTask {
             let raw = cursor
                 .page
                 .as_ref()
+                // lint: allow(min_cursor only returns cursors holding a page)
                 .expect("live cursor")
                 .tuple(cursor.row)
                 .raw();
@@ -444,6 +447,7 @@ impl KWayMerge {
         if cursor.row + 1 < rows {
             cursor.row += 1;
             if let Keys::General(_) = keys {
+                // lint: allow(rows > 0 above implies the page is present)
                 let page = cursor.page.as_ref().expect("live cursor");
                 cursor.gkey = key_of(&page.tuple(cursor.row), key_cols);
             }

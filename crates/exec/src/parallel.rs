@@ -40,7 +40,9 @@ use crate::plan::{JoinKind, PhysicalPlan};
 use crate::reference;
 use crate::vexpr::{CompiledExpr, CompiledPredicate, ExprScratch};
 use cordoba_storage::{morsel_at, Catalog, Morsel, Page, PageBuilder, Schema, Table, Value};
-use std::sync::atomic::{AtomicUsize, Ordering};
+// std re-exports in normal builds; model-checked shims under
+// `--features model` (see tests/model_check.rs).
+use shuttle_lite::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Pages per claimed morsel when the config does not override it:
@@ -323,6 +325,7 @@ where
         let handles: Vec<_> = (0..workers).map(|w| scope.spawn(move || f(w))).collect();
         handles
             .into_iter()
+            // lint: allow(a worker panic must propagate; join is the propagation point)
             .map(|h| h.join().expect("parallel worker panicked"))
             .collect()
     })

@@ -161,6 +161,7 @@ impl PhysicalPlan {
     /// [`PhysicalPlan::try_output_schema`] for a fallible derivation.
     pub fn output_schema(&self, catalog: &Catalog) -> Arc<Schema> {
         self.try_output_schema(catalog)
+            // lint: allow(documented '# Panics' wrapper; fallible twin is try_output_schema)
             .unwrap_or_else(|e| panic!("{e}"))
     }
 
@@ -292,6 +293,7 @@ pub fn concat_schemas(left: &Arc<Schema>, right: &Arc<Schema>) -> Arc<Schema> {
 /// Panics on out-of-range column indices — use [`expr_type_checked`]
 /// for a fallible derivation.
 pub fn expr_type(expr: &ScalarExpr, schema: &Arc<Schema>) -> DataType {
+    // lint: allow(documented '# Panics' wrapper; fallible twin is expr_type_checked)
     expr_type_checked(expr, schema).unwrap_or_else(|e| panic!("{e}"))
 }
 

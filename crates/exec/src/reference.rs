@@ -22,8 +22,10 @@ pub fn execute(catalog: &Catalog, plan: &PhysicalPlan) -> Vec<Vec<Value>> {
 /// operators reuse the same tuple machinery as the simulator tasks).
 pub fn execute_table(catalog: &Catalog, plan: &PhysicalPlan) -> Arc<Table> {
     match plan {
+        // lint: allow(documented catalog lookup panic; oracle executor runs on validated plans)
         PhysicalPlan::Scan { table, .. } => catalog.expect(table).clone(),
         PhysicalPlan::Source { .. } => {
+            // lint: allow(documented oracle limitation: Source leaves only exist in engine wiring)
             panic!("reference executor cannot run plans with Source leaves")
         }
         PhysicalPlan::Filter {
@@ -289,19 +291,21 @@ impl RefAcc {
     fn update(&mut self, agg: &Agg, tuple: &cordoba_storage::TupleRef<'_>) {
         match (self, agg) {
             (RefAcc::Count(n), Agg::Count) => *n += 1,
+            // lint: allow(aggregate inputs type-check as numeric before execution)
             (RefAcc::Sum(s), Agg::Sum(e)) => *s += e.eval(tuple).as_f64().expect("numeric"),
             (RefAcc::Avg { sum, count }, Agg::Avg(e)) => {
-                *sum += e.eval(tuple).as_f64().expect("numeric");
+                *sum += e.eval(tuple).as_f64().expect("numeric"); // lint: allow(type-checked numeric)
                 *count += 1;
             }
             (RefAcc::Min(m), Agg::Min(e)) => {
-                let v = e.eval(tuple).as_f64().expect("numeric");
+                let v = e.eval(tuple).as_f64().expect("numeric"); // lint: allow(type-checked numeric)
                 *m = Some(m.map_or(v, |c| c.min(v)));
             }
             (RefAcc::Max(m), Agg::Max(e)) => {
-                let v = e.eval(tuple).as_f64().expect("numeric");
+                let v = e.eval(tuple).as_f64().expect("numeric"); // lint: allow(type-checked numeric)
                 *m = Some(m.map_or(v, |c| c.max(v)));
             }
+            // lint: allow(accumulators were built from this same spec list)
             _ => panic!("accumulator/spec mismatch"),
         }
     }
@@ -327,6 +331,7 @@ fn keyval_to_value(k: &KeyVal, dtype: DataType) -> Value {
         (KeyVal::Float(v), DataType::Float) => Value::Float(v.0),
         (KeyVal::Date(v), DataType::Date) => Value::Date(cordoba_storage::Date(*v)),
         (KeyVal::Str(s), DataType::Str(_)) => Value::Str(s.clone()),
+        // lint: allow(group keys are derived from the schema they decode against)
         (k, d) => panic!("key {k:?} does not match type {d:?}"),
     }
 }

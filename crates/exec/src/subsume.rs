@@ -395,7 +395,7 @@ fn residual_clauses(
     }
     match keep.len() {
         0 => Predicate::True,
-        1 => keep.pop().expect("len checked"),
+        1 => keep.pop().expect("len checked"), // lint: allow(match arm guarantees one element)
         _ => Predicate::And(keep),
     }
 }

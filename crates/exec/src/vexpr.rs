@@ -142,6 +142,7 @@ impl ExprScratch {
     }
 
     fn pop(&mut self) -> Buf {
+        // lint: allow(compiled programs are stack-balanced by construction)
         self.stack.pop().expect("non-empty eval stack")
     }
 }
@@ -225,6 +226,7 @@ impl NumProgram {
                 }
                 Instr::CastIF => {
                     let Buf::I(ints) = scratch.pop() else {
+                        // lint: allow(the vector compiler emits type-correct stack programs; a mismatch is a compiler bug)
                         unreachable!("CastIF over a non-int buffer");
                     };
                     let mut v = scratch.take_f();
@@ -253,9 +255,11 @@ impl NumProgram {
 
 fn int_binop(scratch: &mut ExprScratch, f: impl Fn(i64, i64) -> i64) {
     let Buf::I(rhs) = scratch.pop() else {
+        // lint: allow(the vector compiler emits type-correct stack programs; a mismatch is a compiler bug)
         unreachable!("int binop over non-int rhs");
     };
     let Some(Buf::I(lhs)) = scratch.stack.last_mut() else {
+        // lint: allow(the vector compiler emits type-correct stack programs; a mismatch is a compiler bug)
         unreachable!("int binop over non-int lhs");
     };
     for (x, y) in lhs.iter_mut().zip(&rhs) {
@@ -266,9 +270,11 @@ fn int_binop(scratch: &mut ExprScratch, f: impl Fn(i64, i64) -> i64) {
 
 fn float_binop(scratch: &mut ExprScratch, f: impl Fn(f64, f64) -> f64) {
     let Buf::F(rhs) = scratch.pop() else {
+        // lint: allow(the vector compiler emits type-correct stack programs; a mismatch is a compiler bug)
         unreachable!("float binop over non-float rhs");
     };
     let Some(Buf::F(lhs)) = scratch.stack.last_mut() else {
+        // lint: allow(the vector compiler emits type-correct stack programs; a mismatch is a compiler bug)
         unreachable!("float binop over non-float lhs");
     };
     for (x, y) in lhs.iter_mut().zip(&rhs) {
@@ -281,6 +287,7 @@ fn float_binop(scratch: &mut ExprScratch, f: impl Fn(f64, f64) -> f64) {
 /// instructions' single pass (no literal buffer, no pop/push).
 fn float_mapop(scratch: &mut ExprScratch, f: impl Fn(f64) -> f64) {
     let Some(Buf::F(top)) = scratch.stack.last_mut() else {
+        // lint: allow(the vector compiler emits type-correct stack programs; a mismatch is a compiler bug)
         unreachable!("fused float op over non-float top");
     };
     for x in top.iter_mut() {
@@ -521,6 +528,7 @@ impl CompiledExpr {
     /// Panics if the expression is a string or date (not numeric).
     pub fn eval_f64_into(&self, page: &Page, scratch: &mut ExprScratch, out: &mut Vec<f64>) {
         let ExprKind::Num(prog) = &self.kind else {
+            // lint: allow(documented '# Panics' contract of eval_f64_into)
             panic!("string expression is not numeric");
         };
         // Promotion is baked in at compile time for aggregate use via
@@ -530,6 +538,7 @@ impl CompiledExpr {
         match &buf {
             Buf::F(v) => out.extend_from_slice(v),
             Buf::I(v) => out.extend(v.iter().map(|&x| x as f64)),
+            // lint: allow(documented '# Panics' contract of eval_f64_into)
             Buf::D(_) => panic!("date expression is not numeric"),
         }
         scratch.recycle(buf);
@@ -558,11 +567,13 @@ impl CompiledExpr {
         match &self.kind {
             ExprKind::StrCol(c) => {
                 let DataType::Str(width) = dtype else {
+                    // lint: allow(documented '# Panics' contract of encode_column)
                     panic!("type mismatch: string column for {dtype:?} field");
                 };
                 let in_schema = page.schema();
                 let in_off = in_schema.offset(*c);
                 let DataType::Str(in_width) = in_schema.fields()[*c].dtype else {
+                    // lint: allow(documented '# Panics' contract of encode_column)
                     panic!("StrCol over non-string input column");
                 };
                 assert_eq!(in_width, width, "string field width mismatch");
@@ -573,6 +584,7 @@ impl CompiledExpr {
             }
             ExprKind::StrLit(s) => {
                 let DataType::Str(width) = dtype else {
+                    // lint: allow(documented '# Panics' contract of encode_column)
                     panic!("type mismatch: string literal for {dtype:?} field");
                 };
                 assert!(
@@ -607,6 +619,7 @@ impl CompiledExpr {
                             out[dst..dst + 4].copy_from_slice(&x.to_le_bytes());
                         }
                     }
+                    // lint: allow(documented '# Panics' contract of encode_column)
                     (buf, dtype) => panic!("type mismatch: {buf:?} column for {dtype:?} field"),
                 }
                 scratch.recycle(buf);
@@ -740,6 +753,7 @@ impl CompiledPredicate {
                     let (Buf::I(a), Buf::I(b)) =
                         (l.eval_take(page, scratch), r.eval_take(page, scratch))
                     else {
+                        // lint: allow(the vector compiler emits type-correct stack programs; a mismatch is a compiler bug)
                         unreachable!("CmpII over non-int buffers");
                     };
                     let mut m = scratch.take_m();
@@ -752,6 +766,7 @@ impl CompiledPredicate {
                     let (Buf::D(a), Buf::D(b)) =
                         (l.eval_take(page, scratch), r.eval_take(page, scratch))
                     else {
+                        // lint: allow(the vector compiler emits type-correct stack programs; a mismatch is a compiler bug)
                         unreachable!("CmpDD over non-date buffers");
                     };
                     let mut m = scratch.take_m();
@@ -764,6 +779,7 @@ impl CompiledPredicate {
                     let (Buf::F(a), Buf::F(b)) =
                         (l.eval_take(page, scratch), r.eval_take(page, scratch))
                     else {
+                        // lint: allow(the vector compiler emits type-correct stack programs; a mismatch is a compiler bug)
                         unreachable!("CmpFF over non-float buffers");
                     };
                     let mut m = scratch.take_m();
@@ -804,7 +820,9 @@ impl CompiledPredicate {
                 }
                 PInstr::And(k) => {
                     for _ in 1..*k {
+                        // lint: allow(compiled predicates keep k masks on the stack here)
                         let top = scratch.masks.pop().expect("mask stack underflow");
+                        // lint: allow(compiled predicates keep k masks on the stack here)
                         let dst = scratch.masks.last_mut().expect("mask stack underflow");
                         for (d, s) in dst.iter_mut().zip(&top) {
                             *d &= *s;
@@ -814,7 +832,9 @@ impl CompiledPredicate {
                 }
                 PInstr::Or(k) => {
                     for _ in 1..*k {
+                        // lint: allow(compiled predicates keep k masks on the stack here)
                         let top = scratch.masks.pop().expect("mask stack underflow");
+                        // lint: allow(compiled predicates keep k masks on the stack here)
                         let dst = scratch.masks.last_mut().expect("mask stack underflow");
                         for (d, s) in dst.iter_mut().zip(&top) {
                             *d |= *s;
@@ -823,6 +843,7 @@ impl CompiledPredicate {
                     }
                 }
                 PInstr::Not => {
+                    // lint: allow(Not follows a mask-producing instruction by construction)
                     let m = scratch.masks.last_mut().expect("mask stack underflow");
                     for b in m.iter_mut() {
                         *b = !*b;
@@ -830,6 +851,7 @@ impl CompiledPredicate {
                 }
             }
         }
+        // lint: allow(compiled predicate programs net exactly one mask)
         let mask = scratch.masks.pop().expect("predicate leaves one mask");
         debug_assert!(scratch.masks.is_empty());
         debug_assert_eq!(mask.len(), n);

@@ -1,0 +1,765 @@
+//! Source-level correctness lints for the cordoba workspace.
+//!
+//! The engine's hottest invariants live in hand-rolled atomics and
+//! `unsafe` gathers; this crate is the static half of the correctness
+//! gate (the dynamic half is the `shuttle-lite` model checker and the
+//! sanitizer CI legs). Four rules, all line-oriented over a
+//! comment/string-stripped view of each file:
+//!
+//! 1. **`unsafe` hygiene** — every line containing the `unsafe` keyword
+//!    must carry a `// SAFETY:` comment on the same line or within the
+//!    three lines above, and must live in an allowlisted module (today:
+//!    `storage::page`). New `unsafe` anywhere else fails the lint.
+//! 2. **Panic-free hot crates** — no `.unwrap()` / `.expect(` /
+//!    `panic!` / `unreachable!` / `todo!` / `unimplemented!` in
+//!    non-test `exec` / `engine` / `storage` source. Infallible sites
+//!    escape with `// lint: allow(reason)` on the same or previous
+//!    line; everything else must propagate a typed `ExecError`.
+//!    (`assert!` / `debug_assert!` are contract checks, not error
+//!    handling, and stay legal.)
+//! 3. **Deterministic time** — no `std::time::Instant` / `SystemTime`
+//!    in simulator-deterministic modules (`core`, `sim`, `storage`,
+//!    `exec`, `engine`, `workload`), excepting the real-thread modules
+//!    (`engine::thread_exec`, `exec::parallel`). Virtual time comes
+//!    from the scheduler; wall clocks there would break replayability.
+//! 4. **`Ordering::Relaxed` allowlist** — every `Ordering::Relaxed`
+//!    outside the audited files (`exec::memory`'s monotone peak CAS,
+//!    `exec::parallel`'s morsel counter) is flagged, so a new Relaxed
+//!    access has to be argued into the allowlist or strengthened.
+//!
+//! The checks are deliberately lexical: no rustc plumbing, zero
+//! dependencies, fast enough to run on every CI push. The stripping
+//! pass understands line/block comments (nested), string/char/raw
+//! literals, and lifetimes, so tokens inside literals or docs never
+//! trip a rule.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Which lint rule a finding violates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// `unsafe` without an adjacent `// SAFETY:` comment.
+    UnsafeNeedsSafety,
+    /// `unsafe` outside the allowlisted modules.
+    UnsafeOutsideAllowlist,
+    /// `.unwrap()` / `.expect(` / `panic!` / `unreachable!` / `todo!` /
+    /// `unimplemented!` in non-test hot-crate code without a
+    /// `// lint: allow(reason)` escape.
+    PanicSite,
+    /// `Instant` / `SystemTime` in a simulator-deterministic module.
+    NondeterministicClock,
+    /// `Ordering::Relaxed` outside the audited allowlist.
+    RelaxedOrdering,
+}
+
+impl Rule {
+    /// Stable machine-readable rule name (printed in offender lines).
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::UnsafeNeedsSafety => "unsafe-needs-safety",
+            Rule::UnsafeOutsideAllowlist => "unsafe-outside-allowlist",
+            Rule::PanicSite => "panic-site",
+            Rule::NondeterministicClock => "nondeterministic-clock",
+            Rule::RelaxedOrdering => "relaxed-ordering",
+        }
+    }
+}
+
+/// One rule violation at a file:line.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Violated rule.
+    pub rule: Rule,
+    /// Human-readable explanation with the offending token.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file,
+            self.line,
+            self.rule.name(),
+            self.message
+        )
+    }
+}
+
+/// Lint policy: which files each rule applies to. Paths are
+/// workspace-relative with forward slashes.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Files allowed to contain `unsafe` (still need `// SAFETY:`).
+    pub unsafe_allowed_files: Vec<String>,
+    /// Path prefixes whose non-test code must be panic-free.
+    pub panic_free_prefixes: Vec<String>,
+    /// Path prefixes that must not read wall clocks.
+    pub deterministic_prefixes: Vec<String>,
+    /// Files exempt from the deterministic-time rule (real-thread
+    /// modules measured with honest wall clocks).
+    pub deterministic_exceptions: Vec<String>,
+    /// Files allowed to use `Ordering::Relaxed` (audited sites).
+    pub relaxed_allowed_files: Vec<String>,
+}
+
+impl Config {
+    /// The workspace policy this repo is linted against.
+    pub fn workspace() -> Self {
+        Config {
+            unsafe_allowed_files: vec!["crates/storage/src/page.rs".into()],
+            panic_free_prefixes: vec![
+                "crates/exec/src".into(),
+                "crates/engine/src".into(),
+                "crates/storage/src".into(),
+            ],
+            deterministic_prefixes: vec![
+                "crates/core/src".into(),
+                "crates/sim/src".into(),
+                "crates/storage/src".into(),
+                "crates/exec/src".into(),
+                "crates/engine/src".into(),
+                "crates/workload/src".into(),
+            ],
+            deterministic_exceptions: vec![
+                // Real-thread executors: wall-clock timing is the point.
+                "crates/engine/src/thread_exec.rs".into(),
+                "crates/exec/src/parallel.rs".into(),
+            ],
+            relaxed_allowed_files: vec![
+                // Monotone peak CAS + morsel hand-out counter: audited
+                // in the shuttle-lite model-check suite.
+                "crates/exec/src/memory.rs".into(),
+                "crates/exec/src/parallel.rs".into(),
+                // Work-claim fetch_add counters, same shape as the
+                // dispenser's model-checked claim path; result ordering
+                // comes from the mpsc channel, not the counter.
+                "crates/engine/src/thread_exec.rs".into(),
+                // Spill-file name uniquifier: a counter with no
+                // synchronization role at all.
+                "crates/storage/src/spill.rs".into(),
+            ],
+        }
+    }
+}
+
+fn has_prefix(file: &str, prefixes: &[String]) -> bool {
+    prefixes.iter().any(|p| file.starts_with(p.as_str()))
+}
+
+fn listed(file: &str, files: &[String]) -> bool {
+    files.iter().any(|f| f == file)
+}
+
+/// One source line split into its code and comment halves.
+struct StrippedLine {
+    /// Code with comment bodies and string/char contents blanked.
+    code: String,
+    /// Concatenated comment text on the line (for `SAFETY:` /
+    /// `lint: allow` detection).
+    comment: String,
+}
+
+/// Lexer state that survives line breaks.
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Code,
+    /// Inside `/* */`, with nesting depth.
+    Block(u32),
+    /// Inside a `"` string.
+    Str,
+    /// Inside a raw string with `n` hashes.
+    RawStr(u32),
+}
+
+/// Strips comments and literal bodies while preserving line structure.
+/// Comment text is captured separately so adjacency rules (`SAFETY:`,
+/// `lint: allow`) can still see it.
+fn strip(source: &str) -> Vec<StrippedLine> {
+    let mut out = Vec::new();
+    let mut mode = Mode::Code;
+    for raw in source.lines() {
+        let b = raw.as_bytes();
+        let mut code = String::with_capacity(raw.len());
+        let mut comment = String::new();
+        let mut i = 0;
+        while i < b.len() {
+            match mode {
+                Mode::Block(depth) => {
+                    if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        mode = if depth > 1 {
+                            Mode::Block(depth - 1)
+                        } else {
+                            Mode::Code
+                        };
+                        i += 2;
+                    } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        mode = Mode::Block(depth + 1);
+                        i += 2;
+                    } else {
+                        comment.push(b[i] as char);
+                        i += 1;
+                    }
+                }
+                Mode::Str => {
+                    if b[i] == b'\\' {
+                        i += 2; // escape: skip the escaped byte
+                    } else if b[i] == b'"' {
+                        code.push('"');
+                        mode = Mode::Code;
+                        i += 1;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                Mode::RawStr(hashes) => {
+                    if b[i] == b'"' {
+                        let h = hashes as usize;
+                        if b[i + 1..].len() >= h && b[i + 1..i + 1 + h].iter().all(|&c| c == b'#') {
+                            code.push('"');
+                            mode = Mode::Code;
+                            i += 1 + h;
+                            continue;
+                        }
+                    }
+                    code.push(' ');
+                    i += 1;
+                }
+                Mode::Code => {
+                    match b[i] {
+                        b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                            // Line comment: rest of the line is comment.
+                            comment.push_str(&raw[i + 2..]);
+                            i = b.len();
+                        }
+                        b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                            mode = Mode::Block(1);
+                            i += 2;
+                        }
+                        b'"' => {
+                            code.push('"');
+                            mode = Mode::Str;
+                            i += 1;
+                        }
+                        b'r' | b'b'
+                            if i + 1 < b.len() && (b[i + 1] == b'"' || b[i + 1] == b'#') =>
+                        {
+                            // r"..." / r#"..."# / b"..." raw-ish starts.
+                            let mut j = i + 1;
+                            if b[i] == b'b' && j < b.len() && b[j] == b'r' {
+                                j += 1;
+                            }
+                            let mut hashes = 0u32;
+                            while j < b.len() && b[j] == b'#' {
+                                hashes += 1;
+                                j += 1;
+                            }
+                            if j < b.len() && b[j] == b'"' {
+                                code.push('"');
+                                mode = if hashes > 0 || b[i] == b'r' {
+                                    Mode::RawStr(hashes)
+                                } else {
+                                    Mode::Str
+                                };
+                                i = j + 1;
+                            } else {
+                                code.push(b[i] as char);
+                                i += 1;
+                            }
+                        }
+                        b'\'' => {
+                            // Char literal vs lifetime: a literal is
+                            // '\..' or 'x' followed by a closing quote.
+                            let is_char = i + 1 < b.len()
+                                && (b[i + 1] == b'\\' || (i + 2 < b.len() && b[i + 2] == b'\''));
+                            if is_char {
+                                let mut j = i + 1;
+                                if b[j] == b'\\' {
+                                    j += 2; // skip escape lead
+                                    while j < b.len() && b[j] != b'\'' {
+                                        j += 1;
+                                    }
+                                } else {
+                                    j += 1;
+                                }
+                                code.push('\'');
+                                code.push(' ');
+                                code.push('\'');
+                                i = (j + 1).min(b.len());
+                            } else {
+                                code.push('\'');
+                                i += 1;
+                            }
+                        }
+                        c => {
+                            code.push(c as char);
+                            i += 1;
+                        }
+                    }
+                }
+            }
+        }
+        out.push(StrippedLine { code, comment });
+    }
+    out
+}
+
+/// Marks lines inside `#[cfg(test)]`-gated items (the module or fn that
+/// follows the attribute, brace-balanced on stripped code).
+fn test_region_mask(lines: &[StrippedLine]) -> Vec<bool> {
+    let mut mask = vec![false; lines.len()];
+    let mut i = 0;
+    while i < lines.len() {
+        let code = lines[i].code.trim();
+        if code.contains("#[cfg(test)]") || code.contains("#[cfg(all(test") {
+            // Skip forward to the gated item's opening brace, then
+            // mask until it balances.
+            let mut depth = 0i64;
+            let mut opened = false;
+            let mut j = i;
+            while j < lines.len() {
+                mask[j] = true;
+                for ch in lines[j].code.chars() {
+                    match ch {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => depth -= 1,
+                        _ => {}
+                    }
+                }
+                if opened && depth <= 0 {
+                    break;
+                }
+                j += 1;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    mask
+}
+
+/// Whether `needle` occurs in `hay` bounded by non-identifier chars.
+fn word(hay: &str, needle: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = hay[start..].find(needle) {
+        let at = start + pos;
+        let before_ok = at == 0
+            || !hay[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = at + needle.len();
+        let after_ok = after >= hay.len()
+            || !hay[after..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + needle.len();
+    }
+    false
+}
+
+/// Whether line `idx` (or the line above it) carries a
+/// `lint: allow(reason)` escape comment.
+fn has_allow(lines: &[StrippedLine], idx: usize) -> bool {
+    let here = &lines[idx].comment;
+    if here.contains("lint: allow(") {
+        return true;
+    }
+    idx > 0 && lines[idx - 1].comment.contains("lint: allow(")
+}
+
+/// Whether a `SAFETY:` comment is adjacent to line `idx` (same line or
+/// up to three lines above — comments may span the proof).
+fn has_safety(lines: &[StrippedLine], idx: usize) -> bool {
+    let lo = idx.saturating_sub(3);
+    lines[lo..=idx]
+        .iter()
+        .any(|l| l.comment.contains("SAFETY:"))
+}
+
+/// Lints one file's source. `file` is the workspace-relative path used
+/// for rule scoping and reporting.
+pub fn lint_source(file: &str, source: &str, cfg: &Config) -> Vec<Finding> {
+    let lines = strip(source);
+    let tests = test_region_mask(&lines);
+    let mut findings = Vec::new();
+    let mut push = |line: usize, rule: Rule, message: String| {
+        findings.push(Finding {
+            file: file.to_string(),
+            line: line + 1,
+            rule,
+            message,
+        });
+    };
+    let panic_scoped = has_prefix(file, &cfg.panic_free_prefixes);
+    let det_scoped = has_prefix(file, &cfg.deterministic_prefixes)
+        && !listed(file, &cfg.deterministic_exceptions);
+    for (i, l) in lines.iter().enumerate() {
+        let code = &l.code;
+        // Rule 1: unsafe hygiene (workspace-wide, tests included —
+        // unchecked reads in a test are as unsound as anywhere).
+        if word(code, "unsafe") {
+            if !listed(file, &cfg.unsafe_allowed_files) {
+                push(
+                    i,
+                    Rule::UnsafeOutsideAllowlist,
+                    "`unsafe` outside the allowlisted modules (storage::page); \
+                     extend Config::workspace() only with a reviewed bounds proof"
+                        .into(),
+                );
+            }
+            if !has_safety(&lines, i) {
+                push(
+                    i,
+                    Rule::UnsafeNeedsSafety,
+                    "`unsafe` without an adjacent `// SAFETY:` comment stating the proof".into(),
+                );
+            }
+        }
+        if tests[i] {
+            continue; // remaining rules apply to non-test code only
+        }
+        // Rule 2: panic-free hot crates.
+        if panic_scoped && !has_allow(&lines, i) {
+            for tok in [
+                ".unwrap()",
+                ".expect(",
+                "panic!",
+                "unreachable!",
+                "todo!",
+                "unimplemented!",
+            ] {
+                if code.contains(tok) {
+                    push(
+                        i,
+                        Rule::PanicSite,
+                        format!(
+                            "`{tok}` in non-test hot-path code: propagate a typed ExecError, \
+                             or mark the site infallible with `// lint: allow(reason)`"
+                        ),
+                    );
+                }
+            }
+        }
+        // Rule 3: deterministic time.
+        if det_scoped && (word(code, "Instant") || word(code, "SystemTime")) {
+            push(
+                i,
+                Rule::NondeterministicClock,
+                "wall-clock read in a simulator-deterministic module; use virtual time \
+                 (VTime) or move the code to a real-thread module"
+                    .into(),
+            );
+        }
+        // Rule 4: Relaxed-ordering allowlist.
+        if code.contains("Ordering::Relaxed") && !listed(file, &cfg.relaxed_allowed_files) {
+            push(
+                i,
+                Rule::RelaxedOrdering,
+                "`Ordering::Relaxed` outside the audited allowlist; strengthen the ordering \
+                 or argue the site into Config::workspace() with a model-check test"
+                    .into(),
+            );
+        }
+    }
+    findings
+}
+
+/// Recursively collects `.rs` files under `dir`.
+fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints every crate source tree under `root` (`crates/*/src` plus the
+/// facade `src/`). Returns findings plus the number of files scanned.
+pub fn lint_workspace(root: &Path, cfg: &Config) -> std::io::Result<(Vec<Finding>, usize)> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut members: Vec<_> = std::fs::read_dir(&crates_dir)?
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .collect();
+        members.sort();
+        for member in members {
+            let src = member.join("src");
+            if src.is_dir() {
+                rs_files(&src, &mut files)?;
+            }
+        }
+    }
+    let facade = root.join("src");
+    if facade.is_dir() {
+        rs_files(&facade, &mut files)?;
+    }
+    let mut findings = Vec::new();
+    let scanned = files.len();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source = std::fs::read_to_string(&path)?;
+        findings.extend(lint_source(&rel, &source, cfg));
+    }
+    Ok((findings, scanned))
+}
+
+/// Lints an explicit list of files or directories (CI's seeded-
+/// violation check points this at a temp dir). Paths are reported as
+/// given.
+pub fn lint_paths(paths: &[PathBuf], cfg: &Config) -> std::io::Result<(Vec<Finding>, usize)> {
+    let mut files = Vec::new();
+    for p in paths {
+        if p.is_dir() {
+            rs_files(p, &mut files)?;
+        } else {
+            files.push(p.clone());
+        }
+    }
+    let mut findings = Vec::new();
+    let scanned = files.len();
+    for path in files {
+        let rel = path.to_string_lossy().replace('\\', "/");
+        let source = std::fs::read_to_string(&path)?;
+        findings.extend(lint_source(&rel, &source, cfg));
+    }
+    Ok((findings, scanned))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A config that scopes every rule onto the probed file name.
+    fn cfg_for(file: &str) -> Config {
+        Config {
+            unsafe_allowed_files: vec![],
+            panic_free_prefixes: vec![file.to_string()],
+            deterministic_prefixes: vec![file.to_string()],
+            deterministic_exceptions: vec![],
+            relaxed_allowed_files: vec![],
+        }
+    }
+
+    fn rules(src: &str) -> Vec<Rule> {
+        lint_source("probe.rs", src, &cfg_for("probe.rs"))
+            .into_iter()
+            .map(|f| f.rule)
+            .collect()
+    }
+
+    #[test]
+    fn seeded_unsafe_without_safety_is_caught() {
+        let got = rules("fn f() { unsafe { core::hint::unreachable_unchecked() } }");
+        assert!(got.contains(&Rule::UnsafeOutsideAllowlist), "{got:?}");
+        assert!(got.contains(&Rule::UnsafeNeedsSafety), "{got:?}");
+    }
+
+    #[test]
+    fn safety_comment_within_three_lines_satisfies_rule_one_half() {
+        let src = "// SAFETY: i is proved in range above.\n\
+                   // (second proof line)\n\
+                   fn f(p: *const u8) { let _ = unsafe { *p }; }";
+        let got = rules(src);
+        assert!(!got.contains(&Rule::UnsafeNeedsSafety), "{got:?}");
+        // Still outside the allowlist.
+        assert!(got.contains(&Rule::UnsafeOutsideAllowlist), "{got:?}");
+    }
+
+    #[test]
+    fn allowlisted_file_with_safety_is_clean() {
+        let mut cfg = cfg_for("page.rs");
+        cfg.unsafe_allowed_files = vec!["page.rs".into()];
+        let src = "// SAFETY: bounds proved per page.\nfn f(p: *const u8) { unsafe { p.read() }; }";
+        let got = lint_source("page.rs", src, &cfg);
+        assert!(got.is_empty(), "{got:?}");
+    }
+
+    #[test]
+    fn seeded_panic_sites_are_caught() {
+        for src in [
+            "fn f(x: Option<u8>) -> u8 { x.unwrap() }",
+            "fn f(x: Option<u8>) -> u8 { x.expect(\"set\") }",
+            "fn f() { panic!(\"boom\") }",
+            "fn f() { unreachable!() }",
+            "fn f() { todo!() }",
+            "fn f() { unimplemented!() }",
+        ] {
+            let got = rules(src);
+            assert_eq!(got, vec![Rule::PanicSite], "{src}");
+        }
+    }
+
+    #[test]
+    fn lint_allow_escape_suppresses_panic_rule() {
+        let same = "fn f(x: Option<u8>) -> u8 { x.unwrap() } // lint: allow(len checked above)";
+        assert!(rules(same).is_empty());
+        let above = "// lint: allow(constructor guarantees Some)\n\
+                     fn f(x: Option<u8>) -> u8 { x.unwrap() }";
+        assert!(rules(above).is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_variants_and_asserts_are_legal() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n\
+                   assert!(true);\n\
+                   debug_assert_eq!(1, 1);\n\
+                   x.unwrap_or(0).max(x.unwrap_or_else(|| 1)).max(x.unwrap_or_default())\n\
+                   }";
+        assert!(rules(src).is_empty(), "{:?}", rules(src));
+    }
+
+    #[test]
+    fn test_modules_are_exempt_from_panic_rule() {
+        let src = "fn prod() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                   #[test]\n\
+                   fn t() { Some(1).unwrap(); panic!(\"fine in tests\"); }\n\
+                   }";
+        assert!(rules(src).is_empty(), "{:?}", rules(src));
+    }
+
+    #[test]
+    fn panic_after_test_module_is_still_caught() {
+        let src = "#[cfg(test)]\n\
+                   mod tests {\n\
+                   fn t() { Some(1).unwrap(); }\n\
+                   }\n\
+                   fn prod(x: Option<u8>) -> u8 { x.unwrap() }";
+        assert_eq!(rules(src), vec![Rule::PanicSite]);
+    }
+
+    #[test]
+    fn tokens_inside_strings_and_comments_do_not_trip() {
+        let src = "fn f() -> &'static str {\n\
+                   // This comment mentions panic! and .unwrap() and unsafe.\n\
+                   /* block comment: Ordering::Relaxed, Instant */\n\
+                   \"panic! .unwrap() unsafe Ordering::Relaxed Instant SystemTime\"\n\
+                   }";
+        assert!(rules(src).is_empty(), "{:?}", rules(src));
+    }
+
+    #[test]
+    fn raw_strings_are_stripped() {
+        let src = "fn f() -> &'static str { r#\"panic! unsafe \"quoted\" Instant\"# }";
+        assert!(rules(src).is_empty(), "{:?}", rules(src));
+    }
+
+    #[test]
+    fn seeded_clock_reads_are_caught() {
+        let got = rules("use std::time::Instant;\nfn f() { let _t = Instant::now(); }");
+        assert_eq!(got, vec![Rule::NondeterministicClock; 2]);
+        let got = rules("fn f() { let _ = std::time::SystemTime::now(); }");
+        assert_eq!(got, vec![Rule::NondeterministicClock]);
+    }
+
+    #[test]
+    fn clock_rule_skips_exempt_and_unscoped_files() {
+        let mut cfg = cfg_for("sim.rs");
+        cfg.deterministic_exceptions = vec!["sim.rs".into()];
+        let src = "use std::time::Instant;";
+        assert!(lint_source("sim.rs", src, &cfg).is_empty());
+        assert!(lint_source("other.rs", src, &cfg).is_empty());
+    }
+
+    #[test]
+    fn identifier_containing_instant_does_not_trip() {
+        assert!(rules("fn f(instantaneous: u8, x: InstantLike) {}").is_empty());
+    }
+
+    #[test]
+    fn seeded_relaxed_ordering_is_caught() {
+        let got = rules("fn f(a: &AtomicUsize) { a.load(Ordering::Relaxed); }");
+        assert_eq!(got, vec![Rule::RelaxedOrdering]);
+    }
+
+    #[test]
+    fn relaxed_in_allowlisted_file_is_clean() {
+        let mut cfg = cfg_for("memory.rs");
+        cfg.relaxed_allowed_files = vec!["memory.rs".into()];
+        let src = "fn f(a: &AtomicUsize) { a.load(Ordering::Relaxed); }";
+        assert!(lint_source("memory.rs", src, &cfg).is_empty());
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes_lex_cleanly() {
+        // A brace in a char literal must not corrupt the test-region
+        // brace balance; lifetimes must not open a bogus literal.
+        let src = "fn f<'a>(x: &'a str) -> char { '{' }\n\
+                   #[cfg(test)]\n\
+                   mod tests { fn t() { Some('}').unwrap(); } }\n\
+                   fn prod(o: Option<u8>) -> u8 { o.unwrap() }";
+        assert_eq!(rules(src), vec![Rule::PanicSite]);
+    }
+
+    #[test]
+    fn findings_carry_one_based_lines_and_display() {
+        let f = &lint_source("probe.rs", "\nfn f() { panic!() }", &cfg_for("probe.rs"))[0];
+        assert_eq!(f.line, 2);
+        let shown = f.to_string();
+        assert!(shown.starts_with("probe.rs:2: [panic-site]"), "{shown}");
+    }
+
+    #[test]
+    fn workspace_config_names_existing_files() {
+        // Guard against the allowlists rotting as files move.
+        let cfg = Config::workspace();
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        for f in cfg
+            .unsafe_allowed_files
+            .iter()
+            .chain(&cfg.deterministic_exceptions)
+            .chain(&cfg.relaxed_allowed_files)
+        {
+            assert!(root.join(f).is_file(), "allowlisted file {f} is gone");
+        }
+    }
+
+    #[test]
+    fn workspace_lint_is_clean() {
+        // The gate CI enforces: the whole workspace under the real
+        // policy, from inside the test suite too.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let (findings, scanned) =
+            lint_workspace(&root, &Config::workspace()).expect("workspace readable");
+        assert!(scanned > 50, "expected the full tree, scanned {scanned}");
+        let rendered: Vec<String> = findings.iter().map(|f| f.to_string()).collect();
+        assert!(
+            findings.is_empty(),
+            "workspace lint violations:\n{}",
+            rendered.join("\n")
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! `cordoba-lint`: the workspace's source-level correctness gate.
+//!
+//! ```text
+//! cargo run --release -p cordoba-lint            # lint the workspace
+//! cargo run --release -p cordoba-lint -- --paths <file-or-dir>...
+//! ```
+//!
+//! Exit code 0 when clean, 1 on violations (one `file:line: [rule]
+//! message` offender line each), 2 on usage/IO errors. `--paths` lints
+//! an explicit file set under the same policy — CI uses it to prove the
+//! gate actually fails on a seeded violation.
+
+use cordoba_lint::{lint_paths, lint_workspace, Config};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    // Prefer the invocation directory (CI runs from the repo root);
+    // fall back to the compile-time manifest location for `cargo run`
+    // from anywhere inside the tree.
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    if cwd.join("crates").is_dir() && cwd.join("Cargo.toml").is_file() {
+        return cwd;
+    }
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = Config::workspace();
+    let result = match args.split_first() {
+        None => lint_workspace(&workspace_root(), &cfg),
+        Some((flag, rest)) if flag == "--paths" && !rest.is_empty() => {
+            let paths: Vec<PathBuf> = rest.iter().map(PathBuf::from).collect();
+            lint_paths(&paths, &cfg)
+        }
+        _ => {
+            eprintln!("usage: cordoba-lint [--paths <file-or-dir>...]");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok((findings, scanned)) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            if findings.is_empty() {
+                println!("cordoba-lint: {scanned} files scanned, 0 violations");
+                ExitCode::SUCCESS
+            } else {
+                println!(
+                    "cordoba-lint: {scanned} files scanned, {} violation(s)",
+                    findings.len()
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(err) => {
+            eprintln!("cordoba-lint: {err}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -323,6 +323,49 @@ mod tests {
     }
 
     #[test]
+    fn receiver_double_close_is_idempotent() {
+        let (tx, rx) = bounded::<u32>(1);
+        let ((), wakes) = with_ctx(1, |ctx| {
+            rx.close(ctx);
+            rx.close(ctx); // second abort: no panic, no underflow
+        });
+        assert!(wakes.is_empty(), "no waiters were registered");
+        assert!(rx.is_finished());
+        // The producer side still shuts down cleanly afterwards.
+        let ((), _) = with_ctx(0, |ctx| tx.close(ctx));
+        let (got, _) = with_ctx(1, |ctx| rx.try_recv(ctx));
+        assert_eq!(got, Recv::<u32>::Closed);
+    }
+
+    #[test]
+    fn receiver_close_races_waiting_receiver_clone() {
+        // A receiver clone parked on an empty channel must be woken by
+        // a sibling clone's abort, and then observe Closed — the abort
+        // path wakes *both* waiter lists.
+        let (_tx, rx) = bounded::<u32>(1);
+        let rx2 = rx.clone();
+        let (got, _) = with_ctx(7, |ctx| rx2.try_recv(ctx));
+        assert_eq!(got, Recv::<u32>::Empty);
+        let ((), wakes) = with_ctx(1, |ctx| rx.close(ctx));
+        assert_eq!(wakes, vec![TaskId(7)]);
+        let (got, _) = with_ctx(7, |ctx| rx2.try_recv(ctx));
+        assert_eq!(got, Recv::<u32>::Closed);
+    }
+
+    #[test]
+    fn sender_close_after_receiver_abort_does_not_reopen() {
+        // Consumer aborts first; the surviving producer's own close must
+        // leave the channel closed (no counter underflow resurrecting
+        // it) and later sends still succeed-and-drop.
+        let (tx, rx) = bounded(1);
+        let ((), _) = with_ctx(1, |ctx| rx.close(ctx));
+        let ((), _) = with_ctx(0, |ctx| tx.close(ctx));
+        let (res, _) = with_ctx(0, |ctx| tx.try_send(3u32, ctx));
+        assert!(res.is_ok(), "send into the corpse succeeds-and-drops");
+        assert!(rx.is_finished());
+    }
+
+    #[test]
     fn len_and_free_slots_track_queue() {
         let (tx, rx) = bounded(3);
         assert_eq!(tx.free_slots(), 3);

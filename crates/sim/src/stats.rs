@@ -270,6 +270,42 @@ mod tests {
     }
 
     #[test]
+    fn quantile_exact_rank_boundaries() {
+        // With N = 4, q·N lands exactly on integer ranks at the
+        // quartiles. Nearest-rank uses ⌈q·N⌉, so a q *at* the boundary
+        // selects that rank, and any q just above it moves to the next.
+        let mut h = Histogram::from_samples(vec![10, 20, 30, 40]);
+        assert_eq!(h.quantile(0.25), Some(10), "⌈1.0⌉ = rank 1");
+        assert_eq!(h.quantile(0.26), Some(20), "⌈1.04⌉ = rank 2");
+        assert_eq!(h.quantile(0.50), Some(20), "⌈2.0⌉ = rank 2");
+        assert_eq!(h.quantile(0.51), Some(30), "⌈2.04⌉ = rank 3");
+        assert_eq!(h.quantile(0.75), Some(30), "⌈3.0⌉ = rank 3");
+        assert_eq!(h.quantile(0.76), Some(40), "⌈3.04⌉ = rank 4");
+        // q = 0 would give rank 0; the .max(1) clamp yields the minimum.
+        assert_eq!(h.quantile(0.0), Some(10));
+        assert_eq!(h.quantile(1.0), Some(40));
+    }
+
+    #[test]
+    fn quantile_rejects_out_of_range_and_nan_q() {
+        let mut h = Histogram::from_samples(vec![1, 2, 3]);
+        assert_eq!(h.quantile(-0.1), None);
+        assert_eq!(h.quantile(1.1), None);
+        assert_eq!(h.quantile(f64::NAN), None, "NaN is outside [0, 1]");
+    }
+
+    #[test]
+    fn quantile_resorts_after_late_records() {
+        let mut h = Histogram::from_samples(vec![50, 60]);
+        assert_eq!(h.quantile(0.0), Some(50));
+        // A record after a quantile call invalidates the sort; the next
+        // quantile must see the new minimum, not a stale order.
+        h.record(5);
+        assert_eq!(h.quantile(0.0), Some(5));
+        assert_eq!(h.quantile(1.0), Some(60));
+    }
+
+    #[test]
     fn merge_and_record_are_order_insensitive() {
         let mut a = Histogram::from_samples(vec![5, 1, 9]);
         let b = Histogram::from_samples(vec![3, 7]);

@@ -121,6 +121,44 @@ impl TaskCtx<'_> {
     }
 }
 
+/// Owned backing storage for a [`TaskCtx`] outside a simulator run.
+///
+/// Channel endpoints take a `&mut TaskCtx` so the simulator can route
+/// wake-ups, but harness code — unit tests, the model-check suite
+/// enumerating close-vs-send interleavings — drives them directly with
+/// no simulator in sight. A `DetachedCtx` owns the buffers a context
+/// borrows; [`DetachedCtx::ctx`] mints a context impersonating any
+/// task id, and the recorded wakes stay inspectable afterwards.
+#[derive(Default)]
+pub struct DetachedCtx {
+    wakes: Vec<TaskId>,
+    spawns: Vec<(String, Box<dyn Task>)>,
+    progress: f64,
+}
+
+impl DetachedCtx {
+    /// Fresh storage with no recorded wakes, spawns, or progress.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A context impersonating task `id` at virtual time zero.
+    pub fn ctx(&mut self, id: usize) -> TaskCtx<'_> {
+        TaskCtx {
+            task_id: TaskId(id),
+            now: 0,
+            wakes: &mut self.wakes,
+            spawns: &mut self.spawns,
+            progress: &mut self.progress,
+        }
+    }
+
+    /// Drains and returns the wake requests recorded so far.
+    pub fn drain_wakes(&mut self) -> Vec<TaskId> {
+        std::mem::take(&mut self.wakes)
+    }
+}
+
 /// Anything that can register new tasks: the [`crate::Simulator`] itself
 /// (before or between runs, returning the new id) or a [`TaskCtx`]
 /// (mid-run, applied when the current step completes; no id available).

@@ -1,0 +1,215 @@
+//! Model-checks the sim channel's close-vs-send races.
+//!
+//! Sim tasks are cooperative and single-threaded, so a "race" between a
+//! producer and a consumer is fully described by the order their steps
+//! interleave. `shuttle_lite::explore::interleavings` enumerates every
+//! merge order of the per-task op sequences — over 1 000 per scenario —
+//! and each one must uphold the channel contract:
+//!
+//! * no operation ever panics (no `RefCell` double-borrow, no underflow),
+//! * sends after a consumer abort succeed-and-drop, never block forever,
+//! * received values are a FIFO (per-sender in-order) subset of the sent
+//!   ones, and
+//! * the channel reports closed only when every sender clone has closed.
+
+use cordoba_sim::channel::{self, Recv};
+use cordoba_sim::DetachedCtx;
+use shuttle_lite::explore::{count, interleavings};
+
+/// The acceptance floor per scenario.
+const MIN_INTERLEAVINGS: usize = 1_000;
+
+/// Consumer aborts (Receiver::close) racing a producer mid-stream:
+/// 7 producer ops (6 send attempts + close) against 6 consumer ops
+/// (3 recvs, abort, 2 post-abort recvs) — C(13,6) = 1716 interleavings.
+#[test]
+fn consumer_abort_vs_producer_sends_never_panics() {
+    let lens = [7usize, 6];
+    assert!(count(&lens) >= MIN_INTERLEAVINGS);
+    let (explored, exhausted) = interleavings(&lens, usize::MAX, |seq| {
+        let mut dctx = DetachedCtx::new();
+        let (tx, rx) = channel::bounded::<u32>(2);
+        let mut next_send = 0u32; // next value to offer
+        let mut producer_op = 0usize; // 0..6 send attempts, 6 = close
+        let mut consumer_op = 0usize;
+        let mut received: Vec<u32> = Vec::new();
+        let mut receiver_closed = false;
+        let mut sender_closed = false;
+        for &t in seq {
+            match t {
+                0 => {
+                    if producer_op < 6 {
+                        // A backpressured send (Err) retries the same
+                        // value on the producer's next step, exactly as
+                        // a blocked sim task would after its wake.
+                        if let Err(v) = tx.try_send(next_send, &mut dctx.ctx(0)) {
+                            assert!(
+                                !receiver_closed,
+                                "seq {seq:?}: send of {v} blocked after consumer abort \
+                                 (must succeed-and-drop)"
+                            );
+                        } else {
+                            next_send += 1;
+                        }
+                    } else {
+                        tx.close(&mut dctx.ctx(0));
+                        sender_closed = true;
+                    }
+                    producer_op += 1;
+                }
+                _ => {
+                    if consumer_op == 3 {
+                        rx.close(&mut dctx.ctx(1));
+                        receiver_closed = true;
+                    } else {
+                        match rx.try_recv(&mut dctx.ctx(1)) {
+                            Recv::Value(v) => {
+                                assert!(
+                                    !receiver_closed,
+                                    "seq {seq:?}: value {v} leaked out of an aborted channel"
+                                );
+                                received.push(v);
+                            }
+                            Recv::Closed => {
+                                assert!(
+                                    receiver_closed || sender_closed,
+                                    "seq {seq:?}: Closed before either side closed"
+                                );
+                            }
+                            Recv::Empty => {}
+                        }
+                    }
+                    consumer_op += 1;
+                }
+            }
+        }
+        // FIFO: the consumer saw a strict prefix of the sent sequence.
+        let expected: Vec<u32> = (0..received.len() as u32).collect();
+        assert_eq!(
+            received, expected,
+            "seq {seq:?}: out-of-order or skipped delivery"
+        );
+        let _ = dctx.drain_wakes();
+    });
+    assert!(exhausted);
+    assert!(
+        explored >= MIN_INTERLEAVINGS,
+        "explored only {explored} interleavings"
+    );
+}
+
+/// Two sender clones racing their closes against a draining consumer:
+/// lens [3, 3, 5] — 11!/(3!·3!·5!) = 9240 interleavings. The channel
+/// must report `Closed` only after *both* clones have closed, and every
+/// sent value must be received in per-sender order.
+#[test]
+fn last_clone_close_vs_drain_never_loses_values() {
+    let lens = [3usize, 3, 5];
+    assert!(count(&lens) >= MIN_INTERLEAVINGS);
+    let (explored, exhausted) = interleavings(&lens, usize::MAX, |seq| {
+        let mut dctx = DetachedCtx::new();
+        let (tx_a, rx) = channel::bounded::<u32>(4);
+        let tx_b = tx_a.clone();
+        // Sender A sends 10, 11 then closes; sender B sends 20, 21 then
+        // closes; the consumer drains with 5 recv attempts.
+        let mut ops = [0usize; 3];
+        let mut closed_senders = 0usize;
+        let mut received: Vec<u32> = Vec::new();
+        for &t in seq {
+            match t {
+                0 | 1 => {
+                    let (tx, base) = if t == 0 { (&tx_a, 10) } else { (&tx_b, 20) };
+                    if ops[t] < 2 {
+                        // Capacity 4 fits all four values: sends never
+                        // backpressure in this scenario.
+                        assert!(
+                            tx.try_send(base + ops[t] as u32, &mut dctx.ctx(t)).is_ok(),
+                            "seq {seq:?}: unexpected backpressure"
+                        );
+                    } else {
+                        tx.close(&mut dctx.ctx(t));
+                        closed_senders += 1;
+                    }
+                    ops[t] += 1;
+                }
+                _ => {
+                    match rx.try_recv(&mut dctx.ctx(2)) {
+                        Recv::Value(v) => received.push(v),
+                        Recv::Closed => assert_eq!(
+                            closed_senders, 2,
+                            "seq {seq:?}: channel closed with a sender clone still live"
+                        ),
+                        Recv::Empty => {}
+                    }
+                    ops[2] += 1;
+                }
+            }
+        }
+        // Per-sender FIFO: each sender's values arrive in its order.
+        let a: Vec<u32> = received.iter().copied().filter(|v| *v < 20).collect();
+        let b: Vec<u32> = received.iter().copied().filter(|v| *v >= 20).collect();
+        assert!(
+            a == [10, 11][..a.len()],
+            "seq {seq:?}: sender A out of order: {a:?}"
+        );
+        assert!(
+            b == [20, 21][..b.len()],
+            "seq {seq:?}: sender B out of order: {b:?}"
+        );
+        let _ = dctx.drain_wakes();
+    });
+    assert!(exhausted);
+    assert!(
+        explored >= MIN_INTERLEAVINGS,
+        "explored only {explored} interleavings"
+    );
+}
+
+/// Both sides close concurrently — consumer abort racing the last
+/// producer close, then more traffic into the corpse: every double-
+/// close and send/recv-after-close path must be a clean no-op.
+#[test]
+fn double_close_from_both_sides_is_idempotent() {
+    let lens = [4usize, 4];
+    assert!(count(&lens) >= 50); // C(8,4) = 70: small but exhaustive
+    let (explored, exhausted) = interleavings(&lens, usize::MAX, |seq| {
+        let mut dctx = DetachedCtx::new();
+        let (tx, rx) = channel::bounded::<u32>(1);
+        let mut ops = [0usize; 2];
+        for &t in seq {
+            match t {
+                0 => {
+                    match ops[0] {
+                        0 => {
+                            let _ = tx.try_send(1, &mut dctx.ctx(0));
+                        }
+                        1 => tx.close(&mut dctx.ctx(0)),
+                        // Sends after our own close: the producer is
+                        // gone, but a buggy caller must still not panic.
+                        _ => {
+                            let _ = tx.try_send(9, &mut dctx.ctx(0));
+                        }
+                    }
+                    ops[0] += 1;
+                }
+                _ => {
+                    match ops[1] {
+                        0 => {
+                            let _ = rx.try_recv(&mut dctx.ctx(1));
+                        }
+                        1 => rx.close(&mut dctx.ctx(1)),
+                        2 => rx.close(&mut dctx.ctx(1)), // double abort
+                        _ => assert!(
+                            matches!(rx.try_recv(&mut dctx.ctx(1)), Recv::Closed),
+                            "seq {seq:?}: recv after abort must observe Closed"
+                        ),
+                    }
+                    ops[1] += 1;
+                }
+            }
+        }
+        let _ = dctx.drain_wakes();
+    });
+    assert!(exhausted);
+    assert_eq!(explored, 70);
+}

@@ -32,6 +32,7 @@ impl Catalog {
     /// mis-wired plans are programming errors.
     pub fn expect(&self, name: &str) -> &Arc<Table> {
         self.get(name).unwrap_or_else(|| {
+            // lint: allow(documented lookup-or-panic helper; get() is the fallible twin)
             panic!(
                 "no table '{name}' in catalog (have: {:?})",
                 self.tables.keys().collect::<Vec<_>>()

@@ -110,9 +110,19 @@ impl Page {
         let (off, w) = self.gather_bounds(col, DataType::Int);
         out.clear();
         out.reserve(self.rows);
+        // Per-page bounds proof for the unchecked reads: `gather_bounds`
+        // asserted off + 8 <= w (the Int field ends inside its row) and
+        // rows * w <= data.len() (every row lies inside the payload),
+        // so for each r < rows the 8-byte read spans r*w + off ..
+        // r*w + off + 8 ≤ (r+1)*w ≤ rows*w ≤ data.len().
         for r in 0..self.rows {
-            // SAFETY: `gather_bounds` proved off + 8 <= w and
-            // rows * w <= data.len(), so r*w + off + 8 <= data.len().
+            debug_assert!(
+                r * w + off + 8 <= self.data.len(),
+                "gather_i64 row out of bounds"
+            );
+            // SAFETY: in bounds by the proof above (re-checked per row
+            // by the debug_assert! in debug/Miri builds); read_unaligned
+            // has no alignment requirement and i64 has no invalid bits.
             let v = unsafe {
                 std::ptr::read_unaligned(self.data.as_ptr().add(r * w + off).cast::<i64>())
             };
@@ -130,8 +140,17 @@ impl Page {
         let (off, w) = self.gather_bounds(col, DataType::Float);
         out.clear();
         out.reserve(self.rows);
+        // Per-page bounds proof as in `gather_i64`: off + 8 <= w and
+        // rows * w <= data.len() (both asserted by `gather_bounds`), so
+        // r*w + off + 8 ≤ (r+1)*w ≤ rows*w ≤ data.len() for r < rows.
         for r in 0..self.rows {
-            // SAFETY: as in `gather_i64`.
+            debug_assert!(
+                r * w + off + 8 <= self.data.len(),
+                "gather_f64 row out of bounds"
+            );
+            // SAFETY: in bounds by the proof above (re-checked per row
+            // by the debug_assert!); read_unaligned has no alignment
+            // requirement and u64 has no invalid bit patterns.
             let v = unsafe {
                 std::ptr::read_unaligned(self.data.as_ptr().add(r * w + off).cast::<u64>())
             };
@@ -149,9 +168,17 @@ impl Page {
         let (off, w) = self.gather_bounds(col, DataType::Date);
         out.clear();
         out.reserve(self.rows);
+        // Per-page bounds proof as in `gather_i64`, with Date's 4-byte
+        // width: off + 4 <= w and rows * w <= data.len() (asserted by
+        // `gather_bounds`), so r*w + off + 4 ≤ (r+1)*w ≤ data.len().
         for r in 0..self.rows {
-            // SAFETY: as in `gather_i64` (Date is 4 bytes, and
-            // off + 4 <= off + width <= w).
+            debug_assert!(
+                r * w + off + 4 <= self.data.len(),
+                "gather_date row out of bounds"
+            );
+            // SAFETY: in bounds by the proof above (re-checked per row
+            // by the debug_assert!); read_unaligned has no alignment
+            // requirement and i32 has no invalid bit patterns.
             let v = unsafe {
                 std::ptr::read_unaligned(self.data.as_ptr().add(r * w + off).cast::<i32>())
             };
@@ -231,6 +258,7 @@ impl<'a> TupleRef<'a> {
     #[inline]
     pub fn get_int(&self, idx: usize) -> i64 {
         debug_assert_eq!(self.page.schema.fields()[idx].dtype, DataType::Int);
+        // lint: allow(field_slice returns exactly the schema width for this field)
         i64::from_le_bytes(self.field_slice(idx).try_into().expect("8 bytes"))
     }
 
@@ -238,6 +266,7 @@ impl<'a> TupleRef<'a> {
     #[inline]
     pub fn get_float(&self, idx: usize) -> f64 {
         debug_assert_eq!(self.page.schema.fields()[idx].dtype, DataType::Float);
+        // lint: allow(field_slice returns exactly the schema width for this field)
         f64::from_le_bytes(self.field_slice(idx).try_into().expect("8 bytes"))
     }
 
@@ -246,6 +275,7 @@ impl<'a> TupleRef<'a> {
     pub fn get_date(&self, idx: usize) -> Date {
         debug_assert_eq!(self.page.schema.fields()[idx].dtype, DataType::Date);
         Date(i32::from_le_bytes(
+            // lint: allow(field_slice returns exactly the schema width for this field)
             self.field_slice(idx).try_into().expect("4 bytes"),
         ))
     }
@@ -254,6 +284,7 @@ impl<'a> TupleRef<'a> {
     #[inline]
     pub fn get_str(&self, idx: usize) -> &'a str {
         let raw = self.field_slice(idx);
+        // lint: allow(append_row asserts ASCII at write time, so pages never hold non-UTF-8)
         let s = std::str::from_utf8(raw).expect("pages store only ASCII strings");
         s.trim_end_matches(' ')
     }
@@ -383,6 +414,7 @@ impl PageBuilder {
                     self.data.extend_from_slice(s.as_bytes());
                     self.data.extend(std::iter::repeat_n(b' ', n - s.len()));
                 }
+                // lint: allow(documented append_row contract: values must match the schema)
                 (dt, v) => panic!(
                     "type mismatch at field {i} ('{}'): schema {dt:?}, value {v:?}",
                     self.schema.fields()[i].name

@@ -115,6 +115,7 @@ impl Schema {
     /// programming errors in plan construction, caught in tests.
     pub fn index_of(&self, name: &str) -> usize {
         self.try_index_of(name)
+            // lint: allow(documented '# Panics' wrapper; try_index_of is the fallible twin)
             .unwrap_or_else(|| panic!("no field '{name}' in schema {:?}", self.field_names()))
     }
 

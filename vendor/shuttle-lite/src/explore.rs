@@ -1,0 +1,137 @@
+//! Exhaustive interleaving enumeration for single-threaded step
+//! machines.
+//!
+//! The simulator's tasks are cooperative: a "race" between two sim
+//! tasks is fully described by the order in which their steps
+//! interleave, so model checking a sim-side structure (the bounded
+//! channel's close-vs-send path) needs no threads at all — just every
+//! merge order of the per-task operation sequences. That is what
+//! [`interleavings`] enumerates: all distinct sequences over task
+//! indices where task `t` appears exactly `lens[t]` times, in DFS
+//! (lexicographic) order, bounded by an exploration `limit`.
+//!
+//! The count grows as the multinomial `(Σlens)! / Π(lens!)` — callers
+//! size their sequences so the suite explores the coverage they need
+//! (the channel suite runs well past 10³ interleavings per scenario).
+
+/// Calls `visit` with every interleaving of `lens.len()` tasks, where
+/// interleaving `s` means "next op of task `s[i]`" at step `i`. Stops
+/// after `limit` interleavings. Returns `(explored, exhausted)`:
+/// `exhausted` is `true` when every interleaving was visited.
+pub fn interleavings(
+    lens: &[usize],
+    limit: usize,
+    mut visit: impl FnMut(&[usize]),
+) -> (usize, bool) {
+    let total: usize = lens.iter().sum();
+    let mut remaining: Vec<usize> = lens.to_vec();
+    let mut seq: Vec<usize> = Vec::with_capacity(total);
+    let mut explored = 0usize;
+    let exhausted = dfs(
+        &mut remaining,
+        &mut seq,
+        total,
+        limit,
+        &mut explored,
+        &mut visit,
+    );
+    (explored, exhausted)
+}
+
+fn dfs(
+    remaining: &mut [usize],
+    seq: &mut Vec<usize>,
+    total: usize,
+    limit: usize,
+    explored: &mut usize,
+    visit: &mut impl FnMut(&[usize]),
+) -> bool {
+    if seq.len() == total {
+        visit(seq);
+        *explored += 1;
+        return true;
+    }
+    for t in 0..remaining.len() {
+        if remaining[t] == 0 {
+            continue;
+        }
+        if *explored >= limit {
+            return false;
+        }
+        remaining[t] -= 1;
+        seq.push(t);
+        let done = dfs(remaining, seq, total, limit, explored, visit);
+        seq.pop();
+        remaining[t] += 1;
+        if !done {
+            return false;
+        }
+    }
+    true
+}
+
+/// The number of interleavings [`interleavings`] would enumerate for
+/// `lens` (the multinomial coefficient), saturating at `usize::MAX`.
+pub fn count(lens: &[usize]) -> usize {
+    let mut n = 0usize;
+    let mut acc = 1usize;
+    for &len in lens {
+        for k in 1..=len {
+            n += 1;
+            // acc = acc * n / k, exact at every step because the
+            // running product is always a binomial coefficient.
+            acc = match acc.checked_mul(n) {
+                Some(v) => v / k,
+                None => return usize::MAX,
+            };
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn enumerates_all_distinct_interleavings() {
+        let mut seen = HashSet::new();
+        let (explored, exhausted) = interleavings(&[2, 2], usize::MAX, |s| {
+            assert!(seen.insert(s.to_vec()), "duplicate {s:?}");
+        });
+        assert!(exhausted);
+        assert_eq!(explored, 6); // C(4,2)
+        assert_eq!(seen.len(), 6);
+        for s in &seen {
+            assert_eq!(s.iter().filter(|&&t| t == 0).count(), 2);
+            assert_eq!(s.iter().filter(|&&t| t == 1).count(), 2);
+        }
+    }
+
+    #[test]
+    fn limit_stops_early() {
+        let (explored, exhausted) = interleavings(&[3, 3], 5, |_| {});
+        assert_eq!(explored, 5);
+        assert!(!exhausted);
+    }
+
+    #[test]
+    fn count_matches_enumeration() {
+        for lens in [&[1usize, 1][..], &[2, 3], &[3, 3], &[2, 2, 2], &[0, 4]] {
+            let (explored, exhausted) = interleavings(lens, usize::MAX, |_| {});
+            assert!(exhausted);
+            assert_eq!(count(lens), explored, "{lens:?}");
+        }
+        assert_eq!(count(&[6, 7]), 1716);
+        assert_eq!(count(&[]), 1);
+    }
+
+    #[test]
+    fn single_task_has_one_order() {
+        let mut orders = Vec::new();
+        let (explored, _) = interleavings(&[4], usize::MAX, |s| orders.push(s.to_vec()));
+        assert_eq!(explored, 1);
+        assert_eq!(orders, vec![vec![0, 0, 0, 0]]);
+    }
+}

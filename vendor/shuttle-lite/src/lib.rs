@@ -1,0 +1,86 @@
+//! Offline stand-in for a loom/shuttle-style concurrency model checker.
+//!
+//! The workspace's hottest concurrency invariants (the memory broker's
+//! compare-exchange grant loop, the morsel dispenser's hand-out
+//! counter) live in hand-rolled atomics. This crate gives them a
+//! drop-in home that costs nothing in production and becomes a model
+//! checker under test:
+//!
+//! * **Normal builds** (`model` feature off, the default): [`sync`] and
+//!   [`thread`] re-export `std::sync` / `std::thread` items verbatim.
+//!   Zero wrappers, zero overhead — the production binary is untouched.
+//! * **Model builds** (`--features model`): the same paths resolve to
+//!   instrumented shims. Code under test runs inside [`model`] (bounded
+//!   exhaustive DFS over schedules) or [`model_random`] (seeded random
+//!   schedules with printable replay): real OS threads, exactly one
+//!   runnable at a time, and every shim operation a scheduling point,
+//!   so the checker drives the code through the corner interleavings a
+//!   stress test only hits by luck.
+//!
+//! [`explore`] is always available: an exhaustive interleaving
+//! enumerator for *single-threaded* step machines (the simulator's
+//! cooperative tasks), used to model-check the sim channel's
+//! close-vs-send races without threads.
+//!
+//! Like the other `vendor/` stand-ins this implements only the API
+//! subset the workspace needs — atomics (`AtomicUsize`/`AtomicBool`),
+//! `Mutex`, `thread::{spawn, JoinHandle}` — and panics loudly (with a
+//! replayable schedule) on invariant violations, deadlock, or
+//! exceeded exploration depth.
+
+pub mod explore;
+
+#[cfg(feature = "model")]
+mod scheduler;
+#[cfg(feature = "model")]
+mod shim;
+
+#[cfg(feature = "model")]
+pub use scheduler::{model, model_random, model_with, replay, ModelConfig, ModelReport};
+
+/// `std::sync` view: verbatim re-exports normally, instrumented shims
+/// under the `model` feature.
+#[cfg(not(feature = "model"))]
+pub mod sync {
+    pub use std::sync::{Arc, Mutex, MutexGuard};
+
+    /// Atomic types and orderings (std re-exports).
+    pub mod atomic {
+        pub use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    }
+}
+
+#[cfg(feature = "model")]
+pub mod sync {
+    pub use crate::shim::{Mutex, MutexGuard};
+    pub use std::sync::Arc;
+
+    /// Atomic types and orderings (model-checked shims).
+    pub mod atomic {
+        pub use crate::shim::{AtomicBool, AtomicUsize};
+        pub use std::sync::atomic::Ordering;
+    }
+}
+
+/// `std::thread` view: verbatim re-exports normally, scheduler-
+/// registered threads under the `model` feature.
+#[cfg(not(feature = "model"))]
+pub mod thread {
+    pub use std::thread::{spawn, yield_now, JoinHandle};
+}
+
+#[cfg(feature = "model")]
+pub mod thread {
+    pub use crate::shim::{spawn, yield_now, JoinHandle};
+}
+
+/// splitmix64: the workspace's standard seeded generator (also used by
+/// the hash-join repartitioner), here driving random schedule search.
+#[cfg_attr(not(feature = "model"), allow(dead_code))]
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}

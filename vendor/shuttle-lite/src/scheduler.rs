@@ -1,0 +1,489 @@
+//! The model-build scheduler: bounded exhaustive DFS over thread
+//! interleavings, loom-style.
+//!
+//! An *execution* runs the test closure as model thread 0 on a real OS
+//! thread; [`crate::thread::spawn`] registers more. Exactly one model
+//! thread is scheduled at a time — every shim operation (atomic access,
+//! mutex lock/unlock, spawn, join) calls [`Execution::yield_point`],
+//! which parks the caller and lets the scheduler pick the next runnable
+//! thread. Each pick with more than one runnable candidate is a
+//! *branch point*; the recorded `(chosen, alternatives)` list is the
+//! execution's schedule.
+//!
+//! [`model`] explores schedules depth-first: run with an empty prefix
+//! (always choose candidate 0), then backtrack the deepest branch point
+//! with an untried alternative and re-run with that prefix, until the
+//! tree is exhausted or the iteration budget runs out. Any panic,
+//! deadlock, or depth overrun aborts the whole execution (peer threads
+//! are unwound via a sentinel payload) and fails the model with the
+//! replayable schedule in the message; [`replay`] re-runs exactly that
+//! schedule under a debugger or with extra logging. [`model_random`]
+//! drives the same machinery with seeded random choices for cheap
+//! coverage beyond the exhaustive budget.
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Exploration budgets for [`model_with`].
+#[derive(Debug, Clone, Copy)]
+pub struct ModelConfig {
+    /// Maximum schedules (executions) to explore before giving up on
+    /// exhausting the tree.
+    pub max_iterations: usize,
+    /// Per-execution cap on scheduling points (livelock guard).
+    pub max_steps: usize,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        ModelConfig {
+            max_iterations: 10_000,
+            max_steps: 1_000_000,
+        }
+    }
+}
+
+/// What an exploration covered.
+#[derive(Debug, Clone, Copy)]
+pub struct ModelReport {
+    /// Schedules executed (each a complete run of the closure).
+    pub iterations: usize,
+    /// `true` when the full decision tree was explored — every
+    /// interleaving distinguishable at shim granularity was run.
+    pub exhausted: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Phase {
+    Runnable,
+    Blocked,
+    Finished,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Decision {
+    chosen: usize,
+    alternatives: usize,
+}
+
+/// Unwind payload used to collapse peer threads once an execution has
+/// already failed; recognized (and not reported) by `thread_main`.
+struct AbortSentinel;
+
+const NO_THREAD: usize = usize::MAX;
+
+struct State {
+    phases: Vec<Phase>,
+    current: usize,
+    /// DFS replay prefix: choice index per branch point.
+    prefix: Vec<usize>,
+    /// Seeded RNG state for random mode (`None` = DFS mode).
+    random: Option<u64>,
+    /// Branch points taken this execution.
+    decisions: Vec<Decision>,
+    /// All scheduling points this execution (livelock guard).
+    steps: usize,
+    max_steps: usize,
+    /// `(waiter, target)` pairs parked in `join`.
+    join_waiters: Vec<(usize, usize)>,
+    failure: Option<String>,
+    abort: bool,
+    os_handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+pub(crate) struct Execution {
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Execution>, usize)>> = const { RefCell::new(None) };
+}
+
+/// The running model thread's `(execution, id)`, or `None` outside a
+/// model context (shim ops then fall through to plain std behaviour).
+pub(crate) fn current() -> Option<(Arc<Execution>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+impl Execution {
+    /// Scheduling point: give every other runnable thread the chance to
+    /// run before the caller's next shim operation. No-op outside a
+    /// model context.
+    pub(crate) fn yield_point() {
+        if let Some((exec, me)) = current() {
+            exec.reschedule(me, Phase::Runnable);
+        }
+    }
+
+    /// Parks the calling thread with `phase` and blocks until the
+    /// scheduler hands control back. Unwinds via [`AbortSentinel`] when
+    /// the execution has failed. No-op while the thread is already
+    /// unwinding (a Drop mid-panic must not panic again).
+    pub(crate) fn reschedule(&self, me: usize, phase: Phase) {
+        if std::thread::panicking() {
+            return;
+        }
+        let mut st = self.state.lock().unwrap();
+        if st.abort {
+            drop(st);
+            resume_unwind(Box::new(AbortSentinel));
+        }
+        st.phases[me] = phase;
+        Self::pick_next(&mut st);
+        self.cv.notify_all();
+        while st.current != me {
+            if st.abort {
+                drop(st);
+                resume_unwind(Box::new(AbortSentinel));
+            }
+            st = self.cv.wait(st).unwrap();
+        }
+    }
+
+    /// Marks `ids` runnable (mutex unlock / finish waking waiters).
+    fn make_runnable(st: &mut State, ids: &[usize]) {
+        for &id in ids {
+            if st.phases[id] == Phase::Blocked {
+                st.phases[id] = Phase::Runnable;
+            }
+        }
+    }
+
+    /// Chooses the next thread to run, recording a branch point when
+    /// more than one candidate is runnable.
+    fn pick_next(st: &mut State) {
+        if st.abort {
+            return;
+        }
+        st.steps += 1;
+        if st.steps > st.max_steps {
+            st.failure
+                .get_or_insert_with(|| "scheduling-point budget exceeded (livelock?)".to_string());
+            st.abort = true;
+            return;
+        }
+        let runnable: Vec<usize> = (0..st.phases.len())
+            .filter(|&i| st.phases[i] == Phase::Runnable)
+            .collect();
+        if runnable.is_empty() {
+            if st.phases.iter().all(|&p| p == Phase::Finished) {
+                st.current = NO_THREAD;
+            } else {
+                let blocked: Vec<usize> = (0..st.phases.len())
+                    .filter(|&i| st.phases[i] == Phase::Blocked)
+                    .collect();
+                st.failure.get_or_insert_with(|| {
+                    format!("deadlock: threads {blocked:?} blocked forever")
+                });
+                st.abort = true;
+            }
+            return;
+        }
+        let alts = runnable.len();
+        let idx = if alts == 1 {
+            0
+        } else {
+            let choice = match &mut st.random {
+                Some(rng) => (crate::splitmix64(rng) % alts as u64) as usize,
+                None => {
+                    let d = st.decisions.len();
+                    // Past the replay prefix, DFS always takes the
+                    // first candidate; backtracking covers the rest.
+                    if d < st.prefix.len() {
+                        st.prefix[d].min(alts - 1)
+                    } else {
+                        0
+                    }
+                }
+            };
+            st.decisions.push(Decision {
+                chosen: choice,
+                alternatives: alts,
+            });
+            choice
+        };
+        st.current = runnable[idx];
+    }
+
+    /// Parks the caller as Blocked (mutex wait). The waker is
+    /// responsible for marking it runnable again; the caller re-checks
+    /// its wait condition on return.
+    pub(crate) fn block_current(&self, me: usize) {
+        self.reschedule(me, Phase::Blocked);
+    }
+
+    /// Registers a new model thread (runnable, not yet scheduled) and
+    /// returns its id. Caller must follow with a reschedule so the
+    /// spawn itself is a branch point.
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut st = self.state.lock().unwrap();
+        st.phases.push(Phase::Runnable);
+        st.phases.len() - 1
+    }
+
+    /// Records the OS handle backing a model thread so the run can join
+    /// it at teardown.
+    pub(crate) fn adopt_handle(&self, handle: std::thread::JoinHandle<()>) {
+        self.state.lock().unwrap().os_handles.push(handle);
+    }
+
+    /// Blocks the caller until `target` finishes (shim `join`).
+    pub(crate) fn await_thread(&self, me: usize, target: usize) {
+        loop {
+            {
+                let mut st = self.state.lock().unwrap();
+                if st.abort {
+                    drop(st);
+                    resume_unwind(Box::new(AbortSentinel));
+                }
+                if st.phases[target] == Phase::Finished {
+                    return;
+                }
+                st.join_waiters.push((me, target));
+            }
+            self.reschedule(me, Phase::Blocked);
+        }
+    }
+
+    /// Marks `me` finished, wakes joiners, hands control onward.
+    pub(crate) fn finish_thread(&self, me: usize) {
+        let mut st = self.state.lock().unwrap();
+        st.phases[me] = Phase::Finished;
+        let joiners: Vec<usize> = {
+            let (woken, kept): (Vec<_>, Vec<_>) = std::mem::take(&mut st.join_waiters)
+                .into_iter()
+                .partition(|&(_, t)| t == me);
+            st.join_waiters = kept;
+            woken.into_iter().map(|(w, _)| w).collect()
+        };
+        Self::make_runnable(&mut st, &joiners);
+        if !st.abort {
+            Self::pick_next(&mut st);
+        }
+        self.cv.notify_all();
+    }
+
+    /// Records a real panic from thread `me` and aborts the execution.
+    pub(crate) fn fail_thread(&self, me: usize, message: String) {
+        let mut st = self.state.lock().unwrap();
+        st.failure
+            .get_or_insert_with(|| format!("thread {me} panicked: {message}"));
+        st.abort = true;
+        st.phases[me] = Phase::Finished;
+        self.cv.notify_all();
+    }
+
+    /// Mutex-shim support: runs `f` under the scheduler lock, then
+    /// wakes `woken` and reschedules the caller (a scheduling point).
+    pub(crate) fn unlock_point(&self, me: usize, woken: &[usize]) {
+        {
+            let mut st = self.state.lock().unwrap();
+            Self::make_runnable(&mut st, woken);
+        }
+        self.reschedule(me, Phase::Runnable);
+    }
+}
+
+fn payload_to_string(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Body run by every model thread's OS thread: wait to be scheduled,
+/// run, report finish/panic. Used by both thread 0 and shim spawns.
+pub(crate) fn thread_main(exec: Arc<Execution>, me: usize, body: impl FnOnce()) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((exec.clone(), me)));
+    // Wait for the first scheduling of this thread.
+    {
+        let mut st = exec.state.lock().unwrap();
+        while st.current != me && !st.abort {
+            st = exec.cv.wait(st).unwrap();
+        }
+        if st.abort {
+            drop(st);
+            CURRENT.with(|c| *c.borrow_mut() = None);
+            exec.finish_thread(me);
+            return;
+        }
+    }
+    let result = catch_unwind(AssertUnwindSafe(body));
+    match result {
+        Ok(()) => exec.finish_thread(me),
+        Err(payload) => {
+            if payload.is::<AbortSentinel>() {
+                exec.finish_thread(me);
+            } else {
+                exec.fail_thread(me, payload_to_string(payload.as_ref()));
+            }
+        }
+    }
+    CURRENT.with(|c| *c.borrow_mut() = None);
+}
+
+/// Runs one complete execution of `f` under the given schedule prefix
+/// (DFS mode) or RNG seed (random mode). Returns the branch points
+/// taken, or the failure message paired with them.
+#[allow(clippy::type_complexity)]
+fn run_once(
+    f: &Arc<dyn Fn() + Send + Sync>,
+    prefix: Vec<usize>,
+    random: Option<u64>,
+    cfg: &ModelConfig,
+) -> Result<Vec<Decision>, (String, Vec<Decision>)> {
+    let exec = Arc::new(Execution {
+        state: Mutex::new(State {
+            phases: vec![Phase::Runnable],
+            current: 0,
+            prefix,
+            random,
+            decisions: Vec::new(),
+            steps: 0,
+            max_steps: cfg.max_steps,
+            join_waiters: Vec::new(),
+            failure: None,
+            abort: false,
+            os_handles: Vec::new(),
+        }),
+        cv: Condvar::new(),
+    });
+    let f0 = f.clone();
+    let e0 = exec.clone();
+    let h0 = std::thread::spawn(move || thread_main(e0, 0, move || f0()));
+    // Orchestrate: wait until every model thread reports finished.
+    let (failure, decisions, handles) = {
+        let mut st = exec.state.lock().unwrap();
+        while !st.phases.iter().all(|&p| p == Phase::Finished) {
+            st = exec.cv.wait(st).unwrap();
+        }
+        (
+            st.failure.take(),
+            std::mem::take(&mut st.decisions),
+            std::mem::take(&mut st.os_handles),
+        )
+    };
+    let _ = h0.join();
+    for h in handles {
+        let _ = h.join();
+    }
+    match failure {
+        Some(msg) => Err((msg, decisions)),
+        None => Ok(decisions),
+    }
+}
+
+fn schedule_of(decisions: &[Decision]) -> Vec<usize> {
+    decisions.iter().map(|d| d.chosen).collect()
+}
+
+/// Explores `f` under every interleaving (bounded DFS with the default
+/// budgets), panicking with a replayable schedule on the first failing
+/// one. See [`model_with`].
+pub fn model(f: impl Fn() + Send + Sync + 'static) -> ModelReport {
+    model_with(ModelConfig::default(), f)
+}
+
+/// [`model`] with explicit budgets.
+///
+/// # Panics
+///
+/// Panics when any explored schedule panics, deadlocks, or exceeds the
+/// step budget; the message carries the schedule for [`replay`].
+pub fn model_with(cfg: ModelConfig, f: impl Fn() + Send + Sync + 'static) -> ModelReport {
+    let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+    let mut prefix: Vec<usize> = Vec::new();
+    let mut iterations = 0usize;
+    loop {
+        iterations += 1;
+        match run_once(&f, prefix.clone(), None, &cfg) {
+            Err((msg, decisions)) => panic!(
+                "model check failed on schedule {} of DFS ({msg}); replay with schedule {:?}",
+                iterations,
+                schedule_of(&decisions)
+            ),
+            Ok(mut decisions) => {
+                // Backtrack: deepest branch point with an untried
+                // alternative becomes the next prefix.
+                let next = loop {
+                    match decisions.pop() {
+                        None => break None,
+                        Some(d) if d.chosen + 1 < d.alternatives => {
+                            let mut p = schedule_of(&decisions);
+                            p.push(d.chosen + 1);
+                            break Some(p);
+                        }
+                        Some(_) => {}
+                    }
+                };
+                match next {
+                    None => {
+                        return ModelReport {
+                            iterations,
+                            exhausted: true,
+                        }
+                    }
+                    Some(_) if iterations >= cfg.max_iterations => {
+                        return ModelReport {
+                            iterations,
+                            exhausted: false,
+                        }
+                    }
+                    Some(p) => prefix = p,
+                }
+            }
+        }
+    }
+}
+
+/// Runs `schedules` random interleavings of `f` from `seed` — cheap
+/// coverage beyond the exhaustive budget, and the fuzzing mode for
+/// structures whose DFS tree is too deep.
+///
+/// # Panics
+///
+/// Panics on the first failing schedule, naming the seed and schedule.
+pub fn model_random(
+    seed: u64,
+    schedules: usize,
+    f: impl Fn() + Send + Sync + 'static,
+) -> ModelReport {
+    let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+    let cfg = ModelConfig::default();
+    for i in 0..schedules {
+        if let Err((msg, decisions)) =
+            run_once(&f, Vec::new(), Some(seed.wrapping_add(i as u64)), &cfg)
+        {
+            panic!(
+                "model check failed on random schedule {i} of seed {seed} ({msg}); \
+                 replay with schedule {:?}",
+                schedule_of(&decisions)
+            );
+        }
+    }
+    ModelReport {
+        iterations: schedules,
+        exhausted: false,
+    }
+}
+
+/// Re-runs `f` under one exact schedule (from a failure message), e.g.
+/// with extra logging.
+///
+/// # Panics
+///
+/// Panics if that schedule fails again (expected when reproducing).
+pub fn replay(schedule: &[usize], f: impl Fn() + Send + Sync + 'static) {
+    let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+    if let Err((msg, decisions)) = run_once(&f, schedule.to_vec(), None, &ModelConfig::default()) {
+        panic!(
+            "replayed schedule failed ({msg}); schedule {:?}",
+            schedule_of(&decisions)
+        );
+    }
+}

@@ -1,0 +1,293 @@
+//! Instrumented drop-ins for `std::sync` / `std::thread`, compiled only
+//! under the `model` feature.
+//!
+//! Every operation that can order against another thread — an atomic
+//! load/store/RMW, a mutex lock/unlock, a spawn or join — first calls
+//! [`Execution::yield_point`] so the scheduler can interleave another
+//! thread at exactly that point. `fetch_update` is deliberately
+//! decomposed into a load + `compare_exchange_weak` loop so the checker
+//! can interleave writers *between* the read and the CAS — the race
+//! window the broker's grant path must tolerate.
+//!
+//! Outside a model context (no scheduler on this thread) every shim
+//! falls through to plain std behaviour, so model-feature builds still
+//! run ordinary unit tests correctly.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use crate::scheduler::{current, thread_main, Execution};
+
+/// Model-checked `std::sync::atomic::AtomicUsize` stand-in.
+#[derive(Debug, Default)]
+pub struct AtomicUsize {
+    inner: std::sync::atomic::AtomicUsize,
+}
+
+impl AtomicUsize {
+    pub const fn new(v: usize) -> Self {
+        AtomicUsize {
+            inner: std::sync::atomic::AtomicUsize::new(v),
+        }
+    }
+
+    pub fn load(&self, order: Ordering) -> usize {
+        Execution::yield_point();
+        self.inner.load(order)
+    }
+
+    pub fn store(&self, v: usize, order: Ordering) {
+        Execution::yield_point();
+        self.inner.store(v, order)
+    }
+
+    pub fn fetch_add(&self, v: usize, order: Ordering) -> usize {
+        Execution::yield_point();
+        self.inner.fetch_add(v, order)
+    }
+
+    pub fn fetch_sub(&self, v: usize, order: Ordering) -> usize {
+        Execution::yield_point();
+        self.inner.fetch_sub(v, order)
+    }
+
+    pub fn swap(&self, v: usize, order: Ordering) -> usize {
+        Execution::yield_point();
+        self.inner.swap(v, order)
+    }
+
+    pub fn compare_exchange(
+        &self,
+        cur: usize,
+        new: usize,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<usize, usize> {
+        Execution::yield_point();
+        self.inner.compare_exchange(cur, new, success, failure)
+    }
+
+    pub fn compare_exchange_weak(
+        &self,
+        cur: usize,
+        new: usize,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<usize, usize> {
+        Execution::yield_point();
+        self.inner.compare_exchange(cur, new, success, failure)
+    }
+
+    /// Same contract as std's `fetch_update`, but decomposed into a
+    /// load + CAS loop with a scheduling point before each step, so the
+    /// checker explores writers racing into the read→CAS window.
+    pub fn fetch_update<F>(
+        &self,
+        set_order: Ordering,
+        fetch_order: Ordering,
+        mut f: F,
+    ) -> Result<usize, usize>
+    where
+        F: FnMut(usize) -> Option<usize>,
+    {
+        let mut prev = self.load(fetch_order);
+        while let Some(next) = f(prev) {
+            match self.compare_exchange_weak(prev, next, set_order, fetch_order) {
+                Ok(x) => return Ok(x),
+                Err(next_prev) => prev = next_prev,
+            }
+        }
+        Err(prev)
+    }
+
+    pub fn into_inner(self) -> usize {
+        self.inner.into_inner()
+    }
+}
+
+/// Model-checked `std::sync::atomic::AtomicBool` stand-in.
+#[derive(Debug, Default)]
+pub struct AtomicBool {
+    inner: std::sync::atomic::AtomicBool,
+}
+
+impl AtomicBool {
+    pub const fn new(v: bool) -> Self {
+        AtomicBool {
+            inner: std::sync::atomic::AtomicBool::new(v),
+        }
+    }
+
+    pub fn load(&self, order: Ordering) -> bool {
+        Execution::yield_point();
+        self.inner.load(order)
+    }
+
+    pub fn store(&self, v: bool, order: Ordering) {
+        Execution::yield_point();
+        self.inner.store(v, order)
+    }
+
+    pub fn swap(&self, v: bool, order: Ordering) -> bool {
+        Execution::yield_point();
+        self.inner.swap(v, order)
+    }
+
+    pub fn compare_exchange(
+        &self,
+        cur: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        Execution::yield_point();
+        self.inner.compare_exchange(cur, new, success, failure)
+    }
+}
+
+/// Lock-order metadata shared with the scheduler via thread parking.
+#[derive(Debug, Default)]
+struct MutexMeta {
+    locked: bool,
+    waiters: Vec<usize>,
+}
+
+/// Model-checked `std::sync::Mutex` stand-in. Never poisons: a panic
+/// inside a critical section aborts the whole model execution anyway.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    meta: std::sync::Mutex<MutexMeta>,
+    cell: std::sync::Mutex<T>,
+}
+
+/// Guard for [`Mutex`]; releases at a scheduling point on drop.
+pub struct MutexGuard<'a, T> {
+    mutex: &'a Mutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            meta: std::sync::Mutex::new(MutexMeta {
+                locked: false,
+                waiters: Vec::new(),
+            }),
+            cell: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Like std, returns `Result` for drop-in compatibility — but the
+    /// shim never poisons, so the `Err` arm is unreachable.
+    pub fn lock(&self) -> Result<MutexGuard<'_, T>, std::convert::Infallible> {
+        if let Some((exec, me)) = current() {
+            Execution::yield_point();
+            loop {
+                {
+                    let mut meta = self.meta.lock().unwrap();
+                    if !meta.locked {
+                        meta.locked = true;
+                        break;
+                    }
+                    meta.waiters.push(me);
+                }
+                exec.block_current(me);
+            }
+        }
+        Ok(MutexGuard {
+            mutex: self,
+            inner: Some(self.cell.lock().unwrap_or_else(|e| e.into_inner())),
+        })
+    }
+
+    pub fn into_inner(self) -> Result<T, std::convert::Infallible> {
+        Ok(self.cell.into_inner().unwrap_or_else(|e| e.into_inner()))
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_deref().expect("guard live until drop")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_deref_mut().expect("guard live until drop")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.inner = None; // release the data lock first
+        if let Some((exec, me)) = current() {
+            let woken = {
+                let mut meta = self.mutex.meta.lock().unwrap();
+                meta.locked = false;
+                std::mem::take(&mut meta.waiters)
+            };
+            exec.unlock_point(me, &woken);
+        } else {
+            let mut meta = self.mutex.meta.lock().unwrap();
+            meta.locked = false;
+        }
+    }
+}
+
+/// Model-checked `std::thread::JoinHandle` stand-in. `join` returns
+/// `T` directly (not `thread::Result<T>`): a child panic aborts the
+/// model execution before any joiner resumes.
+pub struct JoinHandle<T> {
+    exec: Arc<Execution>,
+    id: usize,
+    result: Arc<std::sync::Mutex<Option<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    pub fn join(self) -> std::thread::Result<T> {
+        let (_, me) = current().expect("join called outside a model execution");
+        self.exec.await_thread(me, self.id);
+        let value = self
+            .result
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+            .expect("joined thread stored its result");
+        Ok(value)
+    }
+}
+
+/// Model-checked `std::thread::spawn` stand-in: registers the closure
+/// as a new model thread. Must be called from inside a model execution.
+pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let (exec, _me) = current().expect("spawn called outside a model execution");
+    let id = exec.register_thread();
+    let result: Arc<std::sync::Mutex<Option<T>>> = Arc::new(std::sync::Mutex::new(None));
+    let slot = result.clone();
+    let child_exec = exec.clone();
+    let handle = std::thread::spawn(move || {
+        let exec_for_main = child_exec.clone();
+        thread_main(exec_for_main, id, move || {
+            let value = f();
+            *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(value);
+        });
+    });
+    exec.adopt_handle(handle);
+    // The spawn itself is a scheduling point: the child may run first.
+    Execution::yield_point();
+    JoinHandle { exec, id, result }
+}
+
+/// Scheduling point; outside a model context, a plain std yield.
+pub fn yield_now() {
+    if current().is_some() {
+        Execution::yield_point();
+    } else {
+        std::thread::yield_now();
+    }
+}

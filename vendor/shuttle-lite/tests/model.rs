@@ -1,0 +1,144 @@
+//! Self-tests for the model checker: it must *find* a planted race,
+//! *pass* race-free code under every schedule, and *report* deadlocks.
+//! Run with `cargo test -p shuttle-lite --features model`.
+#![cfg(feature = "model")]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use shuttle_lite::sync::atomic::{AtomicUsize, Ordering};
+use shuttle_lite::sync::{Arc, Mutex};
+use shuttle_lite::{model, model_random, model_with, thread, ModelConfig};
+
+#[test]
+fn finds_lost_update_in_unsynchronized_increment() {
+    // Classic read-modify-write race: both threads may load 0 and both
+    // store 1. DFS must reach that schedule and fail the assertion.
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        model(|| {
+            let c = Arc::new(AtomicUsize::new(0));
+            let c2 = c.clone();
+            let h = thread::spawn(move || {
+                let v = c2.load(Ordering::SeqCst);
+                c2.store(v + 1, Ordering::SeqCst);
+            });
+            let v = c.load(Ordering::SeqCst);
+            c.store(v + 1, Ordering::SeqCst);
+            h.join().unwrap();
+            assert_eq!(c.load(Ordering::SeqCst), 2, "lost update");
+        });
+    }));
+    let msg = match outcome {
+        Ok(_) => panic!("model missed the lost-update interleaving"),
+        Err(payload) => *payload.downcast::<String>().expect("string panic payload"),
+    };
+    assert!(msg.contains("lost update"), "unexpected failure: {msg}");
+    assert!(
+        msg.contains("replay with schedule"),
+        "no replay info: {msg}"
+    );
+}
+
+#[test]
+fn cas_increment_survives_every_schedule() {
+    // The fix for the race above: a compare-exchange loop. Exhaustive
+    // DFS over both threads' load/CAS windows must find no schedule
+    // that loses an update.
+    let report = model(|| {
+        let c = Arc::new(AtomicUsize::new(0));
+        let c2 = c.clone();
+        let h = thread::spawn(move || {
+            c2.fetch_update(Ordering::AcqRel, Ordering::Acquire, |v| Some(v + 1))
+                .expect("updater never bails");
+        });
+        c.fetch_update(Ordering::AcqRel, Ordering::Acquire, |v| Some(v + 1))
+            .expect("updater never bails");
+        h.join().unwrap();
+        assert_eq!(c.load(Ordering::SeqCst), 2);
+    });
+    assert!(report.exhausted, "DFS should exhaust this small tree");
+    assert!(
+        report.iterations > 1,
+        "two racing threads must yield multiple schedules"
+    );
+}
+
+#[test]
+fn mutex_provides_mutual_exclusion_and_wakes_waiters() {
+    let report = model(|| {
+        let m = Arc::new(Mutex::new(0usize));
+        let m2 = m.clone();
+        let h = thread::spawn(move || {
+            *m2.lock().unwrap() += 1;
+        });
+        *m.lock().unwrap() += 1;
+        h.join().unwrap();
+        assert_eq!(*m.lock().unwrap(), 2);
+    });
+    assert!(report.exhausted);
+}
+
+#[test]
+fn reports_abba_deadlock_with_schedule() {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        model(|| {
+            let a = Arc::new(Mutex::new(()));
+            let b = Arc::new(Mutex::new(()));
+            let (a2, b2) = (a.clone(), b.clone());
+            let h = thread::spawn(move || {
+                let _ga = a2.lock().unwrap();
+                let _gb = b2.lock().unwrap();
+            });
+            let _gb = b.lock().unwrap();
+            let _ga = a.lock().unwrap();
+            drop((_ga, _gb));
+            h.join().unwrap();
+        });
+    }));
+    let msg = match outcome {
+        Ok(_) => panic!("model missed the ABBA deadlock"),
+        Err(payload) => *payload.downcast::<String>().expect("string panic payload"),
+    };
+    assert!(msg.contains("deadlock"), "unexpected failure: {msg}");
+}
+
+#[test]
+fn iteration_budget_caps_exploration() {
+    let report = model_with(
+        ModelConfig {
+            max_iterations: 3,
+            ..ModelConfig::default()
+        },
+        || {
+            let c = Arc::new(AtomicUsize::new(0));
+            let c2 = c.clone();
+            let h = thread::spawn(move || {
+                c2.fetch_add(1, Ordering::SeqCst);
+                c2.fetch_add(1, Ordering::SeqCst);
+            });
+            c.fetch_add(1, Ordering::SeqCst);
+            c.fetch_add(1, Ordering::SeqCst);
+            h.join().unwrap();
+        },
+    );
+    assert_eq!(report.iterations, 3);
+    assert!(!report.exhausted);
+}
+
+#[test]
+fn random_mode_finds_the_same_race() {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        model_random(0xc0d_0ba5, 200, || {
+            let c = Arc::new(AtomicUsize::new(0));
+            let c2 = c.clone();
+            let h = thread::spawn(move || {
+                let v = c2.load(Ordering::SeqCst);
+                c2.store(v + 1, Ordering::SeqCst);
+            });
+            let v = c.load(Ordering::SeqCst);
+            c.store(v + 1, Ordering::SeqCst);
+            h.join().unwrap();
+            assert_eq!(c.load(Ordering::SeqCst), 2, "lost update");
+        });
+    }));
+    assert!(outcome.is_err(), "200 random schedules should hit the race");
+}
